@@ -1,0 +1,170 @@
+// etsn-bench regenerates every table and figure of the paper's evaluation
+// (Sec. VI): Fig. 11 (ECT latency CDFs by method and load), Fig. 12 (PERIOD
+// with multiplied slot budgets), Fig. 14 (latency/jitter vs load and
+// message length on the simulation topology), Fig. 15 (impact of ECT on TCT
+// streams), Fig. 16 (four concurrent ECT streams), and the headline numbers
+// at 75% load.
+//
+// Usage:
+//
+//	etsn-bench [-experiment all|headline|fig11|fig12|fig14|fig15|fig16]
+//	           [-duration 4s] [-seed 60802]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"etsn/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "etsn-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("etsn-bench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "experiment to run: all, headline, fig11, fig12, fig14, fig15, fig16, fourway, frer, scale, sync, ablation")
+	duration := fs.Duration("duration", experiments.DefaultDuration, "simulated time per run")
+	seed := fs.Int64("seed", experiments.DefaultSeed, "random seed for event arrivals")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.RunOptions{Duration: *duration, Seed: *seed}
+
+	type runner struct {
+		name string
+		fn   func() error
+	}
+	all := []runner{
+		{"headline", func() error {
+			r, err := experiments.Headline(opts)
+			if err != nil {
+				return err
+			}
+			r.WriteTable(w)
+			return nil
+		}},
+		{"fig11", func() error {
+			r, err := experiments.Fig11(opts)
+			if err != nil {
+				return err
+			}
+			r.WriteTable(w)
+			return nil
+		}},
+		{"fig12", func() error {
+			r, err := experiments.Fig12(opts)
+			if err != nil {
+				return err
+			}
+			r.WriteTable(w)
+			return nil
+		}},
+		{"fig14", func() error {
+			r, err := experiments.Fig14(opts)
+			if err != nil {
+				return err
+			}
+			r.WriteTable(w)
+			return nil
+		}},
+		{"fig15", func() error {
+			r, err := experiments.Fig15(opts)
+			if err != nil {
+				return err
+			}
+			r.WriteTable(w)
+			if !r.DeadlinesHeld() {
+				return fmt.Errorf("fig15: a TCT deadline was violated")
+			}
+			return nil
+		}},
+		{"fig16", func() error {
+			r, err := experiments.Fig16(opts)
+			if err != nil {
+				return err
+			}
+			r.WriteTable(w)
+			return nil
+		}},
+		{"fourway", func() error {
+			r, err := experiments.FourWay(opts)
+			if err != nil {
+				return err
+			}
+			r.WriteTable(w)
+			return nil
+		}},
+		{"frer", func() error {
+			r, err := experiments.FRER(opts)
+			if err != nil {
+				return err
+			}
+			r.WriteTable(w)
+			return nil
+		}},
+		{"scale", func() error {
+			r, err := experiments.Scale(opts)
+			if err != nil {
+				return err
+			}
+			r.WriteTable(w)
+			return nil
+		}},
+		{"sync", func() error {
+			r, err := experiments.Sync(opts)
+			if err != nil {
+				return err
+			}
+			r.WriteTable(w)
+			return nil
+		}},
+		{"ablation", func() error {
+			n, err := experiments.AblationNProb(opts)
+			if err != nil {
+				return err
+			}
+			n.WriteTable(w)
+			fmt.Fprintln(w)
+			p, err := experiments.AblationPrudent(opts)
+			if err != nil {
+				return err
+			}
+			p.WriteTable(w)
+			fmt.Fprintln(w)
+			b, err := experiments.AblationBackend(opts)
+			if err != nil {
+				return err
+			}
+			b.WriteTable(w)
+			return nil
+		}},
+	}
+
+	if *experiment == "all" {
+		for i, r := range all {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			start := time.Now()
+			if err := r.fn(); err != nil {
+				return fmt.Errorf("%s: %w", r.name, err)
+			}
+			fmt.Fprintf(w, "[%s completed in %v]\n", r.name, time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	}
+	for _, r := range all {
+		if r.name == *experiment {
+			return r.fn()
+		}
+	}
+	return fmt.Errorf("unknown experiment %q", *experiment)
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunHeadline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "headline", "-duration", "300ms"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E-TSN", "PERIOD", "AVB", "jitter ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig15ChecksDeadlines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "fig15", "-duration", "300ms"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "impact of ECT on TCT streams") {
+		t.Fatal("missing fig15 table")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "fig99"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "all", "-duration", "200ms"}, &buf); err != nil {
+		t.Fatalf("run all: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Headline", "Fig. 11", "Fig. 12", "Fig. 14", "Fig. 15", "Fig. 16",
+		"four-way", "seamless redundancy", "scalability", "802.1AS", "Ablation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// etsn-sched runs the CNC pipeline offline: it reads a Qcc-style JSON
+// configuration (topology + stream requirements), computes a verified E-TSN
+// schedule, and writes the deployment (per-link slot tables and per-port
+// Gate Control Lists) as JSON.
+//
+// Usage:
+//
+//	etsn-sched -config network.json [-out deployment.json] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"etsn/internal/core"
+	"etsn/internal/gcl"
+	"etsn/internal/qcc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "etsn-sched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("etsn-sched", flag.ContinueOnError)
+	configPath := fs.String("config", "", "path to the Qcc-style JSON configuration (required)")
+	outPath := fs.String("out", "", "path for the deployment JSON (default: stdout)")
+	quiet := fs.Bool("quiet", false, "suppress the human-readable summary on stderr")
+	gclText := fs.Bool("gcl", false, "print the gate programs as admin-style tables instead of JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -config")
+	}
+	f, err := os.Open(*configPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cfg, err := qcc.Load(f)
+	if err != nil {
+		return err
+	}
+	dep, err := qcc.Compute(cfg)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		printSummary(dep)
+	}
+	out := os.Stdout
+	if *outPath != "" {
+		of, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		out = of
+	}
+	if *gclText {
+		gcl.WriteAllText(out, dep.GCLs)
+		return nil
+	}
+	return dep.WriteJSON(out)
+}
+
+func printSummary(dep *qcc.Deployment) {
+	sched := dep.Result.Schedule
+	st := gcl.Summarize(dep.GCLs)
+	fmt.Fprintf(os.Stderr, "schedule: %d streams, %d slots, hyperperiod %v (backend %s)\n",
+		len(sched.Streams), sched.NumSlots(), sched.Hyperperiod, dep.Result.BackendUsed)
+	fmt.Fprintf(os.Stderr, "gcls: %d ports, %d entries (max %d per port)\n",
+		st.Ports, st.Entries, st.MaxEntriesPerPort)
+	for _, s := range dep.Problem.TCT {
+		wc, err := core.TCTWorstCase(dep.Network, dep.Result, s.ID)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  TCT %-12s worst case %-12v deadline %v\n", s.ID, wc, s.E2E)
+	}
+	for _, e := range dep.Problem.ECT {
+		bound, err := core.ECTWorstCaseBound(dep.Network, dep.Result, e.ID)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  ECT %-12s worst case %-12v deadline %v\n", e.ID, bound, e.E2E)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testConfig = `{
+  "network": {
+    "devices": ["D1", "D2", "D3"],
+    "switches": ["SW1"],
+    "links": [
+      {"a": "D1", "b": "SW1", "bandwidth_bps": 100000000},
+      {"a": "D2", "b": "SW1", "bandwidth_bps": 100000000},
+      {"a": "D3", "b": "SW1", "bandwidth_bps": 100000000}
+    ]
+  },
+  "streams": [
+    {"id": "s1", "talker": "D1", "listener": "D3", "type": "time-triggered",
+     "period_us": 620, "max_latency_us": 744, "payload_bytes": 4500, "share": true},
+    {"id": "s2", "talker": "D2", "listener": "D3", "type": "event-triggered",
+     "period_us": 620, "max_latency_us": 620, "payload_bytes": 1500}
+  ],
+  "options": {"n_prob": 5}
+}`
+
+func writeConfig(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "config.json")
+	if err := os.WriteFile(path, []byte(testConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunProducesDeployment(t *testing.T) {
+	cfg := writeConfig(t)
+	out := filepath.Join(t.TempDir(), "deploy.json")
+	if err := run([]string{"-config", cfg, "-out", out, "-quiet"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	for _, key := range []string{"hyperperiod_us", "schedule", "gcls", "backend"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("missing key %q", key)
+		}
+	}
+}
+
+func TestRunMissingConfig(t *testing.T) {
+	if err := run([]string{}); err == nil || !strings.Contains(err.Error(), "config") {
+		t.Fatalf("err = %v, want missing -config", err)
+	}
+}
+
+func TestRunBadConfigPath(t *testing.T) {
+	if err := run([]string{"-config", "/does/not/exist.json", "-quiet"}); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestRunInfeasibleConfig(t *testing.T) {
+	bad := strings.Replace(testConfig, `"max_latency_us": 744`, `"max_latency_us": 1`, 1)
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path, "-quiet"}); err == nil {
+		t.Fatal("expected scheduling error")
+	}
+}
+
+func TestRunGCLText(t *testing.T) {
+	cfg := writeConfig(t)
+	out := filepath.Join(t.TempDir(), "gcl.txt")
+	if err := run([]string{"-config", cfg, "-out", out, "-quiet", "-gcl"}); err != nil {
+		t.Fatalf("run -gcl: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "port D1->SW1") {
+		t.Fatalf("missing gate table:\n%s", data)
+	}
+}

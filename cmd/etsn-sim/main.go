@@ -1,0 +1,158 @@
+// etsn-sim plans a scenario with one of the three methods the paper
+// compares (E-TSN, PERIOD, AVB) and simulates it against stochastic
+// event-triggered traffic, printing per-stream latency statistics.
+//
+// Usage:
+//
+//	etsn-sim -config network.json [-method etsn|period|avb] [-duration 4s]
+//	         [-seed 1] [-multiplier 1] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"etsn/internal/model"
+	"etsn/internal/qcc"
+	"etsn/internal/sched"
+	"etsn/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "etsn-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("etsn-sim", flag.ContinueOnError)
+	configPath := fs.String("config", "", "path to the Qcc-style JSON configuration (required)")
+	methodName := fs.String("method", "etsn", "scheduling method: etsn, period, avb, or cqf")
+	duration := fs.Duration("duration", 4*time.Second, "simulated time span")
+	seed := fs.Int64("seed", 1, "random seed for event arrivals")
+	multiplier := fs.Int("multiplier", 1, "PERIOD slot-budget multiplier")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	tracePath := fs.String("trace", "", "write a JSONL frame-event trace to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -config")
+	}
+	method, err := parseMethod(*methodName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*configPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cfg, err := qcc.Load(f)
+	if err != nil {
+		return err
+	}
+	p, err := cfg.BuildProblem()
+	if err != nil {
+		return err
+	}
+	prob := sched.Problem{
+		Network: p.Network,
+		TCT:     p.TCT,
+		ECT:     p.ECT,
+		NProb:   p.Opts.NProb,
+		Spread:  p.Opts.SpreadFrames,
+	}
+	plan, err := sched.Build(method, prob, *multiplier)
+	if err != nil {
+		return err
+	}
+	simOpts := sched.SimOptions{ECT: p.ECT, Duration: *duration, Seed: *seed}
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		simOpts.Trace = traceFile
+	}
+	results, err := plan.SimulateOpts(p.Network, simOpts)
+	if err != nil {
+		return err
+	}
+
+	type row struct {
+		Stream   string  `json:"stream"`
+		Kind     string  `json:"kind"`
+		Count    int     `json:"count"`
+		MeanUs   float64 `json:"mean_us"`
+		WorstUs  float64 `json:"worst_us"`
+		JitterUs float64 `json:"jitter_us"`
+		Drops    int     `json:"drops,omitempty"`
+	}
+	isECT := make(map[model.StreamID]bool, len(p.ECT))
+	for _, e := range p.ECT {
+		isECT[e.ID] = true
+	}
+	var rows []row
+	for _, id := range results.Streams() {
+		s := stats.Summarize(results.Latencies(id))
+		kind := "TCT"
+		if isECT[id] {
+			kind = "ECT"
+		}
+		rows = append(rows, row{
+			Stream:   string(id),
+			Kind:     kind,
+			Count:    s.Count,
+			MeanUs:   us(s.Mean),
+			WorstUs:  us(s.Max),
+			JitterUs: us(s.StdDev),
+			Drops:    results.Drops(id),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Kind != rows[j].Kind {
+			return rows[i].Kind < rows[j].Kind // ECT first
+		}
+		return rows[i].Stream < rows[j].Stream
+	})
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	}
+	fmt.Printf("method %s, %v simulated, seed %d\n", method, *duration, *seed)
+	fmt.Printf("%-14s %-5s %8s %12s %12s %12s %6s\n",
+		"stream", "kind", "msgs", "mean(us)", "worst(us)", "jitter(us)", "drops")
+	for _, r := range rows {
+		fmt.Printf("%-14s %-5s %8d %12.2f %12.2f %12.2f %6d\n",
+			r.Stream, r.Kind, r.Count, r.MeanUs, r.WorstUs, r.JitterUs, r.Drops)
+	}
+	return nil
+}
+
+func parseMethod(name string) (sched.Method, error) {
+	switch name {
+	case "etsn", "e-tsn", "E-TSN":
+		return sched.MethodETSN, nil
+	case "period", "PERIOD":
+		return sched.MethodPERIOD, nil
+	case "avb", "AVB":
+		return sched.MethodAVB, nil
+	case "cqf", "CQF":
+		return sched.MethodCQF, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q (want etsn, period, avb, or cqf)", name)
+	}
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }

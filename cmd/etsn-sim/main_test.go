@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"etsn/internal/sched"
+)
+
+const testConfig = `{
+  "network": {
+    "devices": ["D1", "D2", "D3"],
+    "switches": ["SW1"],
+    "links": [
+      {"a": "D1", "b": "SW1", "bandwidth_bps": 100000000},
+      {"a": "D2", "b": "SW1", "bandwidth_bps": 100000000},
+      {"a": "D3", "b": "SW1", "bandwidth_bps": 100000000}
+    ]
+  },
+  "streams": [
+    {"id": "s1", "talker": "D1", "listener": "D3", "type": "time-triggered",
+     "period_us": 620, "max_latency_us": 744, "payload_bytes": 4500, "share": true},
+    {"id": "s2", "talker": "D2", "listener": "D3", "type": "event-triggered",
+     "period_us": 620, "max_latency_us": 620, "payload_bytes": 1500}
+  ],
+  "options": {"n_prob": 5}
+}`
+
+func writeConfig(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "config.json")
+	if err := os.WriteFile(path, []byte(testConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllMethods(t *testing.T) {
+	cfg := writeConfig(t)
+	for _, method := range []string{"etsn", "period", "avb", "cqf"} {
+		if err := run([]string{"-config", cfg, "-method", method, "-duration", "50ms"}); err != nil {
+			t.Fatalf("method %s: %v", method, err)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	cfg := writeConfig(t)
+	if err := run([]string{"-config", cfg, "-duration", "50ms", "-json"}); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cfg := writeConfig(t)
+	if err := run([]string{"-config", cfg, "-method", "teleport"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("bad method: %v", err)
+	}
+	if err := run([]string{"-method", "etsn"}); err == nil {
+		t.Fatal("missing config accepted")
+	}
+	if err := run([]string{"-config", "/does/not/exist"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]sched.Method{
+		"etsn": sched.MethodETSN, "E-TSN": sched.MethodETSN, "e-tsn": sched.MethodETSN,
+		"period": sched.MethodPERIOD, "PERIOD": sched.MethodPERIOD,
+		"avb": sched.MethodAVB, "AVB": sched.MethodAVB,
+		"cqf": sched.MethodCQF, "CQF": sched.MethodCQF,
+	}
+	for name, want := range cases {
+		got, err := parseMethod(name)
+		if err != nil || got != want {
+			t.Errorf("parseMethod(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseMethod("x"); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	cfg := writeConfig(t)
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"-config", cfg, "-duration", "20ms", "-trace", trace}); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"kind\":\"deliver\"") {
+		t.Fatalf("trace missing deliveries:\n%.200s", data)
+	}
+}

@@ -1,0 +1,24 @@
+// Package etsn is a from-scratch Go reproduction of "E-TSN: Enabling
+// Event-triggered Critical Traffic in Time-Sensitive Networking for
+// Industrial Applications" (Zhao et al., ICDCS 2022).
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — the E-TSN scheduler (probabilistic streams,
+//     prioritized slot sharing, prudent reservation, SMT formulation).
+//   - internal/smt — a difference-logic SMT solver standing in for Z3.
+//   - internal/model — network, stream, frame-slot, and schedule model.
+//   - internal/gcl — 802.1Qbv Gate Control List synthesis.
+//   - internal/sim — a nanosecond discrete-event TSN simulator
+//     (Qbv gates, strict priority, Qav credit-based shaping).
+//   - internal/ptp — an 802.1AS clock-synchronization model.
+//   - internal/sched — the PERIOD and AVB baselines as runnable plans.
+//   - internal/traffic — IEC/IEEE 60802-style workload generation.
+//   - internal/stats — latency summaries, quantiles, and CDFs.
+//   - internal/qcc — the 802.1Qcc CUC/CNC configuration pipeline.
+//   - internal/experiments — every figure of the paper's evaluation.
+//
+// The benchmarks in bench_test.go regenerate each table and figure; the
+// executables under cmd/ expose the same pipelines as CLI tools; examples/
+// holds runnable scenario walkthroughs.
+package etsn

@@ -1,0 +1,129 @@
+// CNC-pipeline walks the full 802.1Qcc configuration flow the paper's
+// Fig. 5 describes: stream requirements arrive as a JSON document (the CUC's
+// output), the CNC computes a verified E-TSN schedule, compiles per-port
+// Gate Control Lists, "distributes" them to the simulated switches, and the
+// network runs live traffic against the deployed configuration.
+//
+// Run with: go run ./examples/cnc-pipeline
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"etsn/internal/core"
+	"etsn/internal/gcl"
+	"etsn/internal/model"
+	"etsn/internal/qcc"
+	"etsn/internal/sim"
+	"etsn/internal/stats"
+)
+
+// requirements is the CUC's output: a production line with two switches,
+// four devices, three periodic streams, and one event-triggered stream.
+const requirements = `{
+  "network": {
+    "devices": ["camera", "controller", "robot", "estop"],
+    "switches": ["sw-a", "sw-b"],
+    "links": [
+      {"a": "camera",     "b": "sw-a", "bandwidth_bps": 100000000},
+      {"a": "estop",      "b": "sw-a", "bandwidth_bps": 100000000},
+      {"a": "sw-a",       "b": "sw-b", "bandwidth_bps": 100000000},
+      {"a": "controller", "b": "sw-b", "bandwidth_bps": 100000000},
+      {"a": "robot",      "b": "sw-b", "bandwidth_bps": 100000000}
+    ]
+  },
+  "streams": [
+    {"id": "vision",   "talker": "camera",     "listener": "controller", "type": "time-triggered",
+     "period_us": 4000,  "max_latency_us": 8000,  "payload_bytes": 9000, "share": true},
+    {"id": "setpoint", "talker": "controller", "listener": "robot",      "type": "time-triggered",
+     "period_us": 2000,  "max_latency_us": 4000,  "payload_bytes": 1500, "share": true},
+    {"id": "feedback", "talker": "robot",      "listener": "controller", "type": "time-triggered",
+     "period_us": 2000,  "max_latency_us": 4000,  "payload_bytes": 1500, "share": true},
+    {"id": "halt",     "talker": "estop",      "listener": "robot",      "type": "event-triggered",
+     "period_us": 50000, "max_latency_us": 5000,  "payload_bytes": 256}
+  ],
+  "options": {"n_prob": 128, "spread": true, "shared_reserves": true}
+}`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cnc-pipeline:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Step 1 (CUC): parse the stream requirements.
+	cfg, err := qcc.Load(strings.NewReader(requirements))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CUC: %d stream requirements over %d devices and %d switches\n",
+		len(cfg.Streams), len(cfg.Network.Devices), len(cfg.Network.Switches))
+
+	// Step 2 (CNC): schedule, verify, and compile GCLs.
+	dep, err := qcc.Compute(cfg)
+	if err != nil {
+		return err
+	}
+	st := gcl.Summarize(dep.GCLs)
+	fmt.Printf("CNC: schedule with %d slots over hyperperiod %v (backend %s)\n",
+		dep.Result.Schedule.NumSlots(), dep.Result.Schedule.Hyperperiod, dep.Result.BackendUsed)
+	fmt.Printf("CNC: %d port GCLs, %d entries total\n", st.Ports, st.Entries)
+	for _, e := range dep.Problem.ECT {
+		bound, err := core.ECTWorstCaseBound(dep.Network, dep.Result, e.ID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("CNC: ECT %q worst-case bound %v against deadline %v\n",
+			e.ID, bound.Round(time.Microsecond), e.E2E)
+	}
+
+	// Step 3 (distribution): hand the GCLs to the switches — here, the
+	// simulator consumes exactly the artifacts a switch would.
+	fmt.Println("\ndistributing GCLs to switches and starting the network...")
+	simulator, err := sim.New(sim.Config{
+		Network:  dep.Network,
+		Schedule: dep.Result.Schedule,
+		GCLs:     dep.GCLs,
+		ECT: []sim.ECTTraffic{{
+			Stream:   dep.Problem.ECT[0],
+			Priority: model.PriorityECT,
+		}},
+		Duration: 10 * time.Second,
+		Seed:     3,
+	})
+	if err != nil {
+		return err
+	}
+	results, err := simulator.Run()
+	if err != nil {
+		return err
+	}
+
+	// Step 4: report live behaviour against the contracted requirements.
+	fmt.Println("\nlive network statistics:")
+	for _, req := range cfg.Streams {
+		lats := results.Latencies(model.StreamID(req.ID))
+		s := stats.Summarize(lats)
+		deadline := time.Duration(req.MaxLatencyUs) * time.Microsecond
+		missed := 0
+		for _, l := range lats {
+			if l > deadline {
+				missed++
+			}
+		}
+		fmt.Printf("  %-10s %-16s %6d msgs  avg %-10v worst %-10v deadline %-8v misses %d\n",
+			req.ID, req.Type, s.Count, s.Mean.Round(time.Microsecond),
+			s.Max.Round(time.Microsecond), deadline, missed)
+	}
+	if drops := results.TotalDrops(); drops != 0 {
+		return fmt.Errorf("unexpected frame drops: %d", drops)
+	}
+	fmt.Println("\nall contracted deadlines held; the emergency halt is deterministic even")
+	fmt.Println("though its firing time is not.")
+	return nil
+}

@@ -1,0 +1,98 @@
+// Factory models the paper's multi-ECT scenario (Sec. VI-C3): a production
+// cell with four switches in a line and twelve stations. Forty periodic
+// streams (IEC/IEEE 60802-style) carry sensor and control data at 50%
+// network load, and four event-triggered streams — stop commands, tool
+// breakage alarms, light-curtain trips, and a quality-reject trigger — fire
+// at random times from random stations.
+//
+// The example plans E-TSN, PERIOD, and AVB and prints the Fig. 16-style
+// comparison: latency and jitter of every event stream under each method.
+//
+// Run with: go run ./examples/factory
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"etsn/internal/core"
+	"etsn/internal/experiments"
+	"etsn/internal/model"
+	"etsn/internal/sched"
+	"etsn/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "factory:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The 4-switch / 12-device cell at 50% periodic load.
+	scen, err := experiments.NewSimulationScenario(0.50, 1, 1, 2026)
+	if err != nil {
+		return err
+	}
+	// Name the cell's event streams: the first ECT (D1 -> D12) is the
+	// cell-wide stop command; add three more with random endpoints.
+	scen.ECT[0].ID = "stop-command"
+	if err := scen.AddRandomECTs(3, 2026); err != nil {
+		return err
+	}
+	names := map[model.StreamID]model.StreamID{
+		"ect2": "tool-breakage",
+		"ect3": "light-curtain",
+		"ect4": "quality-reject",
+	}
+	for _, e := range scen.ECT {
+		if newID, ok := names[e.ID]; ok {
+			e.ID = newID
+		}
+	}
+	scen.NProb = experiments.MultiECTNProb
+
+	fmt.Printf("factory cell: %d stations, 4 switches, %d periodic streams at %.0f%% load\n",
+		12, len(scen.TCT), scen.Load*100)
+	fmt.Printf("event streams: ")
+	for i, e := range scen.ECT {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s (%s->%s)", e.ID, e.Source(), e.Destination())
+	}
+	fmt.Println()
+	fmt.Println()
+
+	const duration = 10 * time.Second
+	for _, method := range []sched.Method{sched.MethodETSN, sched.MethodPERIOD, sched.MethodAVB} {
+		plan, err := sched.Build(method, scen.Problem(), 1)
+		if err != nil {
+			return fmt.Errorf("%v planning: %w", method, err)
+		}
+		results, err := plan.Simulate(scen.Network, scen.ECT, scen.BE, duration, 7)
+		if err != nil {
+			return fmt.Errorf("%v simulation: %w", method, err)
+		}
+		fmt.Printf("%s:\n", method)
+		for _, e := range scen.ECT {
+			s := stats.Summarize(results.Latencies(e.ID))
+			line := fmt.Sprintf("  %-16s %4d events  avg %-10v worst %-10v jitter %v",
+				e.ID, s.Count, s.Mean.Round(time.Microsecond),
+				s.Max.Round(time.Microsecond), s.StdDev.Round(time.Microsecond))
+			if method == sched.MethodETSN {
+				if bound, err := core.ECTWorstCaseBound(scen.Network, plan.Result, e.ID); err == nil {
+					line += fmt.Sprintf("  (bound %v)", bound.Round(time.Microsecond))
+				}
+			}
+			fmt.Println(line)
+		}
+		fmt.Println()
+	}
+	fmt.Println("E-TSN keeps every event stream's worst case bounded while the cell's")
+	fmt.Println("periodic control loops keep their deadlines; PERIOD trades bandwidth for")
+	fmt.Println("latency and AVB's tail depends entirely on what the schedule leaves open.")
+	return nil
+}

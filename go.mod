@@ -1,0 +1,3 @@
+module etsn
+
+go 1.22

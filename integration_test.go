@@ -1,0 +1,262 @@
+package etsn_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"etsn/internal/core"
+	"etsn/internal/experiments"
+	"etsn/internal/gcl"
+	"etsn/internal/model"
+	"etsn/internal/ptp"
+	"etsn/internal/qcc"
+	"etsn/internal/sched"
+	"etsn/internal/sim"
+	"etsn/internal/stats"
+)
+
+// pipelineConfig is a small industrial cell used by the cross-module tests.
+const pipelineConfig = `{
+  "network": {
+    "devices": ["sensor", "actor", "panel", "hmi"],
+    "switches": ["swA", "swB"],
+    "links": [
+      {"a": "sensor", "b": "swA", "bandwidth_bps": 100000000},
+      {"a": "panel",  "b": "swA", "bandwidth_bps": 100000000},
+      {"a": "swA",    "b": "swB", "bandwidth_bps": 100000000},
+      {"a": "actor",  "b": "swB", "bandwidth_bps": 100000000},
+      {"a": "hmi",    "b": "swB", "bandwidth_bps": 100000000}
+    ]
+  },
+  "streams": [
+    {"id": "telemetry", "talker": "sensor", "listener": "hmi", "type": "time-triggered",
+     "period_us": 2000, "max_latency_us": 4000, "payload_bytes": 3000, "share": true},
+    {"id": "control",   "talker": "hmi", "listener": "actor", "type": "time-triggered",
+     "period_us": 4000, "max_latency_us": 8000, "payload_bytes": 1500, "share": true},
+    {"id": "estop",     "talker": "panel", "listener": "actor", "type": "event-triggered",
+     "period_us": 20000, "max_latency_us": 4000, "payload_bytes": 256}
+  ],
+  "options": {"n_prob": 64, "spread": true, "shared_reserves": true}
+}`
+
+// TestIntegrationQccToSimWithPTP drives the complete stack: JSON
+// requirements -> CNC -> GCLs -> simulation under imperfect 802.1AS clocks,
+// checking every contracted deadline.
+func TestIntegrationQccToSimWithPTP(t *testing.T) {
+	cfg, err := qcc.Parse([]byte(pipelineConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := qcc.Compute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clocks := map[model.NodeID]ptp.Clock{
+		"sensor": {DriftPPM: 20}, "actor": {DriftPPM: -20},
+		"panel": {DriftPPM: 10}, "hmi": {DriftPPM: -10}, "swB": {DriftPPM: 5},
+	}
+	domain, err := ptp.NewDomain(dep.Network, clocks, ptp.Config{
+		Interval:       31250 * time.Microsecond,
+		PathDelayError: 20 * time.Nanosecond,
+		Grandmaster:    "swA",
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(sim.Config{
+		Network:     dep.Network,
+		Schedule:    dep.Result.Schedule,
+		GCLs:        dep.GCLs,
+		ECT:         []sim.ECTTraffic{{Stream: dep.Problem.ECT[0], Priority: model.PriorityECT}},
+		Duration:    4 * time.Second,
+		Seed:        5,
+		ClockOffset: domain.OffsetFunc(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range cfg.Streams {
+		lats := r.Latencies(model.StreamID(req.ID))
+		if len(lats) == 0 {
+			t.Fatalf("stream %s delivered nothing", req.ID)
+		}
+		deadline := time.Duration(req.MaxLatencyUs) * time.Microsecond
+		for i, l := range lats {
+			if l > deadline {
+				t.Fatalf("stream %s message %d latency %v exceeds %v (sync residual %v)",
+					req.ID, i, l, deadline, domain.MaxWorstResidual())
+			}
+		}
+	}
+	if r.TotalDrops() != 0 {
+		t.Fatalf("drops: %d", r.TotalDrops())
+	}
+}
+
+// TestIntegrationOnlineAdmission deploys a schedule, admits a new emergency
+// stream online, recompiles GCLs, and verifies both the stability of the
+// deployed slots and the live behaviour of old and new traffic.
+func TestIntegrationOnlineAdmission(t *testing.T) {
+	cfg, err := qcc.Parse([]byte(pipelineConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := qcc.Compute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newECT := &model.ECT{
+		ID:            "hazard",
+		E2E:           4 * time.Millisecond,
+		LengthBytes:   512,
+		MinInterevent: 20 * time.Millisecond,
+	}
+	path, err := dep.Network.ShortestPath("sensor", "hmi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newECT.Path = path
+	next, err := core.Admit(dep.Problem, dep.Result, nil, []*model.ECT{newECT})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if !core.SlotsUnchanged(dep.Result.Schedule, next.Schedule) {
+		t.Fatal("admission disturbed deployed slots")
+	}
+	if vs := core.Verify(dep.Network, next); len(vs) != 0 {
+		t.Fatalf("admitted schedule invalid: %v", vs[0])
+	}
+	gcls, err := gcl.Synthesize(next.Schedule, gcl.Config{OpenECTOnShared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(sim.Config{
+		Network:  dep.Network,
+		Schedule: next.Schedule,
+		GCLs:     gcls,
+		ECT: []sim.ECTTraffic{
+			{Stream: dep.Problem.ECT[0], Priority: model.PriorityECT},
+			{Stream: newECT, Priority: model.PriorityECT},
+		},
+		Duration: 4 * time.Second,
+		Seed:     6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := core.ECTWorstCaseBound(dep.Network, next, "hazard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range r.Latencies("hazard") {
+		if l > bound {
+			t.Fatalf("hazard message %d latency %v exceeds bound %v", i, l, bound)
+		}
+	}
+	// Old TCT still meets its deadline with the second event source live.
+	for i, l := range r.Latencies("telemetry") {
+		if l > 4*time.Millisecond {
+			t.Fatalf("telemetry message %d latency %v after admission", i, l)
+		}
+	}
+}
+
+// TestIntegrationBackendsAgreeLive schedules the same problem with the
+// placer and the SMT backend and simulates both: both must verify and both
+// must respect the ECT deadline at runtime.
+func TestIntegrationBackendsAgreeLive(t *testing.T) {
+	cfg, err := qcc.Parse([]byte(strings.Replace(pipelineConfig, `"n_prob": 64`, `"n_prob": 6`, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []string{"placer", "smt-incremental"} {
+		cfg.Options.Backend = backend
+		cfg.Options.Spread = false // the SMT backend places its own way
+		p, err := cfg.BuildProblem()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Opts.MaxDecisions = 2_000_000
+		res, err := core.Schedule(p)
+		if err != nil {
+			t.Fatalf("backend %s: %v", backend, err)
+		}
+		if vs := core.Verify(p.Network, res); len(vs) != 0 {
+			t.Fatalf("backend %s: %v", backend, vs[0])
+		}
+		gcls, err := gcl.Synthesize(res.Schedule, gcl.Config{OpenECTOnShared: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.New(sim.Config{
+			Network:  p.Network,
+			Schedule: res.Schedule,
+			GCLs:     gcls,
+			ECT:      []sim.ECTTraffic{{Stream: p.ECT[0], Priority: model.PriorityECT}},
+			Duration: 2 * time.Second,
+			Seed:     8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := stats.Summarize(r.Latencies("estop"))
+		if sum.Count == 0 {
+			t.Fatalf("backend %s: no estop deliveries", backend)
+		}
+		// The SMT backend satisfies the constraints but does not optimize
+		// EP-window dispersion, so the runtime guarantee is the analytic
+		// runtime bound, not the schedule-term deadline.
+		bound, err := core.ECTWorstCaseBound(p.Network, res, "estop")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Max > bound {
+			t.Fatalf("backend %s: estop worst %v exceeds runtime bound %v", backend, sum.Max, bound)
+		}
+		if sched, err := core.ECTScheduleWorstCase(p.Network, res, "estop"); err != nil ||
+			sched > 4*time.Millisecond {
+			t.Fatalf("backend %s: schedule worst case %v (err %v)", backend, sched, err)
+		}
+	}
+}
+
+// TestIntegrationPlanComparison runs the three methods through the sched
+// facade on a generated workload and sanity-checks the full ordering chain
+// one more time from the top-level API.
+func TestIntegrationPlanComparison(t *testing.T) {
+	scen, err := experiments.NewTestbedScenario(0.5, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := make(map[sched.Method]time.Duration, 3)
+	for _, m := range []sched.Method{sched.MethodETSN, sched.MethodPERIOD, sched.MethodAVB} {
+		plan, err := sched.Build(m, scen.Problem(), 1)
+		if err != nil {
+			t.Fatalf("Build(%v): %v", m, err)
+		}
+		r, err := plan.Simulate(scen.Network, scen.ECT, scen.BE, 2*time.Second, 99)
+		if err != nil {
+			t.Fatalf("Simulate(%v): %v", m, err)
+		}
+		worst[m] = stats.Summarize(r.Latencies("ect")).Max
+	}
+	if worst[sched.MethodETSN] >= worst[sched.MethodPERIOD] ||
+		worst[sched.MethodETSN] >= worst[sched.MethodAVB] {
+		t.Fatalf("E-TSN worst %v not lowest (PERIOD %v, AVB %v)",
+			worst[sched.MethodETSN], worst[sched.MethodPERIOD], worst[sched.MethodAVB])
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"etsn/internal/model"
+)
+
+// AutoShare implements the paper's optional mode where s.share is decided
+// by the algorithm instead of the user (Sec. IV-B3): starting from the
+// given problem, it greedily marks TCT streams as sharing — those on the
+// ECT paths first, most bandwidth first — until the problem schedules and
+// every ECT stream's schedule-level worst case meets its deadline. It
+// returns the scheduling result together with the set of streams that were
+// flipped to sharing.
+//
+// The returned problem is a modified copy; the caller's streams are not
+// mutated.
+func AutoShare(p *Problem) (*Result, []model.StreamID, error) {
+	// Work on copies so the caller's Share flags survive.
+	cp := &Problem{Network: p.Network, ECT: p.ECT, Opts: p.Opts}
+	cp.TCT = make([]*model.Stream, len(p.TCT))
+	for i, s := range p.TCT {
+		c := *s
+		c.Path = append([]model.LinkID(nil), s.Path...)
+		cp.TCT[i] = &c
+	}
+
+	// Candidate order: streams overlapping an ECT path first, then by
+	// bandwidth share (bigger donors offer more slots), then by ID.
+	candidates := make([]*model.Stream, 0, len(cp.TCT))
+	for _, s := range cp.TCT {
+		if !s.Share {
+			candidates = append(candidates, s)
+		}
+	}
+	onECTPath := func(s *model.Stream) bool {
+		for _, e := range p.ECT {
+			for _, l := range s.Path {
+				if e.PassesLink(l) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	sort.SliceStable(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		ao, bo := onECTPath(a), onECTPath(b)
+		if ao != bo {
+			return ao
+		}
+		ar := float64(a.Frames()) / float64(a.Period)
+		br := float64(b.Frames()) / float64(b.Period)
+		if ar != br {
+			return ar > br
+		}
+		return a.ID < b.ID
+	})
+
+	var flipped []model.StreamID
+	try := func() (*Result, error) {
+		res, err := Schedule(cp)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range p.ECT {
+			wc, err := ECTScheduleWorstCase(p.Network, res, e.ID)
+			if err != nil {
+				return nil, err
+			}
+			if wc > e.E2E {
+				return nil, fmt.Errorf("%w: ECT %q worst case %v over %v",
+					ErrInfeasible, e.ID, wc, e.E2E)
+			}
+		}
+		return res, nil
+	}
+
+	res, lastErr := try()
+	if lastErr == nil {
+		return res, flipped, nil
+	}
+	for _, cand := range candidates {
+		cand.Share = true
+		cand.Priority = 0 // let the scheduler re-band it
+		flipped = append(flipped, cand.ID)
+		res, lastErr = try()
+		if lastErr == nil {
+			return res, flipped, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("auto-share exhausted all %d candidates: %w",
+		len(candidates), lastErr)
+}

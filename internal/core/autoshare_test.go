@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"etsn/internal/model"
+)
+
+// autoShareProblem builds a scenario where the ECT cannot meet its deadline
+// unless some TCT stream lends its slots: a congested SW1->D3 link with all
+// TCT initially non-sharing and possibilities too sparse to fit dedicated.
+func autoShareProblem(t *testing.T) *Problem {
+	t.Helper()
+	n := fig2Network(t)
+	cycle := 5 * mtuTx
+	return &Problem{
+		Network: n,
+		TCT: []*model.Stream{
+			{ID: "s1", Path: mustPath(t, n, "D1", "D3"), E2E: 6 * mtuTx,
+				LengthBytes: 3 * model.MTUBytes, Period: cycle, Type: model.StreamDet},
+		},
+		ECT: []*model.ECT{
+			{ID: "e1", Path: mustPath(t, n, "D2", "D3"), E2E: cycle,
+				LengthBytes: model.MTUBytes, MinInterevent: cycle},
+		},
+		Opts: Options{NProb: 5, Backend: BackendPlacer},
+	}
+}
+
+func TestAutoShareFlipsStreams(t *testing.T) {
+	p := autoShareProblem(t)
+	// Sanity: as given (no sharing), the problem is infeasible — the five
+	// possibilities cannot fit around s1's dedicated slots.
+	if _, err := Schedule(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("baseline should be infeasible, got %v", err)
+	}
+	res, flipped, err := AutoShare(p)
+	if err != nil {
+		t.Fatalf("AutoShare: %v", err)
+	}
+	if len(flipped) == 0 {
+		t.Fatal("no streams flipped")
+	}
+	if flipped[0] != "s1" {
+		t.Fatalf("flipped %v, want s1 first (it crosses the ECT path)", flipped)
+	}
+	if vs := Verify(p.Network, res); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+	wc, err := ECTScheduleWorstCase(p.Network, res, "e1")
+	if err != nil || wc > p.ECT[0].E2E {
+		t.Fatalf("worst case %v (err %v)", wc, err)
+	}
+	// The caller's streams are untouched.
+	if p.TCT[0].Share {
+		t.Fatal("AutoShare mutated the input problem")
+	}
+}
+
+func TestAutoShareNoFlipWhenFeasible(t *testing.T) {
+	n := fig2Network(t)
+	p := fig4Problem(t, n) // two TCT streams, no ECT
+	res, flipped, err := AutoShare(p)
+	if err != nil {
+		t.Fatalf("AutoShare: %v", err)
+	}
+	if len(flipped) != 0 {
+		t.Fatalf("flipped %v on a feasible problem", flipped)
+	}
+	if res == nil {
+		t.Fatal("nil result")
+	}
+}
+
+func TestAutoShareExhausted(t *testing.T) {
+	// An impossible deadline cannot be fixed by sharing.
+	p := autoShareProblem(t)
+	p.ECT[0].E2E = 130 * time.Microsecond // barely one frame, two hops needed
+	p.Opts.NProb = 2
+	if _, _, err := AutoShare(p); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}

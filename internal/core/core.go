@@ -1,0 +1,442 @@
+// Package core implements the E-TSN joint scheduler for time-triggered
+// critical traffic (TCT) and event-triggered critical traffic (ECT), the
+// primary contribution of the paper (Secs. III and IV).
+//
+// The pipeline is:
+//
+//  1. Probabilistic-stream expansion (Sec. III-B): every ECT stream becomes
+//     N time-triggered "possibility" streams whose occurrence times tile the
+//     minimum interevent time.
+//  2. Prudent reservation (Sec. III-D, Alg. 1): sharing TCT streams get
+//     extra frame slots on exactly the links where ECT may preempt them.
+//  3. Constraint emission (Sec. IV): time, frame-overlap, priority, and
+//     adjacent-link constraints over the frame offsets, all expressible in
+//     integer difference logic.
+//  4. Solving: either the exact SMT backend (internal/smt, substituting the
+//     paper's Z3), a fast first-fit placer, or a hybrid that tries the
+//     placer first; optionally Steiner-style incremental solving.
+//
+// Every produced schedule is re-checked by an independent verifier
+// (Verify), so a placer bug cannot silently yield an invalid schedule.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"etsn/internal/model"
+)
+
+// Sentinel errors returned by the scheduler.
+var (
+	// ErrInfeasible means no schedule satisfies the constraints.
+	ErrInfeasible = errors.New("infeasible scheduling problem")
+	// ErrInvalidProblem marks a structurally invalid problem.
+	ErrInvalidProblem = errors.New("invalid scheduling problem")
+	// ErrBudget means the solver ran out of its search budget.
+	ErrBudget = errors.New("scheduling budget exhausted")
+)
+
+// Backend selects the solving strategy.
+type Backend int
+
+// Backends.
+const (
+	// BackendAuto tries the first-fit placer and falls back to SMT.
+	BackendAuto Backend = iota + 1
+	// BackendPlacer uses only the first-fit placer.
+	BackendPlacer
+	// BackendSMT uses only the exact SMT solver.
+	BackendSMT
+	// BackendSMTIncremental adds streams to the SMT solver one at a time
+	// (Steiner-style incremental schedule synthesis).
+	BackendSMTIncremental
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendPlacer:
+		return "placer"
+	case BackendSMT:
+		return "smt"
+	case BackendSMTIncremental:
+		return "smt-incremental"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// DefaultNProb is the default number of probabilistic streams (possibility
+// points) per ECT stream when Options.NProb is zero.
+const DefaultNProb = 8
+
+// autoFallbackDecisions bounds the SMT search when BackendAuto falls back
+// from the placer without an explicit MaxDecisions budget.
+const autoFallbackDecisions = 200_000
+
+// Options tunes the scheduler.
+type Options struct {
+	// NProb is the number N of probabilistic streams each ECT stream is
+	// expanded into; larger N lowers the pick-up delay bound T/N at the
+	// cost of more constraints. Defaults to DefaultNProb.
+	NProb int
+	// Backend selects the solving strategy; defaults to BackendAuto.
+	Backend Backend
+	// MaxDecisions bounds SMT search effort; zero means unlimited.
+	MaxDecisions int64
+	// Timeout bounds SMT wall-clock time; zero means unlimited.
+	Timeout time.Duration
+	// DisablePrudentReservation turns Alg. 1 off (for ablation only; the
+	// verifier will typically report TCT deadline risks without it).
+	DisablePrudentReservation bool
+	// AssignPriorities lets the scheduler overwrite stream priorities with
+	// the paper's band layout (EP / shared / non-shared). Defaults to true
+	// when priorities are zero-valued.
+	AssignPriorities bool
+	// SpreadFrames staggers TCT placement (a deterministic per-stream
+	// phase plus even in-period spacing of a stream's frames) instead of
+	// packing everything as early as possible. This mirrors the slot
+	// dispersion SMT solvers produce in practice and is what fragments
+	// the unallocated time the AVB baseline depends on. Placer backend
+	// only.
+	SpreadFrames bool
+	// MinimizeECT makes the SMT backends search for the schedule that
+	// minimizes the worst per-possibility ECT latency instead of stopping
+	// at the first satisfying assignment (binary-search optimization over
+	// the exact solver). Ignored by the placer.
+	MinimizeECT bool
+	// SharedReserves lets the extra slots that prudent reservation adds
+	// for different sharing TCT streams overlap each other on the same
+	// link. Alg. 1 as written reserves per (stream, link), which
+	// over-provisions: one ECT event injects at most s_e.l frames of
+	// displaced work per link per interevent time, so that much reserve
+	// wire-time suffices regardless of which streams were displaced.
+	// Without this relaxation the paper's own Fig. 14 parameters
+	// (5-MTU ECT messages, 40 sharing streams) are capacity-infeasible.
+	// The strict per-stream behaviour remains the default.
+	SharedReserves bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.NProb == 0 {
+		o.NProb = DefaultNProb
+	}
+	if o.Backend == 0 {
+		o.Backend = BackendAuto
+	}
+	return o
+}
+
+// Problem is a complete scheduling problem: the network plus the TCT and ECT
+// stream sets.
+type Problem struct {
+	// Network is the physical topology.
+	Network *model.Network
+	// TCT is the set of time-triggered critical streams.
+	TCT []*model.Stream
+	// ECT is the set of event-triggered critical streams.
+	ECT []*model.ECT
+	// Opts tunes the scheduler.
+	Opts Options
+}
+
+// Result is the scheduler output: the schedule plus derived analysis.
+type Result struct {
+	// Schedule assigns every frame slot an offset.
+	Schedule *model.Schedule
+	// Expanded holds all scheduled streams: TCT plus the probabilistic
+	// streams derived from ECT.
+	Expanded []*model.Stream
+	// FrameCounts records |F_{s,link}| after prudent reservation.
+	FrameCounts map[model.StreamID]map[model.LinkID]int
+	// BackendUsed reports which backend produced the schedule.
+	BackendUsed Backend
+	// SharedReserves records whether the schedule was produced under the
+	// shared-reserve relaxation (the verifier needs to know).
+	SharedReserves bool
+	// SolverStats carries SMT effort counters when the SMT backend ran.
+	SolverStats SolverStats
+}
+
+// SolverStats summarizes SMT search effort.
+type SolverStats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Clauses      int
+	Vars         int
+}
+
+// Schedule solves the joint TCT+ECT scheduling problem.
+func Schedule(p *Problem) (*Result, error) {
+	opts := p.Opts.withDefaults()
+	inst, err := buildInstance(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	switch opts.Backend {
+	case BackendPlacer:
+		return solvePlacer(inst)
+	case BackendSMT:
+		return solveSMT(inst, false)
+	case BackendSMTIncremental:
+		return solveSMT(inst, true)
+	case BackendAuto:
+		res, err := solvePlacer(inst)
+		if err == nil {
+			return res, nil
+		}
+		// Bound the fallback search so auto mode cannot hang on large
+		// instances the placer could not close.
+		if inst.opts.MaxDecisions == 0 {
+			inst.opts.MaxDecisions = autoFallbackDecisions
+		}
+		res, serr := solveSMT(inst, true)
+		if serr != nil {
+			return nil, fmt.Errorf("placer failed (%w); smt: %w", err, serr)
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown backend %v", ErrInvalidProblem, opts.Backend)
+	}
+}
+
+// instance is the expanded, unit-normalized problem the solvers consume.
+type instance struct {
+	problem *Problem
+	opts    Options
+	// unit is the network-wide scheduling time unit.
+	unit time.Duration
+	// streams are all streams to schedule: TCT then probabilistic.
+	streams []*model.Stream
+	// frames[streamID][linkID] is |F_{s,link}| after prudent reservation.
+	frames map[model.StreamID]map[model.LinkID]int
+	// txUnits[streamID][linkID] is the full-MTU per-frame transmission
+	// time L in units on that link.
+	txUnits map[model.StreamID]map[model.LinkID]int64
+	// lastTxUnits[streamID][linkID] is the transmission time of the
+	// message's final fragment, which may be shorter than a full MTU.
+	lastTxUnits map[model.StreamID]map[model.LinkID]int64
+	// periodUnits[streamID] is T in units.
+	periodUnits map[model.StreamID]int64
+	// otUnits[streamID] is the occurrence time in units rounded up (the
+	// first slot may not precede the real event instant).
+	otUnits map[model.StreamID]int64
+	// otFloorUnits[streamID] is the occurrence time rounded down; latency
+	// budgets measure from it so the grid rounding stays conservative.
+	otFloorUnits map[model.StreamID]int64
+	// e2eUnits[streamID] is the latency bound in units.
+	e2eUnits map[model.StreamID]int64
+	// propUnits[linkID] is the propagation delay in units, rounded up.
+	propUnits map[model.LinkID]int64
+	// hyper is the schedule hyperperiod in units.
+	hyper int64
+}
+
+// buildInstance validates the problem, expands ECT streams, runs prudent
+// reservation, and normalizes all times to the common link time unit.
+func buildInstance(p *Problem, opts Options) (*instance, error) {
+	if p.Network == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrInvalidProblem)
+	}
+	if err := p.Network.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidProblem, err)
+	}
+	unit, err := commonTimeUnit(p.Network)
+	if err != nil {
+		return nil, err
+	}
+
+	seen := make(map[model.StreamID]bool, len(p.TCT)+len(p.ECT))
+	for _, s := range p.TCT {
+		if err := s.Validate(p.Network); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidProblem, err)
+		}
+		if s.Type != model.StreamDet {
+			return nil, fmt.Errorf("%w: TCT stream %q has type %v", ErrInvalidProblem, s.ID, s.Type)
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("%w: duplicate stream %q", ErrInvalidProblem, s.ID)
+		}
+		seen[s.ID] = true
+	}
+	for _, e := range p.ECT {
+		if err := e.Validate(p.Network); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidProblem, err)
+		}
+		if seen[e.ID] {
+			return nil, fmt.Errorf("%w: duplicate stream %q", ErrInvalidProblem, e.ID)
+		}
+		seen[e.ID] = true
+	}
+
+	// Expand ECT into probabilistic streams (Sec. III-B).
+	streams := make([]*model.Stream, 0, len(p.TCT)+len(p.ECT)*opts.NProb)
+	for _, s := range p.TCT {
+		cp := *s
+		cp.Path = append([]model.LinkID(nil), s.Path...)
+		assignPriority(&cp, opts)
+		streams = append(streams, &cp)
+	}
+	for _, e := range p.ECT {
+		ps, err := ExpandECT(e, opts.NProb)
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, ps...)
+	}
+	if opts.SharedReserves && !opts.DisablePrudentReservation {
+		streams = append(streams, drainStreams(p, streams)...)
+	}
+
+	inst := &instance{
+		problem:      p,
+		opts:         opts,
+		unit:         unit,
+		streams:      streams,
+		frames:       make(map[model.StreamID]map[model.LinkID]int, len(streams)),
+		txUnits:      make(map[model.StreamID]map[model.LinkID]int64, len(streams)),
+		lastTxUnits:  make(map[model.StreamID]map[model.LinkID]int64, len(streams)),
+		periodUnits:  make(map[model.StreamID]int64, len(streams)),
+		otUnits:      make(map[model.StreamID]int64, len(streams)),
+		otFloorUnits: make(map[model.StreamID]int64, len(streams)),
+		e2eUnits:     make(map[model.StreamID]int64, len(streams)),
+		propUnits:    make(map[model.LinkID]int64),
+	}
+
+	// Frame counts: base counts, then prudent reservation (Alg. 1).
+	for _, s := range streams {
+		counts := make(map[model.LinkID]int, len(s.Path))
+		for _, l := range s.Path {
+			counts[l] = s.Frames()
+		}
+		inst.frames[s.ID] = counts
+	}
+	if !opts.DisablePrudentReservation && !opts.SharedReserves {
+		applyPrudentReservation(inst, p.ECT)
+	}
+
+	// Normalize times to units.
+	inst.hyper = 1
+	for _, s := range streams {
+		if int64(s.Period)%int64(unit) != 0 {
+			return nil, fmt.Errorf("%w: stream %q period %v is not a multiple of time unit %v",
+				ErrInvalidProblem, s.ID, s.Period, unit)
+		}
+		t := int64(s.Period) / int64(unit)
+		inst.periodUnits[s.ID] = t
+		inst.hyper = model.LCM(inst.hyper, t)
+		// Occurrence times round *up* to the unit grid: a possibility's
+		// first slot must not start before the real event instant it
+		// models (the worst-case analysis floors the previous possibility
+		// instead, staying conservative on both sides).
+		inst.otUnits[s.ID] = model.DurationToUnits(s.OccurrenceTime, unit)
+		inst.otFloorUnits[s.ID] = int64(s.OccurrenceTime) / int64(unit)
+		inst.e2eUnits[s.ID] = int64(s.E2E) / int64(unit)
+		tx := make(map[model.LinkID]int64, len(s.Path))
+		lastTx := make(map[model.LinkID]int64, len(s.Path))
+		lastBytes := s.LengthBytes - (s.Frames()-1)*model.MTUBytes
+		for _, lid := range s.Path {
+			link, _ := p.Network.LinkByID(lid)
+			tx[lid] = link.TxUnits(model.MTUBytes)
+			lastTx[lid] = link.TxUnits(lastBytes)
+			inst.propUnits[lid] = link.PropUnits()
+		}
+		inst.txUnits[s.ID] = tx
+		inst.lastTxUnits[s.ID] = lastTx
+	}
+	return inst, nil
+}
+
+// commonTimeUnit checks that all links agree on one scheduling unit.
+func commonTimeUnit(n *model.Network) (time.Duration, error) {
+	var unit time.Duration
+	for _, l := range n.Links() {
+		if unit == 0 {
+			unit = l.TimeUnit
+			continue
+		}
+		if l.TimeUnit != unit {
+			return 0, fmt.Errorf("%w: links disagree on time unit (%v vs %v on %s)",
+				ErrInvalidProblem, unit, l.TimeUnit, l.ID())
+		}
+	}
+	if unit == 0 {
+		unit = model.DefaultTimeUnit
+	}
+	return unit, nil
+}
+
+// assignPriority places a TCT stream into the paper's priority bands when
+// the caller did not pick a priority (or asked for reassignment).
+func assignPriority(s *model.Stream, opts Options) {
+	inBand := func(p int) bool {
+		if s.Share {
+			return p >= model.PrioritySharedLow && p <= model.PrioritySharedHigh
+		}
+		return p >= model.PriorityNonSharedLow && p <= model.PriorityNonSharedHigh
+	}
+	if !opts.AssignPriorities && s.Priority != 0 && inBand(s.Priority) {
+		return
+	}
+	if s.Share {
+		s.Priority = model.PrioritySharedLow
+	} else {
+		s.Priority = model.PriorityNonSharedLow + 1
+	}
+}
+
+// canOverlap implements the paper's frame-overlap exception (Sec. IV-B2):
+// slots may overlap iff they belong to two possibilities of the same ECT
+// stream, or to a probabilistic stream and a TCT stream that shares its
+// time-slots.
+func canOverlap(a, b *model.Stream) bool {
+	if a.Type == model.StreamProb && b.Type == model.StreamProb {
+		return a.Parent == b.Parent
+	}
+	if a.Type == model.StreamProb && b.Type == model.StreamDet {
+		return b.Share
+	}
+	if b.Type == model.StreamProb && a.Type == model.StreamDet {
+		return a.Share
+	}
+	return false
+}
+
+// slotsCanOverlap extends canOverlap to frame granularity: under the
+// SharedReserves relaxation, reserve slots absorbing the *same* ECT
+// stream's displacements may share wire time; reserves for different ECT
+// streams may be needed simultaneously and must stay disjoint.
+func slotsCanOverlap(a, b *model.Stream, aReserve, bReserve, sharedReserves bool) bool {
+	if canOverlap(a, b) {
+		return true
+	}
+	return sharedReserves && aReserve && bReserve && a.Parent == b.Parent &&
+		a.Type == model.StreamDet && a.Share &&
+		b.Type == model.StreamDet && b.Share
+}
+
+// isReserveIndex reports whether frame j of a stream on a link is reserve
+// capacity: any frame of a reservation-only drain stream, or a
+// prudent-reservation extra (indexes at or beyond the talker's own frames).
+func (inst *instance) isReserveIndex(s *model.Stream, j int) bool {
+	if s.Reserve {
+		return true
+	}
+	return s.Type == model.StreamDet && j >= s.Frames()
+}
+
+// frameLen returns the slot length for frame j of a stream on a link: full
+// MTU for all fragments except the message's final one, whose slot matches
+// its actual size. Reserve slots are sized for a full MTU so they can drain
+// any displaced fragment.
+func (inst *instance) frameLen(s *model.Stream, lid model.LinkID, j int) int64 {
+	if j == s.Frames()-1 {
+		return inst.lastTxUnits[s.ID][lid]
+	}
+	return inst.txUnits[s.ID][lid]
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"etsn/internal/model"
+)
+
+// ExpandECT expands an event-triggered stream into n probabilistic streams
+// (paper Sec. III-B). Possibility i (1-based) is a periodic stream that
+// starts transmitting at occurrence time (i-1)·T/n, where T is the minimum
+// interevent time. An event arriving between two occurrence points is
+// delayed by at most T/n to become the next possibility, so each
+// probabilistic stream's latency budget is the ECT budget minus T/n.
+func ExpandECT(e *model.ECT, n int) ([]*model.Stream, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: ECT %q: NProb %d", ErrInvalidProblem, e.ID, n)
+	}
+	spacing := e.MinInterevent / time.Duration(n)
+	if spacing <= 0 {
+		return nil, fmt.Errorf("%w: ECT %q: interevent %v too small for N=%d",
+			ErrInvalidProblem, e.ID, e.MinInterevent, n)
+	}
+	budget := e.E2E - spacing
+	if budget <= 0 {
+		return nil, fmt.Errorf("%w: ECT %q: e2e %v does not cover pick-up delay %v (raise NProb)",
+			ErrInvalidProblem, e.ID, e.E2E, spacing)
+	}
+	out := make([]*model.Stream, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, &model.Stream{
+			ID:             ProbStreamID(e.ID, i),
+			Path:           append([]model.LinkID(nil), e.Path...),
+			E2E:            budget,
+			Priority:       model.PriorityECT,
+			LengthBytes:    e.LengthBytes,
+			Period:         e.MinInterevent,
+			Type:           model.StreamProb,
+			OccurrenceTime: time.Duration(i-1) * spacing,
+			Parent:         e.ID,
+		})
+	}
+	return out, nil
+}
+
+// ProbStreamID names the i-th (1-based) probabilistic stream of an ECT
+// stream.
+func ProbStreamID(parent model.StreamID, i int) model.StreamID {
+	return model.StreamID(fmt.Sprintf("%s/ps%d", parent, i))
+}
+
+// PickupDelay returns the worst-case delay before an event is picked up by
+// the next possibility point: T/n.
+func PickupDelay(e *model.ECT, n int) time.Duration {
+	return e.MinInterevent / time.Duration(n)
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"etsn/internal/model"
+)
+
+func testECT(t *testing.T) *model.ECT {
+	t.Helper()
+	n := fig2Network(t)
+	return &model.ECT{
+		ID:            "e1",
+		Path:          mustPath(t, n, "D2", "D3"),
+		E2E:           16 * time.Millisecond,
+		LengthBytes:   model.MTUBytes,
+		MinInterevent: 16 * time.Millisecond,
+	}
+}
+
+func TestExpandECTBasics(t *testing.T) {
+	e := testECT(t)
+	const n = 8
+	ps, err := ExpandECT(e, n)
+	if err != nil {
+		t.Fatalf("ExpandECT: %v", err)
+	}
+	if len(ps) != n {
+		t.Fatalf("len = %d, want %d", len(ps), n)
+	}
+	spacing := e.MinInterevent / n
+	for i, s := range ps {
+		if s.Type != model.StreamProb {
+			t.Errorf("ps[%d] type %v", i, s.Type)
+		}
+		if s.Parent != e.ID {
+			t.Errorf("ps[%d] parent %q", i, s.Parent)
+		}
+		if s.Priority != model.PriorityECT {
+			t.Errorf("ps[%d] priority %d", i, s.Priority)
+		}
+		if s.Period != e.MinInterevent {
+			t.Errorf("ps[%d] period %v", i, s.Period)
+		}
+		if want := time.Duration(i) * spacing; s.OccurrenceTime != want {
+			t.Errorf("ps[%d] ot %v, want %v", i, s.OccurrenceTime, want)
+		}
+		if want := e.E2E - spacing; s.E2E != want {
+			t.Errorf("ps[%d] e2e %v, want %v", i, s.E2E, want)
+		}
+		if s.ID != ProbStreamID(e.ID, i+1) {
+			t.Errorf("ps[%d] id %q", i, s.ID)
+		}
+	}
+}
+
+func TestExpandECTPathCopied(t *testing.T) {
+	e := testECT(t)
+	ps, err := ExpandECT(e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps[0].Path[0] = model.LinkID{From: "x", To: "y"}
+	if e.Path[0] == (model.LinkID{From: "x", To: "y"}) {
+		t.Fatal("ExpandECT shares path slice with the ECT")
+	}
+	if ps[1].Path[0] == (model.LinkID{From: "x", To: "y"}) {
+		t.Fatal("possibilities share path slices")
+	}
+}
+
+func TestExpandECTErrors(t *testing.T) {
+	e := testECT(t)
+	if _, err := ExpandECT(e, 0); !errors.Is(err, ErrInvalidProblem) {
+		t.Fatalf("N=0: %v", err)
+	}
+	if _, err := ExpandECT(e, -3); !errors.Is(err, ErrInvalidProblem) {
+		t.Fatalf("N<0: %v", err)
+	}
+	// Budget must stay positive: e2e <= spacing is an error.
+	tight := *e
+	tight.E2E = e.MinInterevent / 4
+	if _, err := ExpandECT(&tight, 4); !errors.Is(err, ErrInvalidProblem) {
+		t.Fatalf("tight e2e: %v", err)
+	}
+}
+
+func TestPickupDelay(t *testing.T) {
+	e := testECT(t)
+	if got := PickupDelay(e, 8); got != 2*time.Millisecond {
+		t.Fatalf("PickupDelay = %v, want 2ms", got)
+	}
+}
+
+// TestQuickExpandCoversPeriod: possibilities tile the interevent time with
+// spacing T/N, so any event time is at most T/N before the next possibility.
+func TestQuickExpandCoversPeriod(t *testing.T) {
+	e := testECT(t)
+	f := func(nRaw uint8, eventRaw uint32) bool {
+		n := int(nRaw%16) + 2
+		ps, err := ExpandECT(e, n)
+		if err != nil {
+			return false
+		}
+		event := time.Duration(eventRaw) % e.MinInterevent
+		spacing := e.MinInterevent / time.Duration(n)
+		// Find the next possibility at or after the event (with wrap).
+		wait := time.Duration(1<<62 - 1)
+		for _, s := range ps {
+			d := s.OccurrenceTime - event
+			if d < 0 {
+				d += e.MinInterevent
+			}
+			if d < wait {
+				wait = d
+			}
+		}
+		return wait <= spacing
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtraSlots(t *testing.T) {
+	n := fig2Network(t)
+	link, _ := n.Link("SW1", "D3")
+	st := &model.Stream{ID: "t", LengthBytes: 3 * model.MTUBytes, Period: 5 * mtuTx,
+		Type: model.StreamDet, Share: true}
+	se := &model.ECT{ID: "e", LengthBytes: model.MTUBytes, MinInterevent: 5 * mtuTx}
+	// window = 3 frames * 123.36us = 370.08us; interevent 620us -> ceil = 1;
+	// n = 1 * 1 = 1.
+	if got := ExtraSlots(st, se, link); got != 1 {
+		t.Fatalf("ExtraSlots = %d, want 1", got)
+	}
+	// A 2-frame ECT doubles the reservation.
+	se2 := &model.ECT{ID: "e2", LengthBytes: 2 * model.MTUBytes, MinInterevent: 5 * mtuTx}
+	if got := ExtraSlots(st, se2, link); got != 2 {
+		t.Fatalf("ExtraSlots(2-frame ECT) = %d, want 2", got)
+	}
+	// A short interevent time relative to the TCT window multiplies slots:
+	// window 370us, interevent 124us -> ceil(370/124) = 3 events.
+	se3 := &model.ECT{ID: "e3", LengthBytes: model.MTUBytes, MinInterevent: mtuTx}
+	if got := ExtraSlots(st, se3, link); got != 3 {
+		t.Fatalf("ExtraSlots(fast ECT) = %d, want 3", got)
+	}
+}
+
+func TestPrudentReservationDisabled(t *testing.T) {
+	n := fig2Network(t)
+	p := fig6Problem(t, n)
+	p.Opts.DisablePrudentReservation = true
+	res, err := Schedule(p)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	shared := model.LinkID{From: "SW1", To: "D3"}
+	if got := res.FrameCountOn("s1", shared); got != 3 {
+		t.Fatalf("s1 frames with reservation disabled = %d, want 3", got)
+	}
+}
+
+func TestPrudentReservationOnlyOnSharedLinks(t *testing.T) {
+	n := fig2Network(t)
+	res, err := Schedule(fig6Problem(t, n))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	// The ECT (D2->SW1->D3) does not cross D1->SW1, so no extra slots there.
+	if got := res.FrameCountOn("s1", model.LinkID{From: "D1", To: "SW1"}); got != 3 {
+		t.Fatalf("frames on non-overlapping link = %d, want 3", got)
+	}
+}
+
+func TestPrudentReservationSkipsNonSharing(t *testing.T) {
+	n := fig2Network(t)
+	p := fig6Problem(t, n)
+	p.TCT[0].Share = false
+	// Non-sharing TCT keeps base frame counts; but then ECT possibilities
+	// cannot use its slots, and with only 124us of slack per period the
+	// problem may become infeasible — accept either a clean schedule with
+	// 3 slots or an infeasibility error.
+	res, err := Schedule(p)
+	if err != nil {
+		if !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("Schedule: %v", err)
+		}
+		return
+	}
+	shared := model.LinkID{From: "SW1", To: "D3"}
+	if got := res.FrameCountOn("s1", shared); got != 3 {
+		t.Fatalf("non-sharing s1 frames = %d, want 3", got)
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"etsn/internal/model"
+)
+
+// placedSlot is a committed reservation used for conflict checks during
+// placement. offset is in the periodic (mod-period) domain.
+type placedSlot struct {
+	offset  int64
+	length  int64
+	period  int64
+	stream  *model.Stream
+	reserve bool
+}
+
+// placer is a deterministic first-fit scheduler: it processes streams in a
+// fixed order (TCT by ascending period, then probabilistic streams by parent
+// and occurrence time) and places each frame at the earliest *virtual* time
+// (an unrolled timeline that may wrap past period boundaries) satisfying
+// constraints (1)-(4) and (7), skipping over conflicting reservations per
+// constraint (5). Wrapping gives late possibilities a pipeline into the next
+// period, which the paper's strict formulation cannot express; the slot's
+// Epoch field records the shift. The placer is sound (the verifier re-checks
+// its output) but incomplete: on failure the caller can fall back to SMT.
+type placer struct {
+	inst   *instance
+	placed map[model.LinkID][]placedSlot
+	vphi   map[frameKey]int64 // virtual start times
+}
+
+// solvePlacer schedules the instance with the first-fit placer.
+func solvePlacer(inst *instance) (*Result, error) {
+	p := &placer{
+		inst:   inst,
+		placed: make(map[model.LinkID][]placedSlot),
+		vphi:   make(map[frameKey]int64),
+	}
+	order := placementOrder(inst.streams)
+	if err := p.placeAll(order, inst.opts.SpreadFrames); err != nil {
+		if !inst.opts.SpreadFrames {
+			return nil, err
+		}
+		// Spread placement fragments congested links; restart the whole
+		// placement ASAP before declaring infeasibility.
+		p.placed = make(map[model.LinkID][]placedSlot)
+		p.vphi = make(map[frameKey]int64)
+		if err := p.placeAll(order, false); err != nil {
+			return nil, err
+		}
+	}
+	res := extractSchedule(inst, func(k frameKey) int64 { return p.vphi[k] })
+	res.BackendUsed = BackendPlacer
+	return res, nil
+}
+
+// placementOrder sorts streams for first-fit placement: deterministic TCT
+// streams first (ascending period, so tightly repeating streams grab the
+// grid early; within a period class, bulkier messages first — first-fit
+// decreasing packs fragmented links far better), then probabilistic streams
+// grouped by parent in occurrence order so consecutive possibilities can
+// stack onto the same slots.
+func placementOrder(streams []*model.Stream) []*model.Stream {
+	out := append([]*model.Stream(nil), streams...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if (a.Type == model.StreamProb) != (b.Type == model.StreamProb) {
+			return a.Type != model.StreamProb
+		}
+		if a.Type == model.StreamProb {
+			if a.Parent != b.Parent {
+				return a.Parent < b.Parent
+			}
+			return a.OccurrenceTime < b.OccurrenceTime
+		}
+		if a.Period != b.Period {
+			return a.Period < b.Period
+		}
+		if a.Frames() != b.Frames() {
+			return a.Frames() > b.Frames()
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// placeAll places every stream in order, per-stream falling back from
+// spread to ASAP placement before failing.
+func (p *placer) placeAll(order []*model.Stream, spread bool) error {
+	for _, s := range order {
+		marks := p.mark()
+		err := p.placeStream(s, spread)
+		if err != nil && spread {
+			p.rollback(marks)
+			err = p.placeStream(s, false)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mark snapshots per-link reservation counts for rollback.
+func (p *placer) mark() map[model.LinkID]int {
+	m := make(map[model.LinkID]int, len(p.placed))
+	for lid, slots := range p.placed {
+		m[lid] = len(slots)
+	}
+	return m
+}
+
+// rollback truncates reservations added after the snapshot.
+func (p *placer) rollback(marks map[model.LinkID]int) {
+	for lid, slots := range p.placed {
+		p.placed[lid] = slots[:marks[lid]]
+	}
+}
+
+func (p *placer) placeStream(s *model.Stream, spread bool) error {
+	inst := p.inst
+	t := inst.periodUnits[s.ID]
+	for li, lid := range s.Path {
+		count := inst.frames[s.ID][lid]
+		for j := 0; j < count; j++ {
+			l := inst.frameLen(s, lid, j)
+			lb := int64(0)
+			if li == 0 && j == 0 && s.Type == model.StreamProb {
+				lb = inst.otUnits[s.ID]
+			}
+			if li == 0 && s.Type == model.StreamDet && spread {
+				// Stagger streams by a deterministic phase and spread a
+				// stream's frames evenly over its period, mimicking the
+				// dispersed slot layouts SMT solvers produce.
+				lb = maxI64(lb, streamPhase(s.ID, t)+int64(j)*(t/int64(count)))
+			}
+			if j > 0 {
+				prevLen := inst.frameLen(s, lid, j-1)
+				lb = maxI64(lb, p.vphi[frameKey{stream: s.ID, link: lid, index: j - 1}]+prevLen)
+			}
+			if li > 0 {
+				up := s.Path[li-1]
+				cUp := inst.frames[s.ID][up]
+				o := cUp - count
+				if o < 0 {
+					o = 0
+				}
+				upIdx := j + o
+				if upIdx >= cUp {
+					upIdx = cUp - 1
+				}
+				lUp := inst.frameLen(s, up, upIdx)
+				arr := p.vphi[frameKey{stream: s.ID, link: up, index: upIdx}] + lUp + inst.propUnits[up]
+				lb = maxI64(lb, arr)
+			}
+			reserve := inst.isReserveIndex(s, j)
+			v, ok := p.findSlot(lid, s, reserve, lb, l, t)
+			if !ok {
+				return &PlaceFailure{Stream: s.ID, Frame: j, Link: lid,
+					Reason: "no free slot"}
+			}
+			p.vphi[frameKey{stream: s.ID, link: lid, index: j}] = v
+			p.placed[lid] = append(p.placed[lid], placedSlot{
+				offset: v % t, length: l, period: t, stream: s, reserve: reserve,
+			})
+		}
+	}
+	// (4) end-to-end check on the virtual timeline, including the last
+	// frame's transmission time.
+	lastLink := s.Path[len(s.Path)-1]
+	lastIdx := inst.frames[s.ID][lastLink] - 1
+	end := p.vphi[frameKey{stream: s.ID, link: lastLink, index: lastIdx}] + inst.frameLen(s, lastLink, lastIdx)
+	start := p.vphi[frameKey{stream: s.ID, link: s.Path[0], index: 0}]
+	if s.Type == model.StreamProb {
+		start = inst.otFloorUnits[s.ID]
+	}
+	if end-start > inst.e2eUnits[s.ID] {
+		return &PlaceFailure{Stream: s.ID, Link: lastLink,
+			Reason: fmt.Sprintf("end-to-end %d units exceeds bound %d", end-start, inst.e2eUnits[s.ID])}
+	}
+	return nil
+}
+
+// PlaceFailure reports which stream the first-fit placer could not fit; it
+// unwraps to ErrInfeasible. Joint-routing retries use it to pick the stream
+// to reroute.
+type PlaceFailure struct {
+	// Stream is the failing stream (possibly a possibility or drain
+	// stream derived from an ECT).
+	Stream model.StreamID
+	// Frame is the failing frame index.
+	Frame int
+	// Link is where placement failed.
+	Link model.LinkID
+	// Reason is a human-readable cause.
+	Reason string
+}
+
+// Error renders the failure.
+func (e *PlaceFailure) Error() string {
+	return fmt.Sprintf("infeasible scheduling problem: placer: stream %q frame %d on %s: %s",
+		e.Stream, e.Frame, e.Link, e.Reason)
+}
+
+// Unwrap ties the failure to ErrInfeasible.
+func (e *PlaceFailure) Unwrap() error { return ErrInfeasible }
+
+// findSlot returns the earliest virtual time v >= lb such that the frame's
+// periodic instances (at (v mod period) + n·period) do not overlap any
+// incompatible reservation on the link and the slot does not straddle a
+// period boundary. It gives up after scanning one full period without a fit.
+func (p *placer) findSlot(lid model.LinkID, s *model.Stream, reserve bool, lb, length, period int64) (int64, bool) {
+	v := lb
+	for {
+		if v-lb > period {
+			return 0, false
+		}
+		off := v % period
+		if off+length > period {
+			v += period - off // skip to next period start
+			continue
+		}
+		next := off
+		for _, ps := range p.placed[lid] {
+			if slotsCanOverlap(s, ps.stream, reserve, ps.reserve, p.inst.opts.SharedReserves) {
+				continue
+			}
+			hyper := model.LCM(period, ps.period)
+			for x := int64(0); x < hyper/period; x++ {
+				a0 := off + x*period
+				a1 := a0 + length
+				for y := int64(0); y < hyper/ps.period; y++ {
+					b0 := ps.offset + y*ps.period
+					be := b0 + ps.length
+					if a0 < be && b0 < a1 {
+						// Clear this busy instance: shift so that our
+						// instance x starts at its end.
+						if cand := be - x*period; cand > next {
+							next = cand
+						}
+					}
+				}
+			}
+		}
+		if next == off {
+			return v, true
+		}
+		v += next - off
+	}
+}
+
+// streamPhase derives a deterministic placement phase in [0, period/2) from
+// the stream ID.
+func streamPhase(id model.StreamID, period int64) int64 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return int64(h.Sum32()) % (period/2 + 1)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"etsn/internal/model"
+)
+
+// applyPrudentReservation implements Alg. 1 (PRUDENTSLOTRESERVATION): for
+// every time-slot-sharing TCT stream, on every link of its path, and for
+// every ECT stream crossing that link, reserve
+//
+//	n = s_e.l × ceil(s_t.l × T_frame / s_e.T)
+//
+// extra frame slots, where lengths are in frames, T_frame is the time to
+// transmit one frame on the link, and s_e.T is the minimum interevent time.
+// The extra slots let the TCT stream drain after ECT preempts its shared
+// slots, at link granularity rather than along the whole path.
+func applyPrudentReservation(inst *instance, ects []*model.ECT) {
+	for _, st := range inst.streams {
+		if st.Type != model.StreamDet || !st.Share {
+			continue
+		}
+		for _, lid := range st.Path {
+			link, ok := inst.problem.Network.LinkByID(lid)
+			if !ok {
+				continue
+			}
+			extra := 0
+			for _, se := range ects {
+				if !se.PassesLink(lid) {
+					continue
+				}
+				extra += ExtraSlots(st, se, link)
+			}
+			inst.frames[st.ID][lid] += extra
+		}
+	}
+}
+
+// ExtraSlots computes Alg. 1's per-(TCT stream, ECT stream, link) extra slot
+// count n = s_e.l × ceil(s_t.l × T_frame / s_e.T).
+func ExtraSlots(st *model.Stream, se *model.ECT, link *model.Link) int {
+	perFrame := st.LengthBytes
+	if st.Frames() > 1 {
+		perFrame = model.MTUBytes
+	}
+	tFrame := link.TxTime(perFrame)
+	window := time.Duration(st.Frames()) * tFrame
+	events := int64(window+se.MinInterevent-1) / int64(se.MinInterevent)
+	if events < 1 {
+		events = 1
+	}
+	return se.Frames() * int(events)
+}
+
+// FrameCounts exposes the post-reservation |F_{s,link}| table of a Result.
+func (r *Result) FrameCountOn(id model.StreamID, link model.LinkID) int {
+	if m, ok := r.FrameCounts[id]; ok {
+		return m[link]
+	}
+	return 0
+}
+
+// DrainStreamID names the reservation-only drain stream for an ECT on one
+// link (SharedReserves mode).
+func DrainStreamID(ect model.StreamID, link model.LinkID) model.StreamID {
+	return model.StreamID(fmt.Sprintf("drain:%s:%s", ect, link))
+}
+
+// drainStreams builds per-(ECT, link) reservation-only streams: one
+// single-link stream per link of the ECT's path whose frames repeat at the
+// ECT's minimum interevent time and whose total size covers the largest
+// per-stream reservation Alg. 1 would make on that link. One event per
+// interevent time injects at most that much displaced work per link, so the
+// shared drain windows replace the per-stream extras without the
+// double-counting that makes short-period streams over-reserve.
+func drainStreams(p *Problem, tct []*model.Stream) []*model.Stream {
+	var out []*model.Stream
+	for _, e := range p.ECT {
+		period := drainPeriod(tct, e.MinInterevent)
+		for _, lid := range e.Path {
+			link, ok := p.Network.LinkByID(lid)
+			if !ok {
+				continue
+			}
+			n := 0
+			for _, st := range tct {
+				if !st.Share || !pathContains(st.Path, lid) {
+					continue
+				}
+				if extra := ExtraSlots(st, e, link); extra > n {
+					n = extra
+				}
+			}
+			if n == 0 {
+				continue // no sharing stream here, nothing to displace
+			}
+			out = append(out, &model.Stream{
+				ID:          DrainStreamID(e.ID, lid),
+				Path:        []model.LinkID{lid},
+				E2E:         period,
+				Priority:    model.PrioritySharedLow,
+				LengthBytes: n * model.MTUBytes,
+				Period:      period,
+				Type:        model.StreamDet,
+				Share:       true,
+				Parent:      e.ID,
+				Reserve:     true,
+			})
+		}
+	}
+	return out
+}
+
+// drainPeriod picks the drain streams' repetition period: at most the ECT's
+// interevent time (so the capacity guarantee holds), but harmonic with the
+// sharing TCT periods. A period that does not divide evenly into the TCT
+// hyperperiod smears the drain's instances across every TCT phase, making
+// it need a window that is simultaneously free at all alignments — usually
+// none exists. The largest multiple of the TCT hyperperiod that fits is
+// fully phase-locked; failing that, the largest divisor of the hyperperiod
+// bounds the smear. Repeating more often than the interevent time only adds
+// capacity, so both choices stay conservative.
+func drainPeriod(tct []*model.Stream, interevent time.Duration) time.Duration {
+	var hyper int64 = 0
+	for _, s := range tct {
+		if s.Type != model.StreamDet || !s.Share || s.Reserve {
+			continue
+		}
+		if hyper == 0 {
+			hyper = int64(s.Period)
+		} else {
+			hyper = model.LCM(hyper, int64(s.Period))
+		}
+	}
+	if hyper == 0 {
+		return interevent
+	}
+	if hyper <= int64(interevent) {
+		return time.Duration(int64(interevent) / hyper * hyper)
+	}
+	// Largest divisor of the hyperperiod at or below the interevent time.
+	best := int64(1)
+	for d := int64(1); d*d <= hyper; d++ {
+		if hyper%d != 0 {
+			continue
+		}
+		if d <= int64(interevent) && d > best {
+			best = d
+		}
+		if q := hyper / d; q <= int64(interevent) && q > best {
+			best = q
+		}
+	}
+	return time.Duration(best)
+}

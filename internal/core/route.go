@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"etsn/internal/model"
+)
+
+// maxReroutes bounds the total path substitutions one ScheduleWithRouting
+// call attempts.
+const maxReroutes = 16
+
+// ScheduleWithRouting is the joint routing-and-scheduling entry point (the
+// "lite" version of the ILP-based joint formulations the paper cites as
+// related work): it schedules the problem as given, and whenever the placer
+// cannot fit some stream, it reroutes that stream — or the ECT stream whose
+// possibility or drain failed — over its next alternate path and retries,
+// up to kPaths routes per stream. The input problem is not mutated; the
+// routed copy is returned alongside the result.
+func ScheduleWithRouting(p *Problem, kPaths int) (*Result, *Problem, error) {
+	if kPaths < 1 {
+		kPaths = 2
+	}
+	cur := cloneProblem(p)
+	tried := make(map[model.StreamID]int)
+	var lastErr error
+	for attempt := 0; attempt <= maxReroutes; attempt++ {
+		res, err := Schedule(cur)
+		if err == nil {
+			return res, cur, nil
+		}
+		lastErr = err
+		var pf *PlaceFailure
+		if !errors.As(err, &pf) {
+			return nil, nil, err
+		}
+		id := rerouteTarget(pf.Stream)
+		tried[id]++
+		if tried[id] >= kPaths {
+			return nil, nil, fmt.Errorf("stream %q exhausted %d routes: %w", id, kPaths, err)
+		}
+		if !swapRoute(cur, id, tried[id], kPaths) {
+			return nil, nil, fmt.Errorf("stream %q has no alternate route: %w", id, err)
+		}
+	}
+	return nil, nil, fmt.Errorf("rerouting budget exhausted: %w", lastErr)
+}
+
+// rerouteTarget maps a derived stream (possibility "e/psN", drain
+// "drain:e:link") back to the user-level stream to reroute.
+func rerouteTarget(id model.StreamID) model.StreamID {
+	s := string(id)
+	if strings.HasPrefix(s, "drain:") {
+		parts := strings.SplitN(s, ":", 3)
+		if len(parts) >= 2 {
+			return model.StreamID(parts[1])
+		}
+	}
+	if i := strings.LastIndex(s, "/ps"); i > 0 {
+		return model.StreamID(s[:i])
+	}
+	return id
+}
+
+// swapRoute replaces the target stream's path with its idx-th alternate
+// (idx >= 1). It reports whether a distinct alternate existed.
+func swapRoute(p *Problem, id model.StreamID, idx, kPaths int) bool {
+	apply := func(src, dst model.NodeID, set func([]model.LinkID)) bool {
+		alts, err := p.Network.AlternatePaths(src, dst, kPaths)
+		if err != nil || idx >= len(alts) {
+			return false
+		}
+		set(append([]model.LinkID(nil), alts[idx]...))
+		return true
+	}
+	for _, s := range p.TCT {
+		if s.ID == id {
+			return apply(s.Source(), s.Destination(), func(path []model.LinkID) { s.Path = path })
+		}
+	}
+	for _, e := range p.ECT {
+		if e.ID == id {
+			return apply(e.Source(), e.Destination(), func(path []model.LinkID) { e.Path = path })
+		}
+	}
+	return false
+}
+
+// cloneProblem copies the problem deeply enough for route swapping.
+func cloneProblem(p *Problem) *Problem {
+	out := &Problem{Network: p.Network, Opts: p.Opts}
+	out.TCT = make([]*model.Stream, len(p.TCT))
+	for i, s := range p.TCT {
+		c := *s
+		c.Path = append([]model.LinkID(nil), s.Path...)
+		out.TCT[i] = &c
+	}
+	out.ECT = make([]*model.ECT, len(p.ECT))
+	for i, e := range p.ECT {
+		c := *e
+		c.Path = append([]model.LinkID(nil), e.Path...)
+		out.ECT[i] = &c
+	}
+	return out
+}

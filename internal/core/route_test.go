@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"etsn/internal/model"
+)
+
+// diamondNetwork has two bridge routes between the device pairs:
+// D1-SW1-{SW2|SW3}-SW4-D2, with D3 on SW2 and D4 on SW3.
+func diamondNetwork(t testing.TB) *model.Network {
+	t.Helper()
+	n := model.NewNetwork()
+	for _, d := range []model.NodeID{"D1", "D2", "D3", "D4", "D5"} {
+		if err := n.AddDevice(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sw := range []model.NodeID{"SW1", "SW2", "SW3", "SW4"} {
+		if err := n.AddSwitch(sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := model.LinkConfig{Bandwidth: 100_000_000}
+	for _, pair := range [][2]model.NodeID{
+		{"D1", "SW1"}, {"SW1", "SW2"}, {"SW1", "SW3"},
+		{"SW2", "SW4"}, {"SW3", "SW4"}, {"SW4", "D2"},
+		{"D3", "SW2"}, {"D4", "SW3"}, {"D5", "SW4"},
+	} {
+		if err := n.AddLink(pair[0], pair[1], cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestAlternatePaths(t *testing.T) {
+	n := diamondNetwork(t)
+	alts, err := n.AlternatePaths("D1", "D2", 3)
+	if err != nil {
+		t.Fatalf("AlternatePaths: %v", err)
+	}
+	if len(alts) < 2 {
+		t.Fatalf("alternates = %d, want >= 2", len(alts))
+	}
+	// Both 4-hop routes, distinct middles.
+	if len(alts[0]) != 4 || len(alts[1]) != 4 {
+		t.Fatalf("lengths = %d, %d", len(alts[0]), len(alts[1]))
+	}
+	if alts[0][1] == alts[1][1] {
+		t.Fatalf("alternates share the first bridge hop: %v", alts[0][1])
+	}
+	// D1->D3: the 3-hop shortest route first, then the 5-hop detour
+	// around the other side of the diamond.
+	alts2, err := n.AlternatePaths("D1", "D3", 3)
+	if err != nil || len(alts2) != 2 {
+		t.Fatalf("D1->D3 alternates = %d (err %v), want 2", len(alts2), err)
+	}
+	if len(alts2[0]) != 3 || len(alts2[1]) != 5 {
+		t.Fatalf("lengths = %d, %d, want 3 and 5", len(alts2[0]), len(alts2[1]))
+	}
+}
+
+// TestScheduleWithRoutingReroutes saturates the shortest branch and checks
+// the failing stream detours over the other one.
+func TestScheduleWithRoutingReroutes(t *testing.T) {
+	n := diamondNetwork(t)
+	period := 4 * 124 * time.Microsecond // four frame slots per cycle
+	mustPathLocal := func(a, b model.NodeID) []model.LinkID {
+		p, err := n.ShortestPath(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// hog (D3->D2) saturates SW2->SW4; late (D1->D5) crosses that link on
+	// its shortest route and must detour through SW3.
+	hogPath := mustPathLocal("D3", "D2")
+	latePath := mustPathLocal("D1", "D5")
+	p := &Problem{
+		Network: n,
+		TCT: []*model.Stream{
+			{ID: "hog", Path: hogPath, E2E: 2 * period,
+				LengthBytes: 4 * model.MTUBytes, Period: period, Type: model.StreamDet},
+			{ID: "late", Path: latePath, E2E: 2 * period,
+				LengthBytes: 2 * model.MTUBytes, Period: period, Type: model.StreamDet},
+		},
+		Opts: Options{Backend: BackendPlacer},
+	}
+	// Plain scheduling cannot fit both on one branch.
+	if _, err := Schedule(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("baseline = %v, want ErrInfeasible", err)
+	}
+	res, routed, err := ScheduleWithRouting(p, 3)
+	if err != nil {
+		t.Fatalf("ScheduleWithRouting: %v", err)
+	}
+	if vs := Verify(n, res); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+	// late detoured: its routed path differs from the shortest one.
+	var lateRouted *model.Stream
+	for _, s := range routed.TCT {
+		if s.ID == "late" {
+			lateRouted = s
+		}
+	}
+	if pathsEqual(lateRouted.Path, latePath) {
+		t.Fatalf("late not rerouted: %v", lateRouted.Path)
+	}
+	// The input problem is untouched.
+	if !pathsEqual(p.TCT[1].Path, latePath) {
+		t.Fatal("input problem path mutated")
+	}
+}
+
+func TestScheduleWithRoutingECTDerived(t *testing.T) {
+	// An ECT whose possibilities cannot fit on the congested branch gets
+	// rerouted via its parent ID resolution.
+	n := diamondNetwork(t)
+	period := 4 * 124 * time.Microsecond
+	route := func(a, b model.NodeID) []model.LinkID {
+		p, err := n.ShortestPath(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	ectPath := route("D1", "D5")
+	p := &Problem{
+		Network: n,
+		TCT: []*model.Stream{
+			// Fully saturate the ECT's shortest branch with non-sharing
+			// traffic so possibilities cannot fit there.
+			{ID: "hog", Path: route("D3", "D2"), E2E: 2 * period,
+				LengthBytes: 4 * model.MTUBytes, Period: period, Type: model.StreamDet},
+		},
+		ECT: []*model.ECT{
+			{ID: "e1", Path: ectPath, E2E: 2 * period,
+				LengthBytes: model.MTUBytes, MinInterevent: period},
+		},
+		Opts: Options{NProb: 2, Backend: BackendPlacer, SharedReserves: true},
+	}
+	res, routed, err := ScheduleWithRouting(p, 3)
+	if err != nil {
+		t.Fatalf("ScheduleWithRouting: %v", err)
+	}
+	if vs := Verify(n, res); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+	if pathsEqual(routed.ECT[0].Path, p.ECT[0].Path) {
+		t.Fatal("ECT not rerouted")
+	}
+}
+
+func pathsEqual(a, b []model.LinkID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRerouteTarget(t *testing.T) {
+	cases := map[model.StreamID]model.StreamID{
+		"plain":                 "plain",
+		"e1/ps12":               "e1",
+		"drain:e1:SW1->SW2":     "e1",
+		"weird/name/ps3":        "weird/name",
+		"drain:e/x:SW1->SW2":    "e/x", // drain IDs split on ':' first
+		"notdrain:justcolons":   "notdrain:justcolons",
+		"no-separators-at-all1": "no-separators-at-all1",
+	}
+	for in, want := range cases {
+		if got := rerouteTarget(in); got != want {
+			t.Errorf("rerouteTarget(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestScheduleWithRoutingExhausts(t *testing.T) {
+	// Saturate BOTH branches; rerouting cannot help.
+	n := diamondNetwork(t)
+	period := 4 * 124 * time.Microsecond
+	route := func(a, b model.NodeID) []model.LinkID {
+		p, err := n.ShortestPath(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	alts, err := n.AlternatePaths("D1", "D2", 2)
+	if err != nil || len(alts) < 2 {
+		t.Fatal("need two branches")
+	}
+	p := &Problem{
+		Network: n,
+		TCT: []*model.Stream{
+			{ID: "hogA", Path: alts[0], E2E: 2 * period,
+				LengthBytes: 4 * model.MTUBytes, Period: period, Type: model.StreamDet},
+			{ID: "hogB", Path: alts[1], E2E: 2 * period,
+				LengthBytes: 4 * model.MTUBytes, Period: period, Type: model.StreamDet},
+			{ID: "late", Path: route("D1", "D2"), E2E: 2 * period,
+				LengthBytes: 2 * model.MTUBytes, Period: period, Type: model.StreamDet},
+		},
+		Opts: Options{Backend: BackendPlacer},
+	}
+	if _, _, err := ScheduleWithRouting(p, 2); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want wrapped ErrInfeasible", err)
+	}
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"etsn/internal/model"
+)
+
+// Violation describes one constraint the schedule breaks.
+type Violation struct {
+	// Kind names the violated constraint family: "bounds", "order",
+	// "occurrence", "e2e", "overlap", "priority", or "adjacent".
+	Kind string
+	// Stream is the offending stream (the first of the pair for overlaps).
+	Stream model.StreamID
+	// Link is the link the violation occurs on, when applicable.
+	Link model.LinkID
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: stream %s link %s: %s", v.Kind, v.Stream, v.Link, v.Detail)
+}
+
+// Verify independently re-checks a scheduling result against the paper's
+// constraints (1)-(7). It shares no code with the solvers, so it catches
+// solver and placer bugs. A nil return means the schedule is valid.
+func Verify(network *model.Network, res *Result) []Violation {
+	var out []Violation
+	sched := res.Schedule
+	unit := schedUnit(network)
+
+	streams := make([]*model.Stream, 0, len(sched.Streams))
+	for _, s := range sched.Streams {
+		streams = append(streams, s)
+	}
+	sort.Slice(streams, func(i, j int) bool { return streams[i].ID < streams[j].ID })
+
+	for _, s := range streams {
+		out = append(out, verifyStream(network, sched, s, unit)...)
+	}
+	out = append(out, verifyOverlaps(res)...)
+	return out
+}
+
+func schedUnit(network *model.Network) time.Duration {
+	unit, err := commonTimeUnit(network)
+	if err != nil {
+		return model.DefaultTimeUnit
+	}
+	return unit
+}
+
+func verifyStream(network *model.Network, sched *model.Schedule, s *model.Stream, unit time.Duration) []Violation {
+	var out []Violation
+	periodU := int64(s.Period) / int64(unit)
+	otU := int64(s.OccurrenceTime) / int64(unit)
+	e2eU := int64(s.E2E) / int64(unit)
+
+	// (6) priority bands.
+	switch {
+	case s.Type == model.StreamProb && s.Priority != model.PriorityECT:
+		out = append(out, Violation{Kind: "priority", Stream: s.ID,
+			Detail: fmt.Sprintf("probabilistic stream has priority %d, want EP=%d", s.Priority, model.PriorityECT)})
+	case s.Type == model.StreamDet && s.Share &&
+		(s.Priority < model.PrioritySharedLow || s.Priority > model.PrioritySharedHigh):
+		out = append(out, Violation{Kind: "priority", Stream: s.ID,
+			Detail: fmt.Sprintf("sharing TCT priority %d outside [%d,%d]", s.Priority, model.PrioritySharedLow, model.PrioritySharedHigh)})
+	case s.Type == model.StreamDet && !s.Share &&
+		(s.Priority < model.PriorityNonSharedLow || s.Priority > model.PriorityNonSharedHigh):
+		out = append(out, Violation{Kind: "priority", Stream: s.ID,
+			Detail: fmt.Sprintf("non-sharing TCT priority %d outside [%d,%d]", s.Priority, model.PriorityNonSharedLow, model.PriorityNonSharedHigh)})
+	}
+
+	perLink := make([][]model.FrameSlot, len(s.Path))
+	for i, lid := range s.Path {
+		slots := sched.StreamSlots(s.ID, lid)
+		if len(slots) == 0 {
+			out = append(out, Violation{Kind: "bounds", Stream: s.ID, Link: lid,
+				Detail: "no slots scheduled on path link"})
+			return out
+		}
+		perLink[i] = slots
+		for j, fs := range slots {
+			// (1) fit within the period (in the periodic domain), with a
+			// non-negative epoch.
+			if fs.Offset < 0 || fs.End() > periodU || fs.Epoch < 0 {
+				out = append(out, Violation{Kind: "bounds", Stream: s.ID, Link: lid,
+					Detail: fmt.Sprintf("frame %d at [%d,%d) epoch %d outside period %d",
+						fs.Index, fs.Offset, fs.End(), fs.Epoch, periodU)})
+			}
+			// (3) in-order transmission on the unrolled timeline.
+			if j > 0 && slots[j-1].VirtualEnd() > fs.VirtualOffset() {
+				out = append(out, Violation{Kind: "order", Stream: s.ID, Link: lid,
+					Detail: fmt.Sprintf("frame %d starts at %d before frame %d ends at %d",
+						fs.Index, fs.VirtualOffset(), slots[j-1].Index, slots[j-1].VirtualEnd())})
+			}
+		}
+	}
+
+	// (2) occurrence time.
+	if s.Type == model.StreamProb && perLink[0][0].VirtualOffset() < otU {
+		out = append(out, Violation{Kind: "occurrence", Stream: s.ID, Link: s.Path[0],
+			Detail: fmt.Sprintf("first frame at %d before occurrence time %d", perLink[0][0].VirtualOffset(), otU)})
+	}
+
+	// (7) adjacent links.
+	for i := 1; i < len(s.Path); i++ {
+		upSlots, downSlots := perLink[i-1], perLink[i]
+		upLink, _ := network.LinkByID(s.Path[i-1])
+		prop := int64(0)
+		if upLink != nil {
+			prop = upLink.PropUnits()
+		}
+		o := len(upSlots) - len(downSlots)
+		if o < 0 {
+			o = 0
+		}
+		for j := range downSlots {
+			upIdx := j + o
+			if upIdx >= len(upSlots) {
+				upIdx = len(upSlots) - 1
+			}
+			if downSlots[j].VirtualOffset() < upSlots[upIdx].VirtualEnd()+prop {
+				out = append(out, Violation{Kind: "adjacent", Stream: s.ID, Link: s.Path[i],
+					Detail: fmt.Sprintf("frame %d at %d on %s before upstream frame %d ends at %d (+prop %d) on %s",
+						j, downSlots[j].VirtualOffset(), s.Path[i], upIdx, upSlots[upIdx].VirtualEnd(), prop, s.Path[i-1])})
+			}
+		}
+	}
+
+	// (4) end-to-end latency including the last frame's transmission time.
+	last := perLink[len(perLink)-1][len(perLink[len(perLink)-1])-1]
+	start := perLink[0][0].VirtualOffset()
+	if s.Type == model.StreamProb {
+		start = otU
+	}
+	if last.VirtualEnd()-start > e2eU {
+		out = append(out, Violation{Kind: "e2e", Stream: s.ID, Link: s.Path[len(s.Path)-1],
+			Detail: fmt.Sprintf("latency %d units exceeds bound %d", last.VirtualEnd()-start, e2eU)})
+	}
+	return out
+}
+
+// verifyOverlaps checks constraint (5) on every link: no two slots of
+// different streams may overlap in any period instance unless the pair is
+// allowed to (same-parent possibilities, or ECT over sharing TCT).
+func verifyOverlaps(res *Result) []Violation {
+	var out []Violation
+	sched := res.Schedule
+	for _, lid := range sched.Links() {
+		slots := sched.SlotsOn(lid)
+		for i := 0; i < len(slots); i++ {
+			for j := i + 1; j < len(slots); j++ {
+				a, b := &slots[i], &slots[j]
+				if a.Stream == b.Stream {
+					continue
+				}
+				sa, sb := sched.Streams[a.Stream], sched.Streams[b.Stream]
+				if sa == nil || sb == nil {
+					out = append(out, Violation{Kind: "overlap", Stream: a.Stream, Link: lid,
+						Detail: "slot references unknown stream"})
+					continue
+				}
+				if slotsCanOverlap(sa, sb, a.Reserve, b.Reserve, res.SharedReserves) {
+					continue
+				}
+				if a.Overlaps(b) {
+					out = append(out, Violation{Kind: "overlap", Stream: a.Stream, Link: lid,
+						Detail: fmt.Sprintf("frame %d overlaps stream %s frame %d", a.Index, b.Stream, b.Index)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TCTWorstCase returns the schedule-implied worst-case latency of a TCT
+// stream: delivery of its last (possibly prudently added) frame on the last
+// link minus the start of its first frame on the first link.
+func TCTWorstCase(network *model.Network, res *Result, id model.StreamID) (time.Duration, error) {
+	s, ok := res.Schedule.Streams[id]
+	if !ok || s.Type != model.StreamDet {
+		return 0, fmt.Errorf("%w: no TCT stream %q in schedule", ErrInvalidProblem, id)
+	}
+	unit := schedUnit(network)
+	firstSlots := res.Schedule.StreamSlots(id, s.Path[0])
+	lastSlots := res.Schedule.StreamSlots(id, s.Path[len(s.Path)-1])
+	if len(firstSlots) == 0 || len(lastSlots) == 0 {
+		return 0, fmt.Errorf("%w: stream %q has no slots", ErrInvalidProblem, id)
+	}
+	lat := lastSlots[len(lastSlots)-1].VirtualEnd() - firstSlots[0].VirtualOffset()
+	return model.UnitsToDuration(lat, unit), nil
+}
+
+// ECTScheduleWorstCase returns the worst-case ECT latency implied by the
+// schedule alone (the paper's constraint-(4) semantics): an event arriving
+// just after possibility i-1's occurrence point is served by possibility i,
+// so the term is the maximum over i of (delivery_i - ot_{i-1}), with
+// wrap-around into the next period after the last possibility. The E-TSN
+// constraints guarantee this stays at or below the ECT deadline.
+func ECTScheduleWorstCase(network *model.Network, res *Result, parent model.StreamID) (time.Duration, error) {
+	sched, _, err := ectWorstCase(network, res, parent)
+	return sched, err
+}
+
+// ECTWorstCaseBound returns a conservative runtime worst-case latency of an
+// ECT stream: the schedule term of ECTScheduleWorstCase plus, per hop, one
+// maximal non-preemptible in-flight frame and the largest gap between
+// EP-capable gate windows (the extra wait when blocking pushes the frame
+// past its reserved window). Simulated latencies stay below this bound; it
+// may exceed the paper's constraint-(4) guarantee on sparsely reserved
+// links.
+func ECTWorstCaseBound(network *model.Network, res *Result, parent model.StreamID) (time.Duration, error) {
+	_, runtime, err := ectWorstCase(network, res, parent)
+	return runtime, err
+}
+
+func ectWorstCase(network *model.Network, res *Result, parent model.StreamID) (time.Duration, time.Duration, error) {
+	unit := schedUnit(network)
+	type poss struct {
+		ot       int64
+		delivery int64
+	}
+	var ps []poss
+	var period int64
+	var path []model.LinkID
+	for _, s := range res.Schedule.Streams {
+		if s.Type != model.StreamProb || s.Parent != parent {
+			continue
+		}
+		path = s.Path
+		lastSlots := res.Schedule.StreamSlots(s.ID, s.Path[len(s.Path)-1])
+		if len(lastSlots) == 0 {
+			return 0, 0, fmt.Errorf("%w: possibility %q has no slots", ErrInvalidProblem, s.ID)
+		}
+		ps = append(ps, poss{
+			ot:       int64(s.OccurrenceTime) / int64(unit),
+			delivery: lastSlots[len(lastSlots)-1].VirtualEnd(),
+		})
+		period = int64(s.Period) / int64(unit)
+	}
+	if len(ps) == 0 {
+		return 0, 0, fmt.Errorf("%w: no possibilities for ECT %q", ErrInvalidProblem, parent)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ot < ps[j].ot })
+	worst := int64(0)
+	for i := range ps {
+		prevOT := int64(0)
+		delivery := ps[i].delivery
+		if i == 0 {
+			// Events after the last possibility wrap into the next
+			// period's first possibility.
+			prevOT = ps[len(ps)-1].ot
+			delivery += period
+		} else {
+			prevOT = ps[i-1].ot
+		}
+		if lat := delivery - prevOT; lat > worst {
+			worst = lat
+		}
+	}
+	// Per-hop runtime slack on top of the schedule term: one maximal
+	// in-flight frame (non-preemptive blocking) plus, if the blocking
+	// pushed the frame past its reserved window, the wait until the next
+	// EP-capable window on that link.
+	var blocking int64
+	for _, lid := range path {
+		var maxLen, ectLen int64
+		for _, fs := range res.Schedule.SlotsOn(lid) {
+			if fs.Length > maxLen {
+				maxLen = fs.Length
+			}
+			if fs.Prob && fs.Parent == parent && fs.Length > ectLen {
+				ectLen = fs.Length
+			}
+		}
+		blocking += maxLen + maxEPGap(res.Schedule, lid, ectLen, unit)
+	}
+	return model.UnitsToDuration(worst, unit), model.UnitsToDuration(worst+blocking, unit), nil
+}
+
+// maxEPGap returns the largest gap (in units) between consecutive
+// EP-capable windows on a link: intervals where the ECT gate is open
+// (shared TCT slots, reserve drains, and possibility slots) and long enough
+// to carry an ECT frame of the given length, unrolled over the link's
+// hyperperiod and merged. Zero means the EP gate is effectively always
+// reachable without extra wait.
+func maxEPGap(sched *model.Schedule, lid model.LinkID, frameLen int64, unit time.Duration) int64 {
+	hyperU := int64(sched.Hyperperiod) / int64(unit)
+	if hyperU <= 0 {
+		return 0
+	}
+	type ival struct{ start, end int64 }
+	var windows []ival
+	for _, fs := range sched.SlotsOn(lid) {
+		if !fs.Shared && !fs.Prob {
+			continue
+		}
+		if fs.Length < frameLen || fs.Period <= 0 || hyperU%fs.Period != 0 {
+			continue
+		}
+		for rep := int64(0); rep < hyperU/fs.Period; rep++ {
+			start := (fs.Offset + rep*fs.Period) % hyperU
+			windows = append(windows, ival{start: start, end: start + fs.Length})
+		}
+	}
+	if len(windows) == 0 {
+		return hyperU
+	}
+	sort.Slice(windows, func(i, j int) bool { return windows[i].start < windows[j].start })
+	merged := windows[:1]
+	for _, w := range windows[1:] {
+		last := &merged[len(merged)-1]
+		if w.start <= last.end {
+			if w.end > last.end {
+				last.end = w.end
+			}
+		} else {
+			merged = append(merged, w)
+		}
+	}
+	var gap int64
+	for i := 1; i < len(merged); i++ {
+		if g := merged[i].start - merged[i-1].end; g > gap {
+			gap = g
+		}
+	}
+	// Wrap-around gap from the last window to the first of the next cycle.
+	if g := merged[0].start + hyperU - merged[len(merged)-1].end; g > gap {
+		gap = g
+	}
+	if gap < 0 {
+		gap = 0
+	}
+	return gap
+}

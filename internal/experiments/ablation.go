@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"etsn/internal/core"
+	"etsn/internal/gcl"
+	"etsn/internal/model"
+	"etsn/internal/sched"
+	"etsn/internal/sim"
+	"etsn/internal/stats"
+)
+
+// AblationNProbRow is one point of the possibilities-per-ECT sweep.
+type AblationNProbRow struct {
+	// NProb is the possibility count.
+	NProb int
+	// PickupBound is the analytic pick-up delay T/N.
+	PickupBound time.Duration
+	// Bound is the runtime worst-case bound from the schedule.
+	Bound time.Duration
+	// Measured is the simulated latency summary.
+	Measured stats.Summary
+	// ScheduleSlots is the total slot count (reservation cost).
+	ScheduleSlots int
+}
+
+// AblationNProbResult sweeps N, the number of probabilistic streams per ECT
+// (Sec. III-B): more possibilities tighten the pick-up delay bound at the
+// cost of more reserved superposition slots.
+type AblationNProbResult struct {
+	Rows []AblationNProbRow
+}
+
+// AblationNProbValues is the default sweep.
+var AblationNProbValues = []int{4, 8, 16, 32, 64, 128}
+
+// AblationNProb runs the sweep on the testbed scenario at 50% load.
+func AblationNProb(opts RunOptions) (*AblationNProbResult, error) {
+	opts = opts.withDefaults()
+	out := &AblationNProbResult{}
+	for _, n := range AblationNProbValues {
+		scen, err := NewTestbedScenario(0.50, DefaultSeed)
+		if err != nil {
+			return nil, err
+		}
+		scen.NProb = n
+		res, err := RunMethod(scen, sched.MethodETSN, opts)
+		if err != nil {
+			return nil, fmt.Errorf("ablation nprob %d: %w", n, err)
+		}
+		bound, err := core.ECTWorstCaseBound(scen.Network, res.Plan.Result, "ect")
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, AblationNProbRow{
+			NProb:         n,
+			PickupBound:   scen.ECT[0].MinInterevent / time.Duration(n),
+			Bound:         bound,
+			Measured:      res.ECT["ect"],
+			ScheduleSlots: res.Plan.Schedule.NumSlots(),
+		})
+	}
+	return out, nil
+}
+
+// WriteTable renders the sweep.
+func (r *AblationNProbResult) WriteTable(w io.Writer) {
+	fmt.Fprintln(w, "Ablation — possibilities per ECT stream (N) vs latency and cost (testbed, 50% load)")
+	fmt.Fprintf(w, "  %-6s %-12s %-12s %-12s %-12s %-12s %s\n",
+		"N", "pickup T/N", "bound", "avg", "worst", "jitter", "slots")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-6d %-12s %-12s %-12s %-12s %-12s %d\n",
+			row.NProb, fmtDur(row.PickupBound), fmtDur(row.Bound),
+			fmtDur(row.Measured.Mean), fmtDur(row.Measured.Max),
+			fmtDur(row.Measured.StdDev), row.ScheduleSlots)
+	}
+}
+
+// AblationPrudentResult contrasts runs with and without prudent reservation
+// (Sec. III-D): without the extra drain slots, frames displaced by ECT have
+// nowhere to go and sharing TCT streams build standing backlogs.
+type AblationPrudentResult struct {
+	// WithReservation and WithoutReservation summarize the worst sharing
+	// TCT stream's latency in each mode.
+	WithReservation    stats.Summary
+	WithoutReservation stats.Summary
+	// WorstStream is the stream reported (the one with the largest
+	// backlog effect without reservation).
+	WorstStream model.StreamID
+	// DeadlineWith / DeadlineWithout count deadline misses across all
+	// sharing TCT streams in each mode.
+	DeadlineWith    int
+	DeadlineWithout int
+}
+
+// AblationPrudent runs the testbed scenario at 50% load with ECT traffic,
+// once with prudent reservation and once with it disabled.
+func AblationPrudent(opts RunOptions) (*AblationPrudentResult, error) {
+	opts = opts.withDefaults()
+	scen, err := NewTestbedScenario(0.50, DefaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	run := func(disable bool) (*sim.Results, *core.Result, error) {
+		p := scen.Problem().Core()
+		p.Opts.DisablePrudentReservation = disable
+		res, err := core.Schedule(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		gcls, err := gcl.Synthesize(res.Schedule, gcl.Config{OpenECTOnShared: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := sim.New(sim.Config{
+			Network:  scen.Network,
+			Schedule: res.Schedule,
+			GCLs:     gcls,
+			ECT:      []sim.ECTTraffic{{Stream: scen.ECT[0], Priority: model.PriorityECT}},
+			Duration: opts.Duration,
+			Seed:     opts.Seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		raw, err := s.Run()
+		if err != nil {
+			return nil, nil, err
+		}
+		return raw, res, nil
+	}
+	with, _, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("ablation prudent (on): %w", err)
+	}
+	without, _, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("ablation prudent (off): %w", err)
+	}
+	out := &AblationPrudentResult{}
+	var worstExcess time.Duration = -1
+	for _, s := range scen.TCT {
+		if !s.Share {
+			continue
+		}
+		sw := stats.Summarize(with.Latencies(s.ID))
+		swo := stats.Summarize(without.Latencies(s.ID))
+		for _, l := range with.Latencies(s.ID) {
+			if l > s.E2E {
+				out.DeadlineWith++
+			}
+		}
+		for _, l := range without.Latencies(s.ID) {
+			if l > s.E2E {
+				out.DeadlineWithout++
+			}
+		}
+		if excess := swo.Max - sw.Max; excess > worstExcess {
+			worstExcess = excess
+			out.WorstStream = s.ID
+			out.WithReservation = sw
+			out.WithoutReservation = swo
+		}
+	}
+	return out, nil
+}
+
+// WriteTable renders the contrast.
+func (r *AblationPrudentResult) WriteTable(w io.Writer) {
+	fmt.Fprintln(w, "Ablation — prudent reservation on/off (testbed, 50% load, ECT active)")
+	fmt.Fprintf(w, "  worst-affected sharing stream: %s\n", r.WorstStream)
+	printSummaryRow(w, "with Alg.1", r.WithReservation)
+	printSummaryRow(w, "without", r.WithoutReservation)
+	fmt.Fprintf(w, "  deadline misses across sharing TCT: %d with, %d without\n",
+		r.DeadlineWith, r.DeadlineWithout)
+}
+
+// AblationBackendRow is one scheduler-backend measurement.
+type AblationBackendRow struct {
+	Backend  core.Backend
+	BuildDur time.Duration
+	Slots    int
+	Stats    core.SolverStats
+	Err      string
+}
+
+// AblationBackendResult compares scheduling backends on the paper's Fig. 6
+// problem scaled up: the first-fit placer versus monolithic and incremental
+// (Steiner-style) SMT solving.
+type AblationBackendResult struct {
+	Rows []AblationBackendRow
+}
+
+// AblationBackend measures the backends on a moderate instance (the testbed
+// scenario at 25% load with a small possibility count, so the exact solvers
+// finish).
+func AblationBackend(opts RunOptions) (*AblationBackendResult, error) {
+	scen, err := NewTestbedScenario(0.25, DefaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	scen.NProb = 8
+	out := &AblationBackendResult{}
+	for _, backend := range []core.Backend{core.BackendPlacer, core.BackendSMTIncremental, core.BackendSMT} {
+		p := scen.Problem().Core()
+		p.Opts.Backend = backend
+		p.Opts.MaxDecisions = 2_000_000
+		start := time.Now()
+		res, err := core.Schedule(p)
+		row := AblationBackendRow{Backend: backend, BuildDur: time.Since(start)}
+		if err != nil {
+			row.Err = err.Error()
+		} else {
+			row.Slots = res.Schedule.NumSlots()
+			row.Stats = res.SolverStats
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// WriteTable renders the backend comparison.
+func (r *AblationBackendResult) WriteTable(w io.Writer) {
+	fmt.Fprintln(w, "Ablation — scheduler backends (testbed, 25% load, N=8)")
+	for _, row := range r.Rows {
+		if row.Err != "" {
+			fmt.Fprintf(w, "  %-16s %-14v FAILED: %s\n", row.Backend, row.BuildDur.Round(time.Microsecond), row.Err)
+			continue
+		}
+		fmt.Fprintf(w, "  %-16s %-14v slots=%-5d decisions=%-8d conflicts=%-8d clauses=%d\n",
+			row.Backend, row.BuildDur.Round(time.Microsecond), row.Slots,
+			row.Stats.Decisions, row.Stats.Conflicts, row.Stats.Clauses)
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"etsn/internal/core"
+)
+
+func TestAblationNProbShape(t *testing.T) {
+	r, err := AblationNProb(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(AblationNProbValues) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		prev, cur := r.Rows[i-1], r.Rows[i]
+		// More possibilities tighten the pick-up delay and the bound, and
+		// cost more reserved slots.
+		if cur.PickupBound >= prev.PickupBound {
+			t.Errorf("pickup bound not decreasing at N=%d", cur.NProb)
+		}
+		if cur.Bound > prev.Bound {
+			t.Errorf("worst-case bound increased at N=%d: %v > %v", cur.NProb, cur.Bound, prev.Bound)
+		}
+		if cur.ScheduleSlots <= prev.ScheduleSlots {
+			t.Errorf("slot cost not increasing at N=%d", cur.NProb)
+		}
+		if cur.Measured.Max > cur.Bound {
+			t.Errorf("N=%d: measured worst %v exceeds bound %v", cur.NProb, cur.Measured.Max, cur.Bound)
+		}
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestAblationPrudentShape(t *testing.T) {
+	r, err := AblationPrudent(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prudent reservation is what protects TCT: without it the sharing
+	// streams blow their deadlines, with it they never do.
+	if r.DeadlineWith != 0 {
+		t.Fatalf("deadline misses with reservation: %d", r.DeadlineWith)
+	}
+	if r.DeadlineWithout == 0 {
+		t.Fatal("expected deadline misses without reservation")
+	}
+	if r.WithoutReservation.Max <= r.WithReservation.Max {
+		t.Fatalf("worst case without (%v) not above with (%v)",
+			r.WithoutReservation.Max, r.WithReservation.Max)
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestAblationBackendShape(t *testing.T) {
+	r, err := AblationBackend(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	slots := -1
+	for _, row := range r.Rows {
+		if row.Err != "" {
+			t.Fatalf("backend %v failed: %s", row.Backend, row.Err)
+		}
+		if slots < 0 {
+			slots = row.Slots
+		} else if row.Slots != slots {
+			t.Fatalf("backend %v produced %d slots, others %d", row.Backend, row.Slots, slots)
+		}
+		if row.Backend != core.BackendPlacer && row.Stats.Clauses == 0 {
+			t.Fatalf("backend %v reported no clauses", row.Backend)
+		}
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"etsn/internal/model"
+	"etsn/internal/sched"
+	"etsn/internal/sim"
+	"etsn/internal/stats"
+)
+
+// RunOptions tunes one experiment run.
+type RunOptions struct {
+	// Duration is the simulated time span; defaults to DefaultDuration.
+	Duration time.Duration
+	// Seed drives event arrivals; defaults to DefaultSeed.
+	Seed int64
+	// Multiplier scales PERIOD's slot budget (Fig. 12); defaults to 1.
+	Multiplier int
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Duration == 0 {
+		o.Duration = DefaultDuration
+	}
+	if o.Seed == 0 {
+		o.Seed = DefaultSeed
+	}
+	if o.Multiplier == 0 {
+		o.Multiplier = 1
+	}
+	return o
+}
+
+// MethodResult is the outcome of running one method on one scenario.
+type MethodResult struct {
+	// Method identifies the scheduling approach.
+	Method sched.Method
+	// Plan is the schedule/GCL bundle that ran.
+	Plan *sched.Plan
+	// Raw is the simulator output.
+	Raw *sim.Results
+	// ECT maps each ECT stream to its latency summary.
+	ECT map[model.StreamID]stats.Summary
+	// ECTSamples holds the raw latency samples per ECT stream (for CDFs).
+	ECTSamples map[model.StreamID][]time.Duration
+	// TCT maps each TCT stream to its latency summary.
+	TCT map[model.StreamID]stats.Summary
+}
+
+// RunMethod plans the scenario with the given method and simulates it.
+func RunMethod(s *Scenario, m sched.Method, opts RunOptions) (*MethodResult, error) {
+	opts = opts.withDefaults()
+	plan, err := sched.Build(m, s.Problem(), opts.Multiplier)
+	if err != nil {
+		return nil, fmt.Errorf("build %v: %w", m, err)
+	}
+	raw, err := plan.Simulate(s.Network, s.ECT, s.BE, opts.Duration, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("simulate %v: %w", m, err)
+	}
+	out := &MethodResult{
+		Method:     m,
+		Plan:       plan,
+		Raw:        raw,
+		ECT:        make(map[model.StreamID]stats.Summary, len(s.ECT)),
+		ECTSamples: make(map[model.StreamID][]time.Duration, len(s.ECT)),
+		TCT:        make(map[model.StreamID]stats.Summary, len(s.TCT)),
+	}
+	for _, e := range s.ECT {
+		lats := raw.Latencies(e.ID)
+		out.ECT[e.ID] = stats.Summarize(lats)
+		out.ECTSamples[e.ID] = lats
+	}
+	for _, t := range s.TCT {
+		out.TCT[t.ID] = stats.Summarize(raw.Latencies(t.ID))
+	}
+	return out, nil
+}
+
+// AllMethods lists the compared methods in the paper's order.
+var AllMethods = []sched.Method{sched.MethodETSN, sched.MethodPERIOD, sched.MethodAVB}
+
+// fmtDur renders a duration in microseconds with two decimals, the
+// resolution the paper reports.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2fus", float64(d)/float64(time.Microsecond))
+}
+
+// printSummaryRow writes one "method: avg worst jitter n" table row.
+func printSummaryRow(w io.Writer, label string, s stats.Summary) {
+	fmt.Fprintf(w, "  %-14s avg=%-12s worst=%-12s jitter=%-12s n=%d\n",
+		label, fmtDur(s.Mean), fmtDur(s.Max), fmtDur(s.StdDev), s.Count)
+}

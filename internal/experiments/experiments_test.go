@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"etsn/internal/sched"
+)
+
+// fastOpts keeps integration runs short; the full durations run in
+// etsn-bench and the benchmark suite.
+var fastOpts = RunOptions{Duration: 1500 * time.Millisecond, Seed: DefaultSeed}
+
+func TestTestbedNetworkShape(t *testing.T) {
+	n, err := TestbedNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumNodes() != 6 {
+		t.Fatalf("nodes = %d, want 6", n.NumNodes())
+	}
+	if n.NumLinks() != 10 {
+		t.Fatalf("directed links = %d, want 10", n.NumLinks())
+	}
+	path, err := n.ShortestPath("D2", "D4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Fatalf("D2->D4 hops = %d, want 3", len(path))
+	}
+}
+
+func TestSimulationNetworkShape(t *testing.T) {
+	n, err := SimulationNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumNodes() != 16 {
+		t.Fatalf("nodes = %d, want 16 (4 switches + 12 devices)", n.NumNodes())
+	}
+	path, err := n.ShortestPath("D1", "D12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 5 {
+		t.Fatalf("D1->D12 hops = %d, want 5", len(path))
+	}
+}
+
+func TestScenarioConstructors(t *testing.T) {
+	scen, err := NewTestbedScenario(0.5, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scen.TCT) != TestbedStreams || len(scen.ECT) != 1 {
+		t.Fatalf("testbed scenario: %d TCT, %d ECT", len(scen.TCT), len(scen.ECT))
+	}
+	sim, err := NewSimulationScenario(0.5, 3, 1, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.TCT) != SimStreams {
+		t.Fatalf("sim scenario: %d TCT", len(sim.TCT))
+	}
+	if sim.ECT[0].Frames() != 3 {
+		t.Fatalf("ECT frames = %d, want 3", sim.ECT[0].Frames())
+	}
+	if err := sim.AddRandomECTs(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.ECT) != 4 {
+		t.Fatalf("ECT count = %d, want 4", len(sim.ECT))
+	}
+}
+
+func TestHeadlineShape(t *testing.T) {
+	r, err := Headline(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et := r.Summaries[sched.MethodETSN]
+	pe := r.Summaries[sched.MethodPERIOD]
+	avb := r.Summaries[sched.MethodAVB]
+	if et.Count == 0 || pe.Count == 0 || avb.Count == 0 {
+		t.Fatalf("missing samples: %+v", r.Summaries)
+	}
+	// Shape claims: E-TSN wins on mean, worst case, and jitter.
+	if et.Mean >= pe.Mean || et.Mean >= avb.Mean {
+		t.Fatalf("E-TSN mean %v not lowest (PERIOD %v, AVB %v)", et.Mean, pe.Mean, avb.Mean)
+	}
+	if r.WorstReductionVsPERIOD < 50 || r.WorstReductionVsAVB < 50 {
+		t.Fatalf("worst-case reductions too small: %.1f%% / %.1f%%",
+			r.WorstReductionVsPERIOD, r.WorstReductionVsAVB)
+	}
+	if r.JitterRatioVsPERIOD < 5 || r.JitterRatioVsAVB < 5 {
+		t.Fatalf("jitter ratios too small: %.1fx / %.1fx",
+			r.JitterRatioVsPERIOD, r.JitterRatioVsAVB)
+	}
+	// The analytic bound must dominate the simulated worst case.
+	if et.Max > r.Bound {
+		t.Fatalf("simulated worst %v exceeds analytic bound %v", et.Max, r.Bound)
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "E-TSN") {
+		t.Fatal("table missing E-TSN row")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r, err := Fig11(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != len(Fig11Loads)*len(AllMethods) {
+		t.Fatalf("cells = %d", len(r.Cells))
+	}
+	for _, load := range Fig11Loads {
+		et, _ := r.Cell(load, sched.MethodETSN)
+		pe, _ := r.Cell(load, sched.MethodPERIOD)
+		avb, _ := r.Cell(load, sched.MethodAVB)
+		if et.Summary.Mean >= pe.Summary.Mean {
+			t.Errorf("load %v: E-TSN mean %v >= PERIOD %v", load, et.Summary.Mean, pe.Summary.Mean)
+		}
+		if et.Summary.Mean >= avb.Summary.Mean {
+			t.Errorf("load %v: E-TSN mean %v >= AVB %v", load, et.Summary.Mean, avb.Summary.Mean)
+		}
+		if len(et.CDF) == 0 {
+			t.Errorf("load %v: empty CDF", load)
+		}
+	}
+	// E-TSN and PERIOD are load-insensitive; AVB degrades with load.
+	et25, _ := r.Cell(0.25, sched.MethodETSN)
+	et75, _ := r.Cell(0.75, sched.MethodETSN)
+	if ratio := float64(et75.Summary.Mean) / float64(et25.Summary.Mean); ratio > 1.5 {
+		t.Errorf("E-TSN degrades with load: x%.2f", ratio)
+	}
+	avb25, _ := r.Cell(0.25, sched.MethodAVB)
+	avb75, _ := r.Cell(0.75, sched.MethodAVB)
+	if ratio := float64(avb75.Summary.Mean) / float64(avb25.Summary.Mean); ratio < 2 {
+		t.Errorf("AVB should degrade with load, got x%.2f", ratio)
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "network load 75%") {
+		t.Fatal("table missing load section")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r, err := Fig12(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 1+len(Fig12Multipliers) {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	et := r.ETSN()
+	// More dedicated slots means lower PERIOD latency, but even octa stays
+	// above E-TSN's worst case.
+	prev := time.Duration(1<<62 - 1)
+	for _, mult := range Fig12Multipliers {
+		s, ok := r.Period(mult)
+		if !ok {
+			t.Fatalf("missing multiplier %d", mult)
+		}
+		if s.Summary.Mean > prev {
+			t.Errorf("PERIOD x%d mean %v above x%d's %v", mult, s.Summary.Mean, mult/2, prev)
+		}
+		prev = s.Summary.Mean
+		if s.Summary.Max <= et.Summary.Max {
+			t.Errorf("PERIOD x%d worst %v not above E-TSN %v", mult, s.Summary.Max, et.Summary.Max)
+		}
+		if s.SlotsPerInterevent < mult {
+			t.Errorf("x%d budget %d below multiplier", mult, s.SlotsPerInterevent)
+		}
+		if s.ReservedFraction <= 0 {
+			t.Errorf("x%d reserved fraction %v", mult, s.ReservedFraction)
+		}
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "PERIOD_octa") {
+		t.Fatal("table missing octa series")
+	}
+}
+
+func TestFig14SubsetShape(t *testing.T) {
+	// Fast subset: two loads x two lengths.
+	r, err := Fig14Custom([]float64{0.25, 0.75}, []int{1, 5}, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 2*2*len(AllMethods) {
+		t.Fatalf("cells = %d", len(r.Cells))
+	}
+	// AVB degrades with message length; E-TSN stays low.
+	avb1, _ := r.Cell(0.75, 1, sched.MethodAVB)
+	avb5, _ := r.Cell(0.75, 5, sched.MethodAVB)
+	if avb5.Summary.Mean <= avb1.Summary.Mean {
+		t.Errorf("AVB at 5 MTU (%v) not above 1 MTU (%v)", avb5.Summary.Mean, avb1.Summary.Mean)
+	}
+	et1, _ := r.Cell(0.75, 1, sched.MethodETSN)
+	et5, _ := r.Cell(0.75, 5, sched.MethodETSN)
+	if float64(et5.Summary.Mean) > 3*float64(et1.Summary.Mean) {
+		t.Errorf("E-TSN grows too fast with length: %v -> %v", et1.Summary.Mean, et5.Summary.Mean)
+	}
+	for _, c := range r.Cells {
+		if c.Method == sched.MethodETSN {
+			other1, _ := r.Cell(c.Load, c.Length, sched.MethodPERIOD)
+			other2, _ := r.Cell(c.Load, c.Length, sched.MethodAVB)
+			if c.Summary.Mean >= other1.Summary.Mean || c.Summary.Mean >= other2.Summary.Mean {
+				t.Errorf("load %v len %d: E-TSN not lowest", c.Load, c.Length)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	r, err := Fig15(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 shared + 3 non-shared)", len(r.Rows))
+	}
+	if !r.DeadlinesHeld() {
+		var buf bytes.Buffer
+		r.WriteTable(&buf)
+		t.Fatalf("TCT deadline violated:\n%s", buf.String())
+	}
+	if !r.NonSharedUnaffected() {
+		var buf bytes.Buffer
+		r.WriteTable(&buf)
+		t.Fatalf("non-sharing streams affected by ECT:\n%s", buf.String())
+	}
+	shared, nonShared := 0, 0
+	for _, row := range r.Rows {
+		if row.Shared {
+			shared++
+			if row.Without.Count == 0 || row.With.Count == 0 {
+				t.Fatalf("row %s has no samples", row.Stream)
+			}
+		} else {
+			nonShared++
+		}
+	}
+	if shared != 3 || nonShared != 3 {
+		t.Fatalf("shared/non-shared = %d/%d", shared, nonShared)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	r, err := Fig16(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Streams) != 4 {
+		t.Fatalf("streams = %d, want 4", len(r.Streams))
+	}
+	for _, id := range r.Streams {
+		et, ok1 := r.Cell(id, sched.MethodETSN)
+		pe, ok2 := r.Cell(id, sched.MethodPERIOD)
+		avb, ok3 := r.Cell(id, sched.MethodAVB)
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("missing cells for %s", id)
+		}
+		if et.Summary.Count == 0 {
+			t.Fatalf("%s: no E-TSN samples", id)
+		}
+		// E-TSN must dominate the worst case and jitter on every stream;
+		// the mean must beat PERIOD outright and stay within a tie margin
+		// of AVB (whose average is competitive on idle paths — its tail
+		// is not).
+		if et.Summary.Max >= pe.Summary.Max || et.Summary.Max >= avb.Summary.Max {
+			t.Errorf("%s: E-TSN worst %v not lowest (PERIOD %v, AVB %v)",
+				id, et.Summary.Max, pe.Summary.Max, avb.Summary.Max)
+		}
+		if et.Summary.StdDev >= pe.Summary.StdDev || et.Summary.StdDev >= avb.Summary.StdDev {
+			t.Errorf("%s: E-TSN jitter %v not lowest (PERIOD %v, AVB %v)",
+				id, et.Summary.StdDev, pe.Summary.StdDev, avb.Summary.StdDev)
+		}
+		if et.Summary.Mean >= pe.Summary.Mean {
+			t.Errorf("%s: E-TSN mean %v not below PERIOD %v", id, et.Summary.Mean, pe.Summary.Mean)
+		}
+		if float64(et.Summary.Mean) > 1.1*float64(avb.Summary.Mean) {
+			t.Errorf("%s: E-TSN mean %v above AVB %v beyond tie margin",
+				id, et.Summary.Mean, avb.Summary.Mean)
+		}
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "ect2") {
+		t.Fatal("table missing ect2")
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"etsn/internal/sched"
+	"etsn/internal/stats"
+)
+
+// Fig11Loads are the network loads swept in Fig. 11.
+var Fig11Loads = []float64{0.25, 0.50, 0.75}
+
+// Fig11Cell is one (load, method) cell: the latency distribution of the ECT
+// stream.
+type Fig11Cell struct {
+	Load    float64
+	Method  sched.Method
+	Summary stats.Summary
+	CDF     []stats.CDFPoint
+}
+
+// Fig11Result reproduces Fig. 11: CDFs of ECT latency for the three methods
+// under 25/50/75% network load on the testbed topology.
+type Fig11Result struct {
+	Cells []Fig11Cell
+}
+
+// Fig11 runs the experiment.
+func Fig11(opts RunOptions) (*Fig11Result, error) {
+	out := &Fig11Result{}
+	for _, load := range Fig11Loads {
+		scen, err := NewTestbedScenario(load, DefaultSeed)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 load %v: %w", load, err)
+		}
+		for _, m := range AllMethods {
+			res, err := RunMethod(scen, m, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 load %v: %w", load, err)
+			}
+			samples := res.ECTSamples["ect"]
+			out.Cells = append(out.Cells, Fig11Cell{
+				Load:    load,
+				Method:  m,
+				Summary: res.ECT["ect"],
+				CDF:     stats.CDF(samples, 20),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Cell returns the cell for a load/method pair.
+func (r *Fig11Result) Cell(load float64, m sched.Method) (Fig11Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Load == load && c.Method == m {
+			return c, true
+		}
+	}
+	return Fig11Cell{}, false
+}
+
+// WriteTable renders the figure's series as text.
+func (r *Fig11Result) WriteTable(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 11 — ECT latency CDFs by method and network load (testbed topology)")
+	for _, load := range Fig11Loads {
+		fmt.Fprintf(w, "network load %.0f%%:\n", load*100)
+		for _, m := range AllMethods {
+			c, ok := r.Cell(load, m)
+			if !ok {
+				continue
+			}
+			printSummaryRow(w, m.String(), c.Summary)
+			fmt.Fprintf(w, "    CDF: ")
+			for _, p := range c.CDF {
+				fmt.Fprintf(w, "%.0f%%@%s ", p.Fraction*100, shortDur(p.Latency))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func shortDur(d time.Duration) string {
+	return fmt.Sprintf("%.0fus", float64(d)/float64(time.Microsecond))
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"etsn/internal/model"
+	"etsn/internal/sched"
+	"etsn/internal/stats"
+)
+
+// Fig12Multipliers are the PERIOD slot-budget multipliers of Fig. 12:
+// PERIOD, PERIOD_double, PERIOD_quad, PERIOD_octa.
+var Fig12Multipliers = []int{1, 2, 4, 8}
+
+// Fig12Series is one curve of Fig. 12.
+type Fig12Series struct {
+	// Label names the curve ("E-TSN", "PERIOD", "PERIOD_octa", ...).
+	Label string
+	// Multiplier is 0 for E-TSN and the slot multiplier for PERIOD.
+	Multiplier int
+	// SlotsPerInterevent is the dedicated slot budget PERIOD received.
+	SlotsPerInterevent int
+	// ReservedFraction is the per-link bandwidth fraction the dedicated
+	// slots consume on the ECT's path (resource cost).
+	ReservedFraction float64
+	Summary          stats.Summary
+	CDF              []stats.CDFPoint
+}
+
+// Fig12Result reproduces Fig. 12: PERIOD with 1/2/4/8x E-TSN's time-slots
+// versus E-TSN. The paper runs at 75% TCT load; there the octa budget
+// (~25% of every path link) is capacity-infeasible in our reproduction and
+// the planner clamps it — the paper's "impractical" conclusion, observed as
+// an admission failure. The figure therefore runs at 50% load, where all
+// four multipliers are granted, and the caption records the 75% outcome.
+type Fig12Result struct {
+	Series []Fig12Series
+	// OctaInfeasibleAt75 records whether the 8x budget was clamped when
+	// planning at the paper's 75% load point.
+	OctaInfeasibleAt75 bool
+}
+
+// Fig12Load is the TCT load the figure sweep runs at.
+const Fig12Load = 0.50
+
+// Fig12 runs the experiment.
+func Fig12(opts RunOptions) (*Fig12Result, error) {
+	scen, err := NewTestbedScenario(Fig12Load, DefaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig12Result{}
+
+	res, err := RunMethod(scen, sched.MethodETSN, opts)
+	if err != nil {
+		return nil, fmt.Errorf("fig12 E-TSN: %w", err)
+	}
+	out.Series = append(out.Series, Fig12Series{
+		Label:   "E-TSN",
+		Summary: res.ECT["ect"],
+		CDF:     stats.CDF(res.ECTSamples["ect"], 20),
+	})
+
+	labels := map[int]string{1: "PERIOD", 2: "PERIOD_double", 4: "PERIOD_quad", 8: "PERIOD_octa"}
+	for _, mult := range Fig12Multipliers {
+		o := opts
+		o.Multiplier = mult
+		res, err := RunMethod(scen, sched.MethodPERIOD, o)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 PERIOD x%d: %w", mult, err)
+		}
+		k := res.Plan.SlotBudget["ect"]
+		tx := float64(model.WireBytes(model.MTUBytes)*8) / float64(LinkRate)
+		frac := float64(k) * tx / TestbedInterevent.Seconds()
+		out.Series = append(out.Series, Fig12Series{
+			Label:              labels[mult],
+			Multiplier:         mult,
+			SlotsPerInterevent: k,
+			ReservedFraction:   frac,
+			Summary:            res.ECT["ect"],
+			CDF:                stats.CDF(res.ECTSamples["ect"], 20),
+		})
+	}
+	// Probe the paper's load point: does the octa budget even fit at 75%?
+	if hot, err := NewTestbedScenario(0.75, DefaultSeed); err == nil {
+		plan, err := sched.BuildPERIOD(hot.Problem().Core(), 8)
+		if err == nil {
+			base := sched.ETSNSlotBudget(hot.Problem().Core(), hot.ECT[0])
+			out.OctaInfeasibleAt75 = plan.SlotBudget["ect"] < 8*base
+		} else {
+			out.OctaInfeasibleAt75 = true
+		}
+	}
+	return out, nil
+}
+
+// ETSN returns the E-TSN series.
+func (r *Fig12Result) ETSN() Fig12Series {
+	for _, s := range r.Series {
+		if s.Label == "E-TSN" {
+			return s
+		}
+	}
+	return Fig12Series{}
+}
+
+// Period returns the PERIOD series with the given multiplier.
+func (r *Fig12Result) Period(mult int) (Fig12Series, bool) {
+	for _, s := range r.Series {
+		if s.Multiplier == mult {
+			return s, true
+		}
+	}
+	return Fig12Series{}, false
+}
+
+// WriteTable renders the figure's series as text.
+func (r *Fig12Result) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 12 — PERIOD with 1x/2x/4x/8x E-TSN's time-slots vs E-TSN (%.0f%% load)\n", Fig12Load*100)
+	for _, s := range r.Series {
+		printSummaryRow(w, s.Label, s.Summary)
+		if s.Multiplier > 0 {
+			fmt.Fprintf(w, "    dedicated slots per %v: %d (%.1f%% of each path link)\n",
+				TestbedInterevent, s.SlotsPerInterevent, s.ReservedFraction*100)
+		}
+		fmt.Fprintf(w, "    CDF: ")
+		for _, p := range s.CDF {
+			fmt.Fprintf(w, "%.0f%%@%s ", p.Fraction*100, shortDur(p.Latency))
+		}
+		fmt.Fprintln(w)
+	}
+	if octa, ok := r.Period(8); ok {
+		et := r.ETSN()
+		fmt.Fprintf(w, "  PERIOD_octa worst / E-TSN worst = %.1fx (paper: ~3x)\n",
+			float64(octa.Summary.Max)/float64(maxDur(et.Summary.Max, time.Microsecond)))
+	}
+	if r.OctaInfeasibleAt75 {
+		fmt.Fprintln(w, "  note: at the paper's 75% load the 8x dedicated budget does not fit the")
+		fmt.Fprintln(w, "  schedule at all (the \"impractical\" bandwidth cost shows up as admission failure)")
+	}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

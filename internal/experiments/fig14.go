@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"etsn/internal/sched"
+	"etsn/internal/stats"
+)
+
+// Fig14Loads and Fig14Lengths are the sweeps of Fig. 14: network load and
+// ECT message length in MTUs.
+var (
+	Fig14Loads   = []float64{0.25, 0.50, 0.75}
+	Fig14Lengths = []int{1, 2, 3, 4, 5}
+)
+
+// Fig14Cell is one (load, length, method) measurement.
+type Fig14Cell struct {
+	Load    float64
+	Length  int
+	Method  sched.Method
+	Summary stats.Summary
+}
+
+// Fig14Result reproduces Fig. 14 (a)-(f): ECT latency and jitter on the
+// simulation topology, swept over network load and message length.
+type Fig14Result struct {
+	Cells []Fig14Cell
+}
+
+// Fig14 runs the full grid. With the default lengths x loads x methods this
+// is 45 plan+simulate runs.
+func Fig14(opts RunOptions) (*Fig14Result, error) {
+	return Fig14Custom(Fig14Loads, Fig14Lengths, opts)
+}
+
+// Fig14Custom runs a restricted sweep (used by fast tests and ablations).
+func Fig14Custom(loads []float64, lengths []int, opts RunOptions) (*Fig14Result, error) {
+	out := &Fig14Result{}
+	for _, load := range loads {
+		for _, length := range lengths {
+			scen, err := NewSimulationScenario(load, length, 1, DefaultSeed)
+			if err != nil {
+				return nil, fmt.Errorf("fig14 load %v len %d: %w", load, length, err)
+			}
+			for _, m := range AllMethods {
+				res, err := RunMethod(scen, m, opts)
+				if err != nil {
+					return nil, fmt.Errorf("fig14 load %v len %d: %w", load, length, err)
+				}
+				out.Cells = append(out.Cells, Fig14Cell{
+					Load:    load,
+					Length:  length,
+					Method:  m,
+					Summary: res.ECT["ect"],
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Cell returns one measurement.
+func (r *Fig14Result) Cell(load float64, length int, m sched.Method) (Fig14Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Load == load && c.Length == length && c.Method == m {
+			return c, true
+		}
+	}
+	return Fig14Cell{}, false
+}
+
+// WriteTable renders the (a)-(c) latency panels and (d)-(f) jitter panels.
+func (r *Fig14Result) WriteTable(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 14 — ECT latency (a-c) and jitter (d-f) vs load and message length")
+	fmt.Fprintln(w, "(simulation topology: 4 switches, 12 devices, 40 TCT streams)")
+	for _, load := range Fig14Loads {
+		fmt.Fprintf(w, "network load %.0f%%:\n", load*100)
+		fmt.Fprintf(w, "  %-8s", "len")
+		for _, m := range AllMethods {
+			fmt.Fprintf(w, "%-34s", m.String()+" avg/worst/jitter")
+		}
+		fmt.Fprintln(w)
+		for _, length := range Fig14Lengths {
+			fmt.Fprintf(w, "  %d MTU   ", length)
+			for _, m := range AllMethods {
+				c, ok := r.Cell(load, length, m)
+				if !ok {
+					fmt.Fprintf(w, "%-34s", "-")
+					continue
+				}
+				cell := fmt.Sprintf("%s/%s/%s",
+					fmtDur(c.Summary.Mean), fmtDur(c.Summary.Max), fmtDur(c.Summary.StdDev))
+				fmt.Fprintf(w, "%-34s", cell)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

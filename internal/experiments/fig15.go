@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"etsn/internal/model"
+	"etsn/internal/sched"
+	"etsn/internal/stats"
+)
+
+// Fig15Row is the latency of one TCT stream with and without ECT traffic.
+type Fig15Row struct {
+	Stream model.StreamID
+	// Shared reports whether the stream offers its slots to ECT.
+	Shared bool
+	// MaxAllowed is the stream's deadline.
+	MaxAllowed time.Duration
+	// Without/With are the latency summaries of the two runs.
+	Without stats.Summary
+	With    stats.Summary
+}
+
+// Fig15Result reproduces Fig. 15: the impact of ECT on TCT streams under
+// E-TSN — non-sharing streams are unaffected, sharing streams see bounded
+// extra latency that never violates their deadline.
+type Fig15Result struct {
+	Rows []Fig15Row
+}
+
+// Fig15 runs the simulation scenario at 50% load with 10 of 40 TCT streams
+// marked non-sharing, under E-TSN, once without and once with ECT traffic.
+func Fig15(opts RunOptions) (*Fig15Result, error) {
+	scen, err := NewSimulationScenario(0.50, 1, 0.75, DefaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	prob := scen.Problem()
+	plan, err := sched.Build(sched.MethodETSN, prob, 1)
+	if err != nil {
+		return nil, fmt.Errorf("fig15 plan: %w", err)
+	}
+	o := opts.withDefaults()
+	without, err := plan.Simulate(scen.Network, nil, scen.BE, o.Duration, o.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("fig15 run without ECT: %w", err)
+	}
+	with, err := plan.Simulate(scen.Network, scen.ECT, scen.BE, o.Duration, o.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("fig15 run with ECT: %w", err)
+	}
+
+	// Pick three sharing and three non-sharing streams that cross the
+	// ECT's path (the interesting ones), lowest IDs first.
+	streams := append([]*model.Stream(nil), scen.TCT...)
+	sort.Slice(streams, func(i, j int) bool { return streams[i].ID < streams[j].ID })
+	out := &Fig15Result{}
+	countShared, countNon := 0, 0
+	for _, s := range streams {
+		overlaps := pathsOverlap(s.Path, scen.ECT[0].Path)
+		if s.Share && countShared < 3 && overlaps {
+			out.Rows = append(out.Rows, fig15Row(s, without, with))
+			countShared++
+		}
+		if !s.Share && countNon < 3 {
+			out.Rows = append(out.Rows, fig15Row(s, without, with))
+			countNon++
+		}
+	}
+	return out, nil
+}
+
+func fig15Row(s *model.Stream, without, with interface {
+	Latencies(model.StreamID) []time.Duration
+}) Fig15Row {
+	return Fig15Row{
+		Stream:     s.ID,
+		Shared:     s.Share,
+		MaxAllowed: s.E2E,
+		Without:    stats.Summarize(without.Latencies(s.ID)),
+		With:       stats.Summarize(with.Latencies(s.ID)),
+	}
+}
+
+func pathsOverlap(a, b []model.LinkID) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// WriteTable renders the per-stream comparison.
+func (r *Fig15Result) WriteTable(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 15 — impact of ECT on TCT streams under E-TSN (min/avg/max latency)")
+	for _, row := range r.Rows {
+		kind := "non-shared"
+		if row.Shared {
+			kind = "shared"
+		}
+		fmt.Fprintf(w, "  %-8s %-10s deadline=%-10s without ECT: %s/%s/%s   with ECT: %s/%s/%s\n",
+			row.Stream, kind, fmtDur(row.MaxAllowed),
+			fmtDur(row.Without.Min), fmtDur(row.Without.Mean), fmtDur(row.Without.Max),
+			fmtDur(row.With.Min), fmtDur(row.With.Mean), fmtDur(row.With.Max))
+	}
+}
+
+// DeadlinesHeld reports whether every row's worst case stayed at or below
+// its deadline in both runs.
+func (r *Fig15Result) DeadlinesHeld() bool {
+	for _, row := range r.Rows {
+		if row.Without.Max > row.MaxAllowed || row.With.Max > row.MaxAllowed {
+			return false
+		}
+	}
+	return true
+}
+
+// NonSharedUnaffected reports whether non-sharing streams saw identical
+// latency distributions with and without ECT (the paper's "makes no
+// difference" claim), compared on count, mean, and max.
+func (r *Fig15Result) NonSharedUnaffected() bool {
+	for _, row := range r.Rows {
+		if row.Shared {
+			continue
+		}
+		if row.Without.Count != row.With.Count ||
+			row.Without.Mean != row.With.Mean ||
+			row.Without.Max != row.With.Max {
+			return false
+		}
+	}
+	return true
+}

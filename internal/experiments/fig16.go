@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"etsn/internal/model"
+	"etsn/internal/sched"
+	"etsn/internal/stats"
+)
+
+// Fig16Cell is the latency of one ECT stream under one method.
+type Fig16Cell struct {
+	Stream  model.StreamID
+	Method  sched.Method
+	Summary stats.Summary
+}
+
+// Fig16Result reproduces Fig. 16: four concurrent ECT streams (one fixed
+// D1->D12, three with random endpoints) at 50% load, per method.
+type Fig16Result struct {
+	Streams []model.StreamID
+	Cells   []Fig16Cell
+}
+
+// Fig16 runs the experiment.
+func Fig16(opts RunOptions) (*Fig16Result, error) {
+	scen, err := NewSimulationScenario(0.50, 1, 1, DefaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	if err := scen.AddRandomECTs(3, DefaultSeed+1); err != nil {
+		return nil, fmt.Errorf("fig16 ECTs: %w", err)
+	}
+	// Possibilities of different ECT streams cannot overlap each other, so
+	// four concurrent streams need a lower per-stream reservation density.
+	scen.NProb = MultiECTNProb
+	out := &Fig16Result{}
+	for _, e := range scen.ECT {
+		out.Streams = append(out.Streams, e.ID)
+	}
+	for _, m := range AllMethods {
+		res, err := RunMethod(scen, m, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig16 %v: %w", m, err)
+		}
+		for _, e := range scen.ECT {
+			out.Cells = append(out.Cells, Fig16Cell{
+				Stream:  e.ID,
+				Method:  m,
+				Summary: res.ECT[e.ID],
+			})
+		}
+	}
+	return out, nil
+}
+
+// Cell returns the measurement for one stream/method pair.
+func (r *Fig16Result) Cell(id model.StreamID, m sched.Method) (Fig16Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Stream == id && c.Method == m {
+			return c, true
+		}
+	}
+	return Fig16Cell{}, false
+}
+
+// WriteTable renders the per-stream comparison (latency with +/- 2 sigma
+// error bars, as the paper plots).
+func (r *Fig16Result) WriteTable(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 16 — four concurrent ECT streams at 50% load (avg latency ± 2σ)")
+	for _, id := range r.Streams {
+		fmt.Fprintf(w, "%s:\n", id)
+		for _, m := range AllMethods {
+			c, ok := r.Cell(id, m)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "  %-14s avg=%-12s ±2σ=%-12s worst=%-12s n=%d\n",
+				m.String(), fmtDur(c.Summary.Mean), fmtDur(2*c.Summary.StdDev),
+				fmtDur(c.Summary.Max), c.Summary.Count)
+		}
+	}
+}

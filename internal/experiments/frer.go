@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"etsn/internal/model"
+	"etsn/internal/sched"
+	"etsn/internal/sim"
+	"etsn/internal/stats"
+	"etsn/internal/traffic"
+)
+
+// RingNetwork builds four switches in a ring with two devices each — the
+// topology 802.1CB seamless redundancy needs (two link-disjoint paths
+// between any pair of devices on different switches).
+func RingNetwork() (*model.Network, error) {
+	n := model.NewNetwork()
+	cfg := model.LinkConfig{Bandwidth: LinkRate, PropDelay: 100 * time.Nanosecond}
+	dev := 1
+	for s := 1; s <= 4; s++ {
+		sw := model.NodeID(fmt.Sprintf("SW%d", s))
+		if err := n.AddSwitch(sw); err != nil {
+			return nil, err
+		}
+		for k := 0; k < 2; k++ {
+			d := model.NodeID(fmt.Sprintf("D%d", dev))
+			dev++
+			if err := n.AddDevice(d); err != nil {
+				return nil, err
+			}
+			if err := n.AddLink(d, sw, cfg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for s := 1; s <= 4; s++ {
+		next := s%4 + 1
+		a := model.NodeID(fmt.Sprintf("SW%d", s))
+		b := model.NodeID(fmt.Sprintf("SW%d", next))
+		if err := n.AddLink(a, b, cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// FRERRow is one arm of the redundancy comparison.
+type FRERRow struct {
+	// Replicated reports whether 802.1CB replication was active.
+	Replicated bool
+	// Emitted and Delivered count events and complete deliveries.
+	Emitted   int
+	Delivered int
+	// DeliveryRatio is Delivered/Emitted.
+	DeliveryRatio float64
+	// Eliminated counts discarded member copies.
+	Eliminated int
+	// Latency summarizes the delivered messages.
+	Latency stats.Summary
+}
+
+// FRERResult studies 802.1CB seamless redundancy for ECT (an extension: the
+// paper cites 802.1CB as complementary reliability machinery): an emergency
+// stream crosses a ring with lossy links, with and without frame
+// replication over two disjoint paths.
+type FRERResult struct {
+	// LossPerLink is the injected per-link frame loss probability.
+	LossPerLink float64
+	Rows        []FRERRow
+}
+
+// FRERLoss is the injected per-link loss probability.
+const FRERLoss = 0.01
+
+// FRER runs the comparison at 30% TCT load on the ring.
+func FRER(opts RunOptions) (*FRERResult, error) {
+	opts = opts.withDefaults()
+	n, err := RingNetwork()
+	if err != nil {
+		return nil, err
+	}
+	tct, err := traffic.Generate(traffic.Config{
+		Network:       n,
+		NumStreams:    12,
+		Periods:       SimPeriods,
+		TargetLoad:    0.30,
+		ShareFraction: 1,
+		E2EFactor:     2,
+		Seed:          opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// D1 (on SW1) to D5 (on SW3): opposite sides of the ring.
+	pathA, pathB, err := n.DisjointPaths("D1", "D5")
+	if err != nil {
+		return nil, err
+	}
+	// Reserve E-TSN possibilities on both member paths.
+	mkECT := func(id model.StreamID, path []model.LinkID) *model.ECT {
+		return &model.ECT{ID: id, Path: path, E2E: SimInterevent,
+			LengthBytes: model.MTUBytes, MinInterevent: SimInterevent}
+	}
+	prob := sched.Problem{
+		Network: n,
+		TCT:     tct,
+		ECT:     []*model.ECT{mkECT("estop#a", pathA), mkECT("estop#b", pathB)},
+		NProb:   32,
+		Spread:  true,
+	}
+	plan, err := sched.Build(sched.MethodETSN, prob, 1)
+	if err != nil {
+		return nil, fmt.Errorf("frer planning: %w", err)
+	}
+
+	loss := make(map[model.LinkID]float64)
+	for _, l := range n.Links() {
+		loss[l.ID()] = FRERLoss
+	}
+	out := &FRERResult{LossPerLink: FRERLoss}
+	for _, replicated := range []bool{false, true} {
+		logical := mkECT("estop", pathA)
+		src := sim.ECTTraffic{Stream: logical, Priority: model.PriorityECT}
+		if replicated {
+			src.ExtraPaths = [][]model.LinkID{pathB}
+		}
+		s, err := sim.New(sim.Config{
+			Network:   n,
+			Schedule:  plan.Schedule,
+			GCLs:      plan.GCLs,
+			ECT:       []sim.ECTTraffic{src},
+			Duration:  opts.Duration,
+			Seed:      opts.Seed,
+			LinkLoss:  loss,
+			Eliminate: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		raw, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, FRERRow{
+			Replicated:    replicated,
+			Emitted:       raw.Emitted("estop"),
+			Delivered:     raw.Delivered("estop"),
+			DeliveryRatio: raw.DeliveryRatio("estop"),
+			Eliminated:    raw.Eliminated("estop"),
+			Latency:       stats.Summarize(raw.Latencies("estop")),
+		})
+	}
+	return out, nil
+}
+
+// WriteTable renders the comparison.
+func (r *FRERResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Extension — 802.1CB seamless redundancy for ECT (ring, %.1f%% loss per link)\n",
+		r.LossPerLink*100)
+	for _, row := range r.Rows {
+		mode := "single path"
+		if row.Replicated {
+			mode = "replicated (2 disjoint paths)"
+		}
+		fmt.Fprintf(w, "  %-30s delivered %d/%d (%.2f%%), eliminated %d, avg %s worst %s\n",
+			mode, row.Delivered, row.Emitted, row.DeliveryRatio*100,
+			row.Eliminated, fmtDur(row.Latency.Mean), fmtDur(row.Latency.Max))
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestRingNetworkDisjointPaths(t *testing.T) {
+	n, err := RingNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumNodes() != 12 {
+		t.Fatalf("nodes = %d", n.NumNodes())
+	}
+	a, b, err := n.DisjointPaths("D1", "D5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bridge-to-bridge portions are disjoint; the device attachments
+	// (first and last hop) are necessarily shared.
+	seen := make(map[string]bool)
+	for i, l := range a {
+		if i == 0 || i == len(a)-1 {
+			continue
+		}
+		seen[l.String()] = true
+	}
+	for i, l := range b {
+		if i == 0 || i == len(b)-1 {
+			continue
+		}
+		if seen[l.String()] {
+			t.Fatalf("paths share bridge link %s", l)
+		}
+	}
+	// On a symmetric ring both directions have equal hop counts.
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("path lengths %d, %d, want 4 and 4", len(a), len(b))
+	}
+}
+
+func TestFRERShape(t *testing.T) {
+	opts := RunOptions{Duration: 8 * time.Second, Seed: DefaultSeed}
+	r, err := FRER(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	single, dual := r.Rows[0], r.Rows[1]
+	if single.Replicated || !dual.Replicated {
+		t.Fatal("row order")
+	}
+	if single.Emitted == 0 || dual.Emitted == 0 {
+		t.Fatal("no events")
+	}
+	// Loss hurts the single path; replication recovers almost everything.
+	if single.DeliveryRatio >= 1 {
+		t.Fatalf("single-path ratio %v with %v loss per link", single.DeliveryRatio, r.LossPerLink)
+	}
+	if dual.DeliveryRatio <= single.DeliveryRatio {
+		t.Fatalf("replication did not help: %v vs %v", dual.DeliveryRatio, single.DeliveryRatio)
+	}
+	if dual.Eliminated == 0 {
+		t.Fatal("no duplicates eliminated under replication")
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}

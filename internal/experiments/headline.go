@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"etsn/internal/core"
+	"etsn/internal/model"
+	"etsn/internal/sched"
+	"etsn/internal/stats"
+)
+
+// HeadlineResult reproduces the paper's headline numbers (Sec. VI-B, 75%
+// load): E-TSN's ECT latency and jitter versus PERIOD and AVB, the
+// analytic worst-case bound, and the reduction percentages.
+type HeadlineResult struct {
+	// Summaries holds the per-method ECT latency statistics.
+	Summaries map[sched.Method]stats.Summary
+	// Bound is E-TSN's schedule-derived worst-case ECT latency.
+	Bound time.Duration
+	// MeanReductionVsPERIOD etc. are percent reductions of E-TSN's value
+	// relative to the baseline's.
+	MeanReductionVsPERIOD  float64
+	MeanReductionVsAVB     float64
+	WorstReductionVsPERIOD float64
+	WorstReductionVsAVB    float64
+	JitterRatioVsPERIOD    float64
+	JitterRatioVsAVB       float64
+}
+
+// Headline runs the testbed scenario at 75% load for all methods.
+func Headline(opts RunOptions) (*HeadlineResult, error) {
+	scen, err := NewTestbedScenario(0.75, DefaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	out := &HeadlineResult{Summaries: make(map[sched.Method]stats.Summary, len(AllMethods))}
+	var ectID model.StreamID = "ect"
+	for _, m := range AllMethods {
+		res, err := RunMethod(scen, m, opts)
+		if err != nil {
+			return nil, fmt.Errorf("headline: %w", err)
+		}
+		out.Summaries[m] = res.ECT[ectID]
+		if m == sched.MethodETSN {
+			bound, err := core.ECTWorstCaseBound(scen.Network, res.Plan.Result, ectID)
+			if err != nil {
+				return nil, fmt.Errorf("headline bound: %w", err)
+			}
+			out.Bound = bound
+		}
+	}
+	et := out.Summaries[sched.MethodETSN]
+	pe := out.Summaries[sched.MethodPERIOD]
+	avb := out.Summaries[sched.MethodAVB]
+	out.MeanReductionVsPERIOD = stats.Reduction(pe.Mean, et.Mean)
+	out.MeanReductionVsAVB = stats.Reduction(avb.Mean, et.Mean)
+	out.WorstReductionVsPERIOD = stats.Reduction(pe.Max, et.Max)
+	out.WorstReductionVsAVB = stats.Reduction(avb.Max, et.Max)
+	out.JitterRatioVsPERIOD = stats.Ratio(pe.StdDev, et.StdDev)
+	out.JitterRatioVsAVB = stats.Ratio(avb.StdDev, et.StdDev)
+	return out, nil
+}
+
+// WriteTable renders the headline comparison.
+func (r *HeadlineResult) WriteTable(w io.Writer) {
+	fmt.Fprintln(w, "Headline — ECT latency at 75% network load (testbed topology)")
+	fmt.Fprintln(w, "paper: E-TSN avg 423us (-88% vs PERIOD, -97% vs AVB), worst 515us, jitter 39us")
+	for _, m := range AllMethods {
+		printSummaryRow(w, m.String(), r.Summaries[m])
+	}
+	fmt.Fprintf(w, "  E-TSN analytic worst-case bound: %s\n", fmtDur(r.Bound))
+	fmt.Fprintf(w, "  mean reduction:  %.1f%% vs PERIOD, %.1f%% vs AVB\n",
+		r.MeanReductionVsPERIOD, r.MeanReductionVsAVB)
+	fmt.Fprintf(w, "  worst reduction: %.1f%% vs PERIOD, %.1f%% vs AVB\n",
+		r.WorstReductionVsPERIOD, r.WorstReductionVsAVB)
+	fmt.Fprintf(w, "  jitter ratio:    %.1fx vs PERIOD, %.1fx vs AVB\n",
+		r.JitterRatioVsPERIOD, r.JitterRatioVsAVB)
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"etsn/internal/sched"
+)
+
+func TestFourWayShape(t *testing.T) {
+	r, err := FourWay(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	et, _ := r.Row(sched.MethodETSN)
+	cqf, ok := r.Row(sched.MethodCQF)
+	if !ok || cqf.ECT.Count == 0 {
+		t.Fatal("missing CQF row")
+	}
+	// CQF is deterministic but cycle-quantized: far above E-TSN on mean
+	// and worst.
+	if cqf.ECT.Mean <= 2*et.ECT.Mean {
+		t.Fatalf("CQF mean %v not well above E-TSN %v", cqf.ECT.Mean, et.ECT.Mean)
+	}
+	if cqf.Note == "" {
+		t.Fatal("CQF row missing cycle note")
+	}
+	// The slot-scheduled methods hold every TCT deadline; CQF's
+	// hop-per-cycle forwarding cannot meet the tightest ones — that gap
+	// is the point of the comparison.
+	for _, m := range AllMethods {
+		row, _ := r.Row(m)
+		if row.WorstTCTFraction > 1 {
+			t.Fatalf("%v: TCT at %.0f%% of deadline", m, row.WorstTCTFraction*100)
+		}
+	}
+	if cqf.WorstTCTFraction <= et.WorstTCTFraction {
+		t.Fatalf("CQF TCT fraction %.2f not above E-TSN %.2f",
+			cqf.WorstTCTFraction, et.WorstTCTFraction)
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("CQF")) {
+		t.Fatal("table missing CQF")
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestScaleShape(t *testing.T) {
+	r, err := Scale(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Devices != 24 || r.Switches != 5 || r.Streams != 80 {
+		t.Fatalf("instance = %+v", r)
+	}
+	if r.ECT.Count == 0 {
+		t.Fatal("no ECT deliveries at scale")
+	}
+	if r.ECT.Max > r.Bound {
+		t.Fatalf("measured worst %v exceeds bound %v", r.ECT.Max, r.Bound)
+	}
+	if r.TCTDeadlineMisses != 0 {
+		t.Fatalf("TCT deadline misses: %d", r.TCTDeadlineMisses)
+	}
+	if r.PlanTime > 30*time.Second {
+		t.Fatalf("planning took %v", r.PlanTime)
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestTreeNetworkShape(t *testing.T) {
+	n, err := TreeNetwork(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumNodes() != 1+3+12 {
+		t.Fatalf("nodes = %d", n.NumNodes())
+	}
+	// Cross-tree route: device under EDGE1 to device under EDGE3 = 4 hops.
+	path, err := n.ShortestPath("D1", "D12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 4 {
+		t.Fatalf("hops = %d, want 4", len(path))
+	}
+}

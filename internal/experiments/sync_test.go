@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSyncShape(t *testing.T) {
+	r, err := Sync(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(SyncSweep) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Baseline.Count == 0 {
+		t.Fatal("no baseline samples")
+	}
+	for i, row := range r.Rows {
+		if row.Delivered == 0 {
+			t.Fatalf("row %d: no deliveries under clock error", i)
+		}
+		if row.WorstResidual <= 0 {
+			t.Fatalf("row %d: non-positive residual", i)
+		}
+		// Sub-microsecond to tens-of-microseconds residuals must not blow
+		// up E-TSN's latency: stay within 4x the synchronized baseline.
+		if row.ECT.Mean > 4*r.Baseline.Mean {
+			t.Fatalf("row %d: mean %v vs baseline %v", i, row.ECT.Mean, r.Baseline.Mean)
+		}
+	}
+	// Residuals grow with interval x drift.
+	if r.Rows[0].WorstResidual >= r.Rows[len(r.Rows)-1].WorstResidual {
+		t.Fatal("residuals not increasing across sweep")
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}

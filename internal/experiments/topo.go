@@ -1,0 +1,81 @@
+// Package experiments reconstructs every experiment in the paper's
+// evaluation (Sec. VI): the testbed scenarios behind Figs. 11 and 12, the
+// simulation scenarios behind Figs. 14, 15, and 16, and the headline
+// latency/jitter numbers. Each experiment has a constructor that assembles
+// the topology, workload, and methods, a runner that produces the series the
+// paper plots, and a text formatter shared by cmd/etsn-bench and the bench
+// suite.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"etsn/internal/model"
+)
+
+// LinkRate is the link speed used throughout the paper: 100 Mb/s.
+const LinkRate = 100_000_000
+
+// TestbedNetwork builds the paper's testbed topology (Fig. 10): four
+// devices around two switches; D1, D2 attach to SW1 and D3, D4 to SW2.
+func TestbedNetwork() (*model.Network, error) {
+	n := model.NewNetwork()
+	for _, d := range []model.NodeID{"D1", "D2", "D3", "D4"} {
+		if err := n.AddDevice(d); err != nil {
+			return nil, err
+		}
+	}
+	for _, sw := range []model.NodeID{"SW1", "SW2"} {
+		if err := n.AddSwitch(sw); err != nil {
+			return nil, err
+		}
+	}
+	cfg := model.LinkConfig{Bandwidth: LinkRate, PropDelay: 100 * time.Nanosecond}
+	for _, pair := range [][2]model.NodeID{
+		{"D1", "SW1"}, {"D2", "SW1"}, {"SW1", "SW2"}, {"SW2", "D3"}, {"SW2", "D4"},
+	} {
+		if err := n.AddLink(pair[0], pair[1], cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// SimulationNetwork builds the paper's simulation topology (Fig. 13): four
+// switches in a line, three devices per switch, twelve devices total.
+func SimulationNetwork() (*model.Network, error) {
+	n := model.NewNetwork()
+	cfg := model.LinkConfig{Bandwidth: LinkRate, PropDelay: 100 * time.Nanosecond}
+	var prev model.NodeID
+	dev := 1
+	for s := 1; s <= 4; s++ {
+		sw := model.NodeID(fmt.Sprintf("SW%d", s))
+		if err := n.AddSwitch(sw); err != nil {
+			return nil, err
+		}
+		if prev != "" {
+			if err := n.AddLink(prev, sw, cfg); err != nil {
+				return nil, err
+			}
+		}
+		prev = sw
+		for k := 0; k < 3; k++ {
+			d := model.NodeID(fmt.Sprintf("D%d", dev))
+			dev++
+			if err := n.AddDevice(d); err != nil {
+				return nil, err
+			}
+			if err := n.AddLink(d, sw, cfg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,79 @@
+package gcl
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"etsn/internal/model"
+)
+
+// WriteText renders the gate program as the admin-style table switch
+// vendors print: one row per entry with the gate states as an eight-column
+// bitfield (priority 7 leftmost, matching 802.1Qbv's "GateStates"
+// presentation), the hold duration, and the running offset.
+func (p *PortGCL) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "port %s, cycle %v, %d entries\n", p.Link, p.Cycle, len(p.Entries))
+	fmt.Fprintf(w, "  %-12s %-12s %-10s %s\n", "offset", "duration", "gates", "open")
+	var acc time.Duration
+	for _, e := range p.Entries {
+		fmt.Fprintf(w, "  %-12v %-12v %-10s %s\n", acc, e.Duration, bitfield(e.Gates), e.Gates)
+		acc += e.Duration
+	}
+}
+
+// bitfield renders a GateMask as oCoC…-style bits, priority 7 first
+// (o = open, C = closed), following the 802.1Qbv administrative convention.
+func bitfield(m GateMask) string {
+	var buf [model.NumPriorities]byte
+	for p := 0; p < model.NumPriorities; p++ {
+		if m.Open(model.NumPriorities - 1 - p) {
+			buf[p] = 'o'
+		} else {
+			buf[p] = 'C'
+		}
+	}
+	return string(buf[:])
+}
+
+// WriteAllText renders every port's program, sorted by link.
+func WriteAllText(w io.Writer, gcls map[model.LinkID]*PortGCL) {
+	links := make([]model.LinkID, 0, len(gcls))
+	for lid := range gcls {
+		links = append(links, lid)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	for i, lid := range links {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		gcls[lid].WriteText(w)
+	}
+}
+
+// Utilization returns, per priority, the fraction of the cycle during which
+// that priority's gate is open — a quick sanity view of how the schedule
+// splits the wire.
+func (p *PortGCL) Utilization() [model.NumPriorities]float64 {
+	var out [model.NumPriorities]float64
+	if p.Cycle <= 0 {
+		return out
+	}
+	for _, e := range p.Entries {
+		for pri := 0; pri < model.NumPriorities; pri++ {
+			if e.Gates.Open(pri) {
+				out[pri] += float64(e.Duration)
+			}
+		}
+	}
+	for pri := range out {
+		out[pri] /= float64(p.Cycle)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package gcl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"etsn/internal/model"
+)
+
+func TestWriteText(t *testing.T) {
+	s := makeSchedule()
+	gcls, err := Synthesize(s, Config{OpenECTOnShared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gcls[model.LinkID{From: "SW1", To: "D1"}]
+	var buf bytes.Buffer
+	g.WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "port SW1->D1") {
+		t.Fatalf("missing header: %s", out)
+	}
+	// The non-shared TCT slot (priority 3) renders with only gate 3 open:
+	// 76543210 -> CCCCoCCC.
+	if !strings.Contains(out, "CCCCoCCC") {
+		t.Fatalf("missing priority-3 bitfield:\n%s", out)
+	}
+	// The shared slot opens 5 and 7: oCoCCCCC.
+	if !strings.Contains(out, "oCoCCCCC") {
+		t.Fatalf("missing shared bitfield:\n%s", out)
+	}
+}
+
+func TestWriteAllTextSorted(t *testing.T) {
+	s := makeSchedule()
+	gcls, err := Synthesize(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add a second, empty-link program to check ordering.
+	gcls[model.LinkID{From: "A", To: "B"}] = &PortGCL{
+		Link:    model.LinkID{From: "A", To: "B"},
+		Cycle:   time.Millisecond,
+		Entries: []Entry{{Duration: time.Millisecond, Gates: 1}},
+	}
+	var buf bytes.Buffer
+	WriteAllText(&buf, gcls)
+	out := buf.String()
+	if strings.Index(out, "port A->B") > strings.Index(out, "port SW1->D1") {
+		t.Fatal("ports not sorted")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := makeSchedule()
+	gcls, err := Synthesize(s, Config{OpenECTOnShared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gcls[model.LinkID{From: "SW1", To: "D1"}]
+	u := g.Utilization()
+	// Priority 3: one 100-unit slot in a 1000-unit cycle.
+	if u[3] < 0.099 || u[3] > 0.101 {
+		t.Fatalf("u[3] = %v", u[3])
+	}
+	// Priority 7 (ECT): shared slot [200,300) + prob slot [250,350) = 150 units.
+	if u[7] < 0.149 || u[7] > 0.151 {
+		t.Fatalf("u[7] = %v", u[7])
+	}
+	// Best effort: the unallocated remainder 1000-100-150 = 650? The
+	// shared slot [200,300) and prob [250,350) merge to 150 busy units;
+	// unallocated = 1000 - 100 - 150 = 750.
+	if u[0] < 0.749 || u[0] > 0.751 {
+		t.Fatalf("u[0] = %v", u[0])
+	}
+	// Zero-cycle program yields zeros.
+	var empty PortGCL
+	if empty.Utilization() != [model.NumPriorities]float64{} {
+		t.Fatal("zero-cycle utilization not zero")
+	}
+}

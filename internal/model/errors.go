@@ -1,0 +1,19 @@
+package model
+
+import "errors"
+
+// Sentinel errors returned by the model package.
+var (
+	// ErrInvalidConfig marks a structurally invalid network or stream.
+	ErrInvalidConfig = errors.New("invalid configuration")
+	// ErrDuplicateNode is returned when a node ID is added twice.
+	ErrDuplicateNode = errors.New("duplicate node")
+	// ErrDuplicateLink is returned when a link is added twice.
+	ErrDuplicateLink = errors.New("duplicate link")
+	// ErrUnknownNode is returned when a referenced node does not exist.
+	ErrUnknownNode = errors.New("unknown node")
+	// ErrUnknownLink is returned when a referenced link does not exist.
+	ErrUnknownLink = errors.New("unknown link")
+	// ErrNoRoute is returned when no path exists between two nodes.
+	ErrNoRoute = errors.New("no route")
+)

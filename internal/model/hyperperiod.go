@@ -1,0 +1,29 @@
+package model
+
+import "time"
+
+// GCD returns the greatest common divisor of two non-negative integers.
+func GCD(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of two positive integers.
+func LCM(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / GCD(a, b) * b
+}
+
+// Hyperperiod returns the least common multiple of the streams' periods:
+// the cycle after which the whole schedule repeats.
+func Hyperperiod(streams []*Stream) time.Duration {
+	var h int64 = 1
+	for _, s := range streams {
+		h = LCM(h, int64(s.Period))
+	}
+	return time.Duration(h)
+}

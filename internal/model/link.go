@@ -1,0 +1,128 @@
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// Ethernet framing overhead constants, in bytes. A payload of p bytes
+// occupies p+WireOverheadBytes byte times on the wire.
+const (
+	// EthHeaderBytes is the Ethernet II header (dst MAC, src MAC, EtherType).
+	EthHeaderBytes = 14
+	// VLANTagBytes is the 802.1Q VLAN tag carrying the PCP (priority) field.
+	VLANTagBytes = 4
+	// FCSBytes is the frame check sequence.
+	FCSBytes = 4
+	// PreambleSFDBytes is the preamble plus start-of-frame delimiter.
+	PreambleSFDBytes = 8
+	// InterframeGapBytes is the minimum inter-frame gap expressed in byte times.
+	InterframeGapBytes = 12
+	// WireOverheadBytes is the total per-frame overhead on the wire.
+	WireOverheadBytes = EthHeaderBytes + VLANTagBytes + FCSBytes + PreambleSFDBytes + InterframeGapBytes
+
+	// MTUBytes is the maximum Ethernet payload per frame.
+	MTUBytes = 1500
+	// MinPayloadBytes is the minimum Ethernet payload per frame.
+	MinPayloadBytes = 46
+)
+
+// WireBytes returns the number of byte times a frame with the given payload
+// occupies on the wire, including header, tag, FCS, preamble, and IFG.
+// Payloads below the Ethernet minimum are padded.
+func WireBytes(payload int) int {
+	if payload < MinPayloadBytes {
+		payload = MinPayloadBytes
+	}
+	return payload + WireOverheadBytes
+}
+
+// FrameCount returns the number of MTU-sized frames needed to carry a
+// message of the given length in bytes. This is the stream length "l"
+// measured in frames, as used by the prudent reservation algorithm.
+func FrameCount(messageBytes int) int {
+	if messageBytes <= 0 {
+		return 1
+	}
+	return (messageBytes + MTUBytes - 1) / MTUBytes
+}
+
+// LinkID identifies one direction of a full-duplex link.
+type LinkID struct {
+	From NodeID
+	To   NodeID
+}
+
+// String renders the link as "from->to".
+func (id LinkID) String() string { return string(id.From) + "->" + string(id.To) }
+
+// Reverse returns the opposite direction of the link.
+func (id LinkID) Reverse() LinkID { return LinkID{From: id.To, To: id.From} }
+
+// Link is a directed edge of the network graph with the paper's three edge
+// attributes: bandwidth (b), propagation delay (d), and time unit (tu).
+type Link struct {
+	// From and To are the endpoints; traffic flows From -> To.
+	From NodeID
+	To   NodeID
+	// Bandwidth is the link speed in bits per second.
+	Bandwidth int64
+	// PropDelay is the signal propagation delay.
+	PropDelay time.Duration
+	// TimeUnit is the smallest schedulable time unit (tu) on this link;
+	// it sets the granularity of frame offsets in the schedule.
+	TimeUnit time.Duration
+}
+
+// ID returns the link's identifier.
+func (l *Link) ID() LinkID { return LinkID{From: l.From, To: l.To} }
+
+// TxTime returns the serialization time of a frame carrying the given
+// payload, including all wire overhead.
+func (l *Link) TxTime(payload int) time.Duration {
+	bits := int64(WireBytes(payload)) * 8
+	return time.Duration(bits * int64(time.Second) / l.Bandwidth)
+}
+
+// TxUnits returns the serialization time of a frame carrying the given
+// payload, rounded up to whole link time units.
+func (l *Link) TxUnits(payload int) int64 {
+	return DurationToUnits(l.TxTime(payload), l.TimeUnit)
+}
+
+// PropUnits returns the propagation delay rounded up to whole time units.
+func (l *Link) PropUnits() int64 {
+	return DurationToUnits(l.PropDelay, l.TimeUnit)
+}
+
+func (l *Link) validate() error {
+	if l.From == "" || l.To == "" {
+		return fmt.Errorf("link %s: %w: empty endpoint", l.ID(), ErrInvalidConfig)
+	}
+	if l.From == l.To {
+		return fmt.Errorf("link %s: %w: self loop", l.ID(), ErrInvalidConfig)
+	}
+	if l.Bandwidth <= 0 {
+		return fmt.Errorf("link %s: %w: bandwidth %d", l.ID(), ErrInvalidConfig, l.Bandwidth)
+	}
+	if l.TimeUnit <= 0 {
+		return fmt.Errorf("link %s: %w: time unit %v", l.ID(), ErrInvalidConfig, l.TimeUnit)
+	}
+	if l.PropDelay < 0 {
+		return fmt.Errorf("link %s: %w: negative propagation delay", l.ID(), ErrInvalidConfig)
+	}
+	return nil
+}
+
+// DurationToUnits converts a duration to a count of time units, rounding up.
+func DurationToUnits(d, unit time.Duration) int64 {
+	if unit <= 0 {
+		return int64(d)
+	}
+	return (int64(d) + int64(unit) - 1) / int64(unit)
+}
+
+// UnitsToDuration converts a count of time units back to a duration.
+func UnitsToDuration(units int64, unit time.Duration) time.Duration {
+	return time.Duration(units * int64(unit))
+}

@@ -1,0 +1,414 @@
+package model
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// testNetwork builds the paper's Fig. 2 network: three devices and one
+// switch.
+func testNetwork(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	for _, d := range []NodeID{"D1", "D2", "D3"} {
+		if err := n.AddDevice(d); err != nil {
+			t.Fatalf("AddDevice(%s): %v", d, err)
+		}
+	}
+	if err := n.AddSwitch("SW1"); err != nil {
+		t.Fatalf("AddSwitch: %v", err)
+	}
+	cfg := LinkConfig{Bandwidth: 100_000_000, PropDelay: 100 * time.Nanosecond}
+	for _, d := range []NodeID{"D1", "D2", "D3"} {
+		if err := n.AddLink(d, "SW1", cfg); err != nil {
+			t.Fatalf("AddLink(%s): %v", d, err)
+		}
+	}
+	return n
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddDevice("D1"); err != nil {
+		t.Fatalf("AddDevice: %v", err)
+	}
+	if err := n.AddSwitch("D1"); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("AddSwitch dup = %v, want ErrDuplicateNode", err)
+	}
+}
+
+func TestAddNodeEmptyID(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddDevice(""); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("AddDevice(\"\") = %v, want ErrInvalidConfig", err)
+	}
+}
+
+func TestAddLinkUnknownNode(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddDevice("D1"); err != nil {
+		t.Fatal(err)
+	}
+	err := n.AddLink("D1", "nope", LinkConfig{Bandwidth: 1})
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("AddLink = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestAddLinkDuplicate(t *testing.T) {
+	n := testNetwork(t)
+	err := n.AddLink("D1", "SW1", LinkConfig{Bandwidth: 1})
+	if !errors.Is(err, ErrDuplicateLink) {
+		t.Fatalf("AddLink dup = %v, want ErrDuplicateLink", err)
+	}
+}
+
+func TestAddLinkCreatesBothDirections(t *testing.T) {
+	n := testNetwork(t)
+	if _, ok := n.Link("D1", "SW1"); !ok {
+		t.Fatal("missing D1->SW1")
+	}
+	if _, ok := n.Link("SW1", "D1"); !ok {
+		t.Fatal("missing SW1->D1")
+	}
+	if got := n.NumLinks(); got != 6 {
+		t.Fatalf("NumLinks = %d, want 6", got)
+	}
+	if got := n.NumNodes(); got != 4 {
+		t.Fatalf("NumNodes = %d, want 4", got)
+	}
+}
+
+func TestLinkDefaults(t *testing.T) {
+	n := testNetwork(t)
+	l, _ := n.Link("D1", "SW1")
+	if l.TimeUnit != DefaultTimeUnit {
+		t.Fatalf("TimeUnit = %v, want %v", l.TimeUnit, DefaultTimeUnit)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	n := testNetwork(t)
+	path, err := n.ShortestPath("D1", "D3")
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	want := []LinkID{{From: "D1", To: "SW1"}, {From: "SW1", To: "D3"}}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path[%d] = %v, want %v", i, path[i], want[i])
+		}
+	}
+}
+
+func TestShortestPathNoRoute(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddDevice("D1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddDevice("D2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ShortestPath("D1", "D2"); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("ShortestPath = %v, want ErrNoRoute", err)
+	}
+	if _, err := n.ShortestPath("D1", "D1"); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("ShortestPath self = %v, want ErrNoRoute", err)
+	}
+	if _, err := n.ShortestPath("nope", "D1"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("ShortestPath unknown = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestShortestPathMultiHop(t *testing.T) {
+	n := NewNetwork()
+	for _, d := range []NodeID{"D1", "D2"} {
+		if err := n.AddDevice(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sw := range []NodeID{"SW1", "SW2"} {
+		if err := n.AddSwitch(sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := LinkConfig{Bandwidth: 100_000_000}
+	for _, pair := range [][2]NodeID{{"D1", "SW1"}, {"SW1", "SW2"}, {"SW2", "D2"}} {
+		if err := n.AddLink(pair[0], pair[1], cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err := n.ShortestPath("D1", "D2")
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if len(path) != 3 {
+		t.Fatalf("path length = %d, want 3", len(path))
+	}
+}
+
+func TestValidateConnected(t *testing.T) {
+	n := testNetwork(t)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := n.AddDevice("orphan"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Validate disconnected = %v, want ErrInvalidConfig", err)
+	}
+}
+
+func TestValidateDeviceSingleNIC(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddDevice("D1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, sw := range []NodeID{"SW1", "SW2"} {
+		if err := n.AddSwitch(sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := LinkConfig{Bandwidth: 1_000_000}
+	if err := n.AddLink("D1", "SW1", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddLink("D1", "SW2", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddLink("SW1", "SW2", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Validate = %v, want ErrInvalidConfig (device with 2 links)", err)
+	}
+}
+
+func TestLinkConfigValidation(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddDevice("D1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSwitch("SW1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddLink("D1", "SW1", LinkConfig{Bandwidth: 0}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("zero bandwidth = %v, want ErrInvalidConfig", err)
+	}
+	if err := n.AddLink("D1", "SW1", LinkConfig{Bandwidth: 10, PropDelay: -time.Second}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("negative delay = %v, want ErrInvalidConfig", err)
+	}
+}
+
+func TestNodesAndLinksSorted(t *testing.T) {
+	n := testNetwork(t)
+	nodes := n.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].ID >= nodes[i].ID {
+			t.Fatalf("nodes not sorted: %v", nodes)
+		}
+	}
+	links := n.Links()
+	for i := 1; i < len(links); i++ {
+		a, b := links[i-1], links[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatalf("links not sorted at %d", i)
+		}
+	}
+}
+
+func TestTxTime(t *testing.T) {
+	l := &Link{From: "a", To: "b", Bandwidth: 100_000_000, TimeUnit: time.Microsecond}
+	// 1500B payload -> 1542 wire bytes -> 123.36us at 100 Mb/s.
+	got := l.TxTime(1500)
+	want := time.Duration(1542*8) * time.Second / (100_000_000 * time.Nanosecond / time.Nanosecond)
+	_ = want
+	if got != 123360*time.Nanosecond {
+		t.Fatalf("TxTime(1500) = %v, want 123.36us", got)
+	}
+	if units := l.TxUnits(1500); units != 124 {
+		t.Fatalf("TxUnits(1500) = %d, want 124 (ceil)", units)
+	}
+}
+
+func TestWireBytesMinPadding(t *testing.T) {
+	if got := WireBytes(1); got != MinPayloadBytes+WireOverheadBytes {
+		t.Fatalf("WireBytes(1) = %d, want %d", got, MinPayloadBytes+WireOverheadBytes)
+	}
+	if got := WireBytes(1500); got != 1542 {
+		t.Fatalf("WireBytes(1500) = %d, want 1542", got)
+	}
+}
+
+func TestFrameCount(t *testing.T) {
+	cases := []struct {
+		bytes, want int
+	}{{0, 1}, {1, 1}, {1500, 1}, {1501, 2}, {3000, 2}, {7500, 5}, {7501, 6}}
+	for _, c := range cases {
+		if got := FrameCount(c.bytes); got != c.want {
+			t.Errorf("FrameCount(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestDurationUnits(t *testing.T) {
+	if got := DurationToUnits(10*time.Microsecond, time.Microsecond); got != 10 {
+		t.Fatalf("DurationToUnits = %d, want 10", got)
+	}
+	if got := DurationToUnits(10*time.Microsecond+time.Nanosecond, time.Microsecond); got != 11 {
+		t.Fatalf("DurationToUnits rounds up: got %d, want 11", got)
+	}
+	if got := UnitsToDuration(5, time.Microsecond); got != 5*time.Microsecond {
+		t.Fatalf("UnitsToDuration = %v", got)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if NodeDevice.String() != "device" || NodeSwitch.String() != "switch" {
+		t.Fatal("NodeKind.String mismatch")
+	}
+	if NodeKind(9).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestLinkIDHelpers(t *testing.T) {
+	id := LinkID{From: "a", To: "b"}
+	if id.String() != "a->b" {
+		t.Fatalf("String = %q", id.String())
+	}
+	if id.Reverse() != (LinkID{From: "b", To: "a"}) {
+		t.Fatalf("Reverse = %v", id.Reverse())
+	}
+}
+
+func TestNeighborsSortedAndCopied(t *testing.T) {
+	n := testNetwork(t)
+	nb := n.Neighbors("SW1")
+	if len(nb) != 3 {
+		t.Fatalf("Neighbors = %v", nb)
+	}
+	nb[0] = "mutated"
+	nb2 := n.Neighbors("SW1")
+	if nb2[0] == "mutated" {
+		t.Fatal("Neighbors returned internal slice")
+	}
+}
+
+func TestDisjointPathsLine(t *testing.T) {
+	// On a line topology there is no second disjoint path.
+	n := NewNetwork()
+	for _, d := range []NodeID{"D1", "D2"} {
+		if err := n.AddDevice(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sw := range []NodeID{"SW1", "SW2"} {
+		if err := n.AddSwitch(sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := LinkConfig{Bandwidth: 100_000_000}
+	for _, pair := range [][2]NodeID{{"D1", "SW1"}, {"SW1", "SW2"}, {"SW2", "D2"}} {
+		if err := n.AddLink(pair[0], pair[1], cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := n.DisjointPaths("D1", "D2"); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+	// Unknown endpoints propagate.
+	if _, _, err := n.DisjointPaths("ghost", "D2"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestDisjointPathsDiamond(t *testing.T) {
+	// D1 - SW1 < SW2 / SW3 > SW4 - D2: two bridge-disjoint routes.
+	n := NewNetwork()
+	for _, d := range []NodeID{"D1", "D2"} {
+		if err := n.AddDevice(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sw := range []NodeID{"SW1", "SW2", "SW3", "SW4"} {
+		if err := n.AddSwitch(sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := LinkConfig{Bandwidth: 100_000_000}
+	for _, pair := range [][2]NodeID{
+		{"D1", "SW1"}, {"SW1", "SW2"}, {"SW1", "SW3"},
+		{"SW2", "SW4"}, {"SW3", "SW4"}, {"SW4", "D2"},
+	} {
+		if err := n.AddLink(pair[0], pair[1], cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b, err := n.DisjointPaths("D1", "D2")
+	if err != nil {
+		t.Fatalf("DisjointPaths: %v", err)
+	}
+	// First and last hop are the shared device attachments.
+	if a[0] != b[0] || a[len(a)-1] != b[len(b)-1] {
+		t.Fatal("attachment hops must be shared")
+	}
+	// Middle hops disjoint.
+	mid := map[LinkID]bool{}
+	for _, l := range a[1 : len(a)-1] {
+		mid[l] = true
+	}
+	for _, l := range b[1 : len(b)-1] {
+		if mid[l] {
+			t.Fatalf("shared bridge link %s", l)
+		}
+	}
+}
+
+func TestSetStreamPriority(t *testing.T) {
+	s := NewSchedule()
+	link := LinkID{From: "a", To: "b"}
+	s.AddStream(&Stream{ID: "x", Path: []LinkID{link}, Period: time.Millisecond, Priority: 3})
+	s.AddSlot(FrameSlot{Stream: "x", Link: link, Offset: 0, Length: 1, Period: 1000, Priority: 3})
+	s.AddSlot(FrameSlot{Stream: "y", Link: link, Offset: 5, Length: 1, Period: 1000, Priority: 4})
+	s.SetStreamPriority("x", 7)
+	if s.Streams["x"].Priority != 7 {
+		t.Fatal("stream priority not updated")
+	}
+	for _, fs := range s.SlotsOn(link) {
+		if fs.Stream == "x" && fs.Priority != 7 {
+			t.Fatal("slot priority not updated")
+		}
+		if fs.Stream == "y" && fs.Priority != 4 {
+			t.Fatal("unrelated slot touched")
+		}
+	}
+	// Unknown stream is a no-op.
+	s.SetStreamPriority("ghost", 1)
+}
+
+func TestVirtualOffsets(t *testing.T) {
+	fs := FrameSlot{Offset: 100, Length: 24, Period: 1000, Epoch: 2}
+	if fs.VirtualOffset() != 2100 {
+		t.Fatalf("VirtualOffset = %d", fs.VirtualOffset())
+	}
+	if fs.VirtualEnd() != 2124 {
+		t.Fatalf("VirtualEnd = %d", fs.VirtualEnd())
+	}
+}
+
+func TestStreamEndpointsEmptyPath(t *testing.T) {
+	s := &Stream{}
+	if s.Source() != "" || s.Destination() != "" {
+		t.Fatal("empty path endpoints should be empty")
+	}
+	e := &ECT{}
+	if e.Source() != "" || e.Destination() != "" {
+		t.Fatal("empty ECT endpoints should be empty")
+	}
+}

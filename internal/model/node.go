@@ -1,0 +1,50 @@
+// Package model defines the network and traffic model shared by the E-TSN
+// scheduler, the baseline schedulers, and the discrete-event simulator.
+//
+// The model follows Sec. IV-A of the paper: the network is a directed graph
+// whose vertices are switches and end devices and whose edges are the
+// directions of full-duplex links. A stream is described by the paper's
+// 8-attribute tuple (path, e2e, p, l, T, type, share, ot).
+package model
+
+import "fmt"
+
+// NodeKind distinguishes end devices from switches.
+type NodeKind int
+
+// Node kinds.
+const (
+	// NodeDevice is an end device (talker and/or listener).
+	NodeDevice NodeKind = iota + 1
+	// NodeSwitch is an 802.1Qbv-capable bridge.
+	NodeSwitch
+)
+
+// String returns a human-readable kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case NodeDevice:
+		return "device"
+	case NodeSwitch:
+		return "switch"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// NodeID names a node uniquely within a Network.
+type NodeID string
+
+// Node is a vertex of the network graph: a switch or an end device.
+type Node struct {
+	// ID is the unique name of the node.
+	ID NodeID
+	// Kind tells whether the node is a device or a switch.
+	Kind NodeKind
+}
+
+// IsSwitch reports whether the node is a switch.
+func (n *Node) IsSwitch() bool { return n.Kind == NodeSwitch }
+
+// IsDevice reports whether the node is an end device.
+func (n *Node) IsDevice() bool { return n.Kind == NodeDevice }

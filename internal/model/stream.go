@@ -1,0 +1,227 @@
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// StreamType distinguishes the paper's two stream kinds.
+type StreamType int
+
+// Stream types (paper Sec. IV-A, attribute s.type).
+const (
+	// StreamDet is a deterministic, time-triggered stream (TCT).
+	StreamDet StreamType = iota + 1
+	// StreamProb is a probabilistic stream derived from an ECT stream:
+	// one possibility of when the event may occur.
+	StreamProb
+)
+
+// String returns a human-readable stream type.
+func (t StreamType) String() string {
+	switch t {
+	case StreamDet:
+		return "Det"
+	case StreamProb:
+		return "Prob"
+	default:
+		return fmt.Sprintf("StreamType(%d)", int(t))
+	}
+}
+
+// StreamID names a stream uniquely within a scheduling problem.
+type StreamID string
+
+// Priority layout. A TSN network has eight traffic classes; following the
+// paper's priority constraints (6), one class is reserved for ECT (EP), one
+// band for time-slot-sharing TCT, and one band for non-sharing TCT. The
+// remaining classes carry AVB and best-effort traffic.
+const (
+	// NumPriorities is the number of 802.1Q traffic classes per port.
+	NumPriorities = 8
+	// PriorityECT is the class reserved for event-triggered critical
+	// traffic (the paper's EP).
+	PriorityECT = 7
+	// PrioritySharedHigh and PrioritySharedLow bound the band for TCT
+	// streams that share their time-slots with ECT (SH_PH, SH_PL).
+	PrioritySharedHigh = 6
+	PrioritySharedLow  = 5
+	// PriorityNonSharedHigh and PriorityNonSharedLow bound the band for
+	// TCT streams that do not share time-slots (NSH_PH, NSH_PL).
+	PriorityNonSharedHigh = 4
+	PriorityNonSharedLow  = 2
+	// PriorityAVB is the class used by the AVB baseline for ECT (802.1Qav
+	// class A under a credit-based shaper).
+	PriorityAVB = 1
+	// PriorityBestEffort is the lowest class.
+	PriorityBestEffort = 0
+)
+
+// Stream is the paper's 8-attribute stream tuple
+// (path, e2e, p, l, T, type, share, ot). A Stream is either a TCT stream
+// (Type == StreamDet) or one probabilistic possibility of an ECT stream
+// (Type == StreamProb).
+type Stream struct {
+	// ID is the unique stream name.
+	ID StreamID
+	// Path is the ordered list of directed links from talker to listener.
+	Path []LinkID
+	// E2E is the maximum allowed end-to-end latency (s.e2e).
+	E2E time.Duration
+	// Priority is the 802.1Q traffic class (s.p).
+	Priority int
+	// LengthBytes is the message length in bytes (s.l); it may span
+	// multiple Ethernet frames.
+	LengthBytes int
+	// Period is the stream period for TCT, or the minimum interevent time
+	// for a probabilistic stream (s.T).
+	Period time.Duration
+	// Type is Det for TCT and Prob for probabilistic streams (s.type).
+	Type StreamType
+	// Share reports whether a TCT stream offers its time-slots to ECT
+	// (s.share); meaningful only when Type == StreamDet.
+	Share bool
+	// OccurrenceTime is the transmit time of the possibility this
+	// probabilistic stream models, relative to the period start (s.ot);
+	// meaningful only when Type == StreamProb.
+	OccurrenceTime time.Duration
+	// Parent is the ECT stream this probabilistic stream derives from;
+	// empty for TCT streams. Reservation-only drain streams set it to the
+	// ECT stream whose preemptions they absorb.
+	Parent StreamID
+	// Reserve marks a reservation-only stream: its slots program gate
+	// windows (drain capacity for frames displaced by ECT) but no talker
+	// ever emits traffic for it.
+	Reserve bool
+}
+
+// Frames returns the stream's length in whole Ethernet frames.
+func (s *Stream) Frames() int { return FrameCount(s.LengthBytes) }
+
+// Source returns the talker node.
+func (s *Stream) Source() NodeID {
+	if len(s.Path) == 0 {
+		return ""
+	}
+	return s.Path[0].From
+}
+
+// Destination returns the listener node.
+func (s *Stream) Destination() NodeID {
+	if len(s.Path) == 0 {
+		return ""
+	}
+	return s.Path[len(s.Path)-1].To
+}
+
+// Validate checks the stream against a network: the path must be a connected
+// chain of existing links, and timing attributes must be positive.
+func (s *Stream) Validate(n *Network) error {
+	if s.ID == "" {
+		return fmt.Errorf("%w: empty stream id", ErrInvalidConfig)
+	}
+	if len(s.Path) == 0 {
+		return fmt.Errorf("stream %q: %w: empty path", s.ID, ErrInvalidConfig)
+	}
+	for i, id := range s.Path {
+		if _, ok := n.LinkByID(id); !ok {
+			return fmt.Errorf("stream %q: %w: %s", s.ID, ErrUnknownLink, id)
+		}
+		if i > 0 && s.Path[i-1].To != id.From {
+			return fmt.Errorf("stream %q: %w: path break %s -> %s",
+				s.ID, ErrInvalidConfig, s.Path[i-1], id)
+		}
+	}
+	if s.Period <= 0 {
+		return fmt.Errorf("stream %q: %w: period %v", s.ID, ErrInvalidConfig, s.Period)
+	}
+	if s.E2E <= 0 {
+		return fmt.Errorf("stream %q: %w: e2e %v", s.ID, ErrInvalidConfig, s.E2E)
+	}
+	if s.LengthBytes <= 0 {
+		return fmt.Errorf("stream %q: %w: length %d bytes", s.ID, ErrInvalidConfig, s.LengthBytes)
+	}
+	if s.Priority < 0 || s.Priority >= NumPriorities {
+		return fmt.Errorf("stream %q: %w: priority %d", s.ID, ErrInvalidConfig, s.Priority)
+	}
+	switch s.Type {
+	case StreamDet:
+		if s.OccurrenceTime != 0 {
+			return fmt.Errorf("stream %q: %w: TCT stream with occurrence time", s.ID, ErrInvalidConfig)
+		}
+	case StreamProb:
+		if s.OccurrenceTime < 0 || s.OccurrenceTime >= s.Period {
+			return fmt.Errorf("stream %q: %w: occurrence time %v outside [0, %v)",
+				s.ID, ErrInvalidConfig, s.OccurrenceTime, s.Period)
+		}
+		if s.Parent == "" {
+			return fmt.Errorf("stream %q: %w: probabilistic stream without parent", s.ID, ErrInvalidConfig)
+		}
+	default:
+		return fmt.Errorf("stream %q: %w: type %v", s.ID, ErrInvalidConfig, s.Type)
+	}
+	return nil
+}
+
+// ECT describes an event-triggered critical traffic stream before its
+// expansion into probabilistic streams: the message may be sent at any time,
+// with at least MinInterevent between consecutive events.
+type ECT struct {
+	// ID is the unique stream name.
+	ID StreamID
+	// Path is the ordered list of directed links from talker to listener.
+	Path []LinkID
+	// E2E is the maximum allowed end-to-end latency.
+	E2E time.Duration
+	// LengthBytes is the message length in bytes.
+	LengthBytes int
+	// MinInterevent is the minimum time between consecutive events
+	// (the paper's s.T for ECT).
+	MinInterevent time.Duration
+}
+
+// Frames returns the ECT message length in whole Ethernet frames.
+func (e *ECT) Frames() int { return FrameCount(e.LengthBytes) }
+
+// Source returns the talker node.
+func (e *ECT) Source() NodeID {
+	if len(e.Path) == 0 {
+		return ""
+	}
+	return e.Path[0].From
+}
+
+// Destination returns the listener node.
+func (e *ECT) Destination() NodeID {
+	if len(e.Path) == 0 {
+		return ""
+	}
+	return e.Path[len(e.Path)-1].To
+}
+
+// Validate checks the ECT stream against a network.
+func (e *ECT) Validate(n *Network) error {
+	s := Stream{
+		ID:          e.ID,
+		Path:        e.Path,
+		E2E:         e.E2E,
+		Priority:    PriorityECT,
+		LengthBytes: e.LengthBytes,
+		Period:      e.MinInterevent,
+		Type:        StreamDet,
+	}
+	if err := s.Validate(n); err != nil {
+		return err
+	}
+	return nil
+}
+
+// PassesLink reports whether the ECT stream's path contains the given link.
+func (e *ECT) PassesLink(id LinkID) bool {
+	for _, l := range e.Path {
+		if l == id {
+			return true
+		}
+	}
+	return false
+}

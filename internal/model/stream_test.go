@@ -1,0 +1,177 @@
+package model
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func validStream(n *Network, t *testing.T) *Stream {
+	t.Helper()
+	path, err := n.ShortestPath("D1", "D3")
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	return &Stream{
+		ID:          "s1",
+		Path:        path,
+		E2E:         5 * time.Millisecond,
+		Priority:    PriorityNonSharedLow,
+		LengthBytes: 1500,
+		Period:      5 * time.Millisecond,
+		Type:        StreamDet,
+	}
+}
+
+func TestStreamValidateOK(t *testing.T) {
+	n := testNetwork(t)
+	s := validStream(n, t)
+	if err := s.Validate(n); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.Source() != "D1" || s.Destination() != "D3" {
+		t.Fatalf("endpoints = %s -> %s", s.Source(), s.Destination())
+	}
+	if s.Frames() != 1 {
+		t.Fatalf("Frames = %d, want 1", s.Frames())
+	}
+}
+
+func TestStreamValidateErrors(t *testing.T) {
+	n := testNetwork(t)
+	cases := []struct {
+		name   string
+		mutate func(*Stream)
+	}{
+		{"empty id", func(s *Stream) { s.ID = "" }},
+		{"empty path", func(s *Stream) { s.Path = nil }},
+		{"unknown link", func(s *Stream) { s.Path = []LinkID{{From: "x", To: "y"}} }},
+		{"broken path", func(s *Stream) {
+			s.Path = []LinkID{{From: "D1", To: "SW1"}, {From: "D2", To: "SW1"}}
+		}},
+		{"zero period", func(s *Stream) { s.Period = 0 }},
+		{"zero e2e", func(s *Stream) { s.E2E = 0 }},
+		{"zero length", func(s *Stream) { s.LengthBytes = 0 }},
+		{"bad priority", func(s *Stream) { s.Priority = 8 }},
+		{"negative priority", func(s *Stream) { s.Priority = -1 }},
+		{"det with ot", func(s *Stream) { s.OccurrenceTime = time.Millisecond }},
+		{"bad type", func(s *Stream) { s.Type = 0 }},
+		{"prob without parent", func(s *Stream) { s.Type = StreamProb; s.OccurrenceTime = 0 }},
+		{"prob ot out of range", func(s *Stream) {
+			s.Type = StreamProb
+			s.Parent = "e1"
+			s.OccurrenceTime = s.Period
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := validStream(n, t)
+			c.mutate(s)
+			if err := s.Validate(n); err == nil {
+				t.Fatalf("Validate accepted %s", c.name)
+			} else if !errors.Is(err, ErrInvalidConfig) && !errors.Is(err, ErrUnknownLink) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+		})
+	}
+}
+
+func TestProbStreamValidates(t *testing.T) {
+	n := testNetwork(t)
+	s := validStream(n, t)
+	s.Type = StreamProb
+	s.Parent = "e1"
+	s.OccurrenceTime = time.Millisecond
+	s.Priority = PriorityECT
+	if err := s.Validate(n); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestECTValidateAndHelpers(t *testing.T) {
+	n := testNetwork(t)
+	path, err := n.ShortestPath("D2", "D3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &ECT{
+		ID:            "e1",
+		Path:          path,
+		E2E:           5 * time.Millisecond,
+		LengthBytes:   3000,
+		MinInterevent: 16 * time.Millisecond,
+	}
+	if err := e.Validate(n); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if e.Frames() != 2 {
+		t.Fatalf("Frames = %d, want 2", e.Frames())
+	}
+	if e.Source() != "D2" || e.Destination() != "D3" {
+		t.Fatalf("endpoints = %s -> %s", e.Source(), e.Destination())
+	}
+	if !e.PassesLink(LinkID{From: "D2", To: "SW1"}) {
+		t.Fatal("PassesLink(D2->SW1) = false")
+	}
+	if e.PassesLink(LinkID{From: "D1", To: "SW1"}) {
+		t.Fatal("PassesLink(D1->SW1) = true")
+	}
+}
+
+func TestStreamTypeString(t *testing.T) {
+	if StreamDet.String() != "Det" || StreamProb.String() != "Prob" {
+		t.Fatal("StreamType.String mismatch")
+	}
+	if StreamType(0).String() == "" {
+		t.Fatal("unknown type should render")
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	cases := []struct{ a, b, gcd, lcm int64 }{
+		{4, 6, 2, 12},
+		{5, 10, 5, 10},
+		{7, 13, 1, 91},
+		{16, 16, 16, 16},
+		{1, 9, 1, 9},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.gcd {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.gcd)
+		}
+		if got := LCM(c.a, c.b); got != c.lcm {
+			t.Errorf("LCM(%d,%d) = %d, want %d", c.a, c.b, got, c.lcm)
+		}
+	}
+	if LCM(0, 5) != 0 {
+		t.Fatal("LCM(0,5) != 0")
+	}
+}
+
+// TestQuickLCMProperties checks lcm is a common multiple and divides a*b.
+func TestQuickLCMProperties(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int64(a%500)+1, int64(b%500)+1
+		l := LCM(x, y)
+		return l%x == 0 && l%y == 0 && (x*y)%l == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	streams := []*Stream{
+		{Period: 4 * time.Millisecond},
+		{Period: 8 * time.Millisecond},
+		{Period: 16 * time.Millisecond},
+	}
+	if got := Hyperperiod(streams); got != 16*time.Millisecond {
+		t.Fatalf("Hyperperiod = %v, want 16ms", got)
+	}
+	streams = append(streams, &Stream{Period: 5 * time.Millisecond})
+	if got := Hyperperiod(streams); got != 80*time.Millisecond {
+		t.Fatalf("Hyperperiod = %v, want 80ms", got)
+	}
+}

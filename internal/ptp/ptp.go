@@ -1,0 +1,192 @@
+// Package ptp models IEEE 802.1AS generalized precision time protocol
+// behaviour at the level the scheduling stack cares about: every node owns a
+// free-running clock with a rate error (drift), a grandmaster distributes
+// time over the sync tree at a fixed interval, and each correction leaves a
+// residual error bounded by the hardware timestamp granularity and the
+// path-delay estimation error. Between corrections the error grows with the
+// drift — the classic sawtooth.
+//
+// The paper's testbed timestamps in hardware with 10 ns accuracy (Sec. V);
+// the experiments assume synchronized clocks. This package supplies the
+// synchronization substrate: the sawtooth offset function plugs into
+// sim.Config.ClockOffset, and the analytic worst-case residual feeds guard
+// decisions.
+package ptp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"etsn/internal/model"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadSync marks an invalid synchronization configuration.
+	ErrBadSync = errors.New("invalid sync configuration")
+)
+
+// DefaultTimestampError is the hardware timestamping granularity of the
+// paper's testbed: 10 ns.
+const DefaultTimestampError = 10 * time.Nanosecond
+
+// Clock is a free-running node clock.
+type Clock struct {
+	// DriftPPM is the rate error in parts per million; positive runs fast.
+	DriftPPM float64
+	// InitialOffset is the clock's offset from true time at t = 0.
+	InitialOffset time.Duration
+}
+
+// RawOffset returns the uncorrected offset from true time at instant t.
+func (c Clock) RawOffset(t time.Duration) time.Duration {
+	return c.InitialOffset + time.Duration(c.DriftPPM*1e-6*float64(t))
+}
+
+// Config describes a synchronization domain.
+type Config struct {
+	// Interval is the sync message period (802.1AS default: 125 ms; TSN
+	// profiles often use 31.25 ms).
+	Interval time.Duration
+	// TimestampError is the per-correction residual from timestamping
+	// granularity; defaults to DefaultTimestampError.
+	TimestampError time.Duration
+	// PathDelayError is the residual from path-delay asymmetry per hop.
+	PathDelayError time.Duration
+	// Grandmaster is the time source node.
+	Grandmaster model.NodeID
+	// Seed drives the per-correction residual draw.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TimestampError == 0 {
+		c.TimestampError = DefaultTimestampError
+	}
+	return c
+}
+
+// Domain is a running synchronization domain over a network: per-node
+// clocks, hop counts from the grandmaster, and deterministic residual
+// draws.
+type Domain struct {
+	cfg    Config
+	clocks map[model.NodeID]Clock
+	hops   map[model.NodeID]int
+	rng    *rand.Rand
+	// residuals are fixed per (node, sync round) by hashing, so offset
+	// queries are pure functions of (node, time).
+	nodeSalt map[model.NodeID]int64
+}
+
+// NewDomain validates the configuration and computes the sync tree (hop
+// distance from the grandmaster over the physical topology).
+func NewDomain(network *model.Network, clocks map[model.NodeID]Clock, cfg Config) (*Domain, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("%w: interval %v", ErrBadSync, cfg.Interval)
+	}
+	if _, ok := network.Node(cfg.Grandmaster); !ok {
+		return nil, fmt.Errorf("%w: unknown grandmaster %q", ErrBadSync, cfg.Grandmaster)
+	}
+	hops := map[model.NodeID]int{cfg.Grandmaster: 0}
+	queue := []model.NodeID{cfg.Grandmaster}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range network.Neighbors(cur) {
+			if _, seen := hops[next]; !seen {
+				hops[next] = hops[cur] + 1
+				queue = append(queue, next)
+			}
+		}
+	}
+	d := &Domain{
+		cfg:      cfg,
+		clocks:   make(map[model.NodeID]Clock, len(clocks)),
+		hops:     hops,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		nodeSalt: make(map[model.NodeID]int64),
+	}
+	for _, node := range network.Nodes() {
+		c, ok := clocks[node.ID]
+		if !ok {
+			c = Clock{}
+		}
+		d.clocks[node.ID] = c
+		d.nodeSalt[node.ID] = d.rng.Int63()
+	}
+	return d, nil
+}
+
+// Offset returns the node's corrected clock offset from true time at t: the
+// residual left by the most recent sync correction plus drift accumulated
+// since. The grandmaster is always at zero.
+func (d *Domain) Offset(id model.NodeID, t time.Duration) time.Duration {
+	if id == d.cfg.Grandmaster {
+		return 0
+	}
+	clock, ok := d.clocks[id]
+	if !ok {
+		return 0
+	}
+	if t < 0 {
+		t = 0
+	}
+	round := int64(t / d.cfg.Interval)
+	syncAt := time.Duration(round) * d.cfg.Interval
+	residual := d.residual(id, round)
+	driftSince := time.Duration(clock.DriftPPM * 1e-6 * float64(t-syncAt))
+	return residual + driftSince
+}
+
+// residual is the deterministic per-round correction error: uniform in
+// ±(timestampError + hops*pathDelayError).
+func (d *Domain) residual(id model.NodeID, round int64) time.Duration {
+	bound := d.cfg.TimestampError + time.Duration(d.hops[id])*d.cfg.PathDelayError
+	if bound <= 0 {
+		return 0
+	}
+	h := uint64(d.nodeSalt[id]) ^ (uint64(round) * 0x9E3779B97F4A7C15)
+	rng := rand.New(rand.NewSource(int64(h & 0x7FFFFFFFFFFFFFFF)))
+	return time.Duration(rng.Int63n(int64(2*bound)+1)) - bound
+}
+
+// WorstResidual returns the analytic worst-case offset of a node right
+// before its next correction: correction residual plus one interval of
+// drift.
+func (d *Domain) WorstResidual(id model.NodeID) time.Duration {
+	clock := d.clocks[id]
+	bound := d.cfg.TimestampError + time.Duration(d.hops[id])*d.cfg.PathDelayError
+	drift := time.Duration(absF(clock.DriftPPM) * 1e-6 * float64(d.cfg.Interval))
+	return bound + drift
+}
+
+// MaxWorstResidual returns the largest WorstResidual over all nodes: the
+// guard-band a schedule needs against clock disagreement.
+func (d *Domain) MaxWorstResidual() time.Duration {
+	var worst time.Duration
+	for id := range d.clocks {
+		if r := d.WorstResidual(id); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// OffsetFunc adapts the domain to sim.Config.ClockOffset.
+func (d *Domain) OffsetFunc() func(model.NodeID, time.Duration) time.Duration {
+	return d.Offset
+}
+
+// Hops returns the sync-tree distance of a node from the grandmaster.
+func (d *Domain) Hops(id model.NodeID) int { return d.hops[id] }
+
+func absF(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

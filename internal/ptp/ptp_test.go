@@ -1,0 +1,191 @@
+package ptp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"etsn/internal/model"
+)
+
+func lineNetwork(t testing.TB) *model.Network {
+	t.Helper()
+	n := model.NewNetwork()
+	if err := n.AddDevice("D1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddDevice("D2"); err != nil {
+		t.Fatal(err)
+	}
+	for _, sw := range []model.NodeID{"SW1", "SW2"} {
+		if err := n.AddSwitch(sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := model.LinkConfig{Bandwidth: 100_000_000}
+	for _, pair := range [][2]model.NodeID{{"D1", "SW1"}, {"SW1", "SW2"}, {"SW2", "D2"}} {
+		if err := n.AddLink(pair[0], pair[1], cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func domain(t testing.TB, cfg Config, clocks map[model.NodeID]Clock) *Domain {
+	t.Helper()
+	d, err := NewDomain(lineNetwork(t), clocks, cfg)
+	if err != nil {
+		t.Fatalf("NewDomain: %v", err)
+	}
+	return d
+}
+
+func TestClockRawOffset(t *testing.T) {
+	c := Clock{DriftPPM: 10, InitialOffset: time.Microsecond}
+	// After one second, +10 ppm adds 10 us.
+	got := c.RawOffset(time.Second)
+	want := time.Microsecond + 10*time.Microsecond
+	if got != want {
+		t.Fatalf("RawOffset = %v, want %v", got, want)
+	}
+}
+
+func TestNewDomainValidation(t *testing.T) {
+	n := lineNetwork(t)
+	if _, err := NewDomain(n, nil, Config{Grandmaster: "SW1"}); !errors.Is(err, ErrBadSync) {
+		t.Fatalf("zero interval: %v", err)
+	}
+	if _, err := NewDomain(n, nil, Config{Interval: time.Millisecond, Grandmaster: "nope"}); !errors.Is(err, ErrBadSync) {
+		t.Fatalf("bad grandmaster: %v", err)
+	}
+}
+
+func TestHops(t *testing.T) {
+	d := domain(t, Config{Interval: 125 * time.Millisecond, Grandmaster: "SW1"}, nil)
+	cases := map[model.NodeID]int{"SW1": 0, "D1": 1, "SW2": 1, "D2": 2}
+	for id, want := range cases {
+		if got := d.Hops(id); got != want {
+			t.Errorf("Hops(%s) = %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestGrandmasterAlwaysZero(t *testing.T) {
+	d := domain(t, Config{Interval: time.Millisecond, Grandmaster: "SW1"},
+		map[model.NodeID]Clock{"SW1": {DriftPPM: 100}})
+	for _, at := range []time.Duration{0, time.Second, 3 * time.Second} {
+		if off := d.Offset("SW1", at); off != 0 {
+			t.Fatalf("grandmaster offset %v at %v", off, at)
+		}
+	}
+}
+
+func TestOffsetBoundedByWorstResidual(t *testing.T) {
+	clocks := map[model.NodeID]Clock{
+		"D2":  {DriftPPM: 50},
+		"SW2": {DriftPPM: -30},
+	}
+	d := domain(t, Config{
+		Interval:       10 * time.Millisecond,
+		PathDelayError: 20 * time.Nanosecond,
+		Grandmaster:    "SW1",
+		Seed:           1,
+	}, clocks)
+	for _, id := range []model.NodeID{"D1", "D2", "SW2"} {
+		bound := d.WorstResidual(id)
+		for k := 0; k < 2000; k++ {
+			at := time.Duration(k) * 137 * time.Microsecond
+			off := d.Offset(id, at)
+			if off > bound || off < -bound {
+				t.Fatalf("offset %v at %v exceeds worst residual %v for %s", off, at, bound, id)
+			}
+		}
+	}
+}
+
+func TestOffsetDeterministic(t *testing.T) {
+	mk := func() *Domain {
+		return domain(t, Config{Interval: 10 * time.Millisecond, Grandmaster: "SW1", Seed: 7},
+			map[model.NodeID]Clock{"D2": {DriftPPM: 25}})
+	}
+	a, b := mk(), mk()
+	for k := 0; k < 100; k++ {
+		at := time.Duration(k) * 997 * time.Microsecond
+		if a.Offset("D2", at) != b.Offset("D2", at) {
+			t.Fatalf("offset not deterministic at %v", at)
+		}
+	}
+}
+
+func TestOffsetSawtooth(t *testing.T) {
+	// With zero residual sources, the offset is pure drift since the last
+	// sync: zero right at the sync instant, growing within the interval.
+	d := domain(t, Config{
+		Interval:       10 * time.Millisecond,
+		TimestampError: time.Nanosecond, // ~zero
+		Grandmaster:    "SW1",
+	}, map[model.NodeID]Clock{"D2": {DriftPPM: 100}})
+	atSync := d.Offset("D2", 20*time.Millisecond)
+	mid := d.Offset("D2", 25*time.Millisecond)
+	if abs := mid - atSync; abs < 400*time.Nanosecond || abs > 600*time.Nanosecond {
+		// 100 ppm over 5 ms = 500 ns of accumulated drift.
+		t.Fatalf("drift accumulation = %v, want ~500ns", abs)
+	}
+}
+
+func TestMaxWorstResidual(t *testing.T) {
+	d := domain(t, Config{
+		Interval:       10 * time.Millisecond,
+		PathDelayError: 50 * time.Nanosecond,
+		Grandmaster:    "SW1",
+	}, map[model.NodeID]Clock{"D2": {DriftPPM: 100}})
+	// D2: 2 hops -> 10ns + 100ns + 100ppm*10ms = 110ns + 1000ns.
+	want := DefaultTimestampError + 2*50*time.Nanosecond + 1000*time.Nanosecond
+	if got := d.MaxWorstResidual(); got < want-2*time.Nanosecond || got > want+2*time.Nanosecond {
+		t.Fatalf("MaxWorstResidual = %v, want ~%v", got, want)
+	}
+}
+
+func TestOffsetFuncAdapter(t *testing.T) {
+	d := domain(t, Config{Interval: time.Millisecond, Grandmaster: "SW1", Seed: 3}, nil)
+	f := d.OffsetFunc()
+	if f("SW1", time.Second) != d.Offset("SW1", time.Second) {
+		t.Fatal("adapter mismatch")
+	}
+	// Unknown nodes read zero offset.
+	if f("ghost", time.Second) != 0 {
+		t.Fatal("unknown node should read 0")
+	}
+	// Negative times are clamped.
+	if got := d.Offset("D2", -time.Second); got != d.Offset("D2", 0) {
+		t.Fatalf("negative time offset = %v", got)
+	}
+}
+
+// TestQuickResidualWithinBound: residual draws never exceed the per-node
+// bound for random seeds and rounds.
+func TestQuickResidualWithinBound(t *testing.T) {
+	d := domain(t, Config{
+		Interval:       5 * time.Millisecond,
+		PathDelayError: 30 * time.Nanosecond,
+		Grandmaster:    "SW1",
+		Seed:           11,
+	}, nil)
+	f := func(round int64) bool {
+		if round < 0 {
+			round = -round
+		}
+		for _, id := range []model.NodeID{"D1", "D2", "SW2"} {
+			bound := DefaultTimestampError + time.Duration(d.Hops(id))*30*time.Nanosecond
+			r := d.residual(id, round)
+			if r > bound || r < -bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

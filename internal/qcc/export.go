@@ -1,0 +1,110 @@
+package qcc
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"etsn/internal/gcl"
+	"etsn/internal/model"
+)
+
+// SlotExport is one scheduled frame slot in the export document.
+type SlotExport struct {
+	Stream   string `json:"stream"`
+	Index    int    `json:"index"`
+	OffsetUs int64  `json:"offset_us"`
+	LengthUs int64  `json:"length_us"`
+	PeriodUs int64  `json:"period_us"`
+	Epoch    int64  `json:"epoch,omitempty"`
+	Priority int    `json:"priority"`
+	Shared   bool   `json:"shared,omitempty"`
+	Reserve  bool   `json:"reserve,omitempty"`
+	Prob     bool   `json:"prob,omitempty"`
+}
+
+// LinkScheduleExport is the slot table of one directed link.
+type LinkScheduleExport struct {
+	Link  string       `json:"link"`
+	Slots []SlotExport `json:"slots"`
+}
+
+// GCLEntryExport is one gate-control entry.
+type GCLEntryExport struct {
+	DurationNs int64 `json:"duration_ns"`
+	// Gates is the open-gate bitmask (bit i = priority i).
+	Gates uint8 `json:"gates"`
+}
+
+// PortGCLExport is one port's complete gate program.
+type PortGCLExport struct {
+	Link    string           `json:"link"`
+	CycleNs int64            `json:"cycle_ns"`
+	Entries []GCLEntryExport `json:"entries"`
+}
+
+// DeploymentExport is the JSON form of a CNC deployment.
+type DeploymentExport struct {
+	HyperperiodUs int64                `json:"hyperperiod_us"`
+	Backend       string               `json:"backend"`
+	Schedule      []LinkScheduleExport `json:"schedule"`
+	GCLs          []PortGCLExport      `json:"gcls"`
+}
+
+// Export converts the deployment to its serializable form.
+func (d *Deployment) Export() *DeploymentExport {
+	out := &DeploymentExport{
+		HyperperiodUs: int64(d.Result.Schedule.Hyperperiod.Microseconds()),
+		Backend:       d.Result.BackendUsed.String(),
+	}
+	for _, lid := range d.Result.Schedule.Links() {
+		ls := LinkScheduleExport{Link: lid.String()}
+		for _, fs := range d.Result.Schedule.SlotsOn(lid) {
+			ls.Slots = append(ls.Slots, SlotExport{
+				Stream:   string(fs.Stream),
+				Index:    fs.Index,
+				OffsetUs: fs.Offset,
+				LengthUs: fs.Length,
+				PeriodUs: fs.Period,
+				Epoch:    fs.Epoch,
+				Priority: fs.Priority,
+				Shared:   fs.Shared,
+				Reserve:  fs.Reserve,
+				Prob:     fs.Prob,
+			})
+		}
+		out.Schedule = append(out.Schedule, ls)
+	}
+	links := make([]model.LinkID, 0, len(d.GCLs))
+	for lid := range d.GCLs {
+		links = append(links, lid)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	for _, lid := range links {
+		g := d.GCLs[lid]
+		pe := PortGCLExport{Link: lid.String(), CycleNs: int64(g.Cycle)}
+		for _, e := range g.Entries {
+			pe.Entries = append(pe.Entries, GCLEntryExport{
+				DurationNs: int64(e.Duration),
+				Gates:      uint8(e.Gates),
+			})
+		}
+		out.GCLs = append(out.GCLs, pe)
+	}
+	return out
+}
+
+// WriteJSON writes the deployment export as indented JSON.
+func (d *Deployment) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d.Export())
+}
+
+// GateMaskOf is a small helper for consumers reading exports back.
+func GateMaskOf(e GCLEntryExport) gcl.GateMask { return gcl.GateMask(e.Gates) }

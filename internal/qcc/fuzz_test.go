@@ -1,0 +1,39 @@
+package qcc
+
+import (
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes through the configuration parser and, when
+// a document parses, through problem construction: neither may panic, and
+// every accepted problem must carry valid streams.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sampleConfig))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"network":{"devices":["a","b"],"switches":["s"],
+		"links":[{"a":"a","b":"s","bandwidth_bps":1000000},
+		         {"a":"b","b":"s","bandwidth_bps":1000000}]},
+		"streams":[{"id":"x","talker":"a","listener":"b","type":"time-triggered",
+		            "period_us":1000,"max_latency_us":1000,"payload_bytes":100}]}`))
+	f.Add([]byte(`{"streams":[{"id":"x","type":"event-triggered","period_us":-5}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := Parse(data)
+		if err != nil {
+			return
+		}
+		p, err := cfg.BuildProblem()
+		if err != nil {
+			return
+		}
+		for _, s := range p.TCT {
+			if err := s.Validate(p.Network); err != nil {
+				t.Fatalf("accepted invalid TCT stream: %v", err)
+			}
+		}
+		for _, e := range p.ECT {
+			if err := e.Validate(p.Network); err != nil {
+				t.Fatalf("accepted invalid ECT stream: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package qcc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"etsn/internal/gcl"
+	"etsn/internal/model"
+)
+
+// ParseDeployment reads a deployment document written by
+// Deployment.WriteJSON and reconstructs the per-port gate programs (the
+// artifacts a switch consumes). The slot table is informational; the gate
+// programs alone are sufficient to run a network.
+func ParseDeployment(r io.Reader) (*DeploymentExport, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	var exp DeploymentExport
+	if err := json.Unmarshal(data, &exp); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return &exp, nil
+}
+
+// GCLs reconstructs the gate programs from the export.
+func (e *DeploymentExport) GCLPrograms() (map[model.LinkID]*gcl.PortGCL, error) {
+	out := make(map[model.LinkID]*gcl.PortGCL, len(e.GCLs))
+	for _, pe := range e.GCLs {
+		lid, err := parseLinkID(pe.Link)
+		if err != nil {
+			return nil, err
+		}
+		g := &gcl.PortGCL{Link: lid, Cycle: time.Duration(pe.CycleNs)}
+		var total time.Duration
+		for _, entry := range pe.Entries {
+			g.Entries = append(g.Entries, gcl.Entry{
+				Duration: time.Duration(entry.DurationNs),
+				Gates:    gcl.GateMask(entry.Gates),
+			})
+			total += time.Duration(entry.DurationNs)
+		}
+		if total != g.Cycle {
+			return nil, fmt.Errorf("%w: port %s entries sum to %v, cycle %v",
+				ErrBadConfig, pe.Link, total, g.Cycle)
+		}
+		out[lid] = g
+	}
+	return out, nil
+}
+
+// parseLinkID parses the "from->to" form used by LinkID.String.
+func parseLinkID(s string) (model.LinkID, error) {
+	from, to, ok := strings.Cut(s, "->")
+	if !ok || from == "" || to == "" {
+		return model.LinkID{}, fmt.Errorf("%w: bad link id %q", ErrBadConfig, s)
+	}
+	return model.LinkID{From: model.NodeID(from), To: model.NodeID(to)}, nil
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"etsn/internal/core"
+	"etsn/internal/gcl"
+	"etsn/internal/model"
+)
+
+// CQF queue assignments: the two alternating 802.1Qch buffers.
+const (
+	CQFQueueA = 6
+	CQFQueueB = 7
+)
+
+// BuildCQF plans the scenario under 802.1Qch cyclic queuing and forwarding
+// (the other mainstream deterministic-TSN mechanism the paper discusses):
+// no per-stream slots are computed — every critical frame, time- or
+// event-triggered, advances exactly one hop per cycle, giving the classic
+// (hops+1) x cycle latency bound. The cycle time is sized so one cycle's
+// admissions always drain in the next (the bandwidth-delay trade CQF
+// makes).
+//
+// cycleTime <= 0 picks the smallest safe cycle automatically.
+func BuildCQF(p *core.Problem, cycleTime time.Duration) (*Plan, error) {
+	if cycleTime <= 0 {
+		cycleTime = safeCQFCycle(p)
+	}
+	unit := model.DefaultTimeUnit
+	if links := p.Network.Links(); len(links) > 0 {
+		unit = links[0].TimeUnit
+	}
+	// Align the cycle to the scheduling unit.
+	cycleTime = cycleTime.Round(unit)
+	if cycleTime <= 0 {
+		return nil, fmt.Errorf("%w: CQF cycle collapsed to zero", ErrPlan)
+	}
+
+	// The "schedule" here only carries talker emission times (period
+	// starts, fragments back to back) — CQF needs no slot planning.
+	sched := model.NewSchedule()
+	sched.Hyperperiod = 2 * cycleTime
+	for i, s := range p.TCT {
+		cp := *s
+		cp.Path = append([]model.LinkID(nil), s.Path...)
+		cp.Priority = CQFQueueA
+		sched.AddStream(&cp)
+		period := int64(cp.Period) / int64(unit)
+		// Stagger talker phases (ingress shaping): synchronized
+		// period-start bursts would need cycles sized for the sum of all
+		// messages at once.
+		phase := int64(i) * period / int64(len(p.TCT)+1)
+		for _, lid := range cp.Path {
+			link, _ := p.Network.LinkByID(lid)
+			tx := link.TxUnits(model.MTUBytes)
+			for j := 0; j < cp.Frames(); j++ {
+				sched.AddSlot(model.FrameSlot{
+					Stream:   cp.ID,
+					Link:     lid,
+					Index:    j,
+					Offset:   (phase + int64(j)*tx) % period,
+					Epoch:    (phase + int64(j)*tx) / period,
+					Length:   tx,
+					Period:   period,
+					Priority: CQFQueueA,
+				})
+			}
+		}
+	}
+	sched.Sort()
+
+	// Alternating gate programs, identical on every port: queue A open in
+	// even cycles, queue B in odd ones, best effort always.
+	gcls := make(map[model.LinkID]*gcl.PortGCL, p.Network.NumLinks())
+	for _, link := range p.Network.Links() {
+		gcls[link.ID()] = &gcl.PortGCL{
+			Link:  link.ID(),
+			Cycle: 2 * cycleTime,
+			Entries: []gcl.Entry{
+				{Duration: cycleTime, Gates: gcl.GateMask(1<<CQFQueueA | 1<<model.PriorityBestEffort)},
+				{Duration: cycleTime, Gates: gcl.GateMask(1<<CQFQueueB | 1<<model.PriorityBestEffort)},
+			},
+		}
+	}
+	return &Plan{
+		Method:      MethodCQF,
+		Schedule:    sched,
+		GCLs:        gcls,
+		ECTPriority: CQFQueueA, // reassigned per arrival cycle by the sim
+		CQF:         &CQFSettings{CycleTime: cycleTime},
+	}, nil
+}
+
+// CQFSettings carries the runtime CQF parameters of a plan.
+type CQFSettings struct {
+	// CycleTime is the 802.1Qch cycle.
+	CycleTime time.Duration
+}
+
+// safeCQFCycle sizes the cycle so the largest one-cycle admission on any
+// link drains within one cycle: at utilization U the steady demand per
+// cycle is U x cycle, and the worst single-period burst (the biggest
+// message crossing the link) must also fit, so
+// cycle >= maxBurst / (1 - U).
+func safeCQFCycle(p *core.Problem) time.Duration {
+	type linkLoad struct {
+		util  float64
+		burst time.Duration
+	}
+	loads := make(map[model.LinkID]*linkLoad)
+	add := func(path []model.LinkID, frames int, period time.Duration) {
+		for _, lid := range path {
+			link, ok := p.Network.LinkByID(lid)
+			if !ok {
+				continue
+			}
+			ll := loads[lid]
+			if ll == nil {
+				ll = &linkLoad{}
+				loads[lid] = ll
+			}
+			busy := time.Duration(frames) * link.TxTime(model.MTUBytes)
+			ll.util += float64(busy) / float64(period)
+			if busy > ll.burst {
+				ll.burst = busy
+			}
+		}
+	}
+	for _, s := range p.TCT {
+		add(s.Path, s.Frames(), s.Period)
+	}
+	for _, e := range p.ECT {
+		add(e.Path, e.Frames(), e.MinInterevent)
+	}
+	cycle := time.Millisecond
+	for _, ll := range loads {
+		if ll.util >= 0.9 {
+			ll.util = 0.9
+		}
+		// Factor 2: staggered talkers still partially coincide, and a
+		// cycle must absorb residual clumping on top of the fluid demand.
+		need := time.Duration(2 * float64(ll.burst) / (1 - ll.util))
+		if need > cycle {
+			cycle = need
+		}
+	}
+	return cycle
+}

@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"etsn/internal/stats"
+)
+
+func TestBuildCQF(t *testing.T) {
+	p, ect := testbedProblem(t, 0.5)
+	plan, err := BuildCQF(p, 0)
+	if err != nil {
+		t.Fatalf("BuildCQF: %v", err)
+	}
+	if plan.Method != MethodCQF || plan.CQF == nil {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.CQF.CycleTime <= 0 {
+		t.Fatalf("cycle = %v", plan.CQF.CycleTime)
+	}
+	// Every port carries the two-entry alternating program.
+	if len(plan.GCLs) != p.Network.NumLinks() {
+		t.Fatalf("gcls = %d, want %d", len(plan.GCLs), p.Network.NumLinks())
+	}
+	for lid, g := range plan.GCLs {
+		if len(g.Entries) != 2 || g.Cycle != 2*plan.CQF.CycleTime {
+			t.Fatalf("port %s program = %+v", lid, g)
+		}
+	}
+	_ = ect
+}
+
+func TestBuildCQFExplicitCycle(t *testing.T) {
+	p, _ := testbedProblem(t, 0.25)
+	plan, err := BuildCQF(p, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CQF.CycleTime != 3*time.Millisecond {
+		t.Fatalf("cycle = %v", plan.CQF.CycleTime)
+	}
+}
+
+// TestCQFLatencyBand: end-to-end latency under CQF is governed by the
+// hop-per-cycle rule: between about hops x cycle and (hops+1) x cycle.
+func TestCQFLatencyBand(t *testing.T) {
+	p, ect := testbedProblem(t, 0.5)
+	prob := Problem{Network: p.Network, TCT: p.TCT, ECT: p.ECT}
+	plan, err := Build(MethodCQF, prob, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := plan.Simulate(p.Network, p.ECT, nil, 4*time.Second, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats := r.Latencies(ect.ID)
+	if len(lats) < 100 {
+		t.Fatalf("delivered %d", len(lats))
+	}
+	cycle := plan.CQF.CycleTime
+	hops := time.Duration(len(ect.Path))
+	s := stats.Summarize(lats)
+	// Each hop waits at most one full cycle plus its own transmission;
+	// at least (hops-1) cycle boundaries must pass.
+	if s.Max > (hops+1)*cycle+time.Millisecond {
+		t.Fatalf("worst %v above CQF bound %v", s.Max, (hops+1)*cycle)
+	}
+	if s.Min < (hops-1)*cycle/2 {
+		t.Fatalf("min %v suspiciously low for %d hops at cycle %v", s.Min, len(ect.Path), cycle)
+	}
+	// TCT also flows under CQF and stays within the same band.
+	for _, st := range p.TCT {
+		sum := stats.Summarize(r.Latencies(st.ID))
+		if sum.Count == 0 {
+			t.Fatalf("TCT %s delivered nothing", st.ID)
+		}
+		stHops := time.Duration(len(st.Path))
+		if sum.Max > (stHops+2)*cycle {
+			t.Fatalf("TCT %s worst %v above CQF band (%d hops, cycle %v)",
+				st.ID, sum.Max, len(st.Path), cycle)
+		}
+	}
+	if r.TotalDrops() != 0 {
+		t.Fatalf("drops = %d", r.TotalDrops())
+	}
+}
+
+// TestCQFvsETSN: CQF's ECT latency is cycle-quantized and far above E-TSN's.
+func TestCQFvsETSN(t *testing.T) {
+	p, ect := testbedProblem(t, 0.5)
+	prob := Problem{Network: p.Network, TCT: p.TCT, ECT: p.ECT, NProb: 64, Spread: true}
+	worst := make(map[Method]time.Duration)
+	for _, m := range []Method{MethodETSN, MethodCQF} {
+		plan, err := Build(m, prob, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := plan.Simulate(p.Network, p.ECT, nil, 4*time.Second, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst[m] = stats.Summarize(r.Latencies(ect.ID)).Max
+	}
+	if worst[MethodETSN]*2 >= worst[MethodCQF] {
+		t.Fatalf("E-TSN worst %v not well below CQF %v", worst[MethodETSN], worst[MethodCQF])
+	}
+}

@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"etsn/internal/core"
+	"etsn/internal/model"
+)
+
+// BuildPERIOD schedules ECT as dedicated periodic slots: each ECT stream
+// becomes a time-triggered stream with a period small enough to consume the
+// same slot budget E-TSN would reserve for it (paper Sec. VI-A2), scaled by
+// multiplier (Fig. 12 grants PERIOD 2x/4x/8x E-TSN's slots). The dedicated
+// streams exist only as reservations; at runtime ECT frames queue in the ECT
+// class and wait for the dedicated gate windows.
+func BuildPERIOD(p *core.Problem, multiplier int) (*Plan, error) {
+	if multiplier <= 0 {
+		multiplier = 1
+	}
+	budgets := make(map[model.StreamID]int, len(p.ECT))
+	reserved := make(map[model.StreamID]bool, len(p.ECT))
+	// Plan with the fast placer only: the retry loop below handles
+	// infeasible budgets, so an exhaustive SMT fallback buys nothing here.
+	opts := p.Opts
+	opts.Backend = core.BackendPlacer
+
+	tct := make([]*model.Stream, len(p.TCT))
+	for i, s := range p.TCT {
+		cp := *s
+		cp.Share = false
+		cp.Priority = 0
+		tct[i] = &cp
+	}
+
+	streams := append([]*model.Stream(nil), tct...)
+	for _, e := range p.ECT {
+		k := ETSNSlotBudget(p, e) * multiplier
+		ds, kEff, err := dedicatedStream(p.Network, e, k)
+		if err != nil {
+			return nil, err
+		}
+		budgets[e.ID] = kEff
+		reserved[e.ID] = true
+		streams = append(streams, ds)
+	}
+
+	sub := &core.Problem{Network: p.Network, TCT: streams, Opts: opts}
+	res, err := core.Schedule(sub)
+	// If the dedicated slots do not fit (infeasible, or the fallback
+	// search gave up), grant fewer slots (longer dedicated periods) until
+	// the schedule closes.
+	for retry := 0; err != nil &&
+		(errors.Is(err, core.ErrInfeasible) || errors.Is(err, core.ErrBudget)) && retry < 6; retry++ {
+		streams = streams[:len(tct)]
+		shrunk := false
+		for _, e := range p.ECT {
+			k := budgets[e.ID] / 2
+			if k < 1 {
+				k = 1
+			}
+			if k != budgets[e.ID] {
+				shrunk = true
+			}
+			ds, kEff, derr := dedicatedStream(p.Network, e, k)
+			if derr != nil {
+				return nil, derr
+			}
+			budgets[e.ID] = kEff
+			streams = append(streams, ds)
+		}
+		if !shrunk {
+			break
+		}
+		sub = &core.Problem{Network: p.Network, TCT: streams, Opts: opts}
+		res, err = core.Schedule(sub)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("PERIOD scheduling: %w", err)
+	}
+	for _, e := range p.ECT {
+		res.Schedule.SetStreamPriority(e.ID, model.PriorityECT)
+	}
+	gcls, err := synthesizePlain(res.Schedule)
+	if err != nil {
+		return nil, fmt.Errorf("PERIOD GCL synthesis: %w", err)
+	}
+	return &Plan{
+		Method:      MethodPERIOD,
+		Schedule:    res.Schedule,
+		GCLs:        gcls,
+		ECTPriority: model.PriorityECT,
+		Reserved:    reserved,
+		Result:      res,
+		SlotBudget:  budgets,
+	}, nil
+}
+
+// dedicatedStream builds the ECT-as-TCT reservation stream with k dedicated
+// slots per interevent time. The dedicated period must evenly divide the
+// interevent time (to keep the hyperperiod bounded), so k is rounded up to
+// the nearest divisor count; the effective k is returned.
+func dedicatedStream(network *model.Network, e *model.ECT, k int) (*model.Stream, int, error) {
+	unit := model.DefaultTimeUnit
+	if links := network.Links(); len(links) > 0 {
+		unit = links[0].TimeUnit
+	}
+	tUnits := int64(e.MinInterevent) / int64(unit)
+	if tUnits <= 0 {
+		return nil, 0, fmt.Errorf("%w: ECT %q interevent %v below unit %v", ErrPlan, e.ID, e.MinInterevent, unit)
+	}
+	if int64(k) > tUnits {
+		k = int(tUnits)
+	}
+	kEff := k
+	for tUnits%int64(kEff) != 0 {
+		kEff++
+	}
+	period := time.Duration(tUnits / int64(kEff) * int64(unit))
+	return &model.Stream{
+		ID:          e.ID,
+		Path:        append([]model.LinkID(nil), e.Path...),
+		E2E:         e.E2E,
+		LengthBytes: e.LengthBytes,
+		Period:      period,
+		Type:        model.StreamDet,
+	}, kEff, nil
+}
+
+// ETSNSlotBudget estimates the time-slots per interevent period that E-TSN
+// reserves for an ECT stream: the prudent-reservation extras (Alg. 1)
+// summed over the sharing TCT streams on each link of the ECT's path, taking
+// the minimum over the path (an end-to-end dedicated slot exists only where
+// every hop reserves one). This is the slot-parity knob the paper grants
+// PERIOD ("we make PERIOD use as many time-slots as E-TSN").
+func ETSNSlotBudget(p *core.Problem, e *model.ECT) int {
+	if len(e.Path) == 0 {
+		return 1
+	}
+	k := -1
+	for _, lid := range e.Path {
+		link, ok := p.Network.LinkByID(lid)
+		if !ok {
+			continue
+		}
+		extras := 0
+		for _, st := range p.TCT {
+			if !st.Share {
+				continue
+			}
+			for _, sl := range st.Path {
+				if sl == lid {
+					extras += core.ExtraSlots(st, e, link)
+					break
+				}
+			}
+		}
+		if k < 0 || extras < k {
+			k = extras
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

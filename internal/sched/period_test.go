@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"etsn/internal/core"
+	"etsn/internal/model"
+)
+
+func TestDedicatedStreamDivisorRounding(t *testing.T) {
+	n := testbedNetwork(t)
+	path, err := n.ShortestPath("D2", "D4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &model.ECT{ID: "e", Path: path, E2E: 16 * time.Millisecond,
+		LengthBytes: model.MTUBytes, MinInterevent: 16 * time.Millisecond}
+	// k = 3 does not divide 16000 us; the effective k rounds up to 4.
+	ds, kEff, err := dedicatedStream(n, e, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kEff != 4 {
+		t.Fatalf("kEff = %d, want 4", kEff)
+	}
+	if ds.Period != 4*time.Millisecond {
+		t.Fatalf("period = %v, want 4ms", ds.Period)
+	}
+	if ds.Type != model.StreamDet || ds.ID != "e" {
+		t.Fatalf("stream = %+v", ds)
+	}
+	// An exact divisor stays put.
+	_, kEff, err = dedicatedStream(n, e, 8)
+	if err != nil || kEff != 8 {
+		t.Fatalf("kEff = %d (err %v), want 8", kEff, err)
+	}
+	// k larger than the unit count clamps.
+	_, kEff, err = dedicatedStream(n, e, 1_000_000)
+	if err != nil || kEff > 16000 {
+		t.Fatalf("kEff = %d (err %v)", kEff, err)
+	}
+}
+
+func TestDedicatedStreamTooShortInterevent(t *testing.T) {
+	n := testbedNetwork(t)
+	path, _ := n.ShortestPath("D2", "D4")
+	e := &model.ECT{ID: "e", Path: path, E2E: time.Microsecond,
+		LengthBytes: 10, MinInterevent: 100 * time.Nanosecond}
+	if _, _, err := dedicatedStream(n, e, 1); err == nil {
+		t.Fatal("sub-unit interevent accepted")
+	}
+}
+
+func TestETSNSlotBudgetPathMinimum(t *testing.T) {
+	n := testbedNetwork(t)
+	ectPath, _ := n.ShortestPath("D2", "D4")
+	mk := func(id model.StreamID, src, dst model.NodeID, share bool) *model.Stream {
+		p, _ := n.ShortestPath(src, dst)
+		return &model.Stream{ID: id, Path: p, E2E: 8 * time.Millisecond, Share: share,
+			LengthBytes: model.MTUBytes, Period: 4 * time.Millisecond, Type: model.StreamDet}
+	}
+	e := &model.ECT{ID: "e", Path: ectPath, E2E: 16 * time.Millisecond,
+		LengthBytes: model.MTUBytes, MinInterevent: 16 * time.Millisecond}
+	// Two sharing streams cross the trunk, one crosses SW2->D4; minimum
+	// over the path is governed by the sparsest hop with sharing.
+	p := &core.Problem{Network: n, ECT: []*model.ECT{e}, TCT: []*model.Stream{
+		mk("a", "D1", "D3", true), // D1->SW1->SW2->D3: trunk only
+		mk("b", "D1", "D4", true), // trunk + SW2->D4
+		mk("c", "D3", "D4", false),
+	}}
+	k := ETSNSlotBudget(p, e)
+	// D2->SW1 carries no sharing stream: extras 0 there, so the minimum
+	// clamps to 1.
+	if k != 1 {
+		t.Fatalf("budget = %d, want 1 (sparsest hop has no sharing streams)", k)
+	}
+	// With a sharing stream on every hop the budget rises.
+	p.TCT = append(p.TCT, mk("d", "D2", "D4", true))
+	if k = ETSNSlotBudget(p, e); k < 1 {
+		t.Fatalf("budget = %d", k)
+	}
+}
+
+func TestETSNSlotBudgetEmptyPath(t *testing.T) {
+	p := &core.Problem{}
+	if k := ETSNSlotBudget(p, &model.ECT{}); k != 1 {
+		t.Fatalf("budget = %d, want 1", k)
+	}
+}

@@ -1,0 +1,151 @@
+// Package sched builds end-to-end scheduling plans for the three methods
+// the paper evaluates (Sec. VI-A2):
+//
+//   - E-TSN: the paper's contribution — probabilistic streams, prioritized
+//     slot sharing, prudent reservation (via internal/core), with GCLs that
+//     open the ECT gate inside shared TCT slots.
+//   - PERIOD: ECT treated as time-triggered traffic with dedicated slots,
+//     scheduled with a period small enough to spend as many time-slots as
+//     E-TSN reserves (optionally multiplied, Fig. 12).
+//   - AVB: ECT transmitted as an 802.1Qav class governed by a credit-based
+//     shaper, allowed only in time-slots left unallocated by the TCT
+//     schedule.
+//
+// A Plan bundles everything a simulation run needs: the schedule, the GCLs,
+// the runtime traffic class for ECT frames, shaper settings, and
+// reservation-only stream marks.
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"etsn/internal/core"
+	"etsn/internal/gcl"
+	"etsn/internal/model"
+)
+
+// Sentinel errors.
+var (
+	// ErrPlan marks a planning failure not caused by infeasibility.
+	ErrPlan = errors.New("planning failed")
+)
+
+// Method selects the scheduling approach for ECT.
+type Method int
+
+// Methods compared in the paper.
+const (
+	// MethodETSN is the paper's proposal.
+	MethodETSN Method = iota + 1
+	// MethodPERIOD schedules ECT as dedicated periodic slots.
+	MethodPERIOD
+	// MethodAVB transmits ECT as a credit-shaped AVB class in unallocated
+	// time.
+	MethodAVB
+	// MethodCQF forwards all critical traffic under 802.1Qch cyclic
+	// queuing (one hop per cycle).
+	MethodCQF
+)
+
+// String names the method as the paper does.
+func (m Method) String() string {
+	switch m {
+	case MethodETSN:
+		return "E-TSN"
+	case MethodPERIOD:
+		return "PERIOD"
+	case MethodAVB:
+		return "AVB"
+	case MethodCQF:
+		return "CQF"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Plan is a complete, runnable configuration for one method.
+type Plan struct {
+	// Method identifies the approach the plan implements.
+	Method Method
+	// Schedule is the computed slot assignment.
+	Schedule *model.Schedule
+	// GCLs program every port used by the schedule.
+	GCLs map[model.LinkID]*gcl.PortGCL
+	// ECTPriority is the traffic class ECT frames use at runtime.
+	ECTPriority int
+	// CBS holds per-class credit-based shaper idle slopes (fraction of
+	// link rate); non-nil only for AVB.
+	CBS map[int]float64
+	// Reserved marks schedule streams that exist as reservations only
+	// (PERIOD's ECT-as-TCT streams).
+	Reserved map[model.StreamID]bool
+	// Result is the underlying scheduling result for analysis (E-TSN and
+	// PERIOD).
+	Result *core.Result
+	// SlotBudget records, per ECT stream, the dedicated slots per
+	// interevent time PERIOD was granted.
+	SlotBudget map[model.StreamID]int
+	// CQF carries the cyclic-forwarding parameters when Method is
+	// MethodCQF.
+	CQF *CQFSettings
+}
+
+// BuildETSN schedules the problem with the E-TSN scheduler and compiles GCLs
+// with prioritized slot sharing. The resulting schedule is independently
+// verified; any violation is returned as an error.
+func BuildETSN(p *core.Problem) (*Plan, error) {
+	res, err := core.Schedule(p)
+	if err != nil {
+		return nil, fmt.Errorf("E-TSN scheduling: %w", err)
+	}
+	if vs := core.Verify(p.Network, res); len(vs) != 0 {
+		return nil, fmt.Errorf("%w: E-TSN schedule failed verification: %v", ErrPlan, vs[0])
+	}
+	gcls, err := gcl.Synthesize(res.Schedule, gcl.Config{OpenECTOnShared: true})
+	if err != nil {
+		return nil, fmt.Errorf("E-TSN GCL synthesis: %w", err)
+	}
+	return &Plan{
+		Method:      MethodETSN,
+		Schedule:    res.Schedule,
+		GCLs:        gcls,
+		ECTPriority: model.PriorityECT,
+		Result:      res,
+	}, nil
+}
+
+// BuildAVB schedules only the TCT streams (no sharing, no reservations for
+// ECT) and opens the AVB gate in all unallocated time; ECT frames run as
+// 802.1Qav class A under a credit-based shaper.
+func BuildAVB(p *core.Problem) (*Plan, error) {
+	tct := make([]*model.Stream, len(p.TCT))
+	for i, s := range p.TCT {
+		cp := *s
+		cp.Share = false
+		cp.Priority = 0 // reassign into the non-shared band
+		tct[i] = &cp
+	}
+	sub := &core.Problem{Network: p.Network, TCT: tct, Opts: p.Opts}
+	res, err := core.Schedule(sub)
+	if err != nil {
+		return nil, fmt.Errorf("AVB scheduling: %w", err)
+	}
+	gcls, err := gcl.Synthesize(res.Schedule, gcl.Config{
+		UnallocatedGates: gcl.GateMask(1<<model.PriorityBestEffort | 1<<model.PriorityAVB),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("AVB GCL synthesis: %w", err)
+	}
+	return &Plan{
+		Method:      MethodAVB,
+		Schedule:    res.Schedule,
+		GCLs:        gcls,
+		ECTPriority: model.PriorityAVB,
+		CBS:         map[int]float64{model.PriorityAVB: DefaultAVBIdleSlope},
+		Result:      res,
+	}, nil
+}
+
+// DefaultAVBIdleSlope is the class-A idle slope as a fraction of link rate.
+const DefaultAVBIdleSlope = 0.75

@@ -1,0 +1,63 @@
+package sim
+
+import "time"
+
+// shaper is an 802.1Qav credit-based shaper governing one traffic class of
+// one port. Credit accrues at idleSlope while frames wait, is consumed at
+// sendSlope while transmitting, and a queue is transmission-eligible only
+// with non-negative credit. Positive credit is discarded when the queue
+// drains (standard Qav). Gate-closed credit freezing is approximated by
+// updating credit only at transmission-selection instants; the baseline's
+// qualitative behaviour (shaping bursts, degrading under load) is governed
+// by the gate windows themselves.
+type shaper struct {
+	// credit is in bit-times (bits).
+	credit float64
+	// idleSlope and sendSlope are in bits per second; sendSlope is
+	// negative (idleSlope - linkRate).
+	idleSlope float64
+	sendSlope float64
+	// last is the time of the previous credit update.
+	last time.Duration
+	// backlogged tracks whether the class had frames waiting since last.
+	backlogged bool
+}
+
+func newShaper(idleSlope, linkRate float64) *shaper {
+	return &shaper{idleSlope: idleSlope, sendSlope: idleSlope - linkRate}
+}
+
+// observe advances credit to now given whether the class was backlogged.
+func (s *shaper) observe(now time.Duration, backlogged bool) {
+	dt := (now - s.last).Seconds()
+	if dt > 0 {
+		if s.backlogged {
+			s.credit += s.idleSlope * dt
+		} else if s.credit > 0 {
+			// Idle queue sheds positive credit.
+			s.credit = 0
+		}
+		s.last = now
+	}
+	s.backlogged = backlogged
+}
+
+// onTransmit charges the shaper for a transmission of the given duration,
+// which replaces the idle accrual over that span.
+func (s *shaper) onTransmit(start time.Duration, tx time.Duration) {
+	s.observe(start, true)
+	s.credit += s.sendSlope * tx.Seconds()
+	s.last = start + tx
+}
+
+// eligible reports whether the class may transmit.
+func (s *shaper) eligible() bool { return s.credit >= 0 }
+
+// readyAfter returns how long until credit reaches zero at idleSlope.
+func (s *shaper) readyAfter() time.Duration {
+	if s.credit >= 0 {
+		return 0
+	}
+	secs := -s.credit / s.idleSlope
+	return time.Duration(secs * float64(time.Second))
+}

@@ -1,0 +1,52 @@
+// Package sim is a nanosecond-resolution discrete-event simulator of a TSN
+// network: 802.1Qbv switches (eight priority queues per output port, gates
+// driven by a Gate Control List, strict-priority transmission selection,
+// store-and-forward), end devices that emit time-triggered streams at their
+// scheduled offsets and event-triggered streams at stochastic times, links
+// with serialization and propagation delay, and an optional 802.1Qav
+// credit-based shaper per traffic class.
+//
+// It substitutes for the paper's FPGA testbed (Sec. V) and the
+// NeSTiNg/OMNeT++ simulation (Sec. VI-A): the evaluation metrics — per-flow
+// latency and jitter under gating and preemption — are produced by the same
+// queueing mechanics the hardware implements.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is a scheduled callback; seq breaks ties deterministically.
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+var _ heap.Interface = (*eventHeap)(nil)

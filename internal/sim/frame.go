@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"time"
+
+	"etsn/internal/model"
+)
+
+// Frame is one Ethernet frame in flight: a fragment of a stream message.
+type Frame struct {
+	// Stream is the stream the frame belongs to. For event-triggered
+	// traffic this is the ECT stream ID (not a possibility).
+	Stream model.StreamID
+	// Seq numbers the message within its stream.
+	Seq int64
+	// Frag and FragCount identify the fragment within the message.
+	Frag      int
+	FragCount int
+	// Priority is the 802.1Q traffic class the frame travels in.
+	Priority int
+	// PayloadBytes is the fragment payload size.
+	PayloadBytes int
+	// Created is the time the message was handed to the talker: the
+	// scheduled emission for TCT, the event occurrence for ECT.
+	Created time.Duration
+	// Path is the route; Hop indexes the link currently being crossed
+	// (or about to be crossed).
+	Path []model.LinkID
+	Hop  int
+}
+
+// CurrentLink returns the link the frame must traverse next.
+func (f *Frame) CurrentLink() model.LinkID { return f.Path[f.Hop] }
+
+// LastHop reports whether the frame is on its final link.
+func (f *Frame) LastHop() bool { return f.Hop == len(f.Path)-1 }

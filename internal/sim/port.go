@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"etsn/internal/gcl"
+	"etsn/internal/model"
+)
+
+// gateWin is one open interval of a priority's gate, in time relative to a
+// cycle start. Windows are precomputed over two cycles so queries never
+// wrap.
+type gateWin struct {
+	start time.Duration
+	end   time.Duration
+}
+
+// outPort is the output port feeding one directed link: eight FIFO priority
+// queues, a Qbv gate program, strict-priority transmission selection with a
+// length-aware gate check (a frame starts only if its gate stays open for
+// the whole transmission), and optional per-class credit-based shapers.
+type outPort struct {
+	sim     *Simulator
+	link    *model.Link
+	program *gcl.PortGCL
+	queues  [model.NumPriorities][]*Frame
+	busy    time.Duration // transmitting until this instant
+	shapers map[int]*shaper
+	drops   int
+	// windows caches the gate program per priority, merged and unrolled
+	// over two cycles, so transmission selection is a binary search
+	// instead of an entry scan.
+	windows [model.NumPriorities][]gateWin
+	// wakeAt is the earliest already-scheduled future wake-up, or zero.
+	wakeAt time.Duration
+}
+
+// buildWindows precomputes per-priority open windows from the gate program.
+func (p *outPort) buildWindows() {
+	c := p.program.Cycle
+	for pri := 0; pri < model.NumPriorities; pri++ {
+		var one []gateWin
+		var acc time.Duration
+		for _, e := range p.program.Entries {
+			if e.Gates.Open(pri) {
+				if n := len(one); n > 0 && one[n-1].end == acc {
+					one[n-1].end = acc + e.Duration
+				} else {
+					one = append(one, gateWin{start: acc, end: acc + e.Duration})
+				}
+			}
+			acc += e.Duration
+		}
+		if len(one) == 0 {
+			p.windows[pri] = nil
+			continue
+		}
+		// Unroll to two cycles and merge across the boundary.
+		two := make([]gateWin, 0, 2*len(one))
+		two = append(two, one...)
+		for _, w := range one {
+			w.start += c
+			w.end += c
+			if n := len(two); n > 0 && two[n-1].end == w.start {
+				two[n-1].end = w.end
+			} else {
+				two = append(two, w)
+			}
+		}
+		p.windows[pri] = two
+	}
+}
+
+// nextOpen returns the earliest instant >= t (node-local time) at which the
+// priority's gate stays open for at least need, using the precomputed
+// windows.
+func (p *outPort) nextOpen(t time.Duration, pri int, need time.Duration) (time.Duration, bool) {
+	ws := p.windows[pri]
+	if len(ws) == 0 {
+		return 0, false
+	}
+	c := p.program.Cycle
+	base := t - t%c
+	off := t % c
+	i := sort.Search(len(ws), func(k int) bool { return ws[k].end > off })
+	for ; i < len(ws); i++ {
+		start := ws[i].start
+		if start < off {
+			start = off
+		}
+		if ws[i].end-start >= need {
+			return base + start, true
+		}
+	}
+	return 0, false
+}
+
+// enqueue appends a frame to its priority queue and triggers selection.
+// Under 802.1Qch the frame joins whichever of the two alternating classes
+// is receiving in the current cycle.
+func (p *outPort) enqueue(f *Frame) {
+	if c := p.sim.cfg.CQF; c != nil && (f.Priority == c.QueueA || f.Priority == c.QueueB) {
+		f.Priority = c.receiveQueue(p.localNow())
+	}
+	p.sim.trace.emit(p.sim.now, "enqueue", f, p.link.ID())
+	p.queues[f.Priority] = append(p.queues[f.Priority], f)
+	p.trySend()
+}
+
+// localNow converts simulation time to the port's node-local clock.
+func (p *outPort) localNow() time.Duration {
+	return p.sim.localTime(p.link.From, p.sim.now)
+}
+
+// trySend runs 802.1Qbv transmission selection: among non-empty queues whose
+// gate is open now and stays open long enough for the head frame, pick the
+// highest priority (subject to shaper eligibility) and transmit. When
+// nothing is eligible, a wake-up is scheduled at the earliest instant any
+// queue could become eligible.
+func (p *outPort) trySend() {
+	now := p.sim.now
+	if p.busy > now {
+		p.scheduleWake(p.busy)
+		return
+	}
+	local := p.localNow()
+	skew := local - now
+	var wake time.Duration = -1
+	for pri := model.NumPriorities - 1; pri >= 0; pri-- {
+		q := p.queues[pri]
+		if len(q) == 0 {
+			continue
+		}
+		head := q[0]
+		tx := p.link.TxTime(head.PayloadBytes)
+		at, ok := p.nextOpen(local, pri, tx)
+		if !ok {
+			// The gate never opens wide enough for this frame: it can
+			// never be transmitted. Drop it so the queue does not jam.
+			p.queues[pri] = q[1:]
+			p.drops++
+			p.sim.results.recordDrop(head.Stream)
+			p.sim.trace.emit(now, "drop", head, p.link.ID())
+			p.sim.schedule(now, p.trySend)
+			return
+		}
+		sh := p.shapers[pri]
+		if sh != nil {
+			sh.observe(now, true)
+		}
+		if at == local && (sh == nil || sh.eligible()) {
+			p.transmit(head, pri, tx)
+			return
+		}
+		cand := at - skew // convert node-local opening back to sim time
+		if sh != nil && at == local && !sh.eligible() {
+			cand = now + sh.readyAfter()
+		}
+		if cand > now && (wake < 0 || cand < wake) {
+			wake = cand
+		}
+	}
+	if wake >= 0 {
+		p.scheduleWake(wake)
+	}
+}
+
+// scheduleWake arms a wake-up at the given time unless an earlier (or
+// equal) future wake-up is already pending.
+func (p *outPort) scheduleWake(at time.Duration) {
+	if p.wakeAt > p.sim.now && p.wakeAt <= at {
+		return
+	}
+	p.wakeAt = at
+	p.sim.schedule(at, p.trySend)
+}
+
+// transmit sends the head frame of the given queue.
+func (p *outPort) transmit(f *Frame, pri int, tx time.Duration) {
+	now := p.sim.now
+	p.queues[pri] = p.queues[pri][1:]
+	if sh := p.shapers[pri]; sh != nil {
+		sh.onTransmit(now, tx)
+	}
+	p.busy = now + tx
+	p.sim.trace.emit(now, "tx", f, p.link.ID())
+	if loss := p.sim.cfg.LinkLoss[p.link.ID()]; loss > 0 && p.sim.rng.Float64() < loss {
+		// The frame is corrupted on the wire and never arrives.
+		p.sim.results.recordLost(f.Stream)
+		p.sim.trace.emit(now, "lost", f, p.link.ID())
+	} else {
+		arrival := now + tx + p.link.PropDelay
+		p.sim.schedule(arrival, func() { p.sim.deliver(f, p.link) })
+	}
+	p.sim.schedule(p.busy, p.trySend)
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"etsn/internal/model"
+)
+
+// Results collects per-stream delivery latencies from a run.
+type Results struct {
+	latencies  map[model.StreamID][]time.Duration
+	drops      map[model.StreamID]int
+	hops       map[hopKey][]time.Duration
+	emitted    map[model.StreamID]int
+	lost       map[model.StreamID]int
+	eliminated map[model.StreamID]int
+	totalDrops int
+}
+
+type hopKey struct {
+	stream model.StreamID
+	hop    int
+}
+
+func newResults() *Results {
+	return &Results{
+		latencies:  make(map[model.StreamID][]time.Duration),
+		drops:      make(map[model.StreamID]int),
+		hops:       make(map[hopKey][]time.Duration),
+		emitted:    make(map[model.StreamID]int),
+		lost:       make(map[model.StreamID]int),
+		eliminated: make(map[model.StreamID]int),
+	}
+}
+
+func (r *Results) record(id model.StreamID, lat time.Duration) {
+	r.latencies[id] = append(r.latencies[id], lat)
+}
+
+func (r *Results) recordDrop(id model.StreamID) { r.drops[id]++ }
+
+func (r *Results) recordHop(id model.StreamID, hop int, lat time.Duration) {
+	k := hopKey{stream: id, hop: hop}
+	r.hops[k] = append(r.hops[k], lat)
+}
+
+// HopLatencies returns, when hop tracing is enabled, the per-frame latency
+// from message creation until the frame cleared the given hop (0-based
+// along the stream's path).
+func (r *Results) HopLatencies(id model.StreamID, hop int) []time.Duration {
+	return r.hops[hopKey{stream: id, hop: hop}]
+}
+
+func (r *Results) recordEmitted(id model.StreamID)    { r.emitted[id]++ }
+func (r *Results) recordLost(id model.StreamID)       { r.lost[id]++ }
+func (r *Results) recordEliminated(id model.StreamID) { r.eliminated[id]++ }
+
+// Emitted returns the number of events an ECT source generated.
+func (r *Results) Emitted(id model.StreamID) int { return r.emitted[id] }
+
+// Lost returns the number of frames of a stream corrupted on lossy links.
+func (r *Results) Lost(id model.StreamID) int { return r.lost[id] }
+
+// Eliminated returns the number of duplicate member copies the listener
+// discarded under 802.1CB elimination.
+func (r *Results) Eliminated(id model.StreamID) int { return r.eliminated[id] }
+
+// DeliveryRatio returns delivered/emitted for an ECT stream; 1 when the
+// source emitted nothing.
+func (r *Results) DeliveryRatio(id model.StreamID) float64 {
+	if r.emitted[id] == 0 {
+		return 1
+	}
+	return float64(len(r.latencies[id])) / float64(r.emitted[id])
+}
+
+// Latencies returns the delivery latencies of a stream's messages in
+// delivery order. The returned slice is owned by the results.
+func (r *Results) Latencies(id model.StreamID) []time.Duration { return r.latencies[id] }
+
+// Streams lists the streams that delivered at least one message, sorted.
+func (r *Results) Streams() []model.StreamID {
+	out := make([]model.StreamID, 0, len(r.latencies))
+	for id := range r.latencies {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Delivered returns the number of complete messages a stream delivered.
+func (r *Results) Delivered(id model.StreamID) int { return len(r.latencies[id]) }
+
+// Drops returns the number of frames of a stream dropped because no gate
+// window could ever carry them.
+func (r *Results) Drops(id model.StreamID) int { return r.drops[id] }
+
+// TotalDrops returns the total dropped frames across all ports.
+func (r *Results) TotalDrops() int { return r.totalDrops }

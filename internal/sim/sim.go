@@ -1,0 +1,434 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"etsn/internal/gcl"
+	"etsn/internal/model"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadConfig marks an unusable simulation configuration.
+	ErrBadConfig = errors.New("invalid simulation config")
+)
+
+// BETraffic is a best-effort background flow: frames of a fixed size
+// emitted with exponentially distributed gaps, travelling in the lowest
+// traffic class through whatever gate time is left open for it. The paper's
+// AVB baseline is defined as "higher priority than background traffic", so
+// evaluation scenarios carry such flows.
+type BETraffic struct {
+	// Path is the flow's route.
+	Path []model.LinkID
+	// PayloadBytes is the frame payload (default MTU).
+	PayloadBytes int
+	// MeanGap is the mean inter-frame gap.
+	MeanGap time.Duration
+	// Priority defaults to model.PriorityBestEffort.
+	Priority int
+}
+
+// ECTTraffic attaches a stochastic event source to the simulation.
+type ECTTraffic struct {
+	// Stream describes the event-triggered stream (path, size, minimum
+	// interevent time).
+	Stream *model.ECT
+	// Priority is the traffic class ECT frames travel in: PriorityECT for
+	// E-TSN and PERIOD, PriorityAVB for the AVB baseline.
+	Priority int
+	// Gaps optionally overrides the interevent gap distribution; given
+	// the RNG it returns the gap between one event and the next. The
+	// default is MinInterevent plus a uniform extra in [0, MinInterevent),
+	// which respects the minimum spacing while decorrelating event phase
+	// from the schedule.
+	Gaps func(rng *rand.Rand) time.Duration
+	// ExtraPaths replicates every event's frames over additional routes
+	// (802.1CB frame replication); requires Config.Eliminate so the
+	// listener deduplicates member copies.
+	ExtraPaths [][]model.LinkID
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Network is the topology.
+	Network *model.Network
+	// Schedule provides talker offsets for deterministic streams (its
+	// probabilistic streams are reservations, not traffic).
+	Schedule *model.Schedule
+	// GCLs program every output port; ports without a program stay
+	// fully open for best effort only.
+	GCLs map[model.LinkID]*gcl.PortGCL
+	// ECT lists the stochastic event sources.
+	ECT []ECTTraffic
+	// Reserved marks deterministic streams whose slots are reservations
+	// only: no periodic traffic is emitted for them (e.g. the PERIOD
+	// baseline's dedicated ECT slots).
+	Reserved map[model.StreamID]bool
+	// BestEffort lists background flows in the lowest traffic class.
+	BestEffort []BETraffic
+	// Duration is the simulated time span.
+	Duration time.Duration
+	// WarmUp discards messages created before this instant.
+	WarmUp time.Duration
+	// Seed feeds the deterministic RNG.
+	Seed int64
+	// CBS maps a traffic class to a credit-based shaper idle slope,
+	// expressed as a fraction of the link rate (e.g. 0.75 for class A).
+	CBS map[int]float64
+	// ClockOffset optionally skews each node's local clock (802.1AS
+	// residual error injection); nil means perfectly synchronized.
+	ClockOffset func(model.NodeID, time.Duration) time.Duration
+	// TraceHops records per-hop completion latencies (time from message
+	// creation until the frame clears each link) in addition to
+	// end-to-end latencies. Off by default; it grows memory linearly with
+	// frames x hops.
+	TraceHops bool
+	// LinkLoss maps directed links to an independent per-frame loss
+	// probability (a coarse PHY error model for redundancy studies).
+	LinkLoss map[model.LinkID]float64
+	// Eliminate enables 802.1CB-style duplicate elimination at the
+	// listener: the first copy of each (stream, seq, fragment) is
+	// accepted, later member copies are discarded. Required when any ECT
+	// source replicates over extra paths.
+	Eliminate bool
+	// Trace, when non-nil, receives a JSONL event stream (enqueue,
+	// transmit, deliver, drop, loss) — the simulator's capture file.
+	Trace io.Writer
+	// CQF enables 802.1Qch cyclic queuing and forwarding on every port:
+	// two traffic classes alternate as receive/transmit buffers each
+	// cycle, so a frame admitted in cycle i is forwarded in cycle i+1.
+	CQF *CQFConfig
+}
+
+// CQFConfig parameterizes 802.1Qch operation.
+type CQFConfig struct {
+	// CycleTime is the CQF cycle duration; per-hop latency lies in
+	// [CycleTime, 2*CycleTime] when the cycle is sized for the load.
+	CycleTime time.Duration
+	// QueueA and QueueB are the alternating traffic classes; frames
+	// enqueued with either class are reassigned to the class that is
+	// closed (receiving) in the current cycle.
+	QueueA int
+	QueueB int
+}
+
+// receiveQueue returns the class a frame arriving at local time t must
+// join: the one whose gate is closed this cycle.
+func (c *CQFConfig) receiveQueue(t time.Duration) int {
+	if (t/c.CycleTime)%2 == 0 {
+		return c.QueueB // A transmits during even cycles
+	}
+	return c.QueueA
+}
+
+// Simulator executes a configured TSN network run.
+type Simulator struct {
+	cfg     Config
+	rng     *rand.Rand
+	now     time.Duration
+	seq     int64
+	events  eventHeap
+	ports   map[model.LinkID]*outPort
+	results *Results
+	// arrived counts received fragments per in-flight message.
+	arrived map[msgKey]int
+	// seen tracks accepted fragments for 802.1CB duplicate elimination.
+	seen map[fragKey]bool
+	// trace is the optional event sink.
+	trace *tracer
+}
+
+type fragKey struct {
+	stream model.StreamID
+	seq    int64
+	frag   int
+}
+
+type msgKey struct {
+	stream model.StreamID
+	seq    int64
+}
+
+// New validates the configuration and builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrBadConfig)
+	}
+	if cfg.Schedule == nil {
+		return nil, fmt.Errorf("%w: nil schedule", ErrBadConfig)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("%w: duration %v", ErrBadConfig, cfg.Duration)
+	}
+	for _, e := range cfg.ECT {
+		if e.Stream == nil {
+			return nil, fmt.Errorf("%w: nil ECT stream", ErrBadConfig)
+		}
+		if e.Priority < 0 || e.Priority >= model.NumPriorities {
+			return nil, fmt.Errorf("%w: ECT %q priority %d", ErrBadConfig, e.Stream.ID, e.Priority)
+		}
+		if len(e.ExtraPaths) > 0 && !cfg.Eliminate {
+			return nil, fmt.Errorf("%w: ECT %q replicates but Eliminate is off", ErrBadConfig, e.Stream.ID)
+		}
+	}
+	for lid, p := range cfg.LinkLoss {
+		if p < 0 || p >= 1 {
+			return nil, fmt.Errorf("%w: loss %v on %s", ErrBadConfig, p, lid)
+		}
+	}
+	if c := cfg.CQF; c != nil {
+		if c.CycleTime <= 0 {
+			return nil, fmt.Errorf("%w: CQF cycle %v", ErrBadConfig, c.CycleTime)
+		}
+		if c.QueueA == c.QueueB || c.QueueA < 0 || c.QueueB < 0 ||
+			c.QueueA >= model.NumPriorities || c.QueueB >= model.NumPriorities {
+			return nil, fmt.Errorf("%w: CQF queues %d/%d", ErrBadConfig, c.QueueA, c.QueueB)
+		}
+	}
+	s := &Simulator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		ports:   make(map[model.LinkID]*outPort),
+		results: newResults(),
+		arrived: make(map[msgKey]int),
+		seen:    make(map[fragKey]bool),
+	}
+	if cfg.Trace != nil {
+		s.trace = newTracer(cfg.Trace)
+	}
+	for _, link := range cfg.Network.Links() {
+		program := cfg.GCLs[link.ID()]
+		if program == nil {
+			// Unprogrammed port: everything open all the time.
+			program = &gcl.PortGCL{Link: link.ID(), Cycle: time.Millisecond,
+				Entries: []gcl.Entry{{Duration: time.Millisecond, Gates: 0xFF}}}
+		}
+		p := &outPort{sim: s, link: link, program: program, shapers: make(map[int]*shaper)}
+		p.buildWindows()
+		for pri, frac := range cfg.CBS {
+			p.shapers[pri] = newShaper(frac*float64(link.Bandwidth), float64(link.Bandwidth))
+		}
+		s.ports[link.ID()] = p
+	}
+	return s, nil
+}
+
+// localTime maps simulation time to a node's local clock.
+func (s *Simulator) localTime(node model.NodeID, t time.Duration) time.Duration {
+	if s.cfg.ClockOffset == nil {
+		return t
+	}
+	return t + s.cfg.ClockOffset(node, t)
+}
+
+func (s *Simulator) schedule(at time.Duration, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// Run executes the simulation and returns the collected results.
+func (s *Simulator) Run() (*Results, error) {
+	s.startTCTSources()
+	s.startECTSources()
+	s.startBESources()
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.at > s.cfg.Duration {
+			break
+		}
+		s.now = e.at
+		e.fn()
+	}
+	for _, p := range s.ports {
+		s.results.totalDrops += p.drops
+	}
+	return s.results, nil
+}
+
+// startTCTSources schedules periodic emissions for every deterministic
+// stream in the schedule: fragment j of each cycle is handed to the talker
+// port exactly at its scheduled slot offset (CUC-configured talker offsets).
+func (s *Simulator) startTCTSources() {
+	ids := make([]model.StreamID, 0, len(s.cfg.Schedule.Streams))
+	for id := range s.cfg.Schedule.Streams {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := s.cfg.Schedule.Streams[id]
+		if st.Type != model.StreamDet || st.Reserve || s.cfg.Reserved[st.ID] {
+			continue
+		}
+		slots := s.cfg.Schedule.StreamSlots(st.ID, st.Path[0])
+		if len(slots) == 0 {
+			continue
+		}
+		frames := st.Frames()
+		if frames > len(slots) {
+			frames = len(slots)
+		}
+		offsets := make([]time.Duration, frames)
+		unit := time.Duration(int64(st.Period) / slots[0].Period)
+		for j := 0; j < frames; j++ {
+			offsets[j] = time.Duration(slots[j].VirtualOffset()) * unit
+		}
+		s.scheduleTCTCycle(st, offsets, 0)
+	}
+}
+
+func (s *Simulator) scheduleTCTCycle(st *model.Stream, offsets []time.Duration, cycle int64) {
+	base := time.Duration(cycle) * st.Period
+	if base > s.cfg.Duration {
+		return
+	}
+	created := base + offsets[0]
+	frags := len(offsets)
+	for j := 0; j < frags; j++ {
+		j := j
+		at := base + offsets[j]
+		payload := fragmentBytes(st.LengthBytes, frags, j)
+		s.schedule(at, func() {
+			f := &Frame{
+				Stream:       st.ID,
+				Seq:          cycle,
+				Frag:         j,
+				FragCount:    frags,
+				Priority:     st.Priority,
+				PayloadBytes: payload,
+				Created:      created,
+				Path:         st.Path,
+			}
+			s.ports[f.CurrentLink()].enqueue(f)
+		})
+	}
+	s.schedule(base+st.Period, func() { s.scheduleTCTCycle(st, offsets, cycle+1) })
+}
+
+// startECTSources schedules the first occurrence of every event source.
+func (s *Simulator) startECTSources() {
+	for i := range s.cfg.ECT {
+		src := s.cfg.ECT[i]
+		gap := src.Gaps
+		if gap == nil {
+			gap = func(rng *rand.Rand) time.Duration {
+				return src.Stream.MinInterevent +
+					time.Duration(rng.Int63n(int64(src.Stream.MinInterevent)))
+			}
+		}
+		// First event lands uniformly inside the first interevent window.
+		first := time.Duration(s.rng.Int63n(int64(src.Stream.MinInterevent)))
+		s.scheduleECTEvent(src, gap, first, 0)
+	}
+}
+
+func (s *Simulator) scheduleECTEvent(src ECTTraffic, gap func(*rand.Rand) time.Duration, at time.Duration, seq int64) {
+	if at > s.cfg.Duration {
+		return
+	}
+	s.schedule(at, func() {
+		s.results.recordEmitted(src.Stream.ID)
+		frags := src.Stream.Frames()
+		paths := append([][]model.LinkID{src.Stream.Path}, src.ExtraPaths...)
+		for _, path := range paths {
+			for j := 0; j < frags; j++ {
+				f := &Frame{
+					Stream:       src.Stream.ID,
+					Seq:          seq,
+					Frag:         j,
+					FragCount:    frags,
+					Priority:     src.Priority,
+					PayloadBytes: fragmentBytes(src.Stream.LengthBytes, frags, j),
+					Created:      at,
+					Path:         path,
+				}
+				s.ports[f.CurrentLink()].enqueue(f)
+			}
+		}
+		s.scheduleECTEvent(src, gap, at+gap(s.rng), seq+1)
+	})
+}
+
+// startBESources schedules background best-effort flows with exponential
+// inter-arrival gaps.
+func (s *Simulator) startBESources() {
+	for i := range s.cfg.BestEffort {
+		be := s.cfg.BestEffort[i]
+		if be.PayloadBytes == 0 {
+			be.PayloadBytes = model.MTUBytes
+		}
+		if be.MeanGap <= 0 || len(be.Path) == 0 {
+			continue
+		}
+		first := time.Duration(s.rng.ExpFloat64() * float64(be.MeanGap))
+		s.scheduleBEFrame(be, i, first, 0)
+	}
+}
+
+func (s *Simulator) scheduleBEFrame(be BETraffic, flow int, at time.Duration, seq int64) {
+	if at > s.cfg.Duration {
+		return
+	}
+	s.schedule(at, func() {
+		f := &Frame{
+			Stream:       model.StreamID(fmt.Sprintf("be%d", flow)),
+			Seq:          seq,
+			FragCount:    1,
+			Priority:     be.Priority,
+			PayloadBytes: be.PayloadBytes,
+			Created:      at,
+			Path:         be.Path,
+		}
+		s.ports[f.CurrentLink()].enqueue(f)
+		gap := time.Duration(s.rng.ExpFloat64() * float64(be.MeanGap))
+		s.scheduleBEFrame(be, flow, at+gap, seq+1)
+	})
+}
+
+// deliver handles a frame that finished crossing a link: forward at the next
+// switch, or complete the message at the destination device.
+func (s *Simulator) deliver(f *Frame, over *model.Link) {
+	s.trace.emit(s.now, "deliver", f, over.ID())
+	if s.cfg.TraceHops && f.Created >= s.cfg.WarmUp {
+		s.results.recordHop(f.Stream, f.Hop, s.now-f.Created)
+	}
+	if f.LastHop() {
+		if s.cfg.Eliminate {
+			fk := fragKey{stream: f.Stream, seq: f.Seq, frag: f.Frag}
+			if s.seen[fk] {
+				s.results.recordEliminated(f.Stream)
+				return
+			}
+			s.seen[fk] = true
+		}
+		k := msgKey{stream: f.Stream, seq: f.Seq}
+		s.arrived[k]++
+		if s.arrived[k] == f.FragCount {
+			delete(s.arrived, k)
+			if f.Created >= s.cfg.WarmUp {
+				s.results.record(f.Stream, s.now-f.Created)
+			}
+		}
+		return
+	}
+	f.Hop++
+	s.ports[f.CurrentLink()].enqueue(f)
+}
+
+// fragmentBytes returns the payload of fragment j of a message: full MTUs
+// followed by the remainder.
+func fragmentBytes(total, frags, j int) int {
+	if j == frags-1 {
+		return total - (frags-1)*model.MTUBytes
+	}
+	return model.MTUBytes
+}

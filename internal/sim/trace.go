@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"etsn/internal/model"
+)
+
+// TraceEvent is one line of the JSONL event trace: the simulator's
+// equivalent of a capture file, with the per-event fields an analysis
+// script needs.
+type TraceEvent struct {
+	// TimeNs is the simulation time in nanoseconds.
+	TimeNs int64 `json:"t_ns"`
+	// Kind is "enqueue", "tx", "deliver", "drop", or "lost".
+	Kind string `json:"kind"`
+	// Stream, Seq, and Frag identify the frame.
+	Stream string `json:"stream"`
+	Seq    int64  `json:"seq"`
+	Frag   int    `json:"frag"`
+	// Link is the directed link the event happened on.
+	Link string `json:"link"`
+	// Priority is the traffic class at event time (CQF may reassign it).
+	Priority int `json:"priority"`
+}
+
+// tracer serializes trace events to a writer as JSON lines.
+type tracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func newTracer(w io.Writer) *tracer {
+	return &tracer{enc: json.NewEncoder(w)}
+}
+
+func (t *tracer) emit(now time.Duration, kind string, f *Frame, link model.LinkID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Encoding errors cannot be surfaced per event; the trace is a debug
+	// artifact, so a failed write simply truncates it.
+	_ = t.enc.Encode(TraceEvent{
+		TimeNs:   int64(now),
+		Kind:     kind,
+		Stream:   string(f.Stream),
+		Seq:      f.Seq,
+		Frag:     f.Frag,
+		Link:     link.String(),
+		Priority: f.Priority,
+	})
+}

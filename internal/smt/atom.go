@@ -1,0 +1,71 @@
+// Package smt implements a small satisfiability-modulo-theories solver for
+// integer difference logic (IDL): boolean combinations of atoms of the form
+// x - y <= c over integer variables.
+//
+// The E-TSN scheduling formulation (paper Sec. IV) consists solely of such
+// atoms — the frame-overlap constraints (5) contribute two-literal
+// disjunctions, everything else is conjunctive — so this solver decides the
+// exact same constraint systems the paper hands to Z3. The architecture is
+// DPLL search over the disjunctions with an incremental negative-cycle
+// detector (a difference-constraint graph with potentials) as the theory.
+package smt
+
+import "fmt"
+
+// Var is an integer variable handle. The distinguished variable Zero is
+// fixed to 0 and is used to express absolute bounds as differences.
+type Var int
+
+// Zero is the reference variable, fixed to value 0 in every model.
+const Zero Var = 0
+
+// Atom is the difference-logic atom X - Y <= C.
+type Atom struct {
+	X Var
+	Y Var
+	C int64
+}
+
+// String renders the atom.
+func (a Atom) String() string { return fmt.Sprintf("v%d - v%d <= %d", a.X, a.Y, a.C) }
+
+// Lit is an atom or its negation. The negation of X - Y <= C is
+// X - Y >= C+1, i.e. Y - X <= -C-1.
+type Lit struct {
+	A   Atom
+	Neg bool
+}
+
+// String renders the literal.
+func (l Lit) String() string {
+	if l.Neg {
+		return "¬(" + l.A.String() + ")"
+	}
+	return l.A.String()
+}
+
+// edge returns the difference-constraint edge asserted by the literal:
+// from -> to with weight w, meaning pi[to] <= pi[from] + w.
+func (l Lit) edge() (from, to Var, w int64) {
+	if l.Neg {
+		// Y - X <= -C-1: edge X -> Y with weight -C-1.
+		return l.A.X, l.A.Y, -l.A.C - 1
+	}
+	// X - Y <= C: edge Y -> X with weight C.
+	return l.A.Y, l.A.X, l.A.C
+}
+
+// LE returns the literal x - y <= c.
+func LE(x, y Var, c int64) Lit { return Lit{A: Atom{X: x, Y: y, C: c}} }
+
+// GE returns the literal x - y >= c (encoded as y - x <= -c).
+func GE(x, y Var, c int64) Lit { return Lit{A: Atom{X: y, Y: x, C: -c}} }
+
+// LEConst returns the literal x <= c.
+func LEConst(x Var, c int64) Lit { return LE(x, Zero, c) }
+
+// GEConst returns the literal x >= c.
+func GEConst(x Var, c int64) Lit { return GE(x, Zero, c) }
+
+// Not returns the negation of the literal.
+func Not(l Lit) Lit { return Lit{A: l.A, Neg: !l.Neg} }

@@ -1,0 +1,67 @@
+package smt
+
+import (
+	"testing"
+)
+
+// FuzzSolve decodes a byte string into a small constraint system and checks
+// the solver's answer: no panics, and any SAT model must satisfy every
+// clause.
+func FuzzSolve(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 254, 253, 252, 10, 20, 30})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		s := NewSolver()
+		s.MaxDecisions = 5000
+		nVars := int(data[0]%6) + 2
+		vars := make([]Var, nVars)
+		for i := range vars {
+			vars[i] = s.NewVar("v")
+			s.AssertRange(vars[i], 0, int64(data[1]%20)+1)
+		}
+		var clauses [][]Lit
+		pos := 2
+		for pos+3 <= len(data) && len(clauses) < 24 {
+			width := int(data[pos]%3) + 1
+			pos++
+			var lits []Lit
+			for k := 0; k < width && pos+2 < len(data); k++ {
+				x := vars[int(data[pos])%nVars]
+				y := vars[int(data[pos+1])%nVars]
+				c := int64(data[pos+2]%31) - 15
+				pos += 3
+				l := LE(x, y, c)
+				if c < 0 && data[pos-1]&1 == 1 {
+					l = Not(l)
+				}
+				lits = append(lits, l)
+			}
+			if len(lits) == 0 {
+				break
+			}
+			clauses = append(clauses, lits)
+			s.AddClause(lits...)
+		}
+		m, err := s.Solve()
+		if err != nil {
+			return // UNSAT or budget: fine
+		}
+		for i, cl := range clauses {
+			ok := false
+			for _, l := range cl {
+				holds := m.Value(l.A.X)-m.Value(l.A.Y) <= l.A.C
+				if holds != l.Neg {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("model violates clause %d", i)
+			}
+		}
+	})
+}

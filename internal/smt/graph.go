@@ -1,0 +1,126 @@
+package smt
+
+// graph is the difference-constraint theory: a directed graph whose edge
+// from->to with weight w encodes pi[to] <= pi[from] + w. The solver keeps a
+// potential function pi that satisfies every asserted edge; adding an edge
+// triggers a decrease-only relaxation, and a negative cycle (theory
+// conflict) is detected exactly when the relaxation wraps around to the new
+// edge's source (Cotton & Maler style propagation).
+type graph struct {
+	pi  []int64   // current potential per variable
+	out [][]gEdge // adjacency: asserted edges by source
+
+	// undo logs, truncated on backtracking.
+	piLog   []piChange // potential changes, most recent last
+	edgeLog []Var      // sources of added edges, most recent last
+
+	// scratch for relaxation.
+	queue   []Var
+	inQ     []bool
+	touched []piChange // changes made by the in-flight relaxation
+}
+
+type gEdge struct {
+	to Var
+	w  int64
+}
+
+type piChange struct {
+	v   Var
+	old int64
+}
+
+func newGraph() *graph { return &graph{} }
+
+// addVar grows the graph to include one more variable.
+func (g *graph) addVar() Var {
+	v := Var(len(g.pi))
+	g.pi = append(g.pi, 0)
+	g.out = append(g.out, nil)
+	g.inQ = append(g.inQ, false)
+	return v
+}
+
+// markEdges and markPi capture the undo positions for a trail level.
+func (g *graph) markEdges() int { return len(g.edgeLog) }
+func (g *graph) markPi() int    { return len(g.piLog) }
+
+// addEdge asserts pi[to] <= pi[from] + w, relaxing potentials as needed.
+// It returns false on a negative cycle, in which case the graph is left
+// unchanged.
+func (g *graph) addEdge(from, to Var, w int64) bool {
+	if g.pi[to] <= g.pi[from]+w {
+		// Already satisfied; record the edge for future relaxations.
+		g.out[from] = append(g.out[from], gEdge{to: to, w: w})
+		g.edgeLog = append(g.edgeLog, from)
+		return true
+	}
+	// Tentatively add the edge, then propagate the decrease from `to`.
+	g.out[from] = append(g.out[from], gEdge{to: to, w: w})
+	g.touched = g.touched[:0]
+	g.setPi(to, g.pi[from]+w)
+	g.queue = append(g.queue[:0], to)
+	g.inQ[to] = true
+	ok := true
+	for len(g.queue) > 0 && ok {
+		u := g.queue[0]
+		g.queue = g.queue[1:]
+		g.inQ[u] = false
+		for _, e := range g.out[u] {
+			if g.pi[e.to] <= g.pi[u]+e.w {
+				continue
+			}
+			if e.to == from {
+				// Decreasing the new edge's source means the new
+				// edge closes a negative cycle.
+				ok = false
+				break
+			}
+			g.setPi(e.to, g.pi[u]+e.w)
+			if !g.inQ[e.to] {
+				g.queue = append(g.queue, e.to)
+				g.inQ[e.to] = true
+			}
+		}
+	}
+	if !ok {
+		// Roll back the tentative changes and the edge itself.
+		for i := len(g.touched) - 1; i >= 0; i-- {
+			g.pi[g.touched[i].v] = g.touched[i].old
+		}
+		for _, v := range g.queue {
+			g.inQ[v] = false
+		}
+		g.queue = g.queue[:0]
+		g.out[from] = g.out[from][:len(g.out[from])-1]
+		return false
+	}
+	// Commit: move the relaxation changes onto the undo log.
+	g.piLog = append(g.piLog, g.touched...)
+	g.edgeLog = append(g.edgeLog, from)
+	return true
+}
+
+func (g *graph) setPi(v Var, val int64) {
+	g.touched = append(g.touched, piChange{v: v, old: g.pi[v]})
+	g.pi[v] = val
+}
+
+// undoTo removes edges and potential changes recorded after the given marks.
+func (g *graph) undoTo(edgeMark, piMark int) {
+	for i := len(g.edgeLog) - 1; i >= edgeMark; i-- {
+		from := g.edgeLog[i]
+		g.out[from] = g.out[from][:len(g.out[from])-1]
+	}
+	g.edgeLog = g.edgeLog[:edgeMark]
+	for i := len(g.piLog) - 1; i >= piMark; i-- {
+		g.pi[g.piLog[i].v] = g.piLog[i].old
+	}
+	g.piLog = g.piLog[:piMark]
+}
+
+// holds reports whether the atom is satisfied by the current potentials.
+func (g *graph) holds(a Atom) bool { return g.pi[a.X]-g.pi[a.Y] <= a.C }
+
+// value returns the model value of v relative to Zero.
+func (g *graph) value(v Var) int64 { return g.pi[v] - g.pi[Zero] }

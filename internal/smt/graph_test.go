@@ -1,0 +1,211 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphAddEdgeSatisfied(t *testing.T) {
+	g := newGraph()
+	x, y := g.addVar(), g.addVar()
+	// pi all zero: edge x->y weight 5 already satisfied (0 <= 0+5).
+	if !g.addEdge(x, y, 5) {
+		t.Fatal("satisfied edge rejected")
+	}
+	if g.pi[y] != 0 {
+		t.Fatalf("pi changed unnecessarily: %d", g.pi[y])
+	}
+}
+
+func TestGraphRelaxation(t *testing.T) {
+	g := newGraph()
+	x, y, z := g.addVar(), g.addVar(), g.addVar()
+	// y <= x - 3 (edge x->y weight -3) forces pi[y] down.
+	if !g.addEdge(x, y, -3) {
+		t.Fatal("edge rejected")
+	}
+	if g.pi[y] != -3 {
+		t.Fatalf("pi[y] = %d, want -3", g.pi[y])
+	}
+	// z <= y - 2 propagates through.
+	if !g.addEdge(y, z, -2) {
+		t.Fatal("edge rejected")
+	}
+	if g.pi[z] != -5 {
+		t.Fatalf("pi[z] = %d, want -5", g.pi[z])
+	}
+	// Now a pre-existing chain must be relaxed transitively: x <= w - 1
+	// with w new root dropping x drops y and z too.
+	w := g.addVar()
+	if !g.addEdge(w, x, -1) {
+		t.Fatal("edge rejected")
+	}
+	if g.pi[x] != -1 || g.pi[y] != -4 || g.pi[z] != -6 {
+		t.Fatalf("pi = x:%d y:%d z:%d", g.pi[x], g.pi[y], g.pi[z])
+	}
+}
+
+func TestGraphNegativeCycleDetected(t *testing.T) {
+	g := newGraph()
+	x, y := g.addVar(), g.addVar()
+	if !g.addEdge(x, y, -1) {
+		t.Fatal("first edge rejected")
+	}
+	piX, piY := g.pi[x], g.pi[y]
+	// Closing the cycle with total weight -2 must fail and leave the
+	// graph untouched.
+	if g.addEdge(y, x, -1) {
+		t.Fatal("negative cycle accepted")
+	}
+	if g.pi[x] != piX || g.pi[y] != piY {
+		t.Fatal("failed insertion mutated potentials")
+	}
+	if len(g.out[y]) != 0 {
+		t.Fatal("failed edge left in adjacency")
+	}
+	// A zero-weight cycle is fine.
+	if !g.addEdge(y, x, 1) {
+		t.Fatal("non-negative cycle rejected")
+	}
+}
+
+func TestGraphUndo(t *testing.T) {
+	g := newGraph()
+	x, y := g.addVar(), g.addVar()
+	em, pm := g.markEdges(), g.markPi()
+	if !g.addEdge(x, y, -7) {
+		t.Fatal("edge rejected")
+	}
+	if g.pi[y] != -7 {
+		t.Fatalf("pi[y] = %d", g.pi[y])
+	}
+	g.undoTo(em, pm)
+	if g.pi[y] != 0 {
+		t.Fatalf("undo did not restore pi: %d", g.pi[y])
+	}
+	if len(g.out[x]) != 0 {
+		t.Fatal("undo did not remove edge")
+	}
+	// The retracted edge can be re-added.
+	if !g.addEdge(x, y, -7) {
+		t.Fatal("re-add rejected")
+	}
+}
+
+func TestGraphHoldsAndValue(t *testing.T) {
+	g := newGraph()
+	zero := g.addVar() // Zero
+	x := g.addVar()
+	if zero != Zero {
+		t.Fatalf("first var = %d", zero)
+	}
+	// x >= 4: edge x -> Zero? GEConst(x, 4) is Zero - x <= -4: edge x->Zero weight -4.
+	if !g.addEdge(x, Zero, -4) {
+		t.Fatal("edge rejected")
+	}
+	// value(x) = pi[x] - pi[Zero] >= 4.
+	if v := g.value(x); v < 4 {
+		t.Fatalf("value(x) = %d, want >= 4", v)
+	}
+	if !g.holds(Atom{X: Zero, Y: x, C: -4}) {
+		t.Fatal("asserted atom does not hold")
+	}
+}
+
+// TestQuickGraphPotentialsValid: after any sequence of successful edge
+// insertions, every asserted edge is satisfied by the potentials.
+func TestQuickGraphPotentialsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := newGraph()
+		n := 3 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			g.addVar()
+		}
+		type edge struct {
+			from, to Var
+			w        int64
+		}
+		var accepted []edge
+		for k := 0; k < 30; k++ {
+			e := edge{
+				from: Var(rng.Intn(n)),
+				to:   Var(rng.Intn(n)),
+				w:    int64(rng.Intn(21) - 10),
+			}
+			if g.addEdge(e.from, e.to, e.w) {
+				accepted = append(accepted, e)
+			}
+			// Invariant: all accepted edges satisfied.
+			for _, a := range accepted {
+				if g.pi[a.to] > g.pi[a.from]+a.w {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGraphUndoRestores: undoing to a mark restores exactly the
+// potentials from that point.
+func TestQuickGraphUndoRestores(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := newGraph()
+		n := 3 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			g.addVar()
+		}
+		for k := 0; k < 10; k++ {
+			g.addEdge(Var(rng.Intn(n)), Var(rng.Intn(n)), int64(rng.Intn(11)-5))
+		}
+		snapshot := append([]int64(nil), g.pi...)
+		em, pm := g.markEdges(), g.markPi()
+		for k := 0; k < 10; k++ {
+			g.addEdge(Var(rng.Intn(n)), Var(rng.Intn(n)), int64(rng.Intn(11)-5))
+		}
+		g.undoTo(em, pm)
+		for i := range snapshot {
+			if g.pi[i] != snapshot[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLitEdgeMapping(t *testing.T) {
+	// Positive literal x - y <= c asserts edge y -> x weight c.
+	l := LE(2, 3, 7)
+	from, to, w := l.edge()
+	if from != 3 || to != 2 || w != 7 {
+		t.Fatalf("edge = %d->%d w=%d", from, to, w)
+	}
+	// Negated literal asserts y - x <= -c-1.
+	from, to, w = Not(l).edge()
+	if from != 2 || to != 3 || w != -8 {
+		t.Fatalf("neg edge = %d->%d w=%d", from, to, w)
+	}
+}
+
+func TestAtomAndLitStrings(t *testing.T) {
+	l := LE(1, 2, 5)
+	if l.String() == "" || Not(l).String() == "" {
+		t.Fatal("empty literal strings")
+	}
+	if Not(l).String()[0] != 0xC2 && Not(l).String()[0] != '!' {
+		// The negation renders with a leading marker; just ensure the
+		// two forms differ.
+		if l.String() == Not(l).String() {
+			t.Fatal("negation renders identically")
+		}
+	}
+}

@@ -1,0 +1,462 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors returned by Solve.
+var (
+	// ErrUnsat means the asserted clauses are unsatisfiable.
+	ErrUnsat = errors.New("unsatisfiable")
+	// ErrBudget means the search exceeded MaxDecisions or Deadline.
+	ErrBudget = errors.New("solver budget exhausted")
+)
+
+// Model is a satisfying assignment: an integer value per variable, with
+// Zero mapped to 0.
+type Model struct {
+	vals []int64
+}
+
+// Value returns the model value of v.
+func (m *Model) Value(v Var) int64 {
+	if int(v) >= len(m.vals) {
+		return 0
+	}
+	return m.vals[int(v)]
+}
+
+// Stats reports search effort counters for the most recent Solve call.
+type Stats struct {
+	// Decisions is the number of branching decisions made.
+	Decisions int64
+	// Propagations is the number of literals assigned by unit propagation.
+	Propagations int64
+	// Conflicts is the number of clause or theory conflicts hit.
+	Conflicts int64
+	// Clauses is the number of clauses at solve time.
+	Clauses int
+	// Vars is the number of integer variables.
+	Vars int
+}
+
+// Solver accumulates clauses over difference-logic literals and decides
+// their satisfiability. The zero value is not usable; call NewSolver.
+type Solver struct {
+	g        *graph
+	names    []string
+	atomIDs  map[Atom]int
+	atoms    []Atom
+	val      []int8  // per atom: 0 unknown, +1 true, -1 false
+	watch    [][]int // per atom: indices of clauses containing it
+	clauses  []clause
+	numTrue  []int32 // per clause
+	numFalse []int32 // per clause
+
+	trail     []int // assigned atom ids, in order
+	decisions []decisionFrame
+
+	// MaxDecisions bounds the number of branching decisions; zero means
+	// unlimited.
+	MaxDecisions int64
+	// Deadline aborts the search when passed; zero means no deadline.
+	Deadline time.Time
+
+	stats     Stats
+	marks     []int // Push/Pop clause-count marks
+	propQueue []int // clauses that lost a literal and may be unit or empty
+}
+
+type clause struct {
+	lits []Lit
+	ids  []int // atom id per literal
+}
+
+type decisionFrame struct {
+	lit       Lit
+	litID     int
+	trailMark int
+	edgeMark  int
+	piMark    int
+	flipped   bool
+}
+
+// NewSolver returns an empty solver with the Zero variable allocated.
+func NewSolver() *Solver {
+	s := &Solver{
+		g:       newGraph(),
+		atomIDs: make(map[Atom]int),
+	}
+	s.g.addVar() // Zero
+	s.names = append(s.names, "ZERO")
+	return s
+}
+
+// NewVar allocates a fresh integer variable.
+func (s *Solver) NewVar(name string) Var {
+	v := s.g.addVar()
+	s.names = append(s.names, name)
+	return v
+}
+
+// Name returns the name given to a variable at allocation.
+func (s *Solver) Name(v Var) string {
+	if int(v) >= len(s.names) {
+		return fmt.Sprintf("v%d", int(v))
+	}
+	return s.names[int(v)]
+}
+
+// NumVars returns the number of variables including Zero.
+func (s *Solver) NumVars() int { return len(s.names) }
+
+// NumClauses returns the number of asserted clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Stats returns the effort counters of the most recent Solve call.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// AddClause asserts the disjunction of the given literals. An empty clause
+// makes the problem trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) {
+	c := clause{lits: append([]Lit(nil), lits...)}
+	c.ids = make([]int, len(c.lits))
+	ci := len(s.clauses)
+	for i, l := range c.lits {
+		id := s.internAtom(l.A)
+		c.ids[i] = id
+		s.watch[id] = append(s.watch[id], ci)
+	}
+	s.clauses = append(s.clauses, c)
+}
+
+// AssertLE asserts x - y <= c as a fact.
+func (s *Solver) AssertLE(x, y Var, c int64) { s.AddClause(LE(x, y, c)) }
+
+// AssertGE asserts x - y >= c as a fact.
+func (s *Solver) AssertGE(x, y Var, c int64) { s.AddClause(GE(x, y, c)) }
+
+// AssertRange asserts lo <= v <= hi.
+func (s *Solver) AssertRange(v Var, lo, hi int64) {
+	s.AddClause(GEConst(v, lo))
+	s.AddClause(LEConst(v, hi))
+}
+
+// Push records the current clause count so a later Pop can retract clauses
+// added since. Variables are never retracted.
+func (s *Solver) Push() { s.marks = append(s.marks, len(s.clauses)) }
+
+// Pop retracts all clauses added since the matching Push.
+func (s *Solver) Pop() {
+	if len(s.marks) == 0 {
+		return
+	}
+	mark := s.marks[len(s.marks)-1]
+	s.marks = s.marks[:len(s.marks)-1]
+	for ci := len(s.clauses) - 1; ci >= mark; ci-- {
+		for _, id := range s.clauses[ci].ids {
+			w := s.watch[id]
+			s.watch[id] = w[:len(w)-1]
+		}
+	}
+	s.clauses = s.clauses[:mark]
+}
+
+func (s *Solver) internAtom(a Atom) int {
+	if id, ok := s.atomIDs[a]; ok {
+		return id
+	}
+	id := len(s.atoms)
+	s.atomIDs[a] = id
+	s.atoms = append(s.atoms, a)
+	s.val = append(s.val, 0)
+	s.watch = append(s.watch, nil)
+	s.numTrue = nil // force counter rebuild on next Solve
+	return id
+}
+
+// Solve searches for a model of all asserted clauses. It returns ErrUnsat
+// if none exists and ErrBudget if MaxDecisions or Deadline was exceeded.
+// Solve restarts from scratch each call; clauses persist across calls.
+func (s *Solver) Solve() (*Model, error) {
+	s.reset()
+	// Assert unit clauses and propagate at the root level.
+	if !s.propagateRoot() {
+		return nil, ErrUnsat
+	}
+	for {
+		if err := s.checkBudget(); err != nil {
+			return nil, err
+		}
+		ci := s.findOpenClause()
+		if ci < 0 {
+			return s.extractModel(), nil
+		}
+		lit, id, ok := s.pickLiteral(ci)
+		if !ok {
+			// All literals of an unsatisfied clause are false:
+			// conflict discovered outside propagation.
+			if !s.resolveConflict() {
+				return nil, ErrUnsat
+			}
+			continue
+		}
+		s.stats.Decisions++
+		s.decisions = append(s.decisions, decisionFrame{
+			lit:       lit,
+			litID:     id,
+			trailMark: len(s.trail),
+			edgeMark:  s.g.markEdges(),
+			piMark:    s.g.markPi(),
+		})
+		if !s.assign(lit, id) || !s.propagate() {
+			if !s.resolveConflict() {
+				return nil, ErrUnsat
+			}
+		}
+	}
+}
+
+func (s *Solver) reset() {
+	for _, id := range s.trail {
+		s.val[id] = 0
+	}
+	s.trail = s.trail[:0]
+	s.decisions = s.decisions[:0]
+	s.g.undoTo(0, 0)
+	s.numTrue = make([]int32, len(s.clauses))
+	s.numFalse = make([]int32, len(s.clauses))
+	for i := range s.val {
+		s.val[i] = 0
+	}
+	s.stats = Stats{Clauses: len(s.clauses), Vars: s.NumVars()}
+	s.propQueue = s.propQueue[:0]
+}
+
+func (s *Solver) checkBudget() error {
+	if s.MaxDecisions > 0 && s.stats.Decisions >= s.MaxDecisions {
+		return fmt.Errorf("%w: %d decisions", ErrBudget, s.stats.Decisions)
+	}
+	if !s.Deadline.IsZero() && s.stats.Decisions%256 == 0 && time.Now().After(s.Deadline) {
+		return fmt.Errorf("%w: deadline exceeded", ErrBudget)
+	}
+	return nil
+}
+
+// litTruth returns +1/-1/0 for a literal given its atom id.
+func (s *Solver) litTruth(l Lit, id int) int8 {
+	v := s.val[id]
+	if v == 0 {
+		return 0
+	}
+	if l.Neg {
+		return -v
+	}
+	return v
+}
+
+// assign makes the literal true: records the atom value, updates clause
+// counters, and asserts the theory edge. It returns false on theory
+// conflict (the assignment is rolled back by the caller via backtracking,
+// so the bookkeeping is still applied).
+func (s *Solver) assign(l Lit, id int) bool {
+	want := int8(1)
+	if l.Neg {
+		want = -1
+	}
+	if s.val[id] != 0 {
+		return s.val[id] == want
+	}
+	s.val[id] = want
+	s.trail = append(s.trail, id)
+	for _, ci := range s.watch[id] {
+		cl := &s.clauses[ci]
+		for i, cid := range cl.ids {
+			if cid != id {
+				continue
+			}
+			if s.litTruth(cl.lits[i], id) > 0 {
+				s.numTrue[ci]++
+			} else {
+				s.numFalse[ci]++
+				if s.numTrue[ci] == 0 {
+					s.propQueue = append(s.propQueue, ci)
+				}
+			}
+		}
+	}
+	from, to, w := l.edge()
+	return s.g.addEdge(from, to, w)
+}
+
+// propagate runs unit propagation to fixpoint. It returns false on conflict.
+func (s *Solver) propagate() bool {
+	for len(s.propQueue) > 0 {
+		ci := s.propQueue[len(s.propQueue)-1]
+		s.propQueue = s.propQueue[:len(s.propQueue)-1]
+		cl := &s.clauses[ci]
+		if s.numTrue[ci] > 0 {
+			continue
+		}
+		open := int(len(cl.lits)) - int(s.numFalse[ci])
+		switch {
+		case open == 0:
+			return false
+		case open == 1:
+			// Find the unassigned literal and force it.
+			for i, id := range cl.ids {
+				if s.val[id] == 0 {
+					s.stats.Propagations++
+					if !s.assign(cl.lits[i], id) {
+						return false
+					}
+					break
+				}
+			}
+		}
+	}
+	return true
+}
+
+// propagateRoot asserts all unit clauses at the root level and propagates.
+func (s *Solver) propagateRoot() bool {
+	for ci := range s.clauses {
+		cl := &s.clauses[ci]
+		if len(cl.lits) == 0 {
+			return false
+		}
+		if len(cl.lits) == 1 {
+			if s.litTruth(cl.lits[0], cl.ids[0]) < 0 {
+				return false
+			}
+			if !s.assign(cl.lits[0], cl.ids[0]) {
+				return false
+			}
+		}
+	}
+	return s.propagate()
+}
+
+// findOpenClause returns the index of a clause with no true literal, or -1.
+func (s *Solver) findOpenClause() int {
+	for ci := range s.clauses {
+		if s.numTrue[ci] == 0 {
+			return ci
+		}
+	}
+	return -1
+}
+
+// pickLiteral chooses an unassigned literal of the clause, preferring one
+// already satisfied by the current potentials (a free theory lookahead).
+func (s *Solver) pickLiteral(ci int) (Lit, int, bool) {
+	cl := &s.clauses[ci]
+	first := -1
+	for i, id := range cl.ids {
+		if s.val[id] != 0 {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		l := cl.lits[i]
+		holds := s.g.holds(l.A)
+		if holds != l.Neg { // literal true under current potentials
+			return l, id, true
+		}
+	}
+	if first < 0 {
+		return Lit{}, 0, false
+	}
+	return cl.lits[first], cl.ids[first], true
+}
+
+// resolveConflict backtracks chronologically: undo decisions until one can
+// be flipped, flip it, and re-propagate. Returns false when the root level
+// is reached (UNSAT).
+func (s *Solver) resolveConflict() bool {
+	s.stats.Conflicts++
+	for len(s.decisions) > 0 {
+		d := s.decisions[len(s.decisions)-1]
+		s.undoTo(d.trailMark, d.edgeMark, d.piMark)
+		s.decisions = s.decisions[:len(s.decisions)-1]
+		if d.flipped {
+			continue
+		}
+		flipped := Not(d.lit)
+		s.decisions = append(s.decisions, decisionFrame{
+			lit:       flipped,
+			litID:     d.litID,
+			trailMark: d.trailMark,
+			edgeMark:  d.edgeMark,
+			piMark:    d.piMark,
+			flipped:   true,
+		})
+		if s.assign(flipped, d.litID) && s.propagate() {
+			return true
+		}
+		s.stats.Conflicts++
+	}
+	return false
+}
+
+func (s *Solver) undoTo(trailMark, edgeMark, piMark int) {
+	for i := len(s.trail) - 1; i >= trailMark; i-- {
+		id := s.trail[i]
+		for _, ci := range s.watch[id] {
+			cl := &s.clauses[ci]
+			for k, cid := range cl.ids {
+				if cid != id {
+					continue
+				}
+				if s.litTruth(cl.lits[k], id) > 0 {
+					s.numTrue[ci]--
+				} else {
+					s.numFalse[ci]--
+				}
+			}
+		}
+		s.val[id] = 0
+	}
+	s.trail = s.trail[:trailMark]
+	s.g.undoTo(edgeMark, piMark)
+	s.propQueue = s.propQueue[:0]
+}
+
+// Minimize finds a model that minimizes variable v within [lo, hi] by
+// binary search over upper-bound assertions (each probe is a Push/Solve/Pop
+// round). It returns the best model found; ErrUnsat means no model exists
+// even at hi, and ErrBudget propagates from the underlying searches.
+func (s *Solver) Minimize(v Var, lo, hi int64) (*Model, error) {
+	var best *Model
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		s.Push()
+		s.AddClause(LEConst(v, mid))
+		m, err := s.Solve()
+		s.Pop()
+		switch {
+		case err == nil:
+			best = m
+			hi = m.Value(v) - 1
+		case errors.Is(err, ErrUnsat):
+			lo = mid + 1
+		default:
+			return nil, err
+		}
+	}
+	if best == nil {
+		return nil, ErrUnsat
+	}
+	return best, nil
+}
+
+func (s *Solver) extractModel() *Model {
+	m := &Model{vals: make([]int64, s.NumVars())}
+	for v := 0; v < s.NumVars(); v++ {
+		m.vals[v] = s.g.value(Var(v))
+	}
+	return m
+}

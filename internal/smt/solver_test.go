@@ -1,0 +1,505 @@
+package smt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrivialSat(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x")
+	s.AssertRange(x, 3, 10)
+	m, err := s.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if v := m.Value(x); v < 3 || v > 10 {
+		t.Fatalf("x = %d, want in [3,10]", v)
+	}
+	if m.Value(Zero) != 0 {
+		t.Fatalf("Zero = %d, want 0", m.Value(Zero))
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x")
+	y := s.NewVar("y")
+	s.AssertLE(x, y, -1) // x < y
+	s.AssertLE(y, x, -1) // y < x
+	if _, err := s.Solve(); !errors.Is(err, ErrUnsat) {
+		t.Fatalf("Solve = %v, want ErrUnsat", err)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := NewSolver()
+	s.AddClause()
+	if _, err := s.Solve(); !errors.Is(err, ErrUnsat) {
+		t.Fatalf("Solve = %v, want ErrUnsat", err)
+	}
+}
+
+func TestNoClausesSat(t *testing.T) {
+	s := NewSolver()
+	if _, err := s.Solve(); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+}
+
+func TestChainOfDifferences(t *testing.T) {
+	// x0 < x1 < ... < x9, all in [0, 9]: forces x_i = i.
+	s := NewSolver()
+	vars := make([]Var, 10)
+	for i := range vars {
+		vars[i] = s.NewVar("x")
+		s.AssertRange(vars[i], 0, 9)
+	}
+	for i := 1; i < len(vars); i++ {
+		s.AssertLE(vars[i-1], vars[i], -1)
+	}
+	m, err := s.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	for i, v := range vars {
+		if m.Value(v) != int64(i) {
+			t.Fatalf("x%d = %d, want %d", i, m.Value(v), i)
+		}
+	}
+}
+
+func TestDisjunctionForcesOrdering(t *testing.T) {
+	// Two unit-length jobs on one machine in [0,2): one must start at 0
+	// and the other at 1, in either order.
+	s := NewSolver()
+	a := s.NewVar("a")
+	b := s.NewVar("b")
+	s.AssertRange(a, 0, 1)
+	s.AssertRange(b, 0, 1)
+	s.AddClause(LE(a, b, -1), LE(b, a, -1)) // a+1<=b or b+1<=a
+	m, err := s.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	av, bv := m.Value(a), m.Value(b)
+	if !(av+1 <= bv || bv+1 <= av) {
+		t.Fatalf("overlap: a=%d b=%d", av, bv)
+	}
+}
+
+func TestDisjunctionOneArmBlocked(t *testing.T) {
+	s := NewSolver()
+	a := s.NewVar("a")
+	b := s.NewVar("b")
+	s.AssertRange(a, 0, 5)
+	s.AssertRange(b, 0, 5)
+	s.AssertLE(b, a, 0) // b <= a blocks the arm a < b
+	s.AddClause(LE(a, b, -1), LE(b, a, -1))
+	m, err := s.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !(m.Value(b)+1 <= m.Value(a)) {
+		t.Fatalf("expected b < a, got a=%d b=%d", m.Value(a), m.Value(b))
+	}
+}
+
+func TestThreeJobsUnsatWhenHorizonTooSmall(t *testing.T) {
+	// Three unit jobs, pairwise disjoint, horizon of 2 slots: UNSAT.
+	s := NewSolver()
+	vars := make([]Var, 3)
+	for i := range vars {
+		vars[i] = s.NewVar("j")
+		s.AssertRange(vars[i], 0, 1)
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			s.AddClause(LE(vars[i], vars[j], -1), LE(vars[j], vars[i], -1))
+		}
+	}
+	if _, err := s.Solve(); !errors.Is(err, ErrUnsat) {
+		t.Fatalf("Solve = %v, want ErrUnsat", err)
+	}
+}
+
+func TestJobShopPacking(t *testing.T) {
+	// n unit jobs in a horizon of exactly n slots must occupy all slots.
+	const n = 8
+	s := NewSolver()
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = s.NewVar("j")
+		s.AssertRange(vars[i], 0, n-1)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s.AddClause(LE(vars[i], vars[j], -1), LE(vars[j], vars[i], -1))
+		}
+	}
+	m, err := s.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v (stats %+v)", err, s.Stats())
+	}
+	used := make(map[int64]bool, n)
+	for _, v := range vars {
+		val := m.Value(v)
+		if val < 0 || val >= n {
+			t.Fatalf("value %d out of range", val)
+		}
+		if used[val] {
+			t.Fatalf("slot %d used twice", val)
+		}
+		used[val] = true
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x")
+	s.AssertRange(x, 0, 10)
+	s.Push()
+	s.AssertLE(x, Zero, -5) // x <= -5: contradicts x >= 0
+	if _, err := s.Solve(); !errors.Is(err, ErrUnsat) {
+		t.Fatalf("Solve = %v, want ErrUnsat", err)
+	}
+	s.Pop()
+	if _, err := s.Solve(); err != nil {
+		t.Fatalf("Solve after Pop: %v", err)
+	}
+	if got := s.NumClauses(); got != 2 {
+		t.Fatalf("NumClauses = %d, want 2", got)
+	}
+}
+
+func TestPopWithoutPushIsNoop(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x")
+	s.AssertRange(x, 0, 1)
+	s.Pop()
+	if got := s.NumClauses(); got != 2 {
+		t.Fatalf("NumClauses = %d, want 2", got)
+	}
+}
+
+func TestSolveIsRepeatable(t *testing.T) {
+	s := NewSolver()
+	a := s.NewVar("a")
+	b := s.NewVar("b")
+	s.AssertRange(a, 0, 3)
+	s.AssertRange(b, 0, 3)
+	s.AddClause(LE(a, b, -2), LE(b, a, -2))
+	for i := 0; i < 5; i++ {
+		m, err := s.Solve()
+		if err != nil {
+			t.Fatalf("Solve #%d: %v", i, err)
+		}
+		av, bv := m.Value(a), m.Value(b)
+		if !(av+2 <= bv || bv+2 <= av) {
+			t.Fatalf("Solve #%d: bad model a=%d b=%d", i, av, bv)
+		}
+	}
+}
+
+func TestMaxDecisionsBudget(t *testing.T) {
+	s := NewSolver()
+	s.MaxDecisions = 1
+	const n = 6
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = s.NewVar("j")
+		s.AssertRange(vars[i], 0, n-2) // infeasible packing: forces search
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s.AddClause(LE(vars[i], vars[j], -1), LE(vars[j], vars[i], -1))
+		}
+	}
+	_, err := s.Solve()
+	if !errors.Is(err, ErrBudget) && !errors.Is(err, ErrUnsat) {
+		t.Fatalf("Solve = %v, want ErrBudget or ErrUnsat", err)
+	}
+}
+
+func TestGEAndConstHelpers(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x")
+	y := s.NewVar("y")
+	s.AddClause(GEConst(x, 7))
+	s.AddClause(LEConst(x, 7))
+	s.AddClause(GE(y, x, 3)) // y >= x+3
+	s.AddClause(LEConst(y, 10))
+	m, err := s.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if m.Value(x) != 7 {
+		t.Fatalf("x = %d, want 7", m.Value(x))
+	}
+	if got := m.Value(y); got != 10 {
+		t.Fatalf("y = %d, want 10", got)
+	}
+}
+
+func TestNotRoundTrips(t *testing.T) {
+	l := LE(1, 2, 5)
+	if got := Not(Not(l)); got != l {
+		t.Fatalf("Not(Not(l)) = %v, want %v", got, l)
+	}
+}
+
+// litHolds evaluates a literal under a model.
+func litHolds(m *Model, l Lit) bool {
+	holds := m.Value(l.A.X)-m.Value(l.A.Y) <= l.A.C
+	return holds != l.Neg
+}
+
+// TestQuickModelsSatisfyClauses generates random IDL problems; whenever the
+// solver answers SAT, the model must satisfy every clause.
+func TestQuickModelsSatisfyClauses(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSolver()
+		s.MaxDecisions = 20000
+		nVars := 2 + rng.Intn(8)
+		vars := make([]Var, nVars)
+		for i := range vars {
+			vars[i] = s.NewVar("v")
+			s.AssertRange(vars[i], 0, int64(5+rng.Intn(20)))
+		}
+		var clauses [][]Lit
+		nClauses := 1 + rng.Intn(25)
+		for i := 0; i < nClauses; i++ {
+			width := 1 + rng.Intn(3)
+			lits := make([]Lit, 0, width)
+			for k := 0; k < width; k++ {
+				x := vars[rng.Intn(nVars)]
+				y := vars[rng.Intn(nVars)]
+				c := int64(rng.Intn(21) - 10)
+				l := LE(x, y, c)
+				if rng.Intn(2) == 0 {
+					l = Not(l)
+				}
+				lits = append(lits, l)
+			}
+			clauses = append(clauses, lits)
+			s.AddClause(lits...)
+		}
+		m, err := s.Solve()
+		if err != nil {
+			return errors.Is(err, ErrUnsat) || errors.Is(err, ErrBudget)
+		}
+		for _, cl := range clauses {
+			ok := false
+			for _, l := range cl {
+				if litHolds(m, l) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUnsatAgreesWithBruteForce cross-checks SAT/UNSAT answers against
+// exhaustive enumeration on tiny domains.
+func TestQuickUnsatAgreesWithBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nVars = 3
+		const domain = 4 // values 0..3
+		s := NewSolver()
+		vars := make([]Var, nVars)
+		for i := range vars {
+			vars[i] = s.NewVar("v")
+			s.AssertRange(vars[i], 0, domain-1)
+		}
+		var clauses [][]Lit
+		nClauses := 1 + rng.Intn(10)
+		for i := 0; i < nClauses; i++ {
+			width := 1 + rng.Intn(2)
+			lits := make([]Lit, 0, width)
+			for k := 0; k < width; k++ {
+				x := vars[rng.Intn(nVars)]
+				y := vars[rng.Intn(nVars)]
+				c := int64(rng.Intn(9) - 4)
+				l := LE(x, y, c)
+				if rng.Intn(2) == 0 {
+					l = Not(l)
+				}
+				lits = append(lits, l)
+			}
+			clauses = append(clauses, lits)
+			s.AddClause(lits...)
+		}
+		_, err := s.Solve()
+		gotSat := err == nil
+
+		wantSat := false
+		var vals [nVars]int64
+		var enumerate func(i int) bool
+		enumerate = func(i int) bool {
+			if i == nVars {
+				for _, cl := range clauses {
+					ok := false
+					for _, l := range cl {
+						holds := vals[l.A.X-1]-vals[l.A.Y-1] <= l.A.C
+						if holds != l.Neg {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						return false
+					}
+				}
+				return true
+			}
+			for v := int64(0); v < domain; v++ {
+				vals[i] = v
+				if enumerate(i + 1) {
+					return true
+				}
+			}
+			return false
+		}
+		wantSat = enumerate(0)
+		return gotSat == wantSat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	s := NewSolver()
+	a := s.NewVar("a")
+	b := s.NewVar("b")
+	s.AssertRange(a, 0, 1)
+	s.AssertRange(b, 0, 1)
+	s.AddClause(LE(a, b, -1), LE(b, a, -1))
+	if _, err := s.Solve(); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	st := s.Stats()
+	if st.Clauses != 5 {
+		t.Fatalf("Stats.Clauses = %d, want 5", st.Clauses)
+	}
+	if st.Vars != 3 {
+		t.Fatalf("Stats.Vars = %d, want 3 (incl. Zero)", st.Vars)
+	}
+	if st.Decisions < 1 {
+		t.Fatalf("Stats.Decisions = %d, want >= 1", st.Decisions)
+	}
+}
+
+func TestVarNames(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("phi_s1_l0_f0")
+	if got := s.Name(x); got != "phi_s1_l0_f0" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := s.Name(Zero); got != "ZERO" {
+		t.Fatalf("Name(Zero) = %q", got)
+	}
+	if got := s.Name(Var(99)); got != "v99" {
+		t.Fatalf("Name(out of range) = %q", got)
+	}
+}
+
+func BenchmarkSolverPacking(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := NewSolver()
+				vars := make([]Var, n)
+				for k := range vars {
+					vars[k] = s.NewVar("j")
+					s.AssertRange(vars[k], 0, int64(n-1))
+				}
+				for x := 0; x < n; x++ {
+					for y := x + 1; y < n; y++ {
+						s.AddClause(LE(vars[x], vars[y], -1), LE(vars[y], vars[x], -1))
+					}
+				}
+				if _, err := s.Solve(); err != nil {
+					b.Fatalf("Solve: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestMinimize(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x")
+	y := s.NewVar("y")
+	s.AssertRange(x, 0, 100)
+	s.AssertRange(y, 0, 100)
+	s.AssertGE(y, x, 10) // y >= x + 10
+	s.AssertGE(x, Zero, 3)
+	m, err := s.Minimize(y, 0, 100)
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if got := m.Value(y); got != 13 {
+		t.Fatalf("min y = %d, want 13", got)
+	}
+	// Minimizing an over-constrained variable is UNSAT.
+	s.AssertGE(y, Zero, 200)
+	if _, err := s.Minimize(y, 0, 100); !errors.Is(err, ErrUnsat) {
+		t.Fatalf("err = %v, want ErrUnsat", err)
+	}
+	// The solver is reusable after Minimize's push/pops.
+	s2 := NewSolver()
+	v := s2.NewVar("v")
+	s2.AssertRange(v, 5, 9)
+	m2, err := s2.Minimize(v, 0, 100)
+	if err != nil || m2.Value(v) != 5 {
+		t.Fatalf("min v = %v (err %v), want 5", m2, err)
+	}
+}
+
+func TestMinimizeDisjunctive(t *testing.T) {
+	// Two unit jobs, one machine, horizon 10: minimizing the makespan
+	// variable drives them to 0 and 1.
+	s := NewSolver()
+	a := s.NewVar("a")
+	bb := s.NewVar("b")
+	mk := s.NewVar("makespan")
+	s.AssertRange(a, 0, 9)
+	s.AssertRange(bb, 0, 9)
+	s.AddClause(LE(a, bb, -1), LE(bb, a, -1))
+	s.AssertGE(mk, a, 1)
+	s.AssertGE(mk, bb, 1)
+	m, err := s.Minimize(mk, 0, 10)
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if m.Value(mk) != 2 {
+		t.Fatalf("makespan = %d, want 2", m.Value(mk))
+	}
+}

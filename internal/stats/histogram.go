@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Histogram is a fixed-bin latency histogram.
+type Histogram struct {
+	// Min is the lower edge of the first bin.
+	Min time.Duration
+	// Width is the bin width.
+	Width time.Duration
+	// Counts holds one count per bin; the last bin also absorbs
+	// everything at or beyond the upper edge.
+	Counts []int
+	// Total is the number of samples.
+	Total int
+}
+
+// NewHistogram bins the samples into the given number of equal-width bins
+// spanning [min(samples), max(samples)]. A nil histogram is returned for an
+// empty input.
+func NewHistogram(samples []time.Duration, bins int) *Histogram {
+	if len(samples) == 0 || bins <= 0 {
+		return nil
+	}
+	lo, hi := samples[0], samples[0]
+	for _, s := range samples {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	width := (hi - lo) / time.Duration(bins)
+	if width <= 0 {
+		width = time.Nanosecond
+	}
+	h := &Histogram{Min: lo, Width: width, Counts: make([]int, bins), Total: len(samples)}
+	for _, s := range samples {
+		idx := int((s - lo) / width)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		h.Counts[idx]++
+	}
+	return h
+}
+
+// BinRange returns the [lo, hi) edges of bin i.
+func (h *Histogram) BinRange(i int) (time.Duration, time.Duration) {
+	lo := h.Min + time.Duration(i)*h.Width
+	return lo, lo + h.Width
+}
+
+// Mode returns the index of the fullest bin.
+func (h *Histogram) Mode() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// WriteText renders the histogram with proportional bars.
+func (h *Histogram) WriteText(w io.Writer) {
+	if h == nil || h.Total == 0 {
+		fmt.Fprintln(w, "(no samples)")
+		return
+	}
+	maxCount := h.Counts[h.Mode()]
+	if maxCount == 0 {
+		maxCount = 1
+	}
+	const barWidth = 40
+	for i, c := range h.Counts {
+		lo, hi := h.BinRange(i)
+		bar := strings.Repeat("#", c*barWidth/maxCount)
+		fmt.Fprintf(w, "  [%8.1fus, %8.1fus) %6d %s\n",
+			float64(lo)/float64(time.Microsecond),
+			float64(hi)/float64(time.Microsecond), c, bar)
+	}
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	samples := []time.Duration{ms(1), ms(1.5), ms(2), ms(2.5), ms(3), ms(10)}
+	h := NewHistogram(samples, 3)
+	if h == nil {
+		t.Fatal("nil histogram")
+	}
+	if h.Total != 6 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 6 {
+		t.Fatalf("counts sum = %d", sum)
+	}
+	// Bins span [1ms, 10ms): width 3ms; first bin [1,4) holds five.
+	if h.Counts[0] != 5 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+	// The max lands in the last bin.
+	if h.Counts[2] != 1 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+	if h.Mode() != 0 {
+		t.Fatalf("Mode = %d", h.Mode())
+	}
+	lo, hi := h.BinRange(0)
+	if lo != ms(1) || hi != ms(4) {
+		t.Fatalf("BinRange(0) = %v, %v", lo, hi)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if NewHistogram(nil, 5) != nil {
+		t.Fatal("empty input should yield nil")
+	}
+	if NewHistogram([]time.Duration{ms(1)}, 0) != nil {
+		t.Fatal("zero bins should yield nil")
+	}
+	// All-equal samples: single effective bin, no division by zero.
+	h := NewHistogram([]time.Duration{ms(2), ms(2), ms(2)}, 4)
+	if h == nil || h.Total != 3 {
+		t.Fatalf("h = %+v", h)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 3 {
+		t.Fatalf("counts sum = %d", sum)
+	}
+}
+
+func TestHistogramWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	NewHistogram([]time.Duration{ms(1), ms(2), ms(3)}, 3).WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("want 3 rows:\n%s", out)
+	}
+	buf.Reset()
+	var empty *Histogram
+	empty.WriteText(&buf)
+	if !strings.Contains(buf.String(), "no samples") {
+		t.Fatal("nil histogram should render a placeholder")
+	}
+}
+
+// TestQuickHistogramConservation: counts always sum to the sample count and
+// every sample falls in the bin its range claims.
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		samples := make([]time.Duration, n)
+		for i := range samples {
+			samples[i] = time.Duration(rng.Int63n(int64(time.Second)))
+		}
+		bins := 1 + rng.Intn(20)
+		h := NewHistogram(samples, bins)
+		sum := 0
+		for _, c := range h.Counts {
+			sum += c
+		}
+		if sum != n || h.Total != n {
+			return false
+		}
+		lo, _ := h.BinRange(0)
+		_, hiLast := h.BinRange(len(h.Counts) - 1)
+		for _, s := range samples {
+			if s < lo || s >= hiLast+h.Width {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

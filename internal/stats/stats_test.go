@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]time.Duration{ms(1), ms(2), ms(3), ms(4)})
+	if s.Count != 4 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Mean != ms(2.5) {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.Min != ms(1) || s.Max != ms(4) {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	// Population stddev of {1,2,3,4} ms = sqrt(1.25) ms.
+	want := time.Duration(math.Sqrt(1.25) * float64(time.Millisecond))
+	if d := s.StdDev - want; d < -time.Nanosecond || d > time.Nanosecond {
+		t.Fatalf("StdDev = %v, want %v", s.StdDev, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("Summarize(nil) = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]time.Duration{ms(7)})
+	if s.Mean != ms(7) || s.StdDev != 0 || s.Min != ms(7) || s.Max != ms(7) {
+		t.Fatalf("Summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	samples := []time.Duration{ms(4), ms(1), ms(3), ms(2)} // unsorted on purpose
+	if got := Quantile(samples, 0); got != ms(1) {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(samples, 1); got != ms(4) {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(samples, 0.5); got != ms(2.5) {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	samples := []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5)}
+	cdf := CDF(samples, 5)
+	if len(cdf) != 5 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	if cdf[4].Latency != ms(5) || cdf[4].Fraction != 1 {
+		t.Fatalf("last point = %+v", cdf[4])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Latency < cdf[i-1].Latency || cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Fatalf("CDF not monotone at %d: %+v", i, cdf)
+		}
+	}
+	// Down-sampling keeps the max.
+	small := CDF(samples, 2)
+	if len(small) != 2 || small[1].Latency != ms(5) {
+		t.Fatalf("down-sampled = %+v", small)
+	}
+	if CDF(nil, 3) != nil || CDF(samples, 0) != nil {
+		t.Fatal("degenerate CDF inputs should return nil")
+	}
+}
+
+func TestReductionAndRatio(t *testing.T) {
+	if got := Reduction(ms(10), ms(1)); got != 90 {
+		t.Fatalf("Reduction = %v", got)
+	}
+	if got := Reduction(0, ms(1)); got != 0 {
+		t.Fatalf("Reduction(0,·) = %v", got)
+	}
+	if got := Reduction(ms(1), ms(2)); got != -100 {
+		t.Fatalf("negative reduction = %v", got)
+	}
+	if got := Ratio(ms(10), ms(1)); got != 10 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if !math.IsInf(Ratio(ms(1), 0), 1) {
+		t.Fatal("Ratio with zero candidate should be +Inf")
+	}
+}
+
+// TestQuickSummaryInvariants checks Min <= Mean <= Max and StdDev <= range.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		samples := make([]time.Duration, n)
+		for i := range samples {
+			samples[i] = time.Duration(rng.Int63n(int64(time.Second)))
+		}
+		s := Summarize(samples)
+		if s.Min > s.Mean || s.Mean > s.Max {
+			return false
+		}
+		return s.StdDev <= s.Max-s.Min+time.Nanosecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickQuantileMonotone checks quantiles are monotone in q and bounded
+// by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		samples := make([]time.Duration, n)
+		for i := range samples {
+			samples[i] = time.Duration(rng.Int63n(int64(time.Second)))
+		}
+		sorted := append([]time.Duration(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		prev := time.Duration(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1} {
+			v := Quantile(samples, q)
+			if v < prev || v < sorted[0] || v > sorted[len(sorted)-1] {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCDFMatchesQuantile: the CDF's fraction at each point matches the
+// empirical proportion of samples at or below it.
+func TestQuickCDFMatchesQuantile(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		samples := make([]time.Duration, n)
+		for i := range samples {
+			samples[i] = time.Duration(rng.Int63n(1000))
+		}
+		for _, p := range CDF(samples, 10) {
+			cnt := 0
+			for _, x := range samples {
+				if x <= p.Latency {
+					cnt++
+				}
+			}
+			if float64(cnt)/float64(n) < p.Fraction-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package traffic generates IEC/IEEE 60802-style industrial workloads: a
+// set of periodic unicast TCT streams with random endpoints, periods drawn
+// from a profile set, and payload lengths scaled until the TCT consumes a
+// target fraction of the bottleneck link — the paper's "network load" knob
+// (Sec. VI-B).
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"etsn/internal/model"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadWorkload marks an unsatisfiable workload configuration.
+	ErrBadWorkload = errors.New("invalid workload configuration")
+)
+
+// Config describes a workload to generate.
+type Config struct {
+	// Network is the topology; stream endpoints are its devices.
+	Network *model.Network
+	// NumStreams is the number of TCT streams.
+	NumStreams int
+	// Periods is the period set to draw from (e.g. {4,8,16} ms for the
+	// testbed profile, {5,10,20} ms for the simulation profile).
+	Periods []time.Duration
+	// TargetLoad is the desired bottleneck-link utilization from TCT, in
+	// (0,1). Payload lengths are scaled to approach it from below.
+	TargetLoad float64
+	// ShareFraction is the fraction of streams that offer their slots to
+	// ECT (1.0 = all share, matching the paper's default).
+	ShareFraction float64
+	// E2EFactor sets each stream's latency bound to E2EFactor x period;
+	// defaults to 1.
+	E2EFactor float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Generate produces the TCT stream set.
+func Generate(cfg Config) ([]*model.Stream, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrBadWorkload)
+	}
+	if cfg.NumStreams <= 0 {
+		return nil, fmt.Errorf("%w: %d streams", ErrBadWorkload, cfg.NumStreams)
+	}
+	if len(cfg.Periods) == 0 {
+		return nil, fmt.Errorf("%w: empty period set", ErrBadWorkload)
+	}
+	if cfg.TargetLoad <= 0 || cfg.TargetLoad >= 1 {
+		return nil, fmt.Errorf("%w: target load %v", ErrBadWorkload, cfg.TargetLoad)
+	}
+	if cfg.E2EFactor == 0 {
+		cfg.E2EFactor = 1
+	}
+	var devices []model.NodeID
+	for _, node := range cfg.Network.Nodes() {
+		if node.IsDevice() {
+			devices = append(devices, node.ID)
+		}
+	}
+	if len(devices) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 devices", ErrBadWorkload)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	streams := make([]*model.Stream, 0, cfg.NumStreams)
+	for i := 0; i < cfg.NumStreams; i++ {
+		src := devices[rng.Intn(len(devices))]
+		dst := devices[rng.Intn(len(devices))]
+		for dst == src {
+			dst = devices[rng.Intn(len(devices))]
+		}
+		path, err := cfg.Network.ShortestPath(src, dst)
+		if err != nil {
+			return nil, fmt.Errorf("routing stream %d: %w", i, err)
+		}
+		period := cfg.Periods[rng.Intn(len(cfg.Periods))]
+		streams = append(streams, &model.Stream{
+			ID:          model.StreamID(fmt.Sprintf("tct%02d", i+1)),
+			Path:        path,
+			E2E:         time.Duration(cfg.E2EFactor * float64(period)),
+			LengthBytes: model.MTUBytes,
+			Period:      period,
+			Type:        model.StreamDet,
+			Share:       rng.Float64() < cfg.ShareFraction,
+		})
+	}
+	if err := scalePayloads(cfg.Network, streams, cfg.TargetLoad); err != nil {
+		return nil, err
+	}
+	return streams, nil
+}
+
+// scalePayloads brings the bottleneck link's TCT utilization as close to
+// the target as possible without exceeding it. Payloads stay whole
+// multiples of the MTU so every frame occupies an identical wire time:
+// 802.1Qbv class queues are FIFO, and mixing frame sizes lets a large frame
+// jam behind a window cut for a smaller one. A common base payload is found
+// by binary search, then individual streams grow by one MTU each while the
+// target allows, for finer load granularity.
+func scalePayloads(n *model.Network, streams []*model.Stream, target float64) error {
+	apply := func(mtus int) {
+		for _, s := range streams {
+			s.LengthBytes = mtus * model.MTUBytes
+		}
+	}
+	apply(1)
+	if BottleneckLoad(n, streams) > target {
+		return fmt.Errorf("%w: load %.3f exceeds target %.3f at one-MTU payloads",
+			ErrBadWorkload, BottleneckLoad(n, streams), target)
+	}
+	lo, hi := 1, 64
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		apply(mid)
+		if BottleneckLoad(n, streams) <= target {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	apply(lo)
+	// Fine-tune: grow streams one MTU at a time while the target holds.
+	for _, s := range streams {
+		s.LengthBytes += model.MTUBytes
+		if BottleneckLoad(n, streams) > target {
+			s.LengthBytes -= model.MTUBytes
+		}
+	}
+	return nil
+}
+
+// BottleneckLoad returns the maximum per-link utilization contributed by the
+// streams: for each directed link, the sum over crossing streams of
+// wire-time per period divided by the period.
+func BottleneckLoad(n *model.Network, streams []*model.Stream) float64 {
+	load := make(map[model.LinkID]float64)
+	for _, s := range streams {
+		frames := s.Frames()
+		lastPayload := s.LengthBytes - (frames-1)*model.MTUBytes
+		for _, lid := range s.Path {
+			link, ok := n.LinkByID(lid)
+			if !ok {
+				continue
+			}
+			var busy time.Duration
+			if frames > 1 {
+				busy = time.Duration(frames-1) * link.TxTime(model.MTUBytes)
+			}
+			busy += link.TxTime(lastPayload)
+			load[lid] += float64(busy) / float64(s.Period)
+		}
+	}
+	var worst float64
+	for _, u := range load {
+		if u > worst {
+			worst = u
+		}
+	}
+	return worst
+}
+
+// NetworkLoad returns the average utilization over all links that carry at
+// least one stream.
+func NetworkLoad(n *model.Network, streams []*model.Stream) float64 {
+	load := make(map[model.LinkID]float64)
+	for _, s := range streams {
+		frames := s.Frames()
+		lastPayload := s.LengthBytes - (frames-1)*model.MTUBytes
+		for _, lid := range s.Path {
+			link, ok := n.LinkByID(lid)
+			if !ok {
+				continue
+			}
+			var busy time.Duration
+			if frames > 1 {
+				busy = time.Duration(frames-1) * link.TxTime(model.MTUBytes)
+			}
+			busy += link.TxTime(lastPayload)
+			load[lid] += float64(busy) / float64(s.Period)
+		}
+	}
+	if len(load) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, u := range load {
+		sum += u
+	}
+	return sum / float64(len(load))
+}

@@ -1,0 +1,229 @@
+package traffic
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"etsn/internal/model"
+)
+
+// testbedNetwork builds the paper's testbed: two switches, four devices.
+func testbedNetwork(t testing.TB) *model.Network {
+	t.Helper()
+	n := model.NewNetwork()
+	for _, d := range []model.NodeID{"D1", "D2", "D3", "D4"} {
+		if err := n.AddDevice(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sw := range []model.NodeID{"SW1", "SW2"} {
+		if err := n.AddSwitch(sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := model.LinkConfig{Bandwidth: 100_000_000}
+	for _, pair := range [][2]model.NodeID{
+		{"D1", "SW1"}, {"D2", "SW1"}, {"SW1", "SW2"}, {"SW2", "D3"}, {"SW2", "D4"},
+	} {
+		if err := n.AddLink(pair[0], pair[1], cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func baseConfig(n *model.Network) Config {
+	return Config{
+		Network:       n,
+		NumStreams:    10,
+		Periods:       []time.Duration{4 * time.Millisecond, 8 * time.Millisecond, 16 * time.Millisecond},
+		TargetLoad:    0.5,
+		ShareFraction: 1,
+		Seed:          1,
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	n := testbedNetwork(t)
+	streams, err := Generate(baseConfig(n))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(streams) != 10 {
+		t.Fatalf("streams = %d", len(streams))
+	}
+	for _, s := range streams {
+		if err := s.Validate(n); err != nil {
+			t.Fatalf("stream %s invalid: %v", s.ID, err)
+		}
+		if !s.Share {
+			t.Fatalf("stream %s should share (fraction 1)", s.ID)
+		}
+		found := false
+		for _, p := range baseConfig(n).Periods {
+			if s.Period == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("stream %s period %v not in set", s.ID, s.Period)
+		}
+	}
+}
+
+func TestGenerateHitsTargetLoad(t *testing.T) {
+	n := testbedNetwork(t)
+	for _, target := range []float64{0.25, 0.5, 0.75} {
+		cfg := baseConfig(n)
+		cfg.TargetLoad = target
+		streams, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate(%v): %v", target, err)
+		}
+		load := BottleneckLoad(n, streams)
+		if load > target {
+			t.Fatalf("load %.3f exceeds target %.3f", load, target)
+		}
+		// Payload scaling should get reasonably close from below.
+		if load < target*0.7 {
+			t.Fatalf("load %.3f far below target %.3f", load, target)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	n := testbedNetwork(t)
+	a, err := Generate(baseConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(baseConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Period != b[i].Period ||
+			a[i].LengthBytes != b[i].LengthBytes || a[i].Source() != b[i].Source() {
+			t.Fatalf("stream %d differs between runs", i)
+		}
+	}
+	cfg := baseConfig(n)
+	cfg.Seed = 2
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Source() != c[i].Source() || a[i].Period != c[i].Period {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical endpoint/period draws")
+	}
+}
+
+func TestGenerateShareFraction(t *testing.T) {
+	n := testbedNetwork(t)
+	cfg := baseConfig(n)
+	cfg.ShareFraction = 0
+	streams, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range streams {
+		if s.Share {
+			t.Fatalf("stream %s shares with fraction 0", s.ID)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	n := testbedNetwork(t)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"nil network", func(c *Config) { c.Network = nil }},
+		{"zero streams", func(c *Config) { c.NumStreams = 0 }},
+		{"no periods", func(c *Config) { c.Periods = nil }},
+		{"zero load", func(c *Config) { c.TargetLoad = 0 }},
+		{"full load", func(c *Config) { c.TargetLoad = 1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := baseConfig(n)
+			c.mutate(&cfg)
+			if _, err := Generate(cfg); !errors.Is(err, ErrBadWorkload) {
+				t.Fatalf("err = %v, want ErrBadWorkload", err)
+			}
+		})
+	}
+}
+
+func TestGenerateTooFewDevices(t *testing.T) {
+	n := model.NewNetwork()
+	if err := n.AddDevice("D1"); err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(n)
+	cfg.Network = n
+	if _, err := Generate(cfg); !errors.Is(err, ErrBadWorkload) {
+		t.Fatalf("err = %v, want ErrBadWorkload", err)
+	}
+}
+
+func TestBottleneckLoadMultiFrame(t *testing.T) {
+	n := testbedNetwork(t)
+	path, err := n.ShortestPath("D1", "D3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &model.Stream{ID: "s", Path: path, Period: 10 * time.Millisecond,
+		LengthBytes: 3000, Type: model.StreamDet, E2E: 10 * time.Millisecond}
+	// 2 frames: one MTU (1542 wire bytes) + one 1500-payload remainder...
+	// 3000 bytes = 1500 + 1500: two full MTU frames, 2 x 123.36us per 10ms
+	// on each of 3 links.
+	load := BottleneckLoad(n, []*model.Stream{s})
+	want := 2 * 123.36e-6 / 10e-3
+	if load < want*0.99 || load > want*1.01 {
+		t.Fatalf("load = %v, want ~%v", load, want)
+	}
+	if nl := NetworkLoad(n, []*model.Stream{s}); nl < want*0.99 || nl > want*1.01 {
+		t.Fatalf("network load = %v, want ~%v (all loaded links equal)", nl, want)
+	}
+}
+
+func TestNetworkLoadEmpty(t *testing.T) {
+	n := testbedNetwork(t)
+	if NetworkLoad(n, nil) != 0 {
+		t.Fatal("empty network load should be 0")
+	}
+	if BottleneckLoad(n, nil) != 0 {
+		t.Fatal("empty bottleneck load should be 0")
+	}
+}
+
+// TestQuickLoadNeverExceedsTarget: for random seeds and targets, generated
+// workloads stay at or below the requested bottleneck load.
+func TestQuickLoadNeverExceedsTarget(t *testing.T) {
+	n := testbedNetwork(t)
+	f := func(seed int64, tRaw uint8) bool {
+		target := 0.2 + float64(tRaw%60)/100
+		cfg := baseConfig(n)
+		cfg.Seed = seed
+		cfg.TargetLoad = target
+		streams, err := Generate(cfg)
+		if err != nil {
+			return errors.Is(err, ErrBadWorkload)
+		}
+		return BottleneckLoad(n, streams) <= target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
