@@ -1,0 +1,17 @@
+# Tier-1 gate: `make check` must pass before merge (see README).
+.PHONY: check test build vet fuzz
+
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+fuzz:
+	FUZZTIME=$${FUZZTIME:-30s} ./scripts/check.sh

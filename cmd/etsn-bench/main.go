@@ -30,7 +30,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("etsn-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment to run: all, headline, fig11, fig12, fig14, fig15, fig16, fourway, frer, scale, sync, ablation")
+	experiment := fs.String("experiment", "all", "experiment to run: all, headline, fig11, fig12, fig14, fig15, fig16, fourway, frer, scale, sync, ablation, faults")
 	duration := fs.Duration("duration", experiments.DefaultDuration, "simulated time per run")
 	seed := fs.Int64("seed", experiments.DefaultSeed, "random seed for event arrivals")
 	if err := fs.Parse(args); err != nil {
@@ -144,6 +144,18 @@ func run(args []string, w io.Writer) error {
 				return err
 			}
 			b.WriteTable(w)
+			return nil
+		}},
+		{"faults", func() error {
+			r, err := experiments.Faults(opts)
+			if err != nil {
+				return err
+			}
+			r.WriteTable(w)
+			if !r.Recovered() {
+				return fmt.Errorf("faults: network did not self-heal (last miss %v, ECT worst %v vs bound %v)",
+					r.LastMiss, r.ECTWorstPost, r.ECTBound)
+			}
 			return nil
 		}},
 	}

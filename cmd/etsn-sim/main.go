@@ -6,6 +6,7 @@
 //
 //	etsn-sim -config network.json [-method etsn|period|avb] [-duration 4s]
 //	         [-seed 1] [-multiplier 1] [-json]
+//	         [-fail-link SW1->SW2 -fail-at 1s -heal-after 500ms]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"etsn/internal/model"
 	"etsn/internal/qcc"
 	"etsn/internal/sched"
+	"etsn/internal/sim"
 	"etsn/internal/stats"
 )
 
@@ -38,6 +40,9 @@ func run(args []string) error {
 	multiplier := fs.Int("multiplier", 1, "PERIOD slot-budget multiplier")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
 	tracePath := fs.String("trace", "", "write a JSONL frame-event trace to this file")
+	failLink := fs.String("fail-link", "", "inject a link failure on this link (\"from->to\", both directions)")
+	failAt := fs.Duration("fail-at", time.Second, "instant the injected link failure occurs")
+	healAfter := fs.Duration("heal-after", 0, "bring the failed link back up after this long (0 = stays down)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +79,18 @@ func run(args []string) error {
 		return err
 	}
 	simOpts := sched.SimOptions{ECT: p.ECT, Duration: *duration, Seed: *seed}
+	if *failLink != "" {
+		lid, err := model.ParseLinkID(*failLink)
+		if err != nil {
+			return fmt.Errorf("-fail-link: %w", err)
+		}
+		simOpts.Faults = append(simOpts.Faults,
+			sim.Fault{At: *failAt, Kind: sim.FaultLinkDown, Link: lid})
+		if *healAfter > 0 {
+			simOpts.Faults = append(simOpts.Faults,
+				sim.Fault{At: *failAt + *healAfter, Kind: sim.FaultLinkUp, Link: lid})
+		}
+	}
 	var traceFile *os.File
 	if *tracePath != "" {
 		traceFile, err = os.Create(*tracePath)

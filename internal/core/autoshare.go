@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"etsn/internal/model"
 )
@@ -78,11 +79,22 @@ func AutoShare(p *Problem) (*Result, []model.StreamID, error) {
 		return res, nil
 	}
 
+	// Options.Timeout bounds the whole flip loop: each flip re-runs the
+	// scheduler, so a hostile candidate set could otherwise iterate for
+	// len(TCT) solver runs.
+	var deadline time.Time
+	if t := p.Opts.withDefaults().Timeout; t > 0 {
+		deadline = time.Now().Add(t)
+	}
 	res, lastErr := try()
 	if lastErr == nil {
 		return res, flipped, nil
 	}
 	for _, cand := range candidates {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, nil, fmt.Errorf("%w: auto-share exceeded the %v budget after %d flips: %v",
+				ErrBudget, p.Opts.Timeout, len(flipped), lastErr)
+		}
 		cand.Share = true
 		cand.Priority = 0 // let the scheduler re-band it
 		flipped = append(flipped, cand.ID)

@@ -83,3 +83,17 @@ func TestAutoShareExhausted(t *testing.T) {
 		t.Fatal("expected exhaustion error")
 	}
 }
+
+// TestAutoShareTimeout: the flip loop checks its deadline before every
+// attempt, so a 1 ns budget yields ErrBudget instead of a flip walk.
+func TestAutoShareTimeout(t *testing.T) {
+	p := autoShareProblem(t)
+	p.Opts.Timeout = time.Nanosecond
+	if _, _, err := AutoShare(p); !errors.Is(err, ErrBudget) {
+		t.Fatalf("AutoShare = %v, want ErrBudget", err)
+	}
+	p.Opts.Timeout = time.Minute
+	if _, _, err := AutoShare(p); err != nil {
+		t.Fatalf("AutoShare with ample budget: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"etsn/internal/model"
 )
@@ -25,6 +26,12 @@ func ScheduleWithRouting(p *Problem, kPaths int) (*Result, *Problem, error) {
 	}
 	cur := cloneProblem(p)
 	tried := make(map[model.StreamID]int)
+	// Options.Timeout bounds the whole retry loop, not just each backend
+	// call: hostile inputs otherwise burn maxReroutes full solver runs.
+	var deadline time.Time
+	if t := p.Opts.withDefaults().Timeout; t > 0 {
+		deadline = time.Now().Add(t)
+	}
 	var lastErr error
 	for attempt := 0; attempt <= maxReroutes; attempt++ {
 		res, err := Schedule(cur)
@@ -36,7 +43,11 @@ func ScheduleWithRouting(p *Problem, kPaths int) (*Result, *Problem, error) {
 		if !errors.As(err, &pf) {
 			return nil, nil, err
 		}
-		id := rerouteTarget(pf.Stream)
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, nil, fmt.Errorf("%w: routing retries exceeded the %v budget after %d attempts: %v",
+				ErrBudget, p.Opts.Timeout, attempt+1, lastErr)
+		}
+		id := RerouteTarget(pf.Stream)
 		tried[id]++
 		if tried[id] >= kPaths {
 			return nil, nil, fmt.Errorf("stream %q exhausted %d routes: %w", id, kPaths, err)
@@ -48,9 +59,9 @@ func ScheduleWithRouting(p *Problem, kPaths int) (*Result, *Problem, error) {
 	return nil, nil, fmt.Errorf("rerouting budget exhausted: %w", lastErr)
 }
 
-// rerouteTarget maps a derived stream (possibility "e/psN", drain
+// RerouteTarget maps a derived stream (possibility "e/psN", drain
 // "drain:e:link") back to the user-level stream to reroute.
-func rerouteTarget(id model.StreamID) model.StreamID {
+func RerouteTarget(id model.StreamID) model.StreamID {
 	s := string(id)
 	if strings.HasPrefix(s, "drain:") {
 		parts := strings.SplitN(s, ":", 3)

@@ -178,8 +178,8 @@ func TestRerouteTarget(t *testing.T) {
 		"no-separators-at-all1": "no-separators-at-all1",
 	}
 	for in, want := range cases {
-		if got := rerouteTarget(in); got != want {
-			t.Errorf("rerouteTarget(%q) = %q, want %q", in, got, want)
+		if got := RerouteTarget(in); got != want {
+			t.Errorf("RerouteTarget(%q) = %q, want %q", in, got, want)
 		}
 	}
 }
@@ -213,5 +213,38 @@ func TestScheduleWithRoutingExhausts(t *testing.T) {
 	}
 	if _, _, err := ScheduleWithRouting(p, 2); !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want wrapped ErrInfeasible", err)
+	}
+}
+
+// TestScheduleWithRoutingTimeout: a 1 ns budget is spent by the time the
+// first placement attempt fails, so the retry loop must stop with ErrBudget
+// instead of walking the reroute space.
+func TestScheduleWithRoutingTimeout(t *testing.T) {
+	n := diamondNetwork(t)
+	period := 4 * 124 * time.Microsecond
+	route := func(a, b model.NodeID) []model.LinkID {
+		p, err := n.ShortestPath(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p := &Problem{
+		Network: n,
+		TCT: []*model.Stream{
+			{ID: "hog", Path: route("D3", "D2"), E2E: 2 * period,
+				LengthBytes: 4 * model.MTUBytes, Period: period, Type: model.StreamDet},
+			{ID: "late", Path: route("D1", "D5"), E2E: 2 * period,
+				LengthBytes: 2 * model.MTUBytes, Period: period, Type: model.StreamDet},
+		},
+		Opts: Options{Backend: BackendPlacer, Timeout: time.Nanosecond},
+	}
+	if _, _, err := ScheduleWithRouting(p, 3); !errors.Is(err, ErrBudget) {
+		t.Fatalf("ScheduleWithRouting = %v, want ErrBudget", err)
+	}
+	// A generous budget leaves the reroute loop free to succeed.
+	p.Opts.Timeout = time.Minute
+	if _, _, err := ScheduleWithRouting(p, 3); err != nil {
+		t.Fatalf("ScheduleWithRouting with ample budget: %v", err)
 	}
 }

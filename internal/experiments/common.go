@@ -80,6 +80,39 @@ func RunMethod(s *Scenario, m sched.Method, opts RunOptions) (*MethodResult, err
 	return out, nil
 }
 
+// CheckDropAccounting cross-checks a run's drop bookkeeping before a figure
+// is built on top of it: the per-port drop total must equal the per-stream
+// sum, an event stream cannot deliver more messages than it emitted, and no
+// critical frame — TCT or ECT — may have been dropped or lost. Queue
+// pressure lands on best-effort traffic only; a critical drop in a
+// fault-free run means the schedule and the simulator disagree.
+func CheckDropAccounting(raw *sim.Results, tct []*model.Stream, ect []*model.ECT) error {
+	sum := 0
+	for _, id := range raw.DroppedStreams() {
+		sum += raw.Drops(id)
+	}
+	if sum != raw.TotalDrops() {
+		return fmt.Errorf("drop accounting: per-stream drops sum to %d, port total is %d",
+			sum, raw.TotalDrops())
+	}
+	for _, s := range tct {
+		if d := raw.Drops(s.ID); d > 0 {
+			return fmt.Errorf("drop accounting: TCT stream %s dropped %d frames", s.ID, d)
+		}
+	}
+	for _, e := range ect {
+		if d, l := raw.Drops(e.ID), raw.Lost(e.ID); d > 0 || l > 0 {
+			return fmt.Errorf("drop accounting: ECT stream %s dropped %d and lost %d frames",
+				e.ID, d, l)
+		}
+		if del, em := raw.Delivered(e.ID), raw.Emitted(e.ID); del > em {
+			return fmt.Errorf("drop accounting: ECT stream %s delivered %d of %d emitted",
+				e.ID, del, em)
+		}
+	}
+	return nil
+}
+
 // AllMethods lists the compared methods in the paper's order.
 var AllMethods = []sched.Method{sched.MethodETSN, sched.MethodPERIOD, sched.MethodAVB}
 

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"etsn/internal/core"
+	"etsn/internal/faults"
+	"etsn/internal/model"
+	"etsn/internal/sched"
+	"etsn/internal/sim"
+)
+
+// FaultDetectDelay models the time between a link going down and the
+// recovery controller having detected the failure, replanned, and
+// distributed fresh GCLs (link-layer fault detection plus CNC round-trip).
+const FaultDetectDelay = 20 * time.Millisecond
+
+// FaultsResult reports the self-healing experiment: a link failure injected
+// mid-run, recovery replanning, and post-recovery service quality.
+type FaultsResult struct {
+	// FailedLink is the physical link taken down (one direction named).
+	FailedLink model.LinkID
+	// FailAt is the injection instant; RecoveredAt is when the recovered
+	// schedule was redistributed.
+	FailAt      time.Duration
+	RecoveredAt time.Duration
+	// Incremental reports whether surviving slots stayed frozen; Attempts
+	// counts scheduling attempts.
+	Incremental bool
+	Attempts    int
+	// Rerouted lists streams moved to new paths; ShedTCT the TCT streams
+	// degradation dropped; ShedBE the silenced best-effort flows.
+	Rerouted []model.StreamID
+	ShedTCT  []model.StreamID
+	ShedBE   int
+	// ChangedPorts is the number of ports that received new gate programs.
+	ChangedPorts int
+	// Hyperperiod is the schedule cycle the recovery time is measured in.
+	Hyperperiod time.Duration
+	// MissCount is the number of TCT deadline misses (late, dropped, or
+	// lost frames) from the failure on; LastMiss is the final one.
+	MissCount int
+	LastMiss  time.Duration
+	// RecoveryHyperperiods is the headline metric: hyperperiods from the
+	// failure until TCT deadline misses stop.
+	RecoveryHyperperiods int
+	// Duration is the simulated time span.
+	Duration time.Duration
+	// ECTDeliveryRatio counts the outage's event losses.
+	ECTDeliveryRatio float64
+	// ECTWorstPost is the worst ECT latency observed after recovery;
+	// ECTBound is core.ECTWorstCaseBound on the recovered schedule.
+	ECTWorstPost time.Duration
+	ECTBound     time.Duration
+	// ECTPostSamples is the number of post-recovery ECT deliveries.
+	ECTPostSamples int
+}
+
+// Recovered reports the experiment's acceptance condition: the network
+// self-healed (misses stop within the run, leaving a clean final quarter)
+// and post-recovery ECT latencies stay within the analytical bound.
+func (r *FaultsResult) Recovered() bool {
+	cleanFrom := r.Duration - r.Duration/4
+	if r.LastMiss >= cleanFrom {
+		return false
+	}
+	if r.ECTPostSamples == 0 || r.ECTWorstPost > r.ECTBound {
+		return false
+	}
+	return true
+}
+
+// Faults runs the fault-injection experiment: plan E-TSN on the ring
+// scenario, kill a ring link on the ECT's path mid-run, let the recovery
+// controller replan (reroute + online admission, full replan fallback), and
+// measure how long deterministic service takes to resume.
+func Faults(opts RunOptions) (*FaultsResult, error) {
+	o := opts.withDefaults()
+	scen, err := NewRingScenario(0.30, DefaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	cp := scen.Problem().Core()
+	plan, err := sched.BuildETSN(cp)
+	if err != nil {
+		return nil, fmt.Errorf("faults plan: %w", err)
+	}
+	ctrl, err := faults.NewController(cp, plan.Result, plan.GCLs, scen.BE)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fail the first switch-to-switch link on the ECT's route: the failure
+	// that hits both the event stream and whatever TCT shares its trunk.
+	var failLink model.LinkID
+	for _, lid := range scen.ECT[0].Path {
+		from, _ := scen.Network.Node(lid.From)
+		to, _ := scen.Network.Node(lid.To)
+		if from != nil && to != nil && !from.IsDevice() && !to.IsDevice() {
+			failLink = lid
+			break
+		}
+	}
+	if failLink == (model.LinkID{}) {
+		return nil, fmt.Errorf("faults: no switch-switch link on the ECT path")
+	}
+	failAt := o.Duration / 4
+
+	var (
+		rec         *faults.Recovery
+		recErr      error
+		recoveredAt time.Duration
+	)
+	onFault := func(s *sim.Simulator, f sim.Fault) {
+		if f.Kind != sim.FaultLinkDown {
+			return
+		}
+		s.After(FaultDetectDelay, func() {
+			r, err := ctrl.Fail(f.Link)
+			if err != nil {
+				recErr = err
+				return
+			}
+			if err := s.Reprogram(r.Result.Schedule, r.GCLs, r.ShedSet()); err != nil {
+				recErr = err
+				return
+			}
+			rec = r
+			recoveredAt = s.Now()
+		})
+	}
+	raw, err := plan.SimulateOpts(scen.Network, sched.SimOptions{
+		ECT:      scen.ECT,
+		BE:       scen.BE,
+		Duration: o.Duration,
+		Seed:     o.Seed,
+		Faults:   []sim.Fault{{At: failAt, Kind: sim.FaultLinkDown, Link: failLink}},
+		OnFault:  onFault,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("faults simulation: %w", err)
+	}
+	if recErr != nil {
+		return nil, fmt.Errorf("faults recovery: %w", recErr)
+	}
+	if rec == nil {
+		return nil, fmt.Errorf("faults: fault at %v never triggered recovery", failAt)
+	}
+
+	misses := faults.MissTimes(raw, cp.TCT, failAt)
+	out := &FaultsResult{
+		FailedLink:           failLink,
+		FailAt:               failAt,
+		RecoveredAt:          recoveredAt,
+		Incremental:          rec.Incremental,
+		Attempts:             rec.Attempts,
+		ShedTCT:              rec.ShedTCT,
+		ShedBE:               len(rec.ShedBE),
+		ChangedPorts:         len(rec.ChangedPorts),
+		Hyperperiod:          plan.Schedule.Hyperperiod,
+		MissCount:            len(misses),
+		RecoveryHyperperiods: faults.RecoveryHyperperiods(misses, failAt, plan.Schedule.Hyperperiod),
+		Duration:             o.Duration,
+		ECTDeliveryRatio:     raw.DeliveryRatio(scen.ECT[0].ID),
+	}
+	for id := range rec.Rerouted {
+		out.Rerouted = append(out.Rerouted, id)
+	}
+	sortStreamIDs(out.Rerouted)
+	if len(misses) > 0 {
+		out.LastMiss = misses[len(misses)-1]
+	}
+
+	// Post-recovery ECT service: worst observed latency after the last
+	// disturbance vs the analytical bound on the recovered schedule.
+	postStart := recoveredAt
+	if out.LastMiss > postStart {
+		postStart = out.LastMiss
+	}
+	ectID := scen.ECT[0].ID
+	lats := raw.Latencies(ectID)
+	for i, at := range raw.DeliveryTimes(ectID) {
+		if at <= postStart {
+			continue
+		}
+		out.ECTPostSamples++
+		if lats[i] > out.ECTWorstPost {
+			out.ECTWorstPost = lats[i]
+		}
+	}
+	bound, err := core.ECTWorstCaseBound(rec.Problem.Network, rec.Result, ectID)
+	if err != nil {
+		return nil, fmt.Errorf("faults ECT bound: %w", err)
+	}
+	out.ECTBound = bound
+	return out, nil
+}
+
+// WriteTable renders the recovery report.
+func (r *FaultsResult) WriteTable(w io.Writer) {
+	fmt.Fprintln(w, "Fault injection — link failure and self-healing recovery (E-TSN, ring topology)")
+	fmt.Fprintf(w, "  failed link            %s (both directions) at t=%v\n", r.FailedLink, r.FailAt)
+	mode := "full replan"
+	if r.Incremental {
+		mode = "incremental (surviving slots frozen)"
+	}
+	fmt.Fprintf(w, "  recovery               %s, %d attempt(s), redistributed at t=%v\n",
+		mode, r.Attempts, r.RecoveredAt)
+	fmt.Fprintf(w, "  rerouted streams       %d %v\n", len(r.Rerouted), r.Rerouted)
+	fmt.Fprintf(w, "  shed                   %d TCT %v, %d best-effort flows\n",
+		len(r.ShedTCT), r.ShedTCT, r.ShedBE)
+	fmt.Fprintf(w, "  gate programs changed  %d ports\n", r.ChangedPorts)
+	fmt.Fprintf(w, "  TCT deadline misses    %d (last at t=%v)\n", r.MissCount, r.LastMiss)
+	fmt.Fprintf(w, "  recovery time          %d hyperperiod(s) of %v\n",
+		r.RecoveryHyperperiods, r.Hyperperiod)
+	fmt.Fprintf(w, "  ECT delivery ratio     %.4f (losses are the outage window)\n", r.ECTDeliveryRatio)
+	fmt.Fprintf(w, "  ECT worst post-recovery %s <= bound %s (%d samples)\n",
+		fmtDur(r.ECTWorstPost), fmtDur(r.ECTBound), r.ECTPostSamples)
+	fmt.Fprintf(w, "  self-healed            %v\n", r.Recovered())
+}
+
+// sortStreamIDs orders stream IDs lexicographically.
+func sortStreamIDs(ids []model.StreamID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -40,6 +40,9 @@ func Fig11(opts RunOptions) (*Fig11Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig11 load %v: %w", load, err)
 			}
+			if err := CheckDropAccounting(res.Raw, scen.TCT, scen.ECT); err != nil {
+				return nil, fmt.Errorf("fig11 load %v %v: %w", load, m, err)
+			}
 			samples := res.ECTSamples["ect"]
 			out.Cells = append(out.Cells, Fig11Cell{
 				Load:    load,

@@ -49,6 +49,9 @@ func Fig14Custom(loads []float64, lengths []int, opts RunOptions) (*Fig14Result,
 				if err != nil {
 					return nil, fmt.Errorf("fig14 load %v len %d: %w", load, length, err)
 				}
+				if err := CheckDropAccounting(res.Raw, scen.TCT, scen.ECT); err != nil {
+					return nil, fmt.Errorf("fig14 load %v len %d %v: %w", load, length, m, err)
+				}
 				out.Cells = append(out.Cells, Fig14Cell{
 					Load:    load,
 					Length:  length,

@@ -47,8 +47,14 @@ func Fig15(opts RunOptions) (*Fig15Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig15 run without ECT: %w", err)
 	}
+	if err := CheckDropAccounting(without, scen.TCT, nil); err != nil {
+		return nil, fmt.Errorf("fig15 run without ECT: %w", err)
+	}
 	with, err := plan.Simulate(scen.Network, scen.ECT, scen.BE, o.Duration, o.Seed)
 	if err != nil {
+		return nil, fmt.Errorf("fig15 run with ECT: %w", err)
+	}
+	if err := CheckDropAccounting(with, scen.TCT, scen.ECT); err != nil {
 		return nil, fmt.Errorf("fig15 run with ECT: %w", err)
 	}
 

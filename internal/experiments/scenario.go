@@ -153,6 +153,54 @@ func NewSimulationScenario(load float64, msgMTUs int, shareFraction float64, see
 		NProb: SimNProb, Load: load}, nil
 }
 
+// RingStreams is the TCT count of the fault-recovery scenario; RingNProb
+// its possibilities-per-ECT (312 us pick-up bound at 10 ms interevent).
+const (
+	RingStreams = 16
+	RingNProb   = 32
+)
+
+// NewRingScenario assembles the fault-recovery workload: the 4-switch ring,
+// sixteen TCT streams at the given bottleneck load, and one ECT stream from
+// D1 to D5 — a route crossing two ring links, either of which can fail with
+// an alternate route remaining. Loads are kept moderate so the surviving
+// half of the ring can absorb rerouted traffic.
+func NewRingScenario(load float64, seed int64) (*Scenario, error) {
+	n, err := RingNetwork()
+	if err != nil {
+		return nil, err
+	}
+	tct, err := traffic.Generate(traffic.Config{
+		Network:       n,
+		NumStreams:    RingStreams,
+		Periods:       SimPeriods,
+		TargetLoad:    load,
+		ShareFraction: 0.75,
+		E2EFactor:     2,
+		Seed:          seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ring workload: %w", err)
+	}
+	path, err := n.ShortestPath("D1", "D5")
+	if err != nil {
+		return nil, err
+	}
+	ect := &model.ECT{
+		ID:            "ect",
+		Path:          path,
+		E2E:           SimInterevent,
+		LengthBytes:   model.MTUBytes,
+		MinInterevent: SimInterevent,
+	}
+	be, err := backgroundFlows(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{Network: n, TCT: tct, ECT: []*model.ECT{ect}, BE: be,
+		NProb: RingNProb, Load: load}, nil
+}
+
 // backgroundFlows builds one best-effort flow per device towards a
 // deterministic-random peer, each at BEFraction of the link rate.
 func backgroundFlows(n *model.Network, seed int64) ([]sim.BETraffic, error) {

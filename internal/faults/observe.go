@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"sort"
+	"time"
+
+	"etsn/internal/core"
+	"etsn/internal/model"
+	"etsn/internal/sim"
+)
+
+// Impacted returns the streams of a deployed problem whose route crosses
+// any of the given directed links — the structural half of impact
+// detection (the observational half is MissTimes over sim.Results).
+func Impacted(p *core.Problem, dead []model.LinkID) (tct []*model.Stream, ect []*model.ECT) {
+	set := make(map[model.LinkID]bool, len(dead))
+	for _, l := range dead {
+		set[l] = true
+	}
+	for _, s := range p.TCT {
+		if pathCrossesAny(s.Path, set) {
+			tct = append(tct, s)
+		}
+	}
+	for _, e := range p.ECT {
+		if pathCrossesAny(e.Path, set) {
+			ect = append(ect, e)
+		}
+	}
+	return tct, ect
+}
+
+// MissTimes scans simulation results for TCT deadline misses at or after
+// since: deliveries later than the stream's E2E budget, frame drops, and
+// wire losses all count. The returned instants are sorted.
+func MissTimes(res *sim.Results, tct []*model.Stream, since time.Duration) []time.Duration {
+	var out []time.Duration
+	for _, s := range tct {
+		lats := res.Latencies(s.ID)
+		for i, at := range res.DeliveryTimes(s.ID) {
+			if at >= since && lats[i] > s.E2E {
+				out = append(out, at)
+			}
+		}
+		for _, at := range res.DropTimes(s.ID) {
+			if at >= since {
+				out = append(out, at)
+			}
+		}
+		for _, at := range res.LossTimes(s.ID) {
+			if at >= since {
+				out = append(out, at)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RecoveryHyperperiods converts a miss trace into the recovery-time metric:
+// the number of whole hyperperiods between the fault instant and the last
+// observed miss (0 when nothing missed).
+func RecoveryHyperperiods(misses []time.Duration, faultAt, hyperperiod time.Duration) int {
+	if len(misses) == 0 || hyperperiod <= 0 {
+		return 0
+	}
+	last := misses[len(misses)-1]
+	if last < faultAt {
+		return 0
+	}
+	return int((last-faultAt)/hyperperiod) + 1
+}

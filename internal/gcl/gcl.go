@@ -324,3 +324,48 @@ func Summarize(gcls map[model.LinkID]*PortGCL) Stats {
 	}
 	return st
 }
+
+// ChangedPorts returns the links whose gate program differs between two GCL
+// sets, sorted; a port present in only one set counts as changed. A recovery
+// controller distributes only these programs, so the list is the size of the
+// mid-run reconfiguration.
+func ChangedPorts(old, new map[model.LinkID]*PortGCL) []model.LinkID {
+	changed := make(map[model.LinkID]bool)
+	for lid, g := range old {
+		if !samePrograms(g, new[lid]) {
+			changed[lid] = true
+		}
+	}
+	for lid, g := range new {
+		if !samePrograms(g, old[lid]) {
+			changed[lid] = true
+		}
+	}
+	out := make([]model.LinkID, 0, len(changed))
+	for lid := range changed {
+		out = append(out, lid)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// samePrograms compares two gate programs entry by entry.
+func samePrograms(a, b *PortGCL) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Cycle != b.Cycle || len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -58,6 +59,15 @@ func (id LinkID) String() string { return string(id.From) + "->" + string(id.To)
 
 // Reverse returns the opposite direction of the link.
 func (id LinkID) Reverse() LinkID { return LinkID{From: id.To, To: id.From} }
+
+// ParseLinkID parses the "from->to" form produced by LinkID.String.
+func ParseLinkID(s string) (LinkID, error) {
+	from, to, ok := strings.Cut(s, "->")
+	if !ok || from == "" || to == "" {
+		return LinkID{}, fmt.Errorf("bad link id %q: want \"from->to\"", s)
+	}
+	return LinkID{From: NodeID(from), To: NodeID(to)}, nil
+}
 
 // Link is a directed edge of the network graph with the paper's three edge
 // attributes: bandwidth (b), propagation delay (d), and time unit (tu).

@@ -314,6 +314,87 @@ func (n *Network) shortestPathAvoiding(src, dst NodeID, banned map[LinkID]bool) 
 	return path, nil
 }
 
+// WithoutLinks returns a copy of the network lacking the given directed
+// links (pass both directions to remove a physical link). The copy shares no
+// mutable state with the original. Validate is intentionally not called: a
+// failure can partition the network, and the caller decides how to degrade.
+func (n *Network) WithoutLinks(ids ...LinkID) *Network {
+	banned := make(map[LinkID]bool, len(ids))
+	for _, id := range ids {
+		banned[id] = true
+	}
+	out := NewNetwork()
+	for id, node := range n.nodes {
+		out.nodes[id] = &Node{ID: node.ID, Kind: node.Kind}
+	}
+	// Iterate links deterministically so adjacency order is reproducible.
+	for _, l := range n.Links() {
+		id := l.ID()
+		if banned[id] {
+			continue
+		}
+		cp := *l
+		out.links[id] = &cp
+		out.adj[id.From] = append(out.adj[id.From], id.To)
+	}
+	return out
+}
+
+// LargestComponent returns a copy of the network reduced to its largest
+// connected component (ties broken towards the component holding the
+// lexicographically smallest node). After link failures partition a network,
+// the CNC keeps planning for the majority partition; stranded nodes and
+// their links disappear from the copy.
+func (n *Network) LargestComponent() *Network {
+	comp := make(map[NodeID]int, len(n.nodes))
+	var sizes []int
+	var smallest []NodeID
+	for _, node := range n.Nodes() { // sorted: deterministic component ids
+		if _, seen := comp[node.ID]; seen {
+			continue
+		}
+		id := len(sizes)
+		size := 0
+		queue := []NodeID{node.ID}
+		comp[node.ID] = id
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			size++
+			for _, next := range n.adj[cur] {
+				if _, seen := comp[next]; !seen {
+					comp[next] = id
+					queue = append(queue, next)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+		smallest = append(smallest, node.ID)
+	}
+	best := 0
+	for id := 1; id < len(sizes); id++ {
+		if sizes[id] > sizes[best] || (sizes[id] == sizes[best] && smallest[id] < smallest[best]) {
+			best = id
+		}
+	}
+	out := NewNetwork()
+	for id, node := range n.nodes {
+		if comp[id] == best {
+			out.nodes[id] = &Node{ID: node.ID, Kind: node.Kind}
+		}
+	}
+	for _, l := range n.Links() {
+		id := l.ID()
+		if comp[id.From] != best || comp[id.To] != best {
+			continue
+		}
+		cp := *l
+		out.links[id] = &cp
+		out.adj[id.From] = append(out.adj[id.From], id.To)
+	}
+	return out
+}
+
 // Validate checks structural invariants: every link endpoint exists, devices
 // have exactly one attached full-duplex link (single NIC), and the graph is
 // connected when non-empty.

@@ -174,6 +174,26 @@ func (s *Schedule) SetStreamPriority(id StreamID, priority int) {
 	}
 }
 
+// RemoveStream deletes a stream's definition and every slot it holds on any
+// link (recovery replanning prunes failed streams before re-admission).
+// Links left with no slots are removed from the slot table.
+func (s *Schedule) RemoveStream(id StreamID) {
+	delete(s.Streams, id)
+	for link, slots := range s.slots {
+		kept := slots[:0]
+		for _, fs := range slots {
+			if fs.Stream != id {
+				kept = append(kept, fs)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.slots, link)
+		} else {
+			s.slots[link] = kept
+		}
+	}
+}
+
 // Clone returns a deep copy of the schedule.
 func (s *Schedule) Clone() *Schedule {
 	out := NewSchedule()

@@ -79,6 +79,15 @@ type Domain struct {
 	// residuals are fixed per (node, sync round) by hashing, so offset
 	// queries are pure functions of (node, time).
 	nodeSalt map[model.NodeID]int64
+	// steps holds injected clock-step faults per node.
+	steps map[model.NodeID][]stepFault
+}
+
+// stepFault is one injected clock jump: the node's clock is off by an extra
+// `step` from `at` until the next sync correction re-disciplines it.
+type stepFault struct {
+	at   time.Duration
+	step time.Duration
 }
 
 // NewDomain validates the configuration and computes the sync tree (hop
@@ -109,6 +118,7 @@ func NewDomain(network *model.Network, clocks map[model.NodeID]Clock, cfg Config
 		hops:     hops,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		nodeSalt: make(map[model.NodeID]int64),
+		steps:    make(map[model.NodeID][]stepFault),
 	}
 	for _, node := range network.Nodes() {
 		c, ok := clocks[node.ID]
@@ -121,9 +131,46 @@ func NewDomain(network *model.Network, clocks map[model.NodeID]Clock, cfg Config
 	return d, nil
 }
 
+// Step injects a clock-step fault: at instant `at` the node's clock jumps
+// by `step` (a holdover glitch, a buggy servo, a bit flip in the phase
+// register) and the node stays off by that amount until the next sync
+// correction re-disciplines it. This is the ptp-side counterpart of the
+// simulator's FaultClockStep. The grandmaster cannot be stepped: it is the
+// time reference, so by definition it has no offset to step.
+func (d *Domain) Step(id model.NodeID, at, step time.Duration) error {
+	if id == d.cfg.Grandmaster {
+		return fmt.Errorf("%w: cannot step grandmaster %q", ErrBadSync, id)
+	}
+	if _, ok := d.clocks[id]; !ok {
+		return fmt.Errorf("%w: unknown node %q", ErrBadSync, id)
+	}
+	if at < 0 {
+		return fmt.Errorf("%w: step at %v (want >= 0)", ErrBadSync, at)
+	}
+	if step == 0 {
+		return fmt.Errorf("%w: zero step on %q", ErrBadSync, id)
+	}
+	d.steps[id] = append(d.steps[id], stepFault{at: at, step: step})
+	return nil
+}
+
+// stepAt sums the injected steps still uncorrected at instant t: each step
+// applies from its injection until the first sync correction after it.
+func (d *Domain) stepAt(id model.NodeID, t time.Duration) time.Duration {
+	var total time.Duration
+	for _, s := range d.steps[id] {
+		healedAt := (s.at/d.cfg.Interval + 1) * d.cfg.Interval
+		if s.at <= t && t < healedAt {
+			total += s.step
+		}
+	}
+	return total
+}
+
 // Offset returns the node's corrected clock offset from true time at t: the
 // residual left by the most recent sync correction plus drift accumulated
-// since. The grandmaster is always at zero.
+// since, plus any injected step fault not yet corrected. The grandmaster is
+// always at zero.
 func (d *Domain) Offset(id model.NodeID, t time.Duration) time.Duration {
 	if id == d.cfg.Grandmaster {
 		return 0
@@ -139,7 +186,7 @@ func (d *Domain) Offset(id model.NodeID, t time.Duration) time.Duration {
 	syncAt := time.Duration(round) * d.cfg.Interval
 	residual := d.residual(id, round)
 	driftSince := time.Duration(clock.DriftPPM * 1e-6 * float64(t-syncAt))
-	return residual + driftSince
+	return residual + driftSince + d.stepAt(id, t)
 }
 
 // residual is the deterministic per-round correction error: uniform in

@@ -189,3 +189,58 @@ func TestQuickResidualWithinBound(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStepValidation(t *testing.T) {
+	d := domain(t, Config{Interval: time.Millisecond, Grandmaster: "SW1"}, nil)
+	cases := []struct {
+		name string
+		node model.NodeID
+		at   time.Duration
+		step time.Duration
+	}{
+		{"grandmaster", "SW1", 0, time.Microsecond},
+		{"unknown node", "nope", 0, time.Microsecond},
+		{"negative time", "D1", -time.Second, time.Microsecond},
+		{"zero step", "D1", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := d.Step(tc.node, tc.at, tc.step); !errors.Is(err, ErrBadSync) {
+				t.Fatalf("Step(%q, %v, %v) = %v, want ErrBadSync", tc.node, tc.at, tc.step, err)
+			}
+		})
+	}
+}
+
+func TestStepHealsAtNextSync(t *testing.T) {
+	interval := time.Millisecond
+	d := domain(t, Config{Interval: interval, Grandmaster: "SW1", TimestampError: time.Nanosecond}, nil)
+
+	at := 2*interval + interval/2
+	step := 100 * time.Microsecond
+	before := d.Offset("D1", at)
+	if err := d.Step("D1", at, step); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+
+	// Before the fault: unchanged.
+	if got := d.Offset("D1", at-interval); got > time.Microsecond && got < -time.Microsecond {
+		t.Fatalf("offset before fault disturbed: %v", got)
+	}
+	// During the fault window the step shows in full.
+	if got := d.Offset("D1", at); got != before+step {
+		t.Fatalf("offset at fault = %v, want %v", got, before+step)
+	}
+	// The next sync correction (at 3*interval) re-disciplines the clock.
+	healed := d.Offset("D1", 3*interval)
+	if healed > 10*time.Microsecond || healed < -10*time.Microsecond {
+		t.Fatalf("offset after next sync = %v, want re-disciplined (small)", healed)
+	}
+	// Two simultaneous steps accumulate.
+	if err := d.Step("D1", at, step); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if got := d.Offset("D1", at); got != before+2*step {
+		t.Fatalf("offset with two steps = %v, want %v", got, before+2*step)
+	}
+}

@@ -1,6 +1,8 @@
 package qcc
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -16,6 +18,22 @@ func FuzzParse(f *testing.F) {
 		"streams":[{"id":"x","talker":"a","listener":"b","type":"time-triggered",
 		            "period_us":1000,"max_latency_us":1000,"payload_bytes":100}]}`))
 	f.Add([]byte(`{"streams":[{"id":"x","type":"event-triggered","period_us":-5}]}`))
+	// Semantic-validation seeds: zero/negative periods and payloads,
+	// duplicate ids, self-talk, a sharing ECT.
+	f.Add([]byte(`{"streams":[{"id":"x","talker":"a","listener":"b",
+		"type":"time-triggered","period_us":0,"max_latency_us":10,"payload_bytes":10}]}`))
+	f.Add([]byte(`{"streams":[{"id":"x","talker":"a","listener":"b",
+		"type":"time-triggered","period_us":10,"max_latency_us":10,"payload_bytes":-3}]}`))
+	f.Add([]byte(`{"streams":[{"id":"x","talker":"a","listener":"a",
+		"type":"event-triggered","period_us":10,"max_latency_us":10,"payload_bytes":10}]}`))
+	f.Add([]byte(`{"streams":[
+		{"id":"x","talker":"a","listener":"b","type":"time-triggered",
+		 "period_us":10,"max_latency_us":10,"payload_bytes":10},
+		{"id":"x","talker":"b","listener":"a","type":"time-triggered",
+		 "period_us":10,"max_latency_us":10,"payload_bytes":10}]}`))
+	f.Add([]byte(`{"streams":[{"id":"x","talker":"a","listener":"b",
+		"type":"event-triggered","period_us":10,"max_latency_us":10,
+		"payload_bytes":10,"share":true}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cfg, err := Parse(data)
 		if err != nil {
@@ -29,11 +47,58 @@ func FuzzParse(f *testing.F) {
 			if err := s.Validate(p.Network); err != nil {
 				t.Fatalf("accepted invalid TCT stream: %v", err)
 			}
+			if s.Period <= 0 || s.E2E <= 0 || s.LengthBytes <= 0 {
+				t.Fatalf("accepted degenerate TCT stream: %+v", s)
+			}
 		}
 		for _, e := range p.ECT {
 			if err := e.Validate(p.Network); err != nil {
 				t.Fatalf("accepted invalid ECT stream: %v", err)
 			}
+			if e.MinInterevent <= 0 || e.E2E <= 0 || e.LengthBytes <= 0 {
+				t.Fatalf("accepted degenerate ECT stream: %+v", e)
+			}
 		}
+	})
+}
+
+// FuzzParseDeployment feeds arbitrary bytes through the deployment importer:
+// parsing, gate-program reconstruction, and semantic validation must never
+// panic, and any export that validates must yield usable gate programs.
+func FuzzParseDeployment(f *testing.F) {
+	cfg, err := Parse([]byte(sampleConfig))
+	if err != nil {
+		f.Fatal(err)
+	}
+	dep, err := Compute(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid strings.Builder
+	if err := dep.WriteJSON(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(valid.String()))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"gcls":[{"link":"a->b","cycle_ns":1000,
+		"entries":[{"duration_ns":1000,"gates":255}]}]}`))
+	f.Add([]byte(`{"gcls":[{"link":"noarrow","cycle_ns":0,"entries":[{"duration_ns":-1}]}]}`))
+	f.Add([]byte(`{"schedule":[{"link":"a->b","slots":[
+		{"stream":"x","offset_us":0,"length_us":100,"period_us":620},
+		{"stream":"y","offset_us":50,"length_us":100,"period_us":620}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		exp, err := ParseDeployment(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		gcls, gclErr := exp.GCLPrograms()
+		if err := exp.Validate(dep.Network); err != nil {
+			return
+		}
+		// A validated export must have reconstructible gate programs.
+		if gclErr != nil {
+			t.Fatalf("validated export with broken gate programs: %v", gclErr)
+		}
+		_ = gcls
 	})
 }

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 	"time"
 
 	"etsn/internal/gcl"
@@ -27,7 +26,9 @@ func ParseDeployment(r io.Reader) (*DeploymentExport, error) {
 	return &exp, nil
 }
 
-// GCLs reconstructs the gate programs from the export.
+// GCLs reconstructs the gate programs from the export, rejecting malformed
+// ones: a bad link id, a non-positive cycle or entry duration, a duplicate
+// port, or entries that do not tile the cycle exactly.
 func (e *DeploymentExport) GCLPrograms() (map[model.LinkID]*gcl.PortGCL, error) {
 	out := make(map[model.LinkID]*gcl.PortGCL, len(e.GCLs))
 	for _, pe := range e.GCLs {
@@ -35,9 +36,20 @@ func (e *DeploymentExport) GCLPrograms() (map[model.LinkID]*gcl.PortGCL, error) 
 		if err != nil {
 			return nil, err
 		}
+		if _, dup := out[lid]; dup {
+			return nil, fmt.Errorf("%w: port %s has two gate programs", ErrBadDeployment, pe.Link)
+		}
+		if pe.CycleNs <= 0 {
+			return nil, fmt.Errorf("%w: port %s cycle %d ns (want > 0)",
+				ErrBadDeployment, pe.Link, pe.CycleNs)
+		}
 		g := &gcl.PortGCL{Link: lid, Cycle: time.Duration(pe.CycleNs)}
 		var total time.Duration
-		for _, entry := range pe.Entries {
+		for i, entry := range pe.Entries {
+			if entry.DurationNs <= 0 {
+				return nil, fmt.Errorf("%w: port %s entry %d duration %d ns (want > 0)",
+					ErrBadDeployment, pe.Link, i, entry.DurationNs)
+			}
 			g.Entries = append(g.Entries, gcl.Entry{
 				Duration: time.Duration(entry.DurationNs),
 				Gates:    gcl.GateMask(entry.Gates),
@@ -46,18 +58,77 @@ func (e *DeploymentExport) GCLPrograms() (map[model.LinkID]*gcl.PortGCL, error) 
 		}
 		if total != g.Cycle {
 			return nil, fmt.Errorf("%w: port %s entries sum to %v, cycle %v",
-				ErrBadConfig, pe.Link, total, g.Cycle)
+				ErrBadDeployment, pe.Link, total, g.Cycle)
 		}
 		out[lid] = g
 	}
 	return out, nil
 }
 
+// Validate cross-checks the export against a topology: every scheduled or
+// gated link must exist, and the deterministic slots of each link (same
+// period, not shared, no reservation or possibility semantics) must not
+// overlap — overlapping hard slots mean two frames were promised the same
+// wire time.
+func (e *DeploymentExport) Validate(n *model.Network) error {
+	if _, err := e.GCLPrograms(); err != nil {
+		return err
+	}
+	for _, pe := range e.GCLs {
+		lid, err := parseLinkID(pe.Link)
+		if err != nil {
+			return err
+		}
+		if _, ok := n.LinkByID(lid); !ok {
+			return fmt.Errorf("%w: gate program for unknown link %s", ErrBadDeployment, pe.Link)
+		}
+	}
+	for _, ls := range e.Schedule {
+		lid, err := parseLinkID(ls.Link)
+		if err != nil {
+			return err
+		}
+		if _, ok := n.LinkByID(lid); !ok {
+			return fmt.Errorf("%w: schedule for unknown link %s", ErrBadDeployment, ls.Link)
+		}
+		var hard []SlotExport
+		for _, s := range ls.Slots {
+			if s.PeriodUs <= 0 {
+				return fmt.Errorf("%w: link %s stream %q slot period %d us (want > 0)",
+					ErrBadDeployment, ls.Link, s.Stream, s.PeriodUs)
+			}
+			if s.LengthUs <= 0 {
+				return fmt.Errorf("%w: link %s stream %q slot length %d us (want > 0)",
+					ErrBadDeployment, ls.Link, s.Stream, s.LengthUs)
+			}
+			if !s.Shared && !s.Reserve && !s.Prob {
+				hard = append(hard, s)
+			}
+		}
+		// E-TSN overlaps possibilities with shared and reserved slots by
+		// design; hard deterministic slots of one period must tile cleanly.
+		for i := 0; i < len(hard); i++ {
+			for j := i + 1; j < len(hard); j++ {
+				a, b := hard[i], hard[j]
+				if a.PeriodUs != b.PeriodUs || a.Epoch != b.Epoch {
+					continue
+				}
+				ao, bo := a.OffsetUs%a.PeriodUs, b.OffsetUs%b.PeriodUs
+				if ao < bo+b.LengthUs && bo < ao+a.LengthUs {
+					return fmt.Errorf("%w: link %s: slots of %q and %q overlap at %d us",
+						ErrBadDeployment, ls.Link, a.Stream, b.Stream, ao)
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // parseLinkID parses the "from->to" form used by LinkID.String.
 func parseLinkID(s string) (model.LinkID, error) {
-	from, to, ok := strings.Cut(s, "->")
-	if !ok || from == "" || to == "" {
-		return model.LinkID{}, fmt.Errorf("%w: bad link id %q", ErrBadConfig, s)
+	lid, err := model.ParseLinkID(s)
+	if err != nil {
+		return model.LinkID{}, fmt.Errorf("%w: %v", ErrBadDeployment, err)
 	}
-	return model.LinkID{From: model.NodeID(from), To: model.NodeID(to)}, nil
+	return lid, nil
 }

@@ -21,10 +21,18 @@ import (
 	"etsn/internal/model"
 )
 
-// Sentinel errors.
+// Sentinel errors. ErrBadStream and ErrBadDeployment wrap ErrBadConfig, so
+// errors.Is(err, ErrBadConfig) keeps matching everything this package
+// rejects while callers can still tell the three apart.
 var (
 	// ErrBadConfig marks an unusable configuration document.
 	ErrBadConfig = errors.New("invalid qcc configuration")
+	// ErrBadStream marks a semantically invalid stream requirement (zero or
+	// negative period, missing endpoints, duplicate id, ...).
+	ErrBadStream = fmt.Errorf("%w: invalid stream requirement", ErrBadConfig)
+	// ErrBadDeployment marks an unusable deployment export (unknown link
+	// ids, malformed gate programs, overlapping slots).
+	ErrBadDeployment = fmt.Errorf("%w: invalid deployment", ErrBadConfig)
 )
 
 // Stream requirement types.
@@ -76,6 +84,32 @@ type StreamRequirement struct {
 	PayloadBytes int `json:"payload_bytes"`
 	// Share marks a TCT stream that offers its slots to ECT.
 	Share bool `json:"share,omitempty"`
+}
+
+// validate applies the semantic checks a CUC must pass before the CNC will
+// route a requirement: JSON that decodes is not necessarily a stream.
+func (r *StreamRequirement) validate(i int) error {
+	switch {
+	case r.ID == "":
+		return fmt.Errorf("%w: stream %d has no id", ErrBadStream, i)
+	case r.Talker == "":
+		return fmt.Errorf("%w: stream %q has no talker", ErrBadStream, r.ID)
+	case r.Listener == "":
+		return fmt.Errorf("%w: stream %q has no listener", ErrBadStream, r.ID)
+	case r.Talker == r.Listener:
+		return fmt.Errorf("%w: stream %q talks to itself", ErrBadStream, r.ID)
+	case r.Type != TypeTimeTriggered && r.Type != TypeEventTriggered:
+		return fmt.Errorf("%w: stream %q: unknown type %q", ErrBadStream, r.ID, r.Type)
+	case r.PeriodUs <= 0:
+		return fmt.Errorf("%w: stream %q: period %d us (want > 0)", ErrBadStream, r.ID, r.PeriodUs)
+	case r.MaxLatencyUs <= 0:
+		return fmt.Errorf("%w: stream %q: max latency %d us (want > 0)", ErrBadStream, r.ID, r.MaxLatencyUs)
+	case r.PayloadBytes <= 0:
+		return fmt.Errorf("%w: stream %q: payload %d bytes (want > 0)", ErrBadStream, r.ID, r.PayloadBytes)
+	case r.Share && r.Type != TypeTimeTriggered:
+		return fmt.Errorf("%w: stream %q: only time-triggered streams can share slots", ErrBadStream, r.ID)
+	}
+	return nil
 }
 
 // SchedulerOptions carries the E-TSN tuning knobs.
@@ -166,14 +200,19 @@ func (c *Config) BuildProblem() (*core.Problem, error) {
 		return nil, err
 	}
 	p := &core.Problem{Network: network, Opts: c.coreOptions()}
+	seen := make(map[string]bool, len(c.Streams))
 	for i := range c.Streams {
 		req := &c.Streams[i]
-		if req.ID == "" {
-			return nil, fmt.Errorf("%w: stream %d has no id", ErrBadConfig, i)
+		if err := req.validate(i); err != nil {
+			return nil, err
 		}
+		if seen[req.ID] {
+			return nil, fmt.Errorf("%w: duplicate stream id %q", ErrBadStream, req.ID)
+		}
+		seen[req.ID] = true
 		path, err := network.ShortestPath(model.NodeID(req.Talker), model.NodeID(req.Listener))
 		if err != nil {
-			return nil, fmt.Errorf("%w: stream %q: %v", ErrBadConfig, req.ID, err)
+			return nil, fmt.Errorf("%w: stream %q: %v", ErrBadStream, req.ID, err)
 		}
 		period := time.Duration(req.PeriodUs) * time.Microsecond
 		e2e := time.Duration(req.MaxLatencyUs) * time.Microsecond

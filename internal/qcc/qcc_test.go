@@ -326,3 +326,97 @@ func TestMinimizeECTPlumbed(t *testing.T) {
 		t.Fatal("MinimizeECT not plumbed")
 	}
 }
+
+func TestStreamRequirementValidation(t *testing.T) {
+	mutate := func(f func(*Config)) *Config {
+		cfg, err := Parse([]byte(sampleConfig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(cfg)
+		return cfg
+	}
+	cases := []struct {
+		name string
+		cfg  *Config
+	}{
+		{"zero period", mutate(func(c *Config) { c.Streams[0].PeriodUs = 0 })},
+		{"negative period", mutate(func(c *Config) { c.Streams[1].PeriodUs = -620 })},
+		{"zero latency", mutate(func(c *Config) { c.Streams[0].MaxLatencyUs = 0 })},
+		{"negative latency", mutate(func(c *Config) { c.Streams[0].MaxLatencyUs = -1 })},
+		{"zero payload", mutate(func(c *Config) { c.Streams[0].PayloadBytes = 0 })},
+		{"negative payload", mutate(func(c *Config) { c.Streams[1].PayloadBytes = -4 })},
+		{"no talker", mutate(func(c *Config) { c.Streams[0].Talker = "" })},
+		{"no listener", mutate(func(c *Config) { c.Streams[0].Listener = "" })},
+		{"self talk", mutate(func(c *Config) { c.Streams[0].Listener = c.Streams[0].Talker })},
+		{"sharing ECT", mutate(func(c *Config) { c.Streams[1].Share = true })},
+		{"duplicate id", mutate(func(c *Config) { c.Streams[1].ID = c.Streams[0].ID })},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.cfg.BuildProblem()
+			if !errors.Is(err, ErrBadStream) {
+				t.Fatalf("err = %v, want ErrBadStream", err)
+			}
+			if !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("ErrBadStream must also match ErrBadConfig, got %v", err)
+			}
+		})
+	}
+	// The unmutated document still builds.
+	cfg := mutate(func(*Config) {})
+	if _, err := cfg.BuildProblem(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestDeploymentExportValidation(t *testing.T) {
+	cfg, err := Parse([]byte(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := Compute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(*DeploymentExport)) *DeploymentExport {
+		exp := dep.Export()
+		f(exp)
+		return exp
+	}
+	cases := []struct {
+		name string
+		exp  *DeploymentExport
+	}{
+		{"unknown gcl link", mutate(func(e *DeploymentExport) { e.GCLs[0].Link = "X->Y" })},
+		{"bad gcl link id", mutate(func(e *DeploymentExport) { e.GCLs[0].Link = "noarrow" })},
+		{"zero cycle", mutate(func(e *DeploymentExport) { e.GCLs[0].CycleNs = 0 })},
+		{"negative entry", mutate(func(e *DeploymentExport) { e.GCLs[0].Entries[0].DurationNs = -1 })},
+		{"duplicate port", mutate(func(e *DeploymentExport) { e.GCLs = append(e.GCLs, e.GCLs[0]) })},
+		{"unknown schedule link", mutate(func(e *DeploymentExport) { e.Schedule[0].Link = "X->Y" })},
+		{"zero slot period", mutate(func(e *DeploymentExport) {
+			e.Schedule[0].Slots[0].PeriodUs = 0
+		})},
+		{"zero slot length", mutate(func(e *DeploymentExport) {
+			e.Schedule[0].Slots[0].LengthUs = 0
+		})},
+		{"overlapping slots", mutate(func(e *DeploymentExport) {
+			// Two deterministic slots of the same period claiming the same
+			// wire time.
+			e.Schedule[0].Slots = append(e.Schedule[0].Slots,
+				SlotExport{Stream: "a", OffsetUs: 0, LengthUs: 100, PeriodUs: 620, Priority: 5},
+				SlotExport{Stream: "b", OffsetUs: 50, LengthUs: 100, PeriodUs: 620, Priority: 5})
+		})},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.exp.Validate(dep.Network)
+			if !errors.Is(err, ErrBadDeployment) {
+				t.Fatalf("err = %v, want ErrBadDeployment", err)
+			}
+		})
+	}
+	if err := dep.Export().Validate(dep.Network); err != nil {
+		t.Fatalf("valid export rejected: %v", err)
+	}
+}

@@ -72,6 +72,10 @@ type SimOptions struct {
 	WarmUp time.Duration
 	// Trace receives the simulator's JSONL frame-event stream.
 	Trace io.Writer
+	// Faults lists timed fault injections applied during the run.
+	Faults []sim.Fault
+	// OnFault is invoked at each fault instant (recovery hook).
+	OnFault func(*sim.Simulator, sim.Fault)
 }
 
 // Simulate runs a plan against stochastic ECT traffic (plus optional
@@ -104,6 +108,8 @@ func (pl *Plan) SimulateOpts(network *model.Network, o SimOptions) (*sim.Results
 		ClockOffset: o.ClockOffset,
 		CQF:         cqf,
 		Trace:       o.Trace,
+		Faults:      o.Faults,
+		OnFault:     o.OnFault,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s simulation: %w", pl.Method, err)

@@ -34,6 +34,33 @@ type outPort struct {
 	windows [model.NumPriorities][]gateWin
 	// wakeAt is the earliest already-scheduled future wake-up, or zero.
 	wakeAt time.Duration
+	// down marks a failed link: arrivals drop until the link comes back.
+	down bool
+	// darkUntil holds the end of a switch-reboot dark window.
+	darkUntil time.Duration
+	// burstLoss/burstUntil describe a transient loss burst overriding the
+	// configured LinkLoss while it lasts.
+	burstLoss  float64
+	burstUntil time.Duration
+}
+
+// unavailable reports whether the port cannot accept or send frames now
+// (failed link or rebooting switch).
+func (p *outPort) unavailable() bool {
+	return p.down || p.sim.now < p.darkUntil
+}
+
+// flush drops every queued frame — a link failure or switch reboot loses
+// whatever was waiting in the egress queues.
+func (p *outPort) flush() {
+	for pri := range p.queues {
+		for _, f := range p.queues[pri] {
+			p.drops++
+			p.sim.results.recordDrop(f.Stream, p.sim.now)
+			p.sim.trace.emit(p.sim.now, "drop", f, p.link.ID())
+		}
+		p.queues[pri] = nil
+	}
 }
 
 // buildWindows precomputes per-priority open windows from the gate program.
@@ -100,6 +127,13 @@ func (p *outPort) nextOpen(t time.Duration, pri int, need time.Duration) (time.D
 // Under 802.1Qch the frame joins whichever of the two alternating classes
 // is receiving in the current cycle.
 func (p *outPort) enqueue(f *Frame) {
+	if p.unavailable() {
+		// A dead link or rebooting switch discards arrivals immediately.
+		p.drops++
+		p.sim.results.recordDrop(f.Stream, p.sim.now)
+		p.sim.trace.emit(p.sim.now, "drop", f, p.link.ID())
+		return
+	}
 	if c := p.sim.cfg.CQF; c != nil && (f.Priority == c.QueueA || f.Priority == c.QueueB) {
 		f.Priority = c.receiveQueue(p.localNow())
 	}
@@ -120,6 +154,13 @@ func (p *outPort) localNow() time.Duration {
 // queue could become eligible.
 func (p *outPort) trySend() {
 	now := p.sim.now
+	if p.down {
+		return
+	}
+	if now < p.darkUntil {
+		p.scheduleWake(p.darkUntil)
+		return
+	}
 	if p.busy > now {
 		p.scheduleWake(p.busy)
 		return
@@ -140,7 +181,7 @@ func (p *outPort) trySend() {
 			// never be transmitted. Drop it so the queue does not jam.
 			p.queues[pri] = q[1:]
 			p.drops++
-			p.sim.results.recordDrop(head.Stream)
+			p.sim.results.recordDrop(head.Stream, now)
 			p.sim.trace.emit(now, "drop", head, p.link.ID())
 			p.sim.schedule(now, p.trySend)
 			return
@@ -185,9 +226,13 @@ func (p *outPort) transmit(f *Frame, pri int, tx time.Duration) {
 	}
 	p.busy = now + tx
 	p.sim.trace.emit(now, "tx", f, p.link.ID())
-	if loss := p.sim.cfg.LinkLoss[p.link.ID()]; loss > 0 && p.sim.rng.Float64() < loss {
+	loss := p.sim.cfg.LinkLoss[p.link.ID()]
+	if now < p.burstUntil && p.burstLoss > loss {
+		loss = p.burstLoss
+	}
+	if loss > 0 && p.sim.rng.Float64() < loss {
 		// The frame is corrupted on the wire and never arrives.
-		p.sim.results.recordLost(f.Stream)
+		p.sim.results.recordLost(f.Stream, now)
 		p.sim.trace.emit(now, "lost", f, p.link.ID())
 	} else {
 		arrival := now + tx + p.link.PropDelay

@@ -16,6 +16,11 @@ type Results struct {
 	lost       map[model.StreamID]int
 	eliminated map[model.StreamID]int
 	totalDrops int
+	// deliveredAt/dropAt/lostAt timestamp each delivery, drop, and wire
+	// loss so fault experiments can locate deadline misses in time.
+	deliveredAt map[model.StreamID][]time.Duration
+	dropAt      map[model.StreamID][]time.Duration
+	lostAt      map[model.StreamID][]time.Duration
 }
 
 type hopKey struct {
@@ -25,20 +30,27 @@ type hopKey struct {
 
 func newResults() *Results {
 	return &Results{
-		latencies:  make(map[model.StreamID][]time.Duration),
-		drops:      make(map[model.StreamID]int),
-		hops:       make(map[hopKey][]time.Duration),
-		emitted:    make(map[model.StreamID]int),
-		lost:       make(map[model.StreamID]int),
-		eliminated: make(map[model.StreamID]int),
+		latencies:   make(map[model.StreamID][]time.Duration),
+		drops:       make(map[model.StreamID]int),
+		hops:        make(map[hopKey][]time.Duration),
+		emitted:     make(map[model.StreamID]int),
+		lost:        make(map[model.StreamID]int),
+		eliminated:  make(map[model.StreamID]int),
+		deliveredAt: make(map[model.StreamID][]time.Duration),
+		dropAt:      make(map[model.StreamID][]time.Duration),
+		lostAt:      make(map[model.StreamID][]time.Duration),
 	}
 }
 
-func (r *Results) record(id model.StreamID, lat time.Duration) {
+func (r *Results) record(id model.StreamID, lat, at time.Duration) {
 	r.latencies[id] = append(r.latencies[id], lat)
+	r.deliveredAt[id] = append(r.deliveredAt[id], at)
 }
 
-func (r *Results) recordDrop(id model.StreamID) { r.drops[id]++ }
+func (r *Results) recordDrop(id model.StreamID, at time.Duration) {
+	r.drops[id]++
+	r.dropAt[id] = append(r.dropAt[id], at)
+}
 
 func (r *Results) recordHop(id model.StreamID, hop int, lat time.Duration) {
 	k := hopKey{stream: id, hop: hop}
@@ -52,8 +64,13 @@ func (r *Results) HopLatencies(id model.StreamID, hop int) []time.Duration {
 	return r.hops[hopKey{stream: id, hop: hop}]
 }
 
-func (r *Results) recordEmitted(id model.StreamID)    { r.emitted[id]++ }
-func (r *Results) recordLost(id model.StreamID)       { r.lost[id]++ }
+func (r *Results) recordEmitted(id model.StreamID) { r.emitted[id]++ }
+
+func (r *Results) recordLost(id model.StreamID, at time.Duration) {
+	r.lost[id]++
+	r.lostAt[id] = append(r.lostAt[id], at)
+}
+
 func (r *Results) recordEliminated(id model.StreamID) { r.eliminated[id]++ }
 
 // Emitted returns the number of events an ECT source generated.
@@ -98,3 +115,27 @@ func (r *Results) Drops(id model.StreamID) int { return r.drops[id] }
 
 // TotalDrops returns the total dropped frames across all ports.
 func (r *Results) TotalDrops() int { return r.totalDrops }
+
+// DroppedStreams lists the streams that lost at least one frame to a drop,
+// sorted. Unlike Streams it includes streams that never delivered, so
+// callers can reconcile per-stream drops against TotalDrops.
+func (r *Results) DroppedStreams() []model.StreamID {
+	out := make([]model.StreamID, 0, len(r.drops))
+	for id := range r.drops {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DeliveryTimes returns the delivery instants of a stream's messages,
+// index-aligned with Latencies. The returned slice is owned by the results.
+func (r *Results) DeliveryTimes(id model.StreamID) []time.Duration { return r.deliveredAt[id] }
+
+// DropTimes returns the instants frames of a stream were dropped (jammed
+// gates, dead links, reboot flushes).
+func (r *Results) DropTimes(id model.StreamID) []time.Duration { return r.dropAt[id] }
+
+// LossTimes returns the instants frames of a stream were corrupted on the
+// wire.
+func (r *Results) LossTimes(id model.StreamID) []time.Duration { return r.lostAt[id] }

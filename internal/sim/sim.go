@@ -105,6 +105,13 @@ type Config struct {
 	// two traffic classes alternate as receive/transmit buffers each
 	// cycle, so a frame admitted in cycle i is forwarded in cycle i+1.
 	CQF *CQFConfig
+	// Faults lists timed fault injections (link failures, loss bursts,
+	// switch reboots, clock steps) applied during the run.
+	Faults []Fault
+	// OnFault, when non-nil, is invoked at each fault instant after the
+	// fault takes effect — the hook a recovery controller uses to replan
+	// and Reprogram the network mid-run.
+	OnFault func(*Simulator, Fault)
 }
 
 // CQFConfig parameterizes 802.1Qch operation.
@@ -143,6 +150,16 @@ type Simulator struct {
 	seen map[fragKey]bool
 	// trace is the optional event sink.
 	trace *tracer
+	// gen counts Reprogram calls; TCT talker loops die when their captured
+	// generation goes stale.
+	gen int64
+	// shed silences streams dropped by graceful degradation.
+	shed map[model.StreamID]bool
+	// ectPath overrides event-stream routes after a recovery reroute.
+	ectPath map[model.StreamID][]model.LinkID
+	// clockStep accumulates per-node clock-step faults on top of the
+	// configured ClockOffset model.
+	clockStep map[model.NodeID]time.Duration
 }
 
 type fragKey struct {
@@ -192,13 +209,21 @@ func New(cfg Config) (*Simulator, error) {
 			return nil, fmt.Errorf("%w: CQF queues %d/%d", ErrBadConfig, c.QueueA, c.QueueB)
 		}
 	}
+	for _, f := range cfg.Faults {
+		if err := f.validate(cfg.Network); err != nil {
+			return nil, err
+		}
+	}
 	s := &Simulator{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		ports:   make(map[model.LinkID]*outPort),
-		results: newResults(),
-		arrived: make(map[msgKey]int),
-		seen:    make(map[fragKey]bool),
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		ports:     make(map[model.LinkID]*outPort),
+		results:   newResults(),
+		arrived:   make(map[msgKey]int),
+		seen:      make(map[fragKey]bool),
+		shed:      make(map[model.StreamID]bool),
+		ectPath:   make(map[model.StreamID][]model.LinkID),
+		clockStep: make(map[model.NodeID]time.Duration),
 	}
 	if cfg.Trace != nil {
 		s.trace = newTracer(cfg.Trace)
@@ -220,12 +245,17 @@ func New(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
-// localTime maps simulation time to a node's local clock.
+// localTime maps simulation time to a node's local clock, including any
+// injected clock-step faults.
 func (s *Simulator) localTime(node model.NodeID, t time.Duration) time.Duration {
-	if s.cfg.ClockOffset == nil {
-		return t
+	out := t
+	if s.cfg.ClockOffset != nil {
+		out += s.cfg.ClockOffset(node, t)
 	}
-	return t + s.cfg.ClockOffset(node, t)
+	if len(s.clockStep) > 0 {
+		out += s.clockStep[node]
+	}
+	return out
 }
 
 func (s *Simulator) schedule(at time.Duration, fn func()) {
@@ -238,7 +268,11 @@ func (s *Simulator) schedule(at time.Duration, fn func()) {
 
 // Run executes the simulation and returns the collected results.
 func (s *Simulator) Run() (*Results, error) {
-	s.startTCTSources()
+	for i := range s.cfg.Faults {
+		f := s.cfg.Faults[i]
+		s.schedule(f.At, func() { s.applyFault(f) })
+	}
+	s.launchTCT(0)
 	s.startECTSources()
 	s.startBESources()
 	for s.events.Len() > 0 {
@@ -255,10 +289,13 @@ func (s *Simulator) Run() (*Results, error) {
 	return s.results, nil
 }
 
-// startTCTSources schedules periodic emissions for every deterministic
-// stream in the schedule: fragment j of each cycle is handed to the talker
-// port exactly at its scheduled slot offset (CUC-configured talker offsets).
-func (s *Simulator) startTCTSources() {
+// launchTCT schedules (or, after Reprogram, reschedules) periodic emissions
+// for every deterministic stream in the current schedule: fragment j of each
+// cycle is handed to the talker port exactly at its scheduled slot offset
+// (CUC-configured talker offsets). Streams start at their first period
+// boundary at or after from; loops from earlier generations expire.
+func (s *Simulator) launchTCT(from time.Duration) {
+	gen := s.gen
 	ids := make([]model.StreamID, 0, len(s.cfg.Schedule.Streams))
 	for id := range s.cfg.Schedule.Streams {
 		ids = append(ids, id)
@@ -266,7 +303,7 @@ func (s *Simulator) startTCTSources() {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		st := s.cfg.Schedule.Streams[id]
-		if st.Type != model.StreamDet || st.Reserve || s.cfg.Reserved[st.ID] {
+		if st.Type != model.StreamDet || st.Reserve || s.cfg.Reserved[st.ID] || s.shed[st.ID] {
 			continue
 		}
 		slots := s.cfg.Schedule.StreamSlots(st.ID, st.Path[0])
@@ -282,11 +319,15 @@ func (s *Simulator) startTCTSources() {
 		for j := 0; j < frames; j++ {
 			offsets[j] = time.Duration(slots[j].VirtualOffset()) * unit
 		}
-		s.scheduleTCTCycle(st, offsets, 0)
+		cycle := int64(0)
+		if from > 0 {
+			cycle = int64((from + st.Period - 1) / st.Period)
+		}
+		s.scheduleTCTCycle(gen, st, offsets, cycle)
 	}
 }
 
-func (s *Simulator) scheduleTCTCycle(st *model.Stream, offsets []time.Duration, cycle int64) {
+func (s *Simulator) scheduleTCTCycle(gen int64, st *model.Stream, offsets []time.Duration, cycle int64) {
 	base := time.Duration(cycle) * st.Period
 	if base > s.cfg.Duration {
 		return
@@ -298,6 +339,9 @@ func (s *Simulator) scheduleTCTCycle(st *model.Stream, offsets []time.Duration, 
 		at := base + offsets[j]
 		payload := fragmentBytes(st.LengthBytes, frags, j)
 		s.schedule(at, func() {
+			if gen != s.gen {
+				return
+			}
 			f := &Frame{
 				Stream:       st.ID,
 				Seq:          cycle,
@@ -311,7 +355,12 @@ func (s *Simulator) scheduleTCTCycle(st *model.Stream, offsets []time.Duration, 
 			s.ports[f.CurrentLink()].enqueue(f)
 		})
 	}
-	s.schedule(base+st.Period, func() { s.scheduleTCTCycle(st, offsets, cycle+1) })
+	s.schedule(base+st.Period, func() {
+		if gen != s.gen {
+			return
+		}
+		s.scheduleTCTCycle(gen, st, offsets, cycle+1)
+	})
 }
 
 // startECTSources schedules the first occurrence of every event source.
@@ -336,9 +385,19 @@ func (s *Simulator) scheduleECTEvent(src ECTTraffic, gap func(*rand.Rand) time.D
 		return
 	}
 	s.schedule(at, func() {
+		if s.shed[src.Stream.ID] {
+			// Shed event sources stay silent but keep ticking so a later
+			// Reprogram could resume them.
+			s.scheduleECTEvent(src, gap, at+gap(s.rng), seq)
+			return
+		}
 		s.results.recordEmitted(src.Stream.ID)
 		frags := src.Stream.Frames()
-		paths := append([][]model.LinkID{src.Stream.Path}, src.ExtraPaths...)
+		route := src.Stream.Path
+		if p := s.ectPath[src.Stream.ID]; p != nil {
+			route = p
+		}
+		paths := append([][]model.LinkID{route}, src.ExtraPaths...)
 		for _, path := range paths {
 			for j := 0; j < frags; j++ {
 				f := &Frame{
@@ -356,6 +415,12 @@ func (s *Simulator) scheduleECTEvent(src ECTTraffic, gap func(*rand.Rand) time.D
 		}
 		s.scheduleECTEvent(src, gap, at+gap(s.rng), seq+1)
 	})
+}
+
+// BEStreamID names the i-th best-effort background flow in results and shed
+// sets.
+func BEStreamID(flow int) model.StreamID {
+	return model.StreamID(fmt.Sprintf("be%d", flow))
 }
 
 // startBESources schedules background best-effort flows with exponential
@@ -379,8 +444,14 @@ func (s *Simulator) scheduleBEFrame(be BETraffic, flow int, at time.Duration, se
 		return
 	}
 	s.schedule(at, func() {
+		id := BEStreamID(flow)
+		gap := time.Duration(s.rng.ExpFloat64() * float64(be.MeanGap))
+		if s.shed[id] {
+			s.scheduleBEFrame(be, flow, at+gap, seq)
+			return
+		}
 		f := &Frame{
-			Stream:       model.StreamID(fmt.Sprintf("be%d", flow)),
+			Stream:       id,
 			Seq:          seq,
 			FragCount:    1,
 			Priority:     be.Priority,
@@ -389,7 +460,6 @@ func (s *Simulator) scheduleBEFrame(be BETraffic, flow int, at time.Duration, se
 			Path:         be.Path,
 		}
 		s.ports[f.CurrentLink()].enqueue(f)
-		gap := time.Duration(s.rng.ExpFloat64() * float64(be.MeanGap))
 		s.scheduleBEFrame(be, flow, at+gap, seq+1)
 	})
 }
@@ -415,7 +485,7 @@ func (s *Simulator) deliver(f *Frame, over *model.Link) {
 		if s.arrived[k] == f.FragCount {
 			delete(s.arrived, k)
 			if f.Created >= s.cfg.WarmUp {
-				s.results.record(f.Stream, s.now-f.Created)
+				s.results.record(f.Stream, s.now-f.Created, s.now)
 			}
 		}
 		return

@@ -1,0 +1,27 @@
+#!/bin/sh
+# check.sh — the tier-1 gate. Everything a change must pass before merge:
+# vet, build, the full test suite under the race detector, and a short
+# fuzz smoke over the corpus seeds of every fuzz target.
+#
+# Usage: ./scripts/check.sh            (from the repository root)
+#        FUZZTIME=10s ./scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+FUZZTIME="${FUZZTIME:-5s}"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> fuzz smoke (${FUZZTIME} per target)"
+go test ./internal/qcc/ -run=^$ -fuzz=FuzzParse$ -fuzztime="$FUZZTIME"
+go test ./internal/qcc/ -run=^$ -fuzz=FuzzParseDeployment -fuzztime="$FUZZTIME"
+go test ./internal/smt/ -run=^$ -fuzz=FuzzSolve -fuzztime="$FUZZTIME"
+
+echo "==> OK"
