@@ -5,10 +5,18 @@
 // streams), Fig. 16 (four concurrent ECT streams), and the headline numbers
 // at 75% load.
 //
+// Every experiment additionally writes a machine-readable benchmark record
+// (BENCH_<experiment>.json) with solver-effort and simulator-throughput
+// counters, harvested from the run's metrics registry.
+//
 // Usage:
 //
 //	etsn-bench [-experiment all|headline|fig11|fig12|fig14|fig15|fig16]
 //	           [-duration 4s] [-seed 60802]
+//	           [-metrics out.prom] [-trace-phases out.trace.json]
+//	           [-pprof cpu=FILE|mem=FILE|HOST:PORT]
+//	           [-bench-dir DIR] [-bench-name NAME]
+//	           [-check-bench FILE]
 package main
 
 import (
@@ -16,9 +24,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"etsn/internal/experiments"
+	"etsn/internal/obs"
 )
 
 func main() {
@@ -33,50 +43,75 @@ func run(args []string, w io.Writer) error {
 	experiment := fs.String("experiment", "all", "experiment to run: all, headline, fig11, fig12, fig14, fig15, fig16, fourway, frer, scale, sync, ablation, faults")
 	duration := fs.Duration("duration", experiments.DefaultDuration, "simulated time per run")
 	seed := fs.Int64("seed", experiments.DefaultSeed, "random seed for event arrivals")
+	metrics := fs.String("metrics", "", "write run metrics to this file (.json for JSON, else Prometheus text)")
+	tracePhases := fs.String("trace-phases", "", "write a Chrome trace_event JSON file of planner/simulation phases")
+	pprofSpec := fs.String("pprof", "", "profiling: cpu=FILE, mem=FILE, or HOST:PORT for a live pprof server")
+	benchDir := fs.String("bench-dir", ".", "directory for BENCH_<experiment>.json artifacts")
+	benchName := fs.String("bench-name", "", "override the artifact name (BENCH_<name>.json)")
+	checkBench := fs.String("check-bench", "", "validate an existing bench artifact and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *checkBench != "" {
+		a, err := experiments.LoadBenchArtifact(*checkBench)
+		if err != nil {
+			return err
+		}
+		if err := a.Validate(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: valid bench artifact (%s, wall %dms, %d events)\n",
+			*checkBench, a.Experiment, a.WallMs, a.Sim.Events)
+		return nil
+	}
+	if *pprofSpec != "" {
+		stop, err := obs.StartPprof(*pprofSpec)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = stop() }()
 	}
 	opts := experiments.RunOptions{Duration: *duration, Seed: *seed}
 
 	type runner struct {
 		name string
-		fn   func() error
+		fn   func(experiments.RunOptions) error
 	}
 	all := []runner{
-		{"headline", func() error {
-			r, err := experiments.Headline(opts)
+		{"headline", func(o experiments.RunOptions) error {
+			r, err := experiments.Headline(o)
 			if err != nil {
 				return err
 			}
 			r.WriteTable(w)
 			return nil
 		}},
-		{"fig11", func() error {
-			r, err := experiments.Fig11(opts)
+		{"fig11", func(o experiments.RunOptions) error {
+			r, err := experiments.Fig11(o)
 			if err != nil {
 				return err
 			}
 			r.WriteTable(w)
 			return nil
 		}},
-		{"fig12", func() error {
-			r, err := experiments.Fig12(opts)
+		{"fig12", func(o experiments.RunOptions) error {
+			r, err := experiments.Fig12(o)
 			if err != nil {
 				return err
 			}
 			r.WriteTable(w)
 			return nil
 		}},
-		{"fig14", func() error {
-			r, err := experiments.Fig14(opts)
+		{"fig14", func(o experiments.RunOptions) error {
+			r, err := experiments.Fig14(o)
 			if err != nil {
 				return err
 			}
 			r.WriteTable(w)
 			return nil
 		}},
-		{"fig15", func() error {
-			r, err := experiments.Fig15(opts)
+		{"fig15", func(o experiments.RunOptions) error {
+			r, err := experiments.Fig15(o)
 			if err != nil {
 				return err
 			}
@@ -86,68 +121,68 @@ func run(args []string, w io.Writer) error {
 			}
 			return nil
 		}},
-		{"fig16", func() error {
-			r, err := experiments.Fig16(opts)
+		{"fig16", func(o experiments.RunOptions) error {
+			r, err := experiments.Fig16(o)
 			if err != nil {
 				return err
 			}
 			r.WriteTable(w)
 			return nil
 		}},
-		{"fourway", func() error {
-			r, err := experiments.FourWay(opts)
+		{"fourway", func(o experiments.RunOptions) error {
+			r, err := experiments.FourWay(o)
 			if err != nil {
 				return err
 			}
 			r.WriteTable(w)
 			return nil
 		}},
-		{"frer", func() error {
-			r, err := experiments.FRER(opts)
+		{"frer", func(o experiments.RunOptions) error {
+			r, err := experiments.FRER(o)
 			if err != nil {
 				return err
 			}
 			r.WriteTable(w)
 			return nil
 		}},
-		{"scale", func() error {
-			r, err := experiments.Scale(opts)
+		{"scale", func(o experiments.RunOptions) error {
+			r, err := experiments.Scale(o)
 			if err != nil {
 				return err
 			}
 			r.WriteTable(w)
 			return nil
 		}},
-		{"sync", func() error {
-			r, err := experiments.Sync(opts)
+		{"sync", func(o experiments.RunOptions) error {
+			r, err := experiments.Sync(o)
 			if err != nil {
 				return err
 			}
 			r.WriteTable(w)
 			return nil
 		}},
-		{"ablation", func() error {
-			n, err := experiments.AblationNProb(opts)
+		{"ablation", func(o experiments.RunOptions) error {
+			n, err := experiments.AblationNProb(o)
 			if err != nil {
 				return err
 			}
 			n.WriteTable(w)
 			fmt.Fprintln(w)
-			p, err := experiments.AblationPrudent(opts)
+			p, err := experiments.AblationPrudent(o)
 			if err != nil {
 				return err
 			}
 			p.WriteTable(w)
 			fmt.Fprintln(w)
-			b, err := experiments.AblationBackend(opts)
+			b, err := experiments.AblationBackend(o)
 			if err != nil {
 				return err
 			}
 			b.WriteTable(w)
 			return nil
 		}},
-		{"faults", func() error {
-			r, err := experiments.Faults(opts)
+		{"faults", func(o experiments.RunOptions) error {
+			r, err := experiments.Faults(o)
 			if err != nil {
 				return err
 			}
@@ -160,22 +195,62 @@ func run(args []string, w io.Writer) error {
 		}},
 	}
 
+	// Each experiment runs with a fresh registry and tracer so its bench
+	// artifact reflects that run alone. The -metrics and -trace-phases
+	// files carry the last experiment executed (the only one unless
+	// -experiment all).
+	var lastReg *obs.Registry
+	var lastTracer *obs.Tracer
+	runOne := func(r runner) error {
+		o := opts
+		o.Obs = obs.NewRegistry()
+		o.Phases = obs.NewTracer()
+		start := time.Now()
+		if err := r.fn(o); err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		lastReg, lastTracer = o.Obs, o.Phases
+		name := *benchName
+		if name == "" {
+			name = r.name
+		}
+		art := experiments.NewBenchArtifact(name, o.Obs, o, wall)
+		return art.Write(filepath.Join(*benchDir, "BENCH_"+name+".json"))
+	}
+	exports := func() error {
+		if *metrics != "" && lastReg != nil {
+			if err := lastReg.WriteMetricsFile(*metrics); err != nil {
+				return err
+			}
+		}
+		if *tracePhases != "" && lastTracer != nil {
+			if err := lastTracer.WriteChromeTraceFile(*tracePhases); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	if *experiment == "all" {
 		for i, r := range all {
 			if i > 0 {
 				fmt.Fprintln(w)
 			}
 			start := time.Now()
-			if err := r.fn(); err != nil {
+			if err := runOne(r); err != nil {
 				return fmt.Errorf("%s: %w", r.name, err)
 			}
 			fmt.Fprintf(w, "[%s completed in %v]\n", r.name, time.Since(start).Round(time.Millisecond))
 		}
-		return nil
+		return exports()
 	}
 	for _, r := range all {
 		if r.name == *experiment {
-			return r.fn()
+			if err := runOne(r); err != nil {
+				return err
+			}
+			return exports()
 		}
 	}
 	return fmt.Errorf("unknown experiment %q", *experiment)

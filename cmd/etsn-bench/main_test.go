@@ -2,13 +2,20 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+
+	"etsn/internal/experiments"
 )
 
 func TestRunHeadline(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-experiment", "headline", "-duration", "300ms"}, &buf); err != nil {
+	if err := run([]string{"-experiment", "headline", "-duration", "300ms",
+		"-bench-dir", t.TempDir()}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := buf.String()
@@ -19,9 +26,117 @@ func TestRunHeadline(t *testing.T) {
 	}
 }
 
+// promLine matches one sample of the text exposition: name, optional
+// labels, and an integer value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?\d+$`)
+
+// promTypeLine matches a # TYPE comment.
+var promTypeLine = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+
+// TestRunHeadlineInstrumented exercises the acceptance path: metrics file in
+// valid Prometheus exposition, Chrome trace with the planner and simulation
+// phases, and a validating bench artifact.
+func TestRunHeadlineInstrumented(t *testing.T) {
+	dir := t.TempDir()
+	prom := filepath.Join(dir, "out.prom")
+	trace := filepath.Join(dir, "out.trace.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "headline", "-duration", "400ms",
+		"-metrics", prom, "-trace-phases", trace, "-bench-dir", dir}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	data, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := 0
+	for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if promTypeLine.MatchString(line) {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("line %d is not valid exposition: %q", i+1, line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("metrics file has no samples")
+	}
+	for _, want := range []string{"etsn_sim_events_total", "etsn_core_solves_total", "etsn_sim_latency_ns_bucket"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+
+	tdata, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tdata, &doc); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v", err)
+	}
+	got := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("unexpected event phase %q", e.Ph)
+		}
+		got[e.Name] = true
+	}
+	for _, want := range []string{"expand", "reserve", "solve", "simulate"} {
+		if !got[want] {
+			t.Errorf("trace missing phase %q (have %v)", want, got)
+		}
+	}
+
+	art, err := experiments.LoadBenchArtifact(filepath.Join(dir, "BENCH_headline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := art.Validate(); err != nil {
+		t.Fatalf("artifact invalid: %v", err)
+	}
+	if art.Sim.Events == 0 || art.Sim.EventsPerSec == 0 {
+		t.Fatalf("artifact lacks throughput: %+v", art.Sim)
+	}
+}
+
+func TestCheckBench(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "headline", "-duration", "300ms",
+		"-bench-dir", dir, "-bench-name", "smoke"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	path := filepath.Join(dir, "BENCH_smoke.json")
+	buf.Reset()
+	if err := run([]string{"-check-bench", path}, &buf); err != nil {
+		t.Fatalf("check-bench: %v", err)
+	}
+	if !strings.Contains(buf.String(), "valid bench artifact") {
+		t.Fatalf("unexpected check output: %s", buf.String())
+	}
+	// A gutted artifact must fail validation.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"experiment":"x","wall_ms":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-check-bench", bad}, &buf); err == nil {
+		t.Fatal("empty artifact passed validation")
+	}
+}
+
 func TestRunFig15ChecksDeadlines(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-experiment", "fig15", "-duration", "300ms"}, &buf); err != nil {
+	if err := run([]string{"-experiment", "fig15", "-duration", "300ms",
+		"-bench-dir", t.TempDir()}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(buf.String(), "impact of ECT on TCT streams") {
@@ -48,7 +163,8 @@ func TestRunAllExperiments(t *testing.T) {
 		t.Skip("full experiment sweep")
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-experiment", "all", "-duration", "200ms"}, &buf); err != nil {
+	if err := run([]string{"-experiment", "all", "-duration", "200ms",
+		"-bench-dir", t.TempDir()}, &buf); err != nil {
 		t.Fatalf("run all: %v", err)
 	}
 	out := buf.String()

@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	etsn-sched -config network.json [-out deployment.json] [-quiet]
+//	etsn-sched -config network.json [-out deployment.json] [-quiet] [-v]
+//	           [-metrics out.prom] [-trace-phases out.trace.json]
+//	           [-pprof cpu=FILE|mem=FILE|HOST:PORT]
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 
 	"etsn/internal/core"
 	"etsn/internal/gcl"
+	"etsn/internal/obs"
 	"etsn/internal/qcc"
 )
 
@@ -31,12 +34,23 @@ func run(args []string) error {
 	outPath := fs.String("out", "", "path for the deployment JSON (default: stdout)")
 	quiet := fs.Bool("quiet", false, "suppress the human-readable summary on stderr")
 	gclText := fs.Bool("gcl", false, "print the gate programs as admin-style tables instead of JSON")
+	verbose := fs.Bool("v", false, "print solver effort statistics on stderr")
+	metrics := fs.String("metrics", "", "write scheduler metrics to this file (.json for JSON, else Prometheus text)")
+	tracePhases := fs.String("trace-phases", "", "write a Chrome trace_event JSON file of planner phases")
+	pprofSpec := fs.String("pprof", "", "profiling: cpu=FILE, mem=FILE, or HOST:PORT for a live pprof server")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *configPath == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -config")
+	}
+	if *pprofSpec != "" {
+		stop, err := obs.StartPprof(*pprofSpec)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = stop() }()
 	}
 	f, err := os.Open(*configPath)
 	if err != nil {
@@ -47,12 +61,31 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *metrics != "" || *verbose {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if *tracePhases != "" {
+		cfg.Phases = obs.NewTracer()
+	}
 	dep, err := qcc.Compute(cfg)
 	if err != nil {
 		return err
 	}
+	if *metrics != "" {
+		if err := cfg.Obs.WriteMetricsFile(*metrics); err != nil {
+			return err
+		}
+	}
+	if *tracePhases != "" {
+		if err := cfg.Phases.WriteChromeTraceFile(*tracePhases); err != nil {
+			return err
+		}
+	}
 	if !*quiet {
 		printSummary(dep)
+	}
+	if *verbose {
+		printSolverStats(dep)
 	}
 	out := os.Stdout
 	if *outPath != "" {
@@ -68,6 +101,14 @@ func run(args []string) error {
 		return nil
 	}
 	return dep.WriteJSON(out)
+}
+
+// printSolverStats reports the backend's cumulative search effort — for the
+// SMT backends this covers every incremental re-solve and Minimize probe.
+func printSolverStats(dep *qcc.Deployment) {
+	st := dep.Result.SolverStats
+	fmt.Fprintf(os.Stderr, "solver: %d solves, %d decisions, %d propagations, %d conflicts, %d theory checks, %d clauses, %d vars\n",
+		st.Solves, st.Decisions, st.Propagations, st.Conflicts, st.TheoryChecks, st.Clauses, st.Vars)
 }
 
 func printSummary(dep *qcc.Deployment) {

@@ -94,3 +94,60 @@ func TestRunGCLText(t *testing.T) {
 		t.Fatalf("missing gate table:\n%s", data)
 	}
 }
+
+func TestRunVerboseAndInstrumented(t *testing.T) {
+	cfg := writeConfig(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "deploy.json")
+	prom := filepath.Join(dir, "sched.prom")
+	trace := filepath.Join(dir, "sched.trace.json")
+	if err := run([]string{"-config", cfg, "-out", out, "-quiet", "-v",
+		"-metrics", prom, "-trace-phases", trace}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"etsn_core_streams_total", "etsn_core_possibilities_total"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics missing %s:\n%.400s", want, data)
+		}
+	}
+	tdata, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"expand"`, `"reserve"`, `"solve"`} {
+		if !strings.Contains(string(tdata), want) {
+			t.Errorf("phase trace missing %s", want)
+		}
+	}
+}
+
+func TestRunVerboseSMTBackendReportsEffort(t *testing.T) {
+	// Lighter than testConfig: the strict SMT formulation cannot wrap
+	// slots past the period boundary the way the placer's virtual
+	// timeline can, so give it headroom.
+	smtCfg := strings.Replace(testConfig, `"payload_bytes": 4500`, `"payload_bytes": 1500`, 1)
+	smtCfg = strings.Replace(smtCfg, `"options": {"n_prob": 5}`,
+		`"options": {"n_prob": 2, "backend": "smt"}`, 1)
+	path := filepath.Join(t.TempDir(), "smt.json")
+	if err := os.WriteFile(path, []byte(smtCfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prom := filepath.Join(t.TempDir(), "smt.prom")
+	out := filepath.Join(t.TempDir(), "deploy.json")
+	if err := run([]string{"-config", path, "-out", out, "-quiet", "-v", "-metrics", prom}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"etsn_smt_propagations_total", "etsn_smt_solves_total", "etsn_smt_theory_checks_total"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("SMT metrics missing %s:\n%.600s", want, data)
+		}
+	}
+}

@@ -7,6 +7,8 @@
 //	etsn-sim -config network.json [-method etsn|period|avb] [-duration 4s]
 //	         [-seed 1] [-multiplier 1] [-json]
 //	         [-fail-link SW1->SW2 -fail-at 1s -heal-after 500ms]
+//	         [-metrics out.prom] [-trace-phases out.trace.json]
+//	         [-pprof cpu=FILE|mem=FILE|HOST:PORT]
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"etsn/internal/model"
+	"etsn/internal/obs"
 	"etsn/internal/qcc"
 	"etsn/internal/sched"
 	"etsn/internal/sim"
@@ -43,12 +46,30 @@ func run(args []string) error {
 	failLink := fs.String("fail-link", "", "inject a link failure on this link (\"from->to\", both directions)")
 	failAt := fs.Duration("fail-at", time.Second, "instant the injected link failure occurs")
 	healAfter := fs.Duration("heal-after", 0, "bring the failed link back up after this long (0 = stays down)")
+	metrics := fs.String("metrics", "", "write planner+simulator metrics to this file (.json for JSON, else Prometheus text)")
+	tracePhases := fs.String("trace-phases", "", "write a Chrome trace_event JSON file of planner/simulation phases")
+	pprofSpec := fs.String("pprof", "", "profiling: cpu=FILE, mem=FILE, or HOST:PORT for a live pprof server")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *configPath == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -config")
+	}
+	if *pprofSpec != "" {
+		stop, err := obs.StartPprof(*pprofSpec)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = stop() }()
+	}
+	var reg *obs.Registry
+	var phases *obs.Tracer
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+	}
+	if *tracePhases != "" {
+		phases = obs.NewTracer()
 	}
 	method, err := parseMethod(*methodName)
 	if err != nil {
@@ -73,12 +94,14 @@ func run(args []string) error {
 		ECT:     p.ECT,
 		NProb:   p.Opts.NProb,
 		Spread:  p.Opts.SpreadFrames,
+		Obs:     reg,
+		Phases:  phases,
 	}
 	plan, err := sched.Build(method, prob, *multiplier)
 	if err != nil {
 		return err
 	}
-	simOpts := sched.SimOptions{ECT: p.ECT, Duration: *duration, Seed: *seed}
+	simOpts := sched.SimOptions{ECT: p.ECT, Duration: *duration, Seed: *seed, Obs: reg}
 	if *failLink != "" {
 		lid, err := model.ParseLinkID(*failLink)
 		if err != nil {
@@ -100,9 +123,21 @@ func run(args []string) error {
 		defer traceFile.Close()
 		simOpts.Trace = traceFile
 	}
+	spSim := phases.Begin("simulate", "method", method.String())
 	results, err := plan.SimulateOpts(p.Network, simOpts)
+	spSim.End()
 	if err != nil {
 		return err
+	}
+	if *metrics != "" {
+		if err := reg.WriteMetricsFile(*metrics); err != nil {
+			return err
+		}
+	}
+	if *tracePhases != "" {
+		if err := phases.WriteChromeTraceFile(*tracePhases); err != nil {
+			return err
+		}
 	}
 
 	type row struct {

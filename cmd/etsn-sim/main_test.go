@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -97,5 +98,55 @@ func TestRunTrace(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "\"kind\":\"deliver\"") {
 		t.Fatalf("trace missing deliveries:\n%.200s", data)
+	}
+}
+
+func TestRunMetricsAndPhases(t *testing.T) {
+	cfg := writeConfig(t)
+	dir := t.TempDir()
+	prom := filepath.Join(dir, "out.prom")
+	trace := filepath.Join(dir, "phases.trace.json")
+	if err := run([]string{"-config", cfg, "-duration", "50ms",
+		"-metrics", prom, "-trace-phases", trace}); err != nil {
+		t.Fatalf("run -metrics: %v", err)
+	}
+	data, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"etsn_sim_events_total", "etsn_sim_delivered_total", "etsn_core_streams_total"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics missing %s:\n%.400s", want, data)
+		}
+	}
+	tdata, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"simulate"`, `"expand"`, `"traceEvents"`} {
+		if !strings.Contains(string(tdata), want) {
+			t.Errorf("phase trace missing %s", want)
+		}
+	}
+}
+
+func TestRunMetricsJSONFormat(t *testing.T) {
+	cfg := writeConfig(t)
+	out := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run([]string{"-config", cfg, "-duration", "20ms", "-metrics", out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if doc.Counters["etsn_sim_events_total"] == 0 {
+		t.Fatal("JSON metrics missing event count")
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"etsn/internal/model"
+	"etsn/internal/obs"
 )
 
 // Sentinel errors returned by the scheduler.
@@ -119,6 +120,13 @@ type Options struct {
 	// (5-MTU ECT messages, 40 sharing streams) are capacity-infeasible.
 	// The strict per-stream behaviour remains the default.
 	SharedReserves bool
+	// Obs receives scheduler metrics (solver effort, expansion and
+	// reservation counters) when non-nil; a nil registry disables
+	// instrumentation at zero cost.
+	Obs *obs.Registry
+	// Phases receives begin/end spans for the scheduler's pipeline
+	// phases (expand, reserve, solve) when non-nil.
+	Phases *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -162,13 +170,18 @@ type Result struct {
 	SolverStats SolverStats
 }
 
-// SolverStats summarizes SMT search effort.
+// SolverStats summarizes SMT search effort, accumulated over every
+// Solve call the backend made (incremental re-solves, Minimize probes).
 type SolverStats struct {
 	Decisions    int64
 	Propagations int64
 	Conflicts    int64
-	Clauses      int
-	Vars         int
+	TheoryChecks int64
+	// Solves is the number of Solve calls (each restarts the search), so
+	// it doubles as the restart count.
+	Solves  int64
+	Clauses int
+	Vars    int
 }
 
 // Schedule solves the joint TCT+ECT scheduling problem.
@@ -178,6 +191,18 @@ func Schedule(p *Problem) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := opts.Phases.Begin("solve", "backend", opts.Backend.String())
+	res, err := dispatchBackend(inst, opts)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	opts.Obs.Counter("etsn_core_solves_total{backend=\"" + res.BackendUsed.String() + "\"}").Inc()
+	return res, nil
+}
+
+// dispatchBackend runs the backend the options select.
+func dispatchBackend(inst *instance, opts Options) (*Result, error) {
 	switch opts.Backend {
 	case BackendPlacer:
 		return solvePlacer(inst)
@@ -275,6 +300,7 @@ func buildInstance(p *Problem, opts Options) (*instance, error) {
 	}
 
 	// Expand ECT into probabilistic streams (Sec. III-B).
+	spExpand := opts.Phases.Begin("expand")
 	streams := make([]*model.Stream, 0, len(p.TCT)+len(p.ECT)*opts.NProb)
 	for _, s := range p.TCT {
 		cp := *s
@@ -285,13 +311,16 @@ func buildInstance(p *Problem, opts Options) (*instance, error) {
 	for _, e := range p.ECT {
 		ps, err := ExpandECT(e, opts.NProb)
 		if err != nil {
+			spExpand.End()
 			return nil, err
 		}
+		opts.Obs.Counter("etsn_core_possibilities_total").Add(int64(len(ps)))
 		streams = append(streams, ps...)
 	}
 	if opts.SharedReserves && !opts.DisablePrudentReservation {
 		streams = append(streams, drainStreams(p, streams)...)
 	}
+	spExpand.End()
 
 	inst := &instance{
 		problem:      p,
@@ -309,6 +338,7 @@ func buildInstance(p *Problem, opts Options) (*instance, error) {
 	}
 
 	// Frame counts: base counts, then prudent reservation (Alg. 1).
+	spReserve := opts.Phases.Begin("reserve")
 	for _, s := range streams {
 		counts := make(map[model.LinkID]int, len(s.Path))
 		for _, l := range s.Path {
@@ -319,6 +349,17 @@ func buildInstance(p *Problem, opts Options) (*instance, error) {
 	if !opts.DisablePrudentReservation && !opts.SharedReserves {
 		applyPrudentReservation(inst, p.ECT)
 	}
+	if opts.Obs != nil {
+		var extra int64
+		for _, s := range streams {
+			for _, c := range inst.frames[s.ID] {
+				extra += int64(c - s.Frames())
+			}
+		}
+		opts.Obs.Counter("etsn_core_reserve_extra_slots_total").Add(extra)
+		opts.Obs.Counter("etsn_core_streams_total").Add(int64(len(streams)))
+	}
+	spReserve.End()
 
 	// Normalize times to units.
 	inst.hyper = 1

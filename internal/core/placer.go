@@ -35,6 +35,8 @@ type placer struct {
 
 // solvePlacer schedules the instance with the first-fit placer.
 func solvePlacer(inst *instance) (*Result, error) {
+	sp := inst.opts.Phases.Begin("place")
+	defer sp.End()
 	p := &placer{
 		inst:   inst,
 		placed: make(map[model.LinkID][]placedSlot),

@@ -32,8 +32,11 @@ func ScheduleWithRouting(p *Problem, kPaths int) (*Result, *Problem, error) {
 	if t := p.Opts.withDefaults().Timeout; t > 0 {
 		deadline = time.Now().Add(t)
 	}
+	spRoute := p.Opts.Phases.Begin("route")
+	defer spRoute.End()
 	var lastErr error
 	for attempt := 0; attempt <= maxReroutes; attempt++ {
+		p.Opts.Obs.Counter("etsn_core_routing_attempts_total").Inc()
 		res, err := Schedule(cur)
 		if err == nil {
 			return res, cur, nil

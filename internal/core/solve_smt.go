@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"etsn/internal/model"
+	"etsn/internal/obs"
 	"etsn/internal/smt"
 )
 
@@ -160,54 +161,47 @@ func pathContains(path []model.LinkID, id model.LinkID) bool {
 // conflicts and keeps the solver's potentials warm.
 func solveSMT(inst *instance, incremental bool) (*Result, error) {
 	b := newSMTBuilder(inst)
+	// Publish whatever effort was spent — once, at whichever exit — so
+	// even budget-exhausted searches are visible in exported metrics.
+	defer publishSolverStats(inst.opts.Obs, b.solver)
 	var m *smt.Model
+	var err error
 	if incremental {
-		for i, s := range inst.streams {
-			b.addStreamConstraints(s)
-			for j := 0; j < i; j++ {
-				b.addOverlapConstraints(inst.streams[j], s)
-			}
-			var err error
-			m, err = b.solver.Solve()
-			if err != nil {
-				return nil, wrapSolveErr(err, s.ID)
-			}
-		}
-		if m == nil { // no streams
-			var err error
-			m, err = b.solver.Solve()
-			if err != nil {
-				return nil, wrapSolveErr(err, "")
-			}
-		}
+		m, err = solveIncremental(b, inst)
 	} else {
+		spEmit := inst.opts.Phases.Begin("emit-constraints")
 		for i, s := range inst.streams {
 			b.addStreamConstraints(s)
 			for j := 0; j < i; j++ {
 				b.addOverlapConstraints(inst.streams[j], s)
 			}
 		}
-		var err error
+		spEmit.End()
 		m, err = b.solver.Solve()
 		if err != nil {
-			return nil, wrapSolveErr(err, "")
+			err = wrapSolveErr(err, "")
 		}
 	}
+	if err != nil {
+		return nil, err
+	}
 	if inst.opts.MinimizeECT {
-		if opt, err := b.minimizeECT(); err == nil {
+		if opt, merr := b.minimizeECT(); merr == nil {
 			m = opt
-		} else if !errors.Is(err, errNoObjective) {
-			return nil, wrapSolveErr(err, "")
+		} else if !errors.Is(merr, errNoObjective) {
+			return nil, wrapSolveErr(merr, "")
 		}
 	}
 	res := extractSchedule(inst, func(k frameKey) int64 {
 		return m.Value(b.vars[k])
 	})
-	st := b.solver.Stats()
+	st := b.solver.TotalStats()
 	res.SolverStats = SolverStats{
 		Decisions:    st.Decisions,
 		Propagations: st.Propagations,
 		Conflicts:    st.Conflicts,
+		TheoryChecks: st.TheoryChecks,
+		Solves:       b.solver.Solves(),
 		Clauses:      st.Clauses,
 		Vars:         st.Vars,
 	}
@@ -217,6 +211,48 @@ func solveSMT(inst *instance, incremental bool) (*Result, error) {
 		res.BackendUsed = BackendSMT
 	}
 	return res, nil
+}
+
+// solveIncremental adds streams one at a time, re-solving after each.
+func solveIncremental(b *smtBuilder, inst *instance) (*smt.Model, error) {
+	var m *smt.Model
+	for i, s := range inst.streams {
+		b.addStreamConstraints(s)
+		for j := 0; j < i; j++ {
+			b.addOverlapConstraints(inst.streams[j], s)
+		}
+		var err error
+		m, err = b.solver.Solve()
+		if err != nil {
+			return nil, wrapSolveErr(err, s.ID)
+		}
+	}
+	if m == nil { // no streams
+		var err error
+		m, err = b.solver.Solve()
+		if err != nil {
+			return nil, wrapSolveErr(err, "")
+		}
+	}
+	return m, nil
+}
+
+// publishSolverStats exports the solver's cumulative effort counters.
+// It reports deltas since the solver's last publication is not tracked —
+// each smtBuilder owns a fresh solver, so each call site publishes the
+// whole of that solver's effort exactly once.
+func publishSolverStats(reg *obs.Registry, s *smt.Solver) {
+	if reg == nil {
+		return
+	}
+	st := s.TotalStats()
+	reg.Counter("etsn_smt_decisions_total").Add(st.Decisions)
+	reg.Counter("etsn_smt_propagations_total").Add(st.Propagations)
+	reg.Counter("etsn_smt_conflicts_total").Add(st.Conflicts)
+	reg.Counter("etsn_smt_theory_checks_total").Add(st.TheoryChecks)
+	reg.Counter("etsn_smt_solves_total").Add(s.Solves())
+	reg.Gauge("etsn_smt_clauses").Set(int64(st.Clauses))
+	reg.Gauge("etsn_smt_vars").Set(int64(st.Vars))
 }
 
 // errNoObjective reports that no probabilistic stream exists to optimize.

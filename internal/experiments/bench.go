@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"etsn/internal/obs"
+)
+
+// BenchSolver is the solver-effort section of a bench artifact, harvested
+// from the etsn_smt_* metric family.
+type BenchSolver struct {
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Conflicts    int64 `json:"conflicts"`
+	TheoryChecks int64 `json:"theory_checks"`
+	Solves       int64 `json:"solves"`
+	Clauses      int64 `json:"clauses"`
+	Vars         int64 `json:"vars"`
+}
+
+// BenchSim is the simulator-throughput section, harvested from the
+// etsn_sim_* metric family.
+type BenchSim struct {
+	Events       int64 `json:"events"`
+	EventsPerSec int64 `json:"events_per_sec"`
+	Delivered    int64 `json:"delivered"`
+	Drops        int64 `json:"drops"`
+	Lost         int64 `json:"lost"`
+}
+
+// BenchLatency summarizes the end-to-end delivery latency histogram.
+type BenchLatency struct {
+	P50Ns int64 `json:"p50_ns"`
+	P90Ns int64 `json:"p90_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	MaxNs int64 `json:"max_ns"`
+}
+
+// BenchArtifact is the machine-readable benchmark record one experiment run
+// emits (BENCH_<experiment>.json): enough to compare solver effort and
+// simulation throughput across commits without re-parsing tables.
+type BenchArtifact struct {
+	// Experiment names the run ("headline", "fig11", ...).
+	Experiment string `json:"experiment"`
+	// Tool identifies the producer.
+	Tool string `json:"tool"`
+	// Seed and SimDurationNs record the run parameters.
+	Seed          int64 `json:"seed"`
+	SimDurationNs int64 `json:"sim_duration_ns"`
+	// WallMs is the experiment's wall-clock time in milliseconds.
+	WallMs int64 `json:"wall_ms"`
+	// Solver and Sim carry the effort and throughput counters.
+	Solver BenchSolver `json:"solver"`
+	Sim    BenchSim    `json:"sim"`
+	// Latency is present when the run delivered at least one message.
+	Latency *BenchLatency `json:"latency,omitempty"`
+}
+
+// NewBenchArtifact harvests a registry into a bench artifact. The registry
+// must be the one the experiment ran with; wall is the experiment's
+// wall-clock time.
+func NewBenchArtifact(experiment string, reg *obs.Registry, opts RunOptions, wall time.Duration) *BenchArtifact {
+	opts = opts.withDefaults()
+	a := &BenchArtifact{
+		Experiment:    experiment,
+		Tool:          "etsn-bench",
+		Seed:          opts.Seed,
+		SimDurationNs: int64(opts.Duration),
+		WallMs:        wall.Milliseconds(),
+		Solver: BenchSolver{
+			Decisions:    reg.CounterValue("etsn_smt_decisions_total"),
+			Propagations: reg.CounterValue("etsn_smt_propagations_total"),
+			Conflicts:    reg.CounterValue("etsn_smt_conflicts_total"),
+			TheoryChecks: reg.CounterValue("etsn_smt_theory_checks_total"),
+			Solves:       reg.CounterValue("etsn_smt_solves_total"),
+			Clauses:      reg.GaugeValue("etsn_smt_clauses"),
+			Vars:         reg.GaugeValue("etsn_smt_vars"),
+		},
+		Sim: BenchSim{
+			Events:       reg.CounterValue("etsn_sim_events_total"),
+			EventsPerSec: reg.GaugeValue("etsn_sim_events_per_sec"),
+			Delivered:    reg.CounterValue("etsn_sim_delivered_total"),
+			Drops:        reg.CounterValue("etsn_sim_drops_total"),
+			Lost:         reg.CounterValue("etsn_sim_lost_total"),
+		},
+	}
+	if h, ok := reg.HistogramSnapshotFor("etsn_sim_latency_ns"); ok && h.Count > 0 {
+		a.Latency = &BenchLatency{
+			P50Ns: h.Quantile(0.50),
+			P90Ns: h.Quantile(0.90),
+			P99Ns: h.Quantile(0.99),
+			MaxNs: h.Max,
+		}
+	}
+	return a
+}
+
+// Write saves the artifact as indented JSON.
+func (a *BenchArtifact) Write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBenchArtifact reads an artifact back from disk.
+func LoadBenchArtifact(path string) (*BenchArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a BenchArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// Validate checks the artifact for the invariants CI relies on: a run that
+// scheduled and simulated anything at all must show simulator activity,
+// positive throughput, and a positive wall time. Solver effort may be zero
+// (placer-only runs), but a run that claims solves must also show theory
+// activity.
+func (a *BenchArtifact) Validate() error {
+	switch {
+	case a.Experiment == "":
+		return fmt.Errorf("bench artifact: empty experiment name")
+	case a.WallMs <= 0:
+		return fmt.Errorf("bench artifact %s: wall_ms = %d", a.Experiment, a.WallMs)
+	case a.Sim.Events <= 0:
+		return fmt.Errorf("bench artifact %s: no simulator events", a.Experiment)
+	case a.Sim.EventsPerSec <= 0:
+		return fmt.Errorf("bench artifact %s: events_per_sec = %d", a.Experiment, a.Sim.EventsPerSec)
+	case a.Sim.Delivered <= 0:
+		return fmt.Errorf("bench artifact %s: nothing delivered", a.Experiment)
+	case a.Solver.Solves > 0 && a.Solver.Propagations == 0:
+		return fmt.Errorf("bench artifact %s: %d solves but no propagations",
+			a.Experiment, a.Solver.Solves)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"etsn/internal/model"
+	"etsn/internal/obs"
 	"etsn/internal/sched"
 	"etsn/internal/sim"
 	"etsn/internal/stats"
@@ -19,6 +20,10 @@ type RunOptions struct {
 	Seed int64
 	// Multiplier scales PERIOD's slot budget (Fig. 12); defaults to 1.
 	Multiplier int
+	// Obs optionally collects scheduler and simulator metrics.
+	Obs *obs.Registry
+	// Phases optionally traces planner and simulation phases.
+	Phases *obs.Tracer
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -53,11 +58,18 @@ type MethodResult struct {
 // RunMethod plans the scenario with the given method and simulates it.
 func RunMethod(s *Scenario, m sched.Method, opts RunOptions) (*MethodResult, error) {
 	opts = opts.withDefaults()
-	plan, err := sched.Build(m, s.Problem(), opts.Multiplier)
+	prob := s.Problem()
+	prob.Obs = opts.Obs
+	prob.Phases = opts.Phases
+	plan, err := sched.Build(m, prob, opts.Multiplier)
 	if err != nil {
 		return nil, fmt.Errorf("build %v: %w", m, err)
 	}
-	raw, err := plan.Simulate(s.Network, s.ECT, s.BE, opts.Duration, opts.Seed)
+	spSim := opts.Phases.Begin("simulate", "method", m.String())
+	raw, err := plan.SimulateOpts(s.Network, sched.SimOptions{
+		ECT: s.ECT, BE: s.BE, Duration: opts.Duration, Seed: opts.Seed, Obs: opts.Obs,
+	})
+	spSim.End()
 	if err != nil {
 		return nil, fmt.Errorf("simulate %v: %w", m, err)
 	}

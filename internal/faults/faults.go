@@ -16,6 +16,7 @@ import (
 	"etsn/internal/core"
 	"etsn/internal/gcl"
 	"etsn/internal/model"
+	"etsn/internal/obs"
 	"etsn/internal/sim"
 )
 
@@ -81,6 +82,9 @@ type Controller struct {
 	// GCL configures gate synthesis for recovered schedules; it should
 	// match the deployed plan's synthesis config.
 	GCL gcl.Config
+	// Obs, when non-nil, counts recovery activity: replans by mode,
+	// scheduling attempts, backoff waits, and shed streams.
+	Obs *obs.Registry
 
 	physical *model.Network
 	pristine *core.Problem // original problem, original routes
@@ -190,10 +194,14 @@ func (c *Controller) replan(tryIncremental bool) (*Recovery, error) {
 		rec.Incremental = false
 		prob, res, err = c.full(reduced, rec, shedBE)
 		if err != nil {
+			c.Obs.Counter("etsn_faults_unrecoverable_total").Inc()
+			c.Obs.Counter("etsn_faults_attempts_total").Add(int64(rec.Attempts))
 			return nil, err
 		}
+		c.Obs.Counter(`etsn_faults_replans_total{mode="full"}`).Inc()
 	} else {
 		rec.Incremental = true
+		c.Obs.Counter(`etsn_faults_replans_total{mode="incremental"}`).Inc()
 	}
 
 	gcls, err := gcl.Synthesize(res.Schedule, c.GCL)
@@ -207,6 +215,9 @@ func (c *Controller) replan(tryIncremental bool) (*Recovery, error) {
 	rec.ShedBE = sortedIDs(shedBE)
 	fillRerouted(rec, before, prob)
 
+	c.Obs.Counter("etsn_faults_recoveries_total").Inc()
+	c.Obs.Counter("etsn_faults_attempts_total").Add(int64(rec.Attempts))
+	c.Obs.Counter("etsn_faults_shed_streams_total").Add(int64(len(rec.ShedTCT) + len(rec.ShedBE)))
 	c.current = prob
 	c.result = res
 	c.gcls = gcls
@@ -421,6 +432,7 @@ func (c *Controller) full(reduced *model.Network, rec *Recovery, shedBE map[mode
 			}
 		}
 		timeout *= 2
+		c.Obs.Counter("etsn_faults_backoff_waits_total").Inc()
 	}
 	return nil, nil, fmt.Errorf("%w: %d attempts, %d TCT shed: %v",
 		ErrUnrecoverable, rec.Attempts, len(shedTCT), lastErr)

@@ -1,0 +1,55 @@
+package obs
+
+import "testing"
+
+// TestDisabledPathAllocatesNothing pins the zero-alloc contract: with
+// observability disabled (nil registry, nil instruments, nil tracer),
+// every call an instrumented hot path makes must allocate 0 bytes.
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	var r *Registry
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"nil counter Inc", func() { c.Inc() }},
+		{"nil counter Add", func() { c.Add(3) }},
+		{"nil gauge Set", func() { g.Set(1) }},
+		{"nil gauge Max", func() { g.Max(7) }},
+		{"nil histogram Observe", func() { h.Observe(100) }},
+		{"nil registry Counter lookup", func() { _ = r.Counter("x") }},
+		{"nil tracer Begin/End", func() { tr.Begin("phase").End() }},
+	}
+	for _, tc := range cases {
+		if avg := testing.AllocsPerRun(1000, tc.fn); avg != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, avg)
+		}
+	}
+}
+
+// TestEnabledCountersAllocateNothing verifies the steady-state cost of
+// enabled counters/gauges/histograms is allocation-free too (only
+// registry lookups and span begin/end allocate).
+func TestEnabledCountersAllocateNothing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h_ns")
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter Inc", func() { c.Inc() }},
+		{"gauge Max", func() { g.Max(5) }},
+		{"histogram Observe", func() { h.Observe(123) }},
+	}
+	for _, tc := range cases {
+		if avg := testing.AllocsPerRun(1000, tc.fn); avg != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, avg)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Instruments sharing a base name (differing
+// only in labels) form one metric family with a single # TYPE line.
+// Histograms expose cumulative _bucket{le=...} series plus _sum and
+// _count. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	metrics := r.Gather()
+	typed := make(map[string]bool, len(metrics))
+	for _, m := range metrics {
+		base, labels := splitName(m.Name)
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, promType(m.Kind)); err != nil {
+				return err
+			}
+		}
+		switch m.Kind {
+		case KindCounter, KindGauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.Name, m.Value); err != nil {
+				return err
+			}
+		case KindHistogram:
+			if err := writePromHistogram(w, base, labels, m.Hist); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func promType(k MetricKind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// writePromHistogram emits the cumulative bucket series for one
+// histogram. Only observed bucket boundaries appear (plus +Inf), which
+// is valid sparse exposition.
+func writePromHistogram(w io.Writer, base, labels string, h *HistogramSnapshot) error {
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n",
+			base, labelPrefix(labels), b.UpperBound, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n",
+		base, labelPrefix(labels), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", base, labelSuffix(labels), h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labelSuffix(labels), h.Count)
+	return err
+}
+
+// labelPrefix renders labels for merging with an le="..." label.
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// labelSuffix renders labels as a complete label set, or nothing.
+func labelSuffix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// jsonHistogram is the JSON-export shape of a histogram.
+type jsonHistogram struct {
+	Count  int64 `json:"count"`
+	SumNs  int64 `json:"sum"`
+	MinNs  int64 `json:"min"`
+	MeanNs int64 `json:"mean"`
+	P50Ns  int64 `json:"p50"`
+	P90Ns  int64 `json:"p90"`
+	P99Ns  int64 `json:"p99"`
+	MaxNs  int64 `json:"max"`
+}
+
+// jsonDump is the JSON-export shape of a registry.
+type jsonDump struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]int64         `json:"gauges"`
+	Histograms map[string]jsonHistogram `json:"histograms"`
+}
+
+// WriteJSON renders the registry as one JSON document: counters, gauges,
+// and histogram summaries keyed by full metric name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	d := jsonDump{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]jsonHistogram{},
+	}
+	for _, m := range r.Gather() {
+		switch m.Kind {
+		case KindCounter:
+			d.Counters[m.Name] = m.Value
+		case KindGauge:
+			d.Gauges[m.Name] = m.Value
+		case KindHistogram:
+			h := m.Hist
+			d.Histograms[m.Name] = jsonHistogram{
+				Count:  h.Count,
+				SumNs:  h.Sum,
+				MinNs:  h.Min,
+				MeanNs: h.Mean(),
+				P50Ns:  h.Quantile(0.50),
+				P90Ns:  h.Quantile(0.90),
+				P99Ns:  h.Quantile(0.99),
+				MaxNs:  h.Max,
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteMetricsFile writes the registry to path, choosing the format by
+// extension: ".json" gets the JSON dump, anything else the Prometheus
+// text exposition. A nil registry writes an empty exposition.
+func (r *Registry) WriteMetricsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		if err := r.WriteJSON(f); err != nil {
+			return err
+		}
+	} else if err := r.WritePrometheus(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteChromeTraceFile writes the tracer's spans as a Chrome trace file.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteChromeTrace(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// CounterValue returns the gathered value of a counter family summed
+// over all label sets whose base name matches. Useful for harvesting a
+// registry into reports.
+func (r *Registry) CounterValue(base string) int64 {
+	var sum int64
+	for _, m := range r.Gather() {
+		if m.Kind != KindCounter {
+			continue
+		}
+		if b, _ := splitName(m.Name); b == base {
+			sum += m.Value
+		}
+	}
+	return sum
+}
+
+// GaugeValue returns the value of the named gauge (exact name match), or
+// 0 when absent.
+func (r *Registry) GaugeValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g.Value()
+	}
+	return 0
+}
+
+// HistogramSnapshotFor returns the snapshot of the named histogram and
+// whether it exists.
+func (r *Registry) HistogramSnapshotFor(name string) (HistogramSnapshot, bool) {
+	if r == nil {
+		return HistogramSnapshot{}, false
+	}
+	r.mu.Lock()
+	h, ok := r.hists[name]
+	r.mu.Unlock()
+	if !ok {
+		return HistogramSnapshot{}, false
+	}
+	return h.Snapshot(), true
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePrometheus is a strict validator for the subset of the text
+// exposition format the exporter emits: TYPE lines followed by sample
+// lines, metric names matching the spec grammar, integer values, and
+// cumulative histogram buckets ending in +Inf. It returns the parsed
+// samples keyed by full series name.
+func parsePrometheus(t *testing.T, text string) map[string]int64 {
+	t.Helper()
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?\d+)$`)
+	typeRe := regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	samples := make(map[string]int64)
+	typed := make(map[string]string)
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: bad comment line %q", ln+1, line)
+			}
+			if _, dup := typed[m[1]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, m[1])
+			}
+			typed[m[1]] = m[2]
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: bad sample line %q", ln+1, line)
+		}
+		if !nameRe.MatchString(m[1]) {
+			t.Fatalf("line %d: bad metric name %q", ln+1, m[1])
+		}
+		v, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value: %v", ln+1, err)
+		}
+		samples[m[1]+m[2]] = v
+	}
+	if len(typed) == 0 && len(samples) > 0 {
+		t.Fatal("samples without TYPE lines")
+	}
+	return samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("etsn_smt_decisions_total").Add(42)
+	r.Counter(`etsn_sim_drops_total{cause="jam"}`).Add(3)
+	r.Counter(`etsn_sim_drops_total{cause="down"}`).Add(2)
+	r.Gauge(`etsn_sim_queue_depth_hwm{link="A->B"}`).Set(9)
+	h := r.Histogram("etsn_sim_latency_ns")
+	h.Observe(100)
+	h.Observe(1000)
+	h.Observe(1_000_000)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	samples := parsePrometheus(t, text)
+
+	if samples["etsn_smt_decisions_total"] != 42 {
+		t.Fatalf("decisions sample missing or wrong in:\n%s", text)
+	}
+	if samples[`etsn_sim_drops_total{cause="jam"}`] != 3 ||
+		samples[`etsn_sim_drops_total{cause="down"}`] != 2 {
+		t.Fatalf("labeled counters wrong in:\n%s", text)
+	}
+	if strings.Count(text, "# TYPE etsn_sim_drops_total counter") != 1 {
+		t.Fatalf("labeled family must have exactly one TYPE line:\n%s", text)
+	}
+	if samples[`etsn_sim_queue_depth_hwm{link="A->B"}`] != 9 {
+		t.Fatalf("gauge sample wrong in:\n%s", text)
+	}
+	if samples[`etsn_sim_latency_ns_bucket{le="+Inf"}`] != 3 {
+		t.Fatalf("+Inf bucket wrong in:\n%s", text)
+	}
+	if samples["etsn_sim_latency_ns_count"] != 3 || samples["etsn_sim_latency_ns_sum"] != 1_001_100 {
+		t.Fatalf("histogram sum/count wrong in:\n%s", text)
+	}
+	// Cumulative buckets must be monotone and end at the count.
+	var prev int64
+	for _, b := range []string{`le="127"`, `le="1023"`, `le="1048575"`, `le="+Inf"`} {
+		v, ok := samples[fmt.Sprintf("etsn_sim_latency_ns_bucket{%s}", b)]
+		if !ok {
+			t.Fatalf("missing bucket %s in:\n%s", b, text)
+		}
+		if v < prev {
+			t.Fatalf("bucket %s = %d not cumulative (prev %d)", b, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(5)
+	r.Gauge("g").Set(-7)
+	r.Histogram("h_ns").Observe(500)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]int64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+			P50   int64 `json:"p50"`
+			Max   int64 `json:"max"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &d); err != nil {
+		t.Fatalf("JSON dump does not parse: %v\n%s", err, sb.String())
+	}
+	if d.Counters["c_total"] != 5 || d.Gauges["g"] != -7 {
+		t.Fatalf("dump = %+v", d)
+	}
+	if h := d.Histograms["h_ns"]; h.Count != 1 || h.Max != 500 || h.P50 != 500 {
+		t.Fatalf("histogram dump = %+v", h)
+	}
+}
+
+func TestCounterValueSumsFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`x_total{a="1"}`).Add(2)
+	r.Counter(`x_total{a="2"}`).Add(3)
+	r.Counter("y_total").Add(9)
+	if got := r.CounterValue("x_total"); got != 5 {
+		t.Fatalf("CounterValue(x_total) = %d, want 5", got)
+	}
+	if got := r.CounterValue("missing"); got != 0 {
+		t.Fatalf("CounterValue(missing) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of exponential (base-2) buckets. Bucket i
+// holds values in [2^(i-1), 2^i - 1] (bucket 0 holds exactly 0), so the
+// layout covers the whole non-negative int64 range: the last bucket's
+// upper bound is math.MaxInt64 and doubles as the overflow bucket.
+const histBuckets = 64
+
+// Histogram is a lock-free histogram over non-negative int64 samples
+// (nanoseconds by convention). Negative samples clamp to zero. The nil
+// histogram is a no-op.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	return bits.Len64(uint64(v))
+}
+
+// bucketUpper is the inclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return (int64(1) << uint(i)) - 1
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Bucket is one non-empty histogram bucket.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound.
+	UpperBound int64
+	// Count is the number of samples in this bucket (not cumulative).
+	Count int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Concurrent Observe calls may be partially reflected; totals are
+// self-consistent enough for reporting but not a linearizable cut.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+	Buckets []Bucket // non-empty buckets, ascending upper bound
+}
+
+// Snapshot copies the histogram state. An empty (or nil) histogram
+// snapshots to zero values with Min and Max of 0.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count == 0 {
+		s.Min, s.Max = 0, 0
+		return s
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{UpperBound: bucketUpper(i), Count: n})
+		}
+	}
+	return s
+}
+
+// Mean returns the average sample, or 0 when empty.
+func (s HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts:
+// it returns the upper bound of the bucket containing the rank, clamped
+// to the exact observed [Min, Max] range so single-sample and extreme
+// quantiles stay exact. An empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			v := b.UpperBound
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+	}
+	return s.Max
+}

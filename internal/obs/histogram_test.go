@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("empty Mean = %d, want 0", s.Mean())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := newHistogram()
+	h.Observe(12345)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 12345 || s.Min != 12345 || s.Max != 12345 {
+		t.Fatalf("single-sample snapshot = %+v", s)
+	}
+	// Every quantile of a single sample is the sample itself (the bucket
+	// upper bound must be clamped to the exact observed range).
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 12345 {
+			t.Fatalf("single Quantile(%v) = %d, want 12345", q, got)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := newHistogram()
+	h.Observe(math.MaxInt64)
+	h.Observe(math.MaxInt64 - 1)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Max != math.MaxInt64 {
+		t.Fatalf("overflow snapshot = %+v", s)
+	}
+	if got := s.Quantile(0.99); got != math.MaxInt64 {
+		t.Fatalf("overflow Quantile(0.99) = %d", got)
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.UpperBound != math.MaxInt64 {
+		t.Fatalf("overflow bucket upper bound = %d, want MaxInt64", last.UpperBound)
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := newHistogram()
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 0 || s.Max != 0 || s.Sum != 0 {
+		t.Fatalf("negative-sample snapshot = %+v", s)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram()
+	// 100 samples 1..100: base-2 buckets give coarse quantiles, but
+	// ordering and range invariants must hold.
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 || s.Sum != 5050 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Mean() != 50 {
+		t.Fatalf("Mean = %d, want 50", s.Mean())
+	}
+	prev := int64(0)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		v := s.Quantile(q)
+		if v < s.Min || v > s.Max {
+			t.Fatalf("Quantile(%v) = %d outside [%d, %d]", q, v, s.Min, s.Max)
+		}
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %d not monotone (prev %d)", q, v, prev)
+		}
+		prev = v
+	}
+	// The median of 1..100 lands in the 64..127 bucket, clamped to 100.
+	if got := s.Quantile(0.5); got != 63 && got != 100 {
+		t.Fatalf("Quantile(0.5) = %d, want a 2^k-1 bound near the median", got)
+	}
+}
+
+func TestHistogramBucketIndexBounds(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11}, {math.MaxInt64, 63}}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+		if ub := bucketUpper(bucketIndex(c.v)); c.v > ub {
+			t.Fatalf("value %d above its bucket upper bound %d", c.v, ub)
+		}
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := newHistogram()
+	h.ObserveDuration(3 * time.Microsecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 3000 {
+		t.Fatalf("ObserveDuration snapshot = %+v", s)
+	}
+}

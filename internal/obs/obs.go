@@ -1,0 +1,232 @@
+// Package obs is the repo's dependency-free observability layer: a
+// metrics registry (counters, gauges, nanosecond-resolution histograms),
+// a span-based phase tracer, and exporters for the Prometheus text
+// exposition format, a JSON metrics dump, Chrome trace_event JSON
+// (chrome://tracing / Perfetto), and runtime/pprof profiles.
+//
+// Every entry point is nil-safe: a nil *Registry hands out nil typed
+// instruments, and every method on a nil *Counter, *Gauge, *Histogram,
+// *Tracer, *Span, or *LineSink is a zero-allocation no-op. Instrumented
+// hot paths therefore cost a single nil check when observability is
+// disabled (verified by an allocation test), and all instruments are safe
+// for concurrent use.
+//
+// Metric naming scheme (Prometheus conventions):
+//
+//	etsn_<subsystem>_<what>_<unit or _total>[{label="value",...}]
+//
+// e.g. etsn_smt_decisions_total, etsn_sim_events_total,
+// etsn_sim_queue_depth_hwm{link="SW1->SW2"}. Labels are part of the
+// metric name string; instruments with the same base name and different
+// labels form one Prometheus metric family.
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil counter is a
+// no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative n is ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down, with a high-water-mark
+// helper. The nil gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Max raises the gauge to v if v exceeds the current value (a
+// high-water mark).
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry hands out named instruments and gathers them for export. The
+// nil registry hands out nil instruments, so instrumentation wired to a
+// nil registry is free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MetricKind distinguishes gathered metric types.
+type MetricKind int
+
+// Metric kinds.
+const (
+	KindCounter MetricKind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// Metric is one gathered instrument.
+type Metric struct {
+	// Name is the full instrument name including any {label="..."} part.
+	Name string
+	// Kind is the instrument type.
+	Kind MetricKind
+	// Value holds the counter or gauge value.
+	Value int64
+	// Hist holds the snapshot for histograms.
+	Hist *HistogramSnapshot
+}
+
+// Gather returns a point-in-time snapshot of every instrument, sorted by
+// kind then name. A nil registry gathers nothing.
+func (r *Registry) Gather() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: KindCounter, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: KindGauge, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		snap := h.Snapshot()
+		out = append(out, Metric{Name: name, Kind: KindHistogram, Hist: &snap})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// splitName separates a metric name into its base and label part:
+// `foo{a="b"}` becomes ("foo", `a="b"`); an unlabeled name has an empty
+// label part.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	labels = strings.TrimSuffix(name[i+1:], "}")
+	return name[:i], labels
+}

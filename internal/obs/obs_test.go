@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("etsn_test_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("etsn_test_total") != c {
+		t.Fatal("Counter did not return the existing instrument")
+	}
+
+	g := r.Gauge("etsn_test_gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.Max(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge after Max(3) = %d, want 5", got)
+	}
+	g.Max(11)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge after Max(11) = %d, want 11", got)
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Max(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if got := r.Gather(); got != nil {
+		t.Fatalf("nil registry Gather = %v, want nil", got)
+	}
+	var tr *Tracer
+	sp := tr.Begin("phase")
+	sp.End()
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer must record nothing")
+	}
+	var sink *LineSink
+	sink.Emit(struct{}{}) // must not panic
+}
+
+func TestGatherSortedAndSplitName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Inc()
+	r.Counter("a_total").Inc()
+	r.Gauge("z_gauge").Set(1)
+	r.Histogram("h_ns").Observe(10)
+	ms := r.Gather()
+	if len(ms) != 4 {
+		t.Fatalf("gathered %d metrics, want 4", len(ms))
+	}
+	wantOrder := []string{"a_total", "b_total", "z_gauge", "h_ns"}
+	for i, m := range ms {
+		if m.Name != wantOrder[i] {
+			t.Fatalf("gather order[%d] = %s, want %s", i, m.Name, wantOrder[i])
+		}
+	}
+
+	base, labels := splitName(`etsn_sim_drops_total{cause="jam"}`)
+	if base != "etsn_sim_drops_total" || labels != `cause="jam"` {
+		t.Fatalf("splitName = (%q, %q)", base, labels)
+	}
+	base, labels = splitName("plain")
+	if base != "plain" || labels != "" {
+		t.Fatalf("splitName plain = (%q, %q)", base, labels)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	// Hammer counters, gauges, and histograms from many goroutines; run
+	// under -race in the tier-1 gate.
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("etsn_race_total")
+			g := r.Gauge("etsn_race_hwm")
+			h := r.Histogram("etsn_race_ns")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Max(int64(w*perWorker + i))
+				h.Observe(int64(i))
+				if i%128 == 0 {
+					_ = r.Gather()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("etsn_race_total").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("etsn_race_hwm").Value(); got != workers*perWorker-1 {
+		t.Fatalf("gauge hwm = %d, want %d", got, workers*perWorker-1)
+	}
+	snap := r.Histogram("etsn_race_ns").Snapshot()
+	if snap.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", snap.Count, workers*perWorker)
+	}
+}
+
+func TestLineSinkEmitsJSONL(t *testing.T) {
+	var sb strings.Builder
+	sink := NewLineSink(&sb)
+	sink.Emit(map[string]int{"a": 1})
+	sink.Emit(map[string]int{"b": 2})
+	want := "{\"a\":1}\n{\"b\":2}\n"
+	if sb.String() != want {
+		t.Fatalf("sink output = %q, want %q", sb.String(), want)
+	}
+}

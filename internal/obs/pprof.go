@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+)
+
+// StartPprof arms profiling according to spec and returns a stop
+// function to call at exit:
+//
+//	"cpu=FILE"           — runtime/pprof CPU profile written to FILE
+//	"mem=FILE" / "heap=" — heap profile written to FILE at stop
+//	"HOST:PORT"          — net/http/pprof server on that address
+//	""                   — no-op
+//
+// The returned stop is never nil.
+func StartPprof(spec string) (stop func() error, err error) {
+	nop := func() error { return nil }
+	switch {
+	case spec == "":
+		return nop, nil
+	case strings.HasPrefix(spec, "cpu="):
+		f, err := os.Create(strings.TrimPrefix(spec, "cpu="))
+		if err != nil {
+			return nop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nop, err
+		}
+		return func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		}, nil
+	case strings.HasPrefix(spec, "mem="), strings.HasPrefix(spec, "heap="):
+		path := strings.TrimPrefix(strings.TrimPrefix(spec, "mem="), "heap=")
+		return func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+			return f.Close()
+		}, nil
+	case strings.Contains(spec, ":"):
+		ln, err := net.Listen("tcp", spec)
+		if err != nil {
+			return nop, err
+		}
+		go func() { _ = http.Serve(ln, nil) }() // default mux carries /debug/pprof
+		return ln.Close, nil
+	default:
+		return nop, fmt.Errorf("bad pprof spec %q (want cpu=FILE, mem=FILE, or host:port)", spec)
+	}
+}

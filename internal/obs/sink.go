@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// LineSink serializes values to a writer as JSON lines (JSONL), one
+// value per line, safe for concurrent emitters. It is the shared
+// transport for line-oriented trace streams: the simulator's frame-event
+// trace and the phase tracer's span export both write through it. The
+// nil sink discards everything.
+type LineSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewLineSink wraps a writer.
+func NewLineSink(w io.Writer) *LineSink {
+	return &LineSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one value as a JSON line. Encoding errors cannot be
+// surfaced per event; traces are debug artifacts, so a failed write
+// simply truncates the stream.
+func (s *LineSink) Emit(v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(v)
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records phase spans (begin/end with labels and nesting) with
+// wall and process-CPU time, for export as Chrome trace_event JSON or as
+// JSON lines through a LineSink. The nil tracer is a no-op: Begin
+// returns a nil span whose End does nothing.
+type Tracer struct {
+	mu     sync.Mutex
+	origin time.Time
+	spans  []SpanRecord
+	depth  int
+}
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	// Name is the phase name (e.g. "expand", "solve", "simulate").
+	Name string `json:"name"`
+	// StartNs is the span start relative to the tracer's origin.
+	StartNs int64 `json:"start_ns"`
+	// WallNs is the span's wall-clock duration.
+	WallNs int64 `json:"wall_ns"`
+	// CPUNs is the process CPU time (user+system) consumed during the
+	// span; it exceeds WallNs when other goroutines run concurrently.
+	CPUNs int64 `json:"cpu_ns"`
+	// Depth is the span's nesting level at begin time (0 = top).
+	Depth int `json:"depth"`
+	// Labels holds alternating key, value strings attached at Begin.
+	Labels []string `json:"labels,omitempty"`
+}
+
+// NewTracer returns a tracer whose time origin is now.
+func NewTracer() *Tracer {
+	return &Tracer{origin: time.Now()}
+}
+
+// Span is an in-flight phase; call End exactly once. The nil span is a
+// no-op.
+type Span struct {
+	t      *Tracer
+	name   string
+	labels []string
+	depth  int
+	wall   time.Time
+	cpu    time.Duration
+}
+
+// Begin opens a span. Labels are alternating key, value strings carried
+// into the export. Begin on a nil tracer returns nil.
+func (t *Tracer) Begin(name string, labels ...string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	depth := t.depth
+	t.depth++
+	t.mu.Unlock()
+	return &Span{
+		t:      t,
+		name:   name,
+		labels: labels,
+		depth:  depth,
+		wall:   time.Now(),
+		cpu:    processCPUTime(),
+	}
+}
+
+// End closes the span and records it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	wall := time.Since(s.wall)
+	cpu := processCPUTime() - s.cpu
+	t := s.t
+	t.mu.Lock()
+	if t.depth > 0 {
+		t.depth--
+	}
+	t.spans = append(t.spans, SpanRecord{
+		Name:    s.name,
+		StartNs: s.wall.Sub(t.origin).Nanoseconds(),
+		WallNs:  wall.Nanoseconds(),
+		CPUNs:   cpu.Nanoseconds(),
+		Depth:   s.depth,
+		Labels:  s.labels,
+	})
+	t.mu.Unlock()
+}
+
+// Spans returns the completed spans sorted by start time.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartNs < out[j].StartNs })
+	return out
+}
+
+// chromeEvent is one trace_event entry in the Chrome/Perfetto JSON
+// object format ("X" complete events; viewers infer nesting from time
+// containment per thread).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the spans as Chrome trace_event JSON, loadable
+// in chrome://tracing or Perfetto. A nil tracer writes an empty trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		args := map[string]string{
+			"cpu_us": fmt.Sprintf("%.3f", float64(s.CPUNs)/1e3),
+		}
+		for i := 0; i+1 < len(s.Labels); i += 2 {
+			args[s.Labels[i]] = s.Labels[i+1]
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.StartNs) / 1e3,
+			Dur:  float64(s.WallNs) / 1e3,
+			Pid:  1,
+			Tid:  1,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: events})
+}
+
+// ExportSpans emits every completed span as one JSON line through the
+// sink — the same sink abstraction the simulator's frame-event trace
+// uses, so both trace kinds share one transport.
+func (t *Tracer) ExportSpans(sink *LineSink) {
+	for _, s := range t.Spans() {
+		sink.Emit(s)
+	}
+}

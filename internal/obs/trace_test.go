@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerSpansAndNesting(t *testing.T) {
+	tr := NewTracer()
+	outer := tr.Begin("solve", "backend", "placer")
+	inner := tr.Begin("emit")
+	inner.End()
+	outer.End()
+	top := tr.Begin("simulate")
+	top.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["solve"].Depth != 0 || byName["emit"].Depth != 1 || byName["simulate"].Depth != 0 {
+		t.Fatalf("depths wrong: %+v", byName)
+	}
+	if byName["solve"].WallNs < byName["emit"].WallNs {
+		t.Fatal("outer span must cover inner span's wall time")
+	}
+	if got := byName["solve"].Labels; len(got) != 2 || got[0] != "backend" || got[1] != "placer" {
+		t.Fatalf("labels = %v", got)
+	}
+	// Spans are sorted by start time.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].StartNs < spans[i-1].StartNs {
+			t.Fatal("Spans not sorted by start")
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Begin("expand")
+	sp.End()
+	sp = tr.Begin("solve", "backend", "smt")
+	sp.End()
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v\n%s", err, sb.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Pid != 1 || e.Tid != 1 || e.Dur < 0 {
+			t.Fatalf("bad event %+v", e)
+		}
+		if _, ok := e.Args["cpu_us"]; !ok {
+			t.Fatalf("event %s missing cpu_us arg", e.Name)
+		}
+	}
+	if doc.TraceEvents[1].Args["backend"] != "smt" {
+		t.Fatalf("label not exported: %+v", doc.TraceEvents[1].Args)
+	}
+}
+
+func TestExportSpansSharesLineSink(t *testing.T) {
+	tr := NewTracer()
+	tr.Begin("phase-a").End()
+	var sb strings.Builder
+	tr.ExportSpans(NewLineSink(&sb))
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(lines))
+	}
+	var rec SpanRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("span line does not parse: %v", err)
+	}
+	if rec.Name != "phase-a" {
+		t.Fatalf("span name = %q", rec.Name)
+	}
+}
+
+func TestWriteFilesChooseFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Inc()
+	dir := t.TempDir()
+
+	prom := dir + "/m.prom"
+	if err := r.WriteMetricsFile(prom); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := dir + "/m.json"
+	if err := r.WriteMetricsFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer()
+	tr.Begin("x").End()
+	tracePath := dir + "/t.trace.json"
+	if err := tr.WriteChromeTraceFile(tracePath); err != nil {
+		t.Fatal(err)
+	}
+}

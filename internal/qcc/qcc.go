@@ -19,6 +19,7 @@ import (
 	"etsn/internal/core"
 	"etsn/internal/gcl"
 	"etsn/internal/model"
+	"etsn/internal/obs"
 )
 
 // Sentinel errors. ErrBadStream and ErrBadDeployment wrap ErrBadConfig, so
@@ -136,6 +137,10 @@ type Config struct {
 	Network NetworkConfig       `json:"network"`
 	Streams []StreamRequirement `json:"streams"`
 	Options SchedulerOptions    `json:"options,omitempty"`
+	// Obs and Phases are runtime-only instrumentation hooks set by the
+	// CLIs; they are not part of the configuration document.
+	Obs    *obs.Registry `json:"-"`
+	Phases *obs.Tracer   `json:"-"`
 }
 
 // Parse decodes a configuration document.
@@ -248,6 +253,8 @@ func (c *Config) coreOptions() core.Options {
 		SpreadFrames:   c.Options.Spread,
 		SharedReserves: c.Options.SharedReserves,
 		MinimizeECT:    c.Options.MinimizeECT,
+		Obs:            c.Obs,
+		Phases:         c.Phases,
 	}
 	switch c.Options.Backend {
 	case "", "auto":

@@ -8,6 +8,7 @@ import (
 	"etsn/internal/core"
 	"etsn/internal/gcl"
 	"etsn/internal/model"
+	"etsn/internal/obs"
 	"etsn/internal/sim"
 )
 
@@ -45,6 +46,10 @@ type Problem struct {
 	// Spread staggers TCT slot placement over the period (realistic
 	// dispersed schedules) instead of packing ASAP.
 	Spread bool
+	// Obs optionally collects scheduling metrics; Phases optionally traces
+	// planner phases. Both pass through to core.Options.
+	Obs    *obs.Registry
+	Phases *obs.Tracer
 }
 
 // Core converts to the scheduler's problem type. Evaluation plans run with
@@ -52,7 +57,8 @@ type Problem struct {
 // deadline checks in the Fig. 15 experiment validate it.
 func (p Problem) Core() *core.Problem {
 	return &core.Problem{Network: p.Network, TCT: p.TCT, ECT: p.ECT,
-		Opts: core.Options{NProb: p.NProb, SpreadFrames: p.Spread, SharedReserves: true}}
+		Opts: core.Options{NProb: p.NProb, SpreadFrames: p.Spread, SharedReserves: true,
+			Obs: p.Obs, Phases: p.Phases}}
 }
 
 // SimOptions configures a plan simulation beyond the common parameters.
@@ -76,6 +82,8 @@ type SimOptions struct {
 	Faults []sim.Fault
 	// OnFault is invoked at each fault instant (recovery hook).
 	OnFault func(*sim.Simulator, sim.Fault)
+	// Obs optionally collects simulator runtime metrics.
+	Obs *obs.Registry
 }
 
 // Simulate runs a plan against stochastic ECT traffic (plus optional
@@ -110,6 +118,7 @@ func (pl *Plan) SimulateOpts(network *model.Network, o SimOptions) (*sim.Results
 		Trace:       o.Trace,
 		Faults:      o.Faults,
 		OnFault:     o.OnFault,
+		Obs:         o.Obs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s simulation: %w", pl.Method, err)

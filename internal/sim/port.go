@@ -6,6 +6,7 @@ import (
 
 	"etsn/internal/gcl"
 	"etsn/internal/model"
+	"etsn/internal/obs"
 )
 
 // gateWin is one open interval of a priority's gate, in time relative to a
@@ -42,6 +43,11 @@ type outPort struct {
 	// configured LinkLoss while it lasts.
 	burstLoss  float64
 	burstUntil time.Duration
+	// depth is the total number of frames across all priority queues;
+	// mQueueHWM/mGateOpens are per-link instruments (nil when obs is off).
+	depth      int
+	mQueueHWM  *obs.Gauge
+	mGateOpens *obs.Counter
 }
 
 // unavailable reports whether the port cannot accept or send frames now
@@ -56,11 +62,13 @@ func (p *outPort) flush() {
 	for pri := range p.queues {
 		for _, f := range p.queues[pri] {
 			p.drops++
+			p.sim.mDropsFlush.Inc()
 			p.sim.results.recordDrop(f.Stream, p.sim.now)
 			p.sim.trace.emit(p.sim.now, "drop", f, p.link.ID())
 		}
 		p.queues[pri] = nil
 	}
+	p.depth = 0
 }
 
 // buildWindows precomputes per-priority open windows from the gate program.
@@ -130,6 +138,7 @@ func (p *outPort) enqueue(f *Frame) {
 	if p.unavailable() {
 		// A dead link or rebooting switch discards arrivals immediately.
 		p.drops++
+		p.sim.mDropsDown.Inc()
 		p.sim.results.recordDrop(f.Stream, p.sim.now)
 		p.sim.trace.emit(p.sim.now, "drop", f, p.link.ID())
 		return
@@ -139,6 +148,8 @@ func (p *outPort) enqueue(f *Frame) {
 	}
 	p.sim.trace.emit(p.sim.now, "enqueue", f, p.link.ID())
 	p.queues[f.Priority] = append(p.queues[f.Priority], f)
+	p.depth++
+	p.mQueueHWM.Max(int64(p.depth))
 	p.trySend()
 }
 
@@ -180,7 +191,9 @@ func (p *outPort) trySend() {
 			// The gate never opens wide enough for this frame: it can
 			// never be transmitted. Drop it so the queue does not jam.
 			p.queues[pri] = q[1:]
+			p.depth--
 			p.drops++
+			p.sim.mDropsJam.Inc()
 			p.sim.results.recordDrop(head.Stream, now)
 			p.sim.trace.emit(now, "drop", head, p.link.ID())
 			p.sim.schedule(now, p.trySend)
@@ -221,6 +234,8 @@ func (p *outPort) scheduleWake(at time.Duration) {
 func (p *outPort) transmit(f *Frame, pri int, tx time.Duration) {
 	now := p.sim.now
 	p.queues[pri] = p.queues[pri][1:]
+	p.depth--
+	p.mGateOpens.Inc()
 	if sh := p.shapers[pri]; sh != nil {
 		sh.onTransmit(now, tx)
 	}
@@ -232,6 +247,7 @@ func (p *outPort) transmit(f *Frame, pri int, tx time.Duration) {
 	}
 	if loss > 0 && p.sim.rng.Float64() < loss {
 		// The frame is corrupted on the wire and never arrives.
+		p.sim.mLost.Inc()
 		p.sim.results.recordLost(f.Stream, now)
 		p.sim.trace.emit(now, "lost", f, p.link.ID())
 	} else {

@@ -59,9 +59,21 @@ func (r *Results) recordHop(id model.StreamID, hop int, lat time.Duration) {
 
 // HopLatencies returns, when hop tracing is enabled, the per-frame latency
 // from message creation until the frame cleared the given hop (0-based
-// along the stream's path).
+// along the stream's path). The returned slice is the caller's to keep.
 func (r *Results) HopLatencies(id model.StreamID, hop int) []time.Duration {
-	return r.hops[hopKey{stream: id, hop: hop}]
+	return copyDurations(r.hops[hopKey{stream: id, hop: hop}])
+}
+
+// copyDurations detaches an internal sample slice so callers can sort or
+// mutate it without corrupting the results (and so later recording cannot
+// invalidate a slice already handed out).
+func copyDurations(in []time.Duration) []time.Duration {
+	if in == nil {
+		return nil
+	}
+	out := make([]time.Duration, len(in))
+	copy(out, in)
+	return out
 }
 
 func (r *Results) recordEmitted(id model.StreamID) { r.emitted[id]++ }
@@ -93,8 +105,10 @@ func (r *Results) DeliveryRatio(id model.StreamID) float64 {
 }
 
 // Latencies returns the delivery latencies of a stream's messages in
-// delivery order. The returned slice is owned by the results.
-func (r *Results) Latencies(id model.StreamID) []time.Duration { return r.latencies[id] }
+// delivery order. The returned slice is the caller's to keep.
+func (r *Results) Latencies(id model.StreamID) []time.Duration {
+	return copyDurations(r.latencies[id])
+}
 
 // Streams lists the streams that delivered at least one message, sorted.
 func (r *Results) Streams() []model.StreamID {
@@ -129,13 +143,20 @@ func (r *Results) DroppedStreams() []model.StreamID {
 }
 
 // DeliveryTimes returns the delivery instants of a stream's messages,
-// index-aligned with Latencies. The returned slice is owned by the results.
-func (r *Results) DeliveryTimes(id model.StreamID) []time.Duration { return r.deliveredAt[id] }
+// index-aligned with Latencies. The returned slice is the caller's to keep.
+func (r *Results) DeliveryTimes(id model.StreamID) []time.Duration {
+	return copyDurations(r.deliveredAt[id])
+}
 
 // DropTimes returns the instants frames of a stream were dropped (jammed
-// gates, dead links, reboot flushes).
-func (r *Results) DropTimes(id model.StreamID) []time.Duration { return r.dropAt[id] }
+// gates, dead links, reboot flushes). The returned slice is the caller's to
+// keep.
+func (r *Results) DropTimes(id model.StreamID) []time.Duration {
+	return copyDurations(r.dropAt[id])
+}
 
 // LossTimes returns the instants frames of a stream were corrupted on the
-// wire.
-func (r *Results) LossTimes(id model.StreamID) []time.Duration { return r.lostAt[id] }
+// wire. The returned slice is the caller's to keep.
+func (r *Results) LossTimes(id model.StreamID) []time.Duration {
+	return copyDurations(r.lostAt[id])
+}

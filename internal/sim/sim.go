@@ -11,6 +11,7 @@ import (
 
 	"etsn/internal/gcl"
 	"etsn/internal/model"
+	"etsn/internal/obs"
 )
 
 // Sentinel errors.
@@ -101,6 +102,11 @@ type Config struct {
 	// Trace, when non-nil, receives a JSONL event stream (enqueue,
 	// transmit, deliver, drop, loss) — the simulator's capture file.
 	Trace io.Writer
+	// Obs, when non-nil, receives runtime metrics: events processed,
+	// per-port queue-depth high-water marks, gate opens, drops by cause,
+	// delivery latency histograms, and end-of-run throughput. A nil
+	// registry disables instrumentation at zero cost.
+	Obs *obs.Registry
 	// CQF enables 802.1Qch cyclic queuing and forwarding on every port:
 	// two traffic classes alternate as receive/transmit buffers each
 	// cycle, so a frame admitted in cycle i is forwarded in cycle i+1.
@@ -160,6 +166,15 @@ type Simulator struct {
 	// clockStep accumulates per-node clock-step faults on top of the
 	// configured ClockOffset model.
 	clockStep map[model.NodeID]time.Duration
+	// Cached instruments; all nil (free no-ops) when cfg.Obs is nil.
+	mEvents       *obs.Counter
+	mEventsPerSec *obs.Gauge
+	mDelivered    *obs.Counter
+	mLost         *obs.Counter
+	mLatencyNs    *obs.Histogram
+	mDropsJam     *obs.Counter
+	mDropsDown    *obs.Counter
+	mDropsFlush   *obs.Counter
 }
 
 type fragKey struct {
@@ -228,6 +243,16 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Trace != nil {
 		s.trace = newTracer(cfg.Trace)
 	}
+	// A nil cfg.Obs yields nil instruments whose methods are no-ops, so the
+	// hot paths below stay branch-light and allocation-free when disabled.
+	s.mEvents = cfg.Obs.Counter("etsn_sim_events_total")
+	s.mEventsPerSec = cfg.Obs.Gauge("etsn_sim_events_per_sec")
+	s.mDelivered = cfg.Obs.Counter("etsn_sim_delivered_total")
+	s.mLost = cfg.Obs.Counter("etsn_sim_lost_total")
+	s.mLatencyNs = cfg.Obs.Histogram("etsn_sim_latency_ns")
+	s.mDropsJam = cfg.Obs.Counter(`etsn_sim_drops_total{cause="jam"}`)
+	s.mDropsDown = cfg.Obs.Counter(`etsn_sim_drops_total{cause="down"}`)
+	s.mDropsFlush = cfg.Obs.Counter(`etsn_sim_drops_total{cause="flush"}`)
 	for _, link := range cfg.Network.Links() {
 		program := cfg.GCLs[link.ID()]
 		if program == nil {
@@ -236,6 +261,8 @@ func New(cfg Config) (*Simulator, error) {
 				Entries: []gcl.Entry{{Duration: time.Millisecond, Gates: 0xFF}}}
 		}
 		p := &outPort{sim: s, link: link, program: program, shapers: make(map[int]*shaper)}
+		p.mQueueHWM = cfg.Obs.Gauge(`etsn_sim_queue_depth_hwm{link="` + link.ID().String() + `"}`)
+		p.mGateOpens = cfg.Obs.Counter(`etsn_sim_gate_opens_total{link="` + link.ID().String() + `"}`)
 		p.buildWindows()
 		for pri, frac := range cfg.CBS {
 			p.shapers[pri] = newShaper(frac*float64(link.Bandwidth), float64(link.Bandwidth))
@@ -275,13 +302,22 @@ func (s *Simulator) Run() (*Results, error) {
 	s.launchTCT(0)
 	s.startECTSources()
 	s.startBESources()
+	// The event loop keeps a local counter and publishes once at the end so
+	// instrumentation adds no per-event work beyond one integer increment.
+	wallStart := time.Now()
+	var processed int64
 	for s.events.Len() > 0 {
 		e := heap.Pop(&s.events).(*event)
 		if e.at > s.cfg.Duration {
 			break
 		}
 		s.now = e.at
+		processed++
 		e.fn()
+	}
+	s.mEvents.Add(processed)
+	if elapsed := time.Since(wallStart).Seconds(); elapsed > 0 {
+		s.mEventsPerSec.Set(int64(float64(processed) / elapsed))
 	}
 	for _, p := range s.ports {
 		s.results.totalDrops += p.drops
@@ -485,7 +521,10 @@ func (s *Simulator) deliver(f *Frame, over *model.Link) {
 		if s.arrived[k] == f.FragCount {
 			delete(s.arrived, k)
 			if f.Created >= s.cfg.WarmUp {
-				s.results.record(f.Stream, s.now-f.Created, s.now)
+				lat := s.now - f.Created
+				s.results.record(f.Stream, lat, s.now)
+				s.mDelivered.Inc()
+				s.mLatencyNs.Observe(int64(lat))
 			}
 		}
 		return

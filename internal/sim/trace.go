@@ -1,12 +1,11 @@
 package sim
 
 import (
-	"encoding/json"
 	"io"
-	"sync"
 	"time"
 
 	"etsn/internal/model"
+	"etsn/internal/obs"
 )
 
 // TraceEvent is one line of the JSONL event trace: the simulator's
@@ -27,25 +26,24 @@ type TraceEvent struct {
 	Priority int `json:"priority"`
 }
 
-// tracer serializes trace events to a writer as JSON lines.
+// tracer serializes trace events over the shared obs JSONL transport. The
+// line schema (TraceEvent) is unchanged from the pre-obs tracer: one JSON
+// object per line, fields in declaration order.
 type tracer struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	sink *obs.LineSink
 }
 
 func newTracer(w io.Writer) *tracer {
-	return &tracer{enc: json.NewEncoder(w)}
+	return &tracer{sink: obs.NewLineSink(w)}
 }
 
 func (t *tracer) emit(now time.Duration, kind string, f *Frame, link model.LinkID) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	// Encoding errors cannot be surfaced per event; the trace is a debug
 	// artifact, so a failed write simply truncates it.
-	_ = t.enc.Encode(TraceEvent{
+	t.sink.Emit(TraceEvent{
 		TimeNs:   int64(now),
 		Kind:     kind,
 		Stream:   string(f.Stream),

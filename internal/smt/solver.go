@@ -36,10 +36,24 @@ type Stats struct {
 	Propagations int64
 	// Conflicts is the number of clause or theory conflicts hit.
 	Conflicts int64
+	// TheoryChecks is the number of difference-logic edge assertions
+	// checked for negative cycles.
+	TheoryChecks int64
 	// Clauses is the number of clauses at solve time.
 	Clauses int
 	// Vars is the number of integer variables.
 	Vars int
+}
+
+// addEffort folds another Stats' effort counters into s. Clauses and
+// Vars are sizes, not effort, and take the other value.
+func (s *Stats) addEffort(o Stats) {
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Conflicts += o.Conflicts
+	s.TheoryChecks += o.TheoryChecks
+	s.Clauses = o.Clauses
+	s.Vars = o.Vars
 }
 
 // Solver accumulates clauses over difference-logic literals and decides
@@ -65,6 +79,8 @@ type Solver struct {
 	Deadline time.Time
 
 	stats     Stats
+	total     Stats // effort accumulated over completed Solve calls
+	solves    int64 // number of Solve calls started
 	marks     []int // Push/Pop clause-count marks
 	propQueue []int // clauses that lost a literal and may be unit or empty
 }
@@ -117,6 +133,20 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 
 // Stats returns the effort counters of the most recent Solve call.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// TotalStats returns the effort counters accumulated across every Solve
+// call on this solver (incremental re-solves, Minimize probes), including
+// the most recent one. Clauses and Vars reflect the current sizes.
+func (s *Solver) TotalStats() Stats {
+	t := s.total
+	t.addEffort(s.stats)
+	return t
+}
+
+// Solves returns the number of Solve calls made on this solver —
+// every call restarts the search from scratch, so this is also the
+// solver's restart count.
+func (s *Solver) Solves() int64 { return s.solves }
 
 // AddClause asserts the disjunction of the given literals. An empty clause
 // makes the problem trivially unsatisfiable.
@@ -231,6 +261,8 @@ func (s *Solver) reset() {
 	for i := range s.val {
 		s.val[i] = 0
 	}
+	s.total.addEffort(s.stats)
+	s.solves++
 	s.stats = Stats{Clauses: len(s.clauses), Vars: s.NumVars()}
 	s.propQueue = s.propQueue[:0]
 }
@@ -288,6 +320,7 @@ func (s *Solver) assign(l Lit, id int) bool {
 		}
 	}
 	from, to, w := l.edge()
+	s.stats.TheoryChecks++
 	return s.g.addEdge(from, to, w)
 }
 

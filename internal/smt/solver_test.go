@@ -400,6 +400,51 @@ func TestStatsPopulated(t *testing.T) {
 	if st.Decisions < 1 {
 		t.Fatalf("Stats.Decisions = %d, want >= 1", st.Decisions)
 	}
+	if st.TheoryChecks < 1 {
+		t.Fatalf("Stats.TheoryChecks = %d, want >= 1", st.TheoryChecks)
+	}
+}
+
+func TestTotalStatsAccumulateAcrossSolves(t *testing.T) {
+	s := NewSolver()
+	a := s.NewVar("a")
+	b := s.NewVar("b")
+	s.AssertRange(a, 0, 10)
+	s.AssertRange(b, 0, 10)
+	s.AddClause(LE(a, b, -1), LE(b, a, -1))
+	if _, err := s.Solve(); err != nil {
+		t.Fatalf("Solve 1: %v", err)
+	}
+	first := s.Stats()
+	if _, err := s.Solve(); err != nil {
+		t.Fatalf("Solve 2: %v", err)
+	}
+	if got := s.Solves(); got != 2 {
+		t.Fatalf("Solves = %d, want 2", got)
+	}
+	tot := s.TotalStats()
+	if tot.Decisions != first.Decisions+s.Stats().Decisions {
+		t.Fatalf("TotalStats.Decisions = %d, want %d (sum of both solves)",
+			tot.Decisions, first.Decisions+s.Stats().Decisions)
+	}
+	if tot.TheoryChecks < first.TheoryChecks*2 {
+		t.Fatalf("TotalStats.TheoryChecks = %d, want >= %d", tot.TheoryChecks, first.TheoryChecks*2)
+	}
+	if tot.Clauses != s.Stats().Clauses || tot.Vars != s.Stats().Vars {
+		t.Fatalf("TotalStats sizes = %d/%d, want current %d/%d",
+			tot.Clauses, tot.Vars, s.Stats().Clauses, s.Stats().Vars)
+	}
+	// Minimize runs extra probes; every one of them must be visible.
+	before := s.TotalStats().Decisions
+	if _, err := s.Minimize(a, 0, 10); err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if s.TotalStats().Decisions <= before {
+		t.Fatal("Minimize probes did not accumulate into TotalStats")
+	}
+	if s.Solves() <= 2 {
+		t.Fatalf("Solves after Minimize = %d, want > 2", s.Solves())
+	}
 }
 
 func TestVarNames(t *testing.T) {

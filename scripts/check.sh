@@ -1,7 +1,9 @@
 #!/bin/sh
 # check.sh — the tier-1 gate. Everything a change must pass before merge:
-# vet, build, the full test suite under the race detector, and a short
-# fuzz smoke over the corpus seeds of every fuzz target.
+# vet, build, the full test suite under the race detector, a one-iteration
+# benchmark smoke, a bench-artifact round trip (emit BENCH_smoke.json with
+# etsn-bench, fail if it does not validate), and a short fuzz smoke over
+# the corpus seeds of every fuzz target.
 #
 # Usage: ./scripts/check.sh            (from the repository root)
 #        FUZZTIME=10s ./scripts/check.sh
@@ -18,6 +20,17 @@ go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> benchmark smoke (-benchtime=1x)"
+go test -run='^$' -bench=. -benchtime=1x ./...
+
+echo "==> bench artifact smoke (BENCH_smoke.json)"
+BENCHDIR="$(mktemp -d)"
+trap 'rm -rf "$BENCHDIR"' EXIT
+go build -o "$BENCHDIR/etsn-bench" ./cmd/etsn-bench
+"$BENCHDIR/etsn-bench" -experiment headline -duration 300ms \
+    -bench-dir "$BENCHDIR" -bench-name smoke >/dev/null
+"$BENCHDIR/etsn-bench" -check-bench "$BENCHDIR/BENCH_smoke.json"
 
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test ./internal/qcc/ -run=^$ -fuzz=FuzzParse$ -fuzztime="$FUZZTIME"
