@@ -1,6 +1,7 @@
 package etsn_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"etsn/internal/model"
 	"etsn/internal/sched"
 	"etsn/internal/sim"
+	"etsn/internal/smt"
 )
 
 // benchOpts keeps per-iteration simulation time modest; etsn-bench runs the
@@ -251,6 +253,94 @@ func BenchmarkExpandECT(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ps, err := core.ExpandECT(ect, 128)
+		if err != nil || len(ps) != 128 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeadlineParallel measures the experiment fan-out: the headline's
+// three method cells through a 4-worker pool. Compare against
+// BenchmarkHeadline for the wall-time reduction on multi-core machines.
+func BenchmarkHeadlineParallel(b *testing.B) {
+	opts := benchOpts
+	opts.Parallel = 4
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Headline(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Summaries) != 3 {
+			b.Fatal("incomplete headline result")
+		}
+	}
+}
+
+// jobShopSolver builds a disjunctive one-resource scheduling instance: n
+// tasks of the given length, each within [0, horizon]. SAT iff the tasks
+// fit end to end.
+func jobShopSolver(n int, length, horizon int64) *smt.Solver {
+	s := smt.NewSolver()
+	vars := make([]smt.Var, n)
+	for i := range vars {
+		vars[i] = s.NewVar("t")
+		s.AssertRange(vars[i], 0, horizon)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s.AddClause(smt.LE(vars[i], vars[j], -length), smt.LE(vars[j], vars[i], -length))
+		}
+	}
+	return s
+}
+
+// BenchmarkSMTSolve measures the single deterministic search on a job-shop
+// instance; the baseline for BenchmarkSMTSolvePortfolio.
+func BenchmarkSMTSolve(b *testing.B) {
+	const n, length = 10, 10
+	horizon := int64((n - 1) * length)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := jobShopSolver(n, length, horizon)
+		b.StartTimer()
+		if _, err := s.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSMTSolvePortfolio measures a 4-replica diversified portfolio on
+// the same instance: first definitive answer wins, the rest are cancelled.
+func BenchmarkSMTSolvePortfolio(b *testing.B) {
+	const n, length = 10, 10
+	horizon := int64((n - 1) * length)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := jobShopSolver(n, length, horizon)
+		b.StartTimer()
+		if _, err := s.SolvePortfolio(context.Background(), 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpandECTCached measures memoized expansion: after the first
+// miss, every scheduler requesting the same ECT gets deep copies of the
+// cached template instead of recomputing the possibility lattice. Compare
+// against BenchmarkExpandECT (cold) for the hot-path saving.
+func BenchmarkExpandECTCached(b *testing.B) {
+	scen, err := experiments.NewTestbedScenario(0.25, experiments.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ect := scen.ECT[0]
+	cache := core.NewExpandCache()
+	if _, err := cache.Expand(ect, 128); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps, err := cache.Expand(ect, 128)
 		if err != nil || len(ps) != 128 {
 			b.Fatal(err)
 		}

@@ -12,11 +12,18 @@
 // Usage:
 //
 //	etsn-bench [-experiment all|headline|fig11|fig12|fig14|fig15|fig16]
-//	           [-duration 4s] [-seed 60802]
+//	           [-duration 4s] [-seed 60802] [-parallel N]
+//	           [-compare-sequential]
 //	           [-metrics out.prom] [-trace-phases out.trace.json]
 //	           [-pprof cpu=FILE|mem=FILE|HOST:PORT]
 //	           [-bench-dir DIR] [-bench-name NAME]
 //	           [-check-bench FILE]
+//
+// -parallel N fans independent experiment cells (load x method grid points)
+// out over N workers; the tables printed are byte-identical to a sequential
+// run. -compare-sequential additionally reruns each experiment with
+// -parallel 1 (output discarded) and records both wall times in the bench
+// artifact.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"etsn/internal/experiments"
@@ -49,6 +57,8 @@ func run(args []string, w io.Writer) error {
 	benchDir := fs.String("bench-dir", ".", "directory for BENCH_<experiment>.json artifacts")
 	benchName := fs.String("bench-name", "", "override the artifact name (BENCH_<name>.json)")
 	checkBench := fs.String("check-bench", "", "validate an existing bench artifact and exit")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for independent experiment cells (1 = sequential)")
+	compareSeq := fs.Bool("compare-sequential", false, "rerun each experiment with -parallel 1 and record both wall times in the bench artifact")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,14 +81,14 @@ func run(args []string, w io.Writer) error {
 		}
 		defer func() { _ = stop() }()
 	}
-	opts := experiments.RunOptions{Duration: *duration, Seed: *seed}
+	opts := experiments.RunOptions{Duration: *duration, Seed: *seed, Parallel: *parallel}
 
 	type runner struct {
 		name string
-		fn   func(experiments.RunOptions) error
+		fn   func(experiments.RunOptions, io.Writer) error
 	}
 	all := []runner{
-		{"headline", func(o experiments.RunOptions) error {
+		{"headline", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.Headline(o)
 			if err != nil {
 				return err
@@ -86,7 +96,7 @@ func run(args []string, w io.Writer) error {
 			r.WriteTable(w)
 			return nil
 		}},
-		{"fig11", func(o experiments.RunOptions) error {
+		{"fig11", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.Fig11(o)
 			if err != nil {
 				return err
@@ -94,7 +104,7 @@ func run(args []string, w io.Writer) error {
 			r.WriteTable(w)
 			return nil
 		}},
-		{"fig12", func(o experiments.RunOptions) error {
+		{"fig12", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.Fig12(o)
 			if err != nil {
 				return err
@@ -102,7 +112,7 @@ func run(args []string, w io.Writer) error {
 			r.WriteTable(w)
 			return nil
 		}},
-		{"fig14", func(o experiments.RunOptions) error {
+		{"fig14", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.Fig14(o)
 			if err != nil {
 				return err
@@ -110,7 +120,7 @@ func run(args []string, w io.Writer) error {
 			r.WriteTable(w)
 			return nil
 		}},
-		{"fig15", func(o experiments.RunOptions) error {
+		{"fig15", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.Fig15(o)
 			if err != nil {
 				return err
@@ -121,7 +131,7 @@ func run(args []string, w io.Writer) error {
 			}
 			return nil
 		}},
-		{"fig16", func(o experiments.RunOptions) error {
+		{"fig16", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.Fig16(o)
 			if err != nil {
 				return err
@@ -129,7 +139,7 @@ func run(args []string, w io.Writer) error {
 			r.WriteTable(w)
 			return nil
 		}},
-		{"fourway", func(o experiments.RunOptions) error {
+		{"fourway", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.FourWay(o)
 			if err != nil {
 				return err
@@ -137,7 +147,7 @@ func run(args []string, w io.Writer) error {
 			r.WriteTable(w)
 			return nil
 		}},
-		{"frer", func(o experiments.RunOptions) error {
+		{"frer", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.FRER(o)
 			if err != nil {
 				return err
@@ -145,7 +155,7 @@ func run(args []string, w io.Writer) error {
 			r.WriteTable(w)
 			return nil
 		}},
-		{"scale", func(o experiments.RunOptions) error {
+		{"scale", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.Scale(o)
 			if err != nil {
 				return err
@@ -153,7 +163,7 @@ func run(args []string, w io.Writer) error {
 			r.WriteTable(w)
 			return nil
 		}},
-		{"sync", func(o experiments.RunOptions) error {
+		{"sync", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.Sync(o)
 			if err != nil {
 				return err
@@ -161,7 +171,7 @@ func run(args []string, w io.Writer) error {
 			r.WriteTable(w)
 			return nil
 		}},
-		{"ablation", func(o experiments.RunOptions) error {
+		{"ablation", func(o experiments.RunOptions, w io.Writer) error {
 			n, err := experiments.AblationNProb(o)
 			if err != nil {
 				return err
@@ -181,7 +191,7 @@ func run(args []string, w io.Writer) error {
 			b.WriteTable(w)
 			return nil
 		}},
-		{"faults", func(o experiments.RunOptions) error {
+		{"faults", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.Faults(o)
 			if err != nil {
 				return err
@@ -206,7 +216,7 @@ func run(args []string, w io.Writer) error {
 		o.Obs = obs.NewRegistry()
 		o.Phases = obs.NewTracer()
 		start := time.Now()
-		if err := r.fn(o); err != nil {
+		if err := r.fn(o, w); err != nil {
 			return err
 		}
 		wall := time.Since(start)
@@ -216,6 +226,17 @@ func run(args []string, w io.Writer) error {
 			name = r.name
 		}
 		art := experiments.NewBenchArtifact(name, o.Obs, o, wall)
+		if *compareSeq {
+			// Rerun sequentially with tables discarded, so the artifact
+			// records the fan-out speedup on this machine.
+			so := opts
+			so.Parallel = 1
+			seqStart := time.Now()
+			if err := r.fn(so, io.Discard); err != nil {
+				return fmt.Errorf("sequential rerun: %w", err)
+			}
+			art.WallSequentialMs = time.Since(seqStart).Milliseconds()
+		}
 		return art.Write(filepath.Join(*benchDir, "BENCH_"+name+".json"))
 	}
 	exports := func() error {
@@ -241,7 +262,9 @@ func run(args []string, w io.Writer) error {
 			if err := runOne(r); err != nil {
 				return fmt.Errorf("%s: %w", r.name, err)
 			}
-			fmt.Fprintf(w, "[%s completed in %v]\n", r.name, time.Since(start).Round(time.Millisecond))
+			// Timing goes to stderr: stdout stays byte-identical across
+			// -parallel settings (and machines).
+			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", r.name, time.Since(start).Round(time.Millisecond))
 		}
 		return exports()
 	}

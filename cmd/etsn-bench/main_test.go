@@ -144,6 +144,48 @@ func TestRunFig15ChecksDeadlines(t *testing.T) {
 	}
 }
 
+// TestRunParallelStdoutIdentical pins the fan-out determinism contract at
+// the CLI boundary: -parallel N must not change a byte of stdout.
+func TestRunParallelStdoutIdentical(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run([]string{"-experiment", "fig11", "-duration", "300ms",
+		"-parallel", "1", "-bench-dir", t.TempDir()}, &seq); err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	if err := run([]string{"-experiment", "fig11", "-duration", "300ms",
+		"-parallel", "4", "-bench-dir", t.TempDir()}, &par); err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("stdout differs between -parallel 1 and -parallel 4:\n--- sequential\n%s--- parallel\n%s",
+			seq.String(), par.String())
+	}
+}
+
+// TestRunCompareSequentialArtifact checks the artifact records both wall
+// times when -compare-sequential is given.
+func TestRunCompareSequentialArtifact(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "headline", "-duration", "300ms",
+		"-parallel", "3", "-compare-sequential", "-bench-dir", dir}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	art, err := experiments.LoadBenchArtifact(filepath.Join(dir, "BENCH_headline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := art.Validate(); err != nil {
+		t.Fatalf("artifact invalid: %v", err)
+	}
+	if art.Parallel != 3 {
+		t.Fatalf("artifact parallel = %d, want 3", art.Parallel)
+	}
+	if art.WallSequentialMs <= 0 {
+		t.Fatalf("artifact wall_sequential_ms = %d, want > 0", art.WallSequentialMs)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-experiment", "fig99"}, &buf); err == nil {

@@ -6,8 +6,14 @@
 // Usage:
 //
 //	etsn-sched -config network.json [-out deployment.json] [-quiet] [-v]
+//	           [-parallel N]
 //	           [-metrics out.prom] [-trace-phases out.trace.json]
 //	           [-pprof cpu=FILE|mem=FILE|HOST:PORT]
+//
+// -parallel N runs a portfolio of N diversified SMT replicas when the
+// monolithic solver is selected; the first definitive answer wins and the
+// rest are cancelled. N <= 1 keeps the single deterministic search. It
+// overrides the configuration's options.portfolio.
 package main
 
 import (
@@ -38,6 +44,7 @@ func run(args []string) error {
 	metrics := fs.String("metrics", "", "write scheduler metrics to this file (.json for JSON, else Prometheus text)")
 	tracePhases := fs.String("trace-phases", "", "write a Chrome trace_event JSON file of planner phases")
 	pprofSpec := fs.String("pprof", "", "profiling: cpu=FILE, mem=FILE, or HOST:PORT for a live pprof server")
+	parallel := fs.Int("parallel", 0, "diversified SMT portfolio width for the monolithic solver (overrides the config; <= 1 keeps the single search)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +67,9 @@ func run(args []string) error {
 	cfg, err := qcc.Load(f)
 	if err != nil {
 		return err
+	}
+	if *parallel > 0 {
+		cfg.Options.Portfolio = *parallel
 	}
 	if *metrics != "" || *verbose {
 		cfg.Obs = obs.NewRegistry()

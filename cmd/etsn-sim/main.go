@@ -5,10 +5,14 @@
 // Usage:
 //
 //	etsn-sim -config network.json [-method etsn|period|avb] [-duration 4s]
-//	         [-seed 1] [-multiplier 1] [-json]
+//	         [-seed 1] [-multiplier 1] [-parallel N] [-json]
 //	         [-fail-link SW1->SW2 -fail-at 1s -heal-after 500ms]
 //	         [-metrics out.prom] [-trace-phases out.trace.json]
 //	         [-pprof cpu=FILE|mem=FILE|HOST:PORT]
+//
+// -parallel N runs a portfolio of N diversified SMT replicas during
+// planning when the monolithic solver is selected (<= 1 keeps the single
+// deterministic search).
 package main
 
 import (
@@ -49,6 +53,7 @@ func run(args []string) error {
 	metrics := fs.String("metrics", "", "write planner+simulator metrics to this file (.json for JSON, else Prometheus text)")
 	tracePhases := fs.String("trace-phases", "", "write a Chrome trace_event JSON file of planner/simulation phases")
 	pprofSpec := fs.String("pprof", "", "profiling: cpu=FILE, mem=FILE, or HOST:PORT for a live pprof server")
+	parallel := fs.Int("parallel", 0, "diversified SMT portfolio width during planning (<= 1 keeps the single search)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,13 +94,14 @@ func run(args []string) error {
 		return err
 	}
 	prob := sched.Problem{
-		Network: p.Network,
-		TCT:     p.TCT,
-		ECT:     p.ECT,
-		NProb:   p.Opts.NProb,
-		Spread:  p.Opts.SpreadFrames,
-		Obs:     reg,
-		Phases:  phases,
+		Network:   p.Network,
+		TCT:       p.TCT,
+		ECT:       p.ECT,
+		NProb:     p.Opts.NProb,
+		Spread:    p.Opts.SpreadFrames,
+		Obs:       reg,
+		Phases:    phases,
+		Portfolio: *parallel,
 	}
 	plan, err := sched.Build(method, prob, *multiplier)
 	if err != nil {

@@ -110,6 +110,19 @@ type Options struct {
 	// at the first satisfying assignment (binary-search optimization over
 	// the exact solver). Ignored by the placer.
 	MinimizeECT bool
+	// Portfolio is the number of diversified SMT solver replicas raced on
+	// the monolithic (non-incremental) solve: the first definitive answer
+	// wins and cancels the rest. Values <= 1 keep the single deterministic
+	// search; the incremental backend ignores it (its per-stream re-solves
+	// hold warm state a portfolio would discard). Which replica's model
+	// wins is run-dependent, so deterministic pipelines (the experiments)
+	// leave this at 1.
+	Portfolio int
+	// ExpandCache, when non-nil, memoizes ECT probabilistic-stream
+	// expansion across schedules. Methods sharing a scenario (E-TSN,
+	// PERIOD, AVB over the same streams) re-expand identical ECTs; the
+	// cache hands each of them an independent deep copy of the template.
+	ExpandCache *ExpandCache
 	// SharedReserves lets the extra slots that prudent reservation adds
 	// for different sharing TCT streams overlap each other on the same
 	// link. Alg. 1 as written reserves per (stream, link), which
@@ -309,7 +322,7 @@ func buildInstance(p *Problem, opts Options) (*instance, error) {
 		streams = append(streams, &cp)
 	}
 	for _, e := range p.ECT {
-		ps, err := ExpandECT(e, opts.NProb)
+		ps, err := opts.ExpandCache.Expand(e, opts.NProb)
 		if err != nil {
 			spExpand.End()
 			return nil, err

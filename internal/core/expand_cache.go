@@ -1,0 +1,104 @@
+package core
+
+import (
+	"strings"
+	"sync"
+
+	"etsn/internal/model"
+)
+
+// ExpandCache memoizes probabilistic-stream expansion (ExpandECT) across
+// schedules. The method cells of one experiment — E-TSN, PERIOD, AVB over
+// the same scenario — each expand identical ECT streams; with the cache
+// they share one expansion and receive independent deep copies, so a
+// scheduler mutating its streams cannot leak into a sibling cell. Safe
+// for concurrent use; the nil cache degrades to calling ExpandECT.
+type ExpandCache struct {
+	mu sync.Mutex
+	m  map[expandKey][]*model.Stream
+}
+
+// expandKey captures everything ExpandECT reads from its inputs.
+type expandKey struct {
+	id     model.StreamID
+	path   string
+	e2e    int64
+	length int
+	inter  int64
+	n      int
+}
+
+// NewExpandCache returns an empty cache.
+func NewExpandCache() *ExpandCache { return &ExpandCache{} }
+
+func keyFor(e *model.ECT, n int) expandKey {
+	var sb strings.Builder
+	for _, l := range e.Path {
+		sb.WriteString(string(l.From))
+		sb.WriteByte('>')
+		sb.WriteString(string(l.To))
+		sb.WriteByte('|')
+	}
+	return expandKey{
+		id:     e.ID,
+		path:   sb.String(),
+		e2e:    int64(e.E2E),
+		length: e.LengthBytes,
+		inter:  int64(e.MinInterevent),
+		n:      n,
+	}
+}
+
+// Expand returns the n-way expansion of e, from cache when possible. The
+// returned streams are deep copies owned by the caller. A nil cache is a
+// pass-through to ExpandECT.
+func (c *ExpandCache) Expand(e *model.ECT, n int) ([]*model.Stream, error) {
+	if c == nil {
+		return ExpandECT(e, n)
+	}
+	key := keyFor(e, n)
+	c.mu.Lock()
+	tmpl, ok := c.m[key]
+	c.mu.Unlock()
+	if !ok {
+		var err error
+		tmpl, err = ExpandECT(e, n)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		if c.m == nil {
+			c.m = make(map[expandKey][]*model.Stream)
+		}
+		// Keep whichever expansion got there first so concurrent callers
+		// all copy from one template.
+		if prior, raced := c.m[key]; raced {
+			tmpl = prior
+		} else {
+			c.m[key] = tmpl
+		}
+		c.mu.Unlock()
+	}
+	return copyStreams(tmpl), nil
+}
+
+// Len returns the number of cached expansions.
+func (c *ExpandCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// copyStreams deep-copies an expansion template.
+func copyStreams(in []*model.Stream) []*model.Stream {
+	out := make([]*model.Stream, len(in))
+	for i, s := range in {
+		cp := *s
+		cp.Path = append([]model.LinkID(nil), s.Path...)
+		out[i] = &cp
+	}
+	return out
+}

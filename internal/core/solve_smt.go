@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -42,7 +43,12 @@ func (b *smtBuilder) varFor(k frameKey) smt.Var {
 	if v, ok := b.vars[k]; ok {
 		return v
 	}
-	v := b.solver.NewVar(fmt.Sprintf("phi(%s,%s,%d)", k.stream, k.link, k.index))
+	// Name lazily: constraint emission allocates one variable per frame
+	// slot and the Sprintf showed up in profiles; only debug paths ever
+	// read the names.
+	v := b.solver.NewVarLazy(func() string {
+		return fmt.Sprintf("phi(%s,%s,%d)", k.stream, k.link, k.index)
+	})
 	b.vars[k] = v
 	return v
 }
@@ -177,7 +183,14 @@ func solveSMT(inst *instance, incremental bool) (*Result, error) {
 			}
 		}
 		spEmit.End()
-		m, err = b.solver.Solve()
+		// The monolithic solve holds no incremental state, so it can race
+		// diversified replicas; the first definitive answer wins and the
+		// replicas' effort lands in TotalStats.
+		if k := inst.opts.Portfolio; k > 1 {
+			m, err = b.solver.SolvePortfolio(context.Background(), k)
+		} else {
+			m, err = b.solver.Solve()
+		}
 		if err != nil {
 			err = wrapSolveErr(err, "")
 		}
@@ -293,7 +306,7 @@ func wrapSolveErr(err error, at model.StreamID) error {
 			return fmt.Errorf("%w: adding stream %q made the system unsatisfiable", ErrInfeasible, at)
 		}
 		return fmt.Errorf("%w: %v", ErrInfeasible, err)
-	case errors.Is(err, smt.ErrBudget):
+	case errors.Is(err, smt.ErrBudget), errors.Is(err, smt.ErrCanceled):
 		return fmt.Errorf("%w: %v", ErrBudget, err)
 	default:
 		return err

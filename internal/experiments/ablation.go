@@ -37,33 +37,39 @@ type AblationNProbResult struct {
 // AblationNProbValues is the default sweep.
 var AblationNProbValues = []int{4, 8, 16, 32, 64, 128}
 
-// AblationNProb runs the sweep on the testbed scenario at 50% load.
+// AblationNProb runs the sweep on the testbed scenario at 50% load. The
+// sweep points are independent and fan out over opts.Parallel workers.
 func AblationNProb(opts RunOptions) (*AblationNProbResult, error) {
 	opts = opts.withDefaults()
-	out := &AblationNProbResult{}
-	for _, n := range AblationNProbValues {
+	rows := make([]AblationNProbRow, len(AblationNProbValues))
+	err := runJobs(opts, len(AblationNProbValues), func(i int, o RunOptions) error {
+		n := AblationNProbValues[i]
 		scen, err := NewTestbedScenario(0.50, DefaultSeed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		scen.NProb = n
-		res, err := RunMethod(scen, sched.MethodETSN, opts)
+		res, err := RunMethod(scen, sched.MethodETSN, o)
 		if err != nil {
-			return nil, fmt.Errorf("ablation nprob %d: %w", n, err)
+			return fmt.Errorf("ablation nprob %d: %w", n, err)
 		}
 		bound, err := core.ECTWorstCaseBound(scen.Network, res.Plan.Result, "ect")
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Rows = append(out.Rows, AblationNProbRow{
+		rows[i] = AblationNProbRow{
 			NProb:         n,
 			PickupBound:   scen.ECT[0].MinInterevent / time.Duration(n),
 			Bound:         bound,
 			Measured:      res.ECT["ect"],
 			ScheduleSlots: res.Plan.Schedule.NumSlots(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationNProbResult{Rows: rows}, nil
 }
 
 // WriteTable renders the sweep.
@@ -132,13 +138,26 @@ func AblationPrudent(opts RunOptions) (*AblationPrudentResult, error) {
 		}
 		return raw, res, nil
 	}
-	with, _, err := run(false)
+	// The two modes are independent full plan+simulate runs; fan them out.
+	var with, without *sim.Results
+	err = runJobs(opts, 2, func(i int, _ RunOptions) error {
+		if i == 0 {
+			r, _, err := run(false)
+			if err != nil {
+				return fmt.Errorf("ablation prudent (on): %w", err)
+			}
+			with = r
+			return nil
+		}
+		r, _, err := run(true)
+		if err != nil {
+			return fmt.Errorf("ablation prudent (off): %w", err)
+		}
+		without = r
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("ablation prudent (on): %w", err)
-	}
-	without, _, err := run(true)
-	if err != nil {
-		return nil, fmt.Errorf("ablation prudent (off): %w", err)
+		return nil, err
 	}
 	out := &AblationPrudentResult{}
 	var worstExcess time.Duration = -1
@@ -196,7 +215,9 @@ type AblationBackendResult struct {
 
 // AblationBackend measures the backends on a moderate instance (the testbed
 // scenario at 25% load with a small possibility count, so the exact solvers
-// finish).
+// finish). The rows run sequentially even under -parallel: BuildDur is a
+// wall-time measurement, and concurrent backends contending for cores would
+// skew the comparison.
 func AblationBackend(opts RunOptions) (*AblationBackendResult, error) {
 	scen, err := NewTestbedScenario(0.25, DefaultSeed)
 	if err != nil {

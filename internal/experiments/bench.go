@@ -52,6 +52,12 @@ type BenchArtifact struct {
 	SimDurationNs int64 `json:"sim_duration_ns"`
 	// WallMs is the experiment's wall-clock time in milliseconds.
 	WallMs int64 `json:"wall_ms"`
+	// Parallel is the worker-pool width the run used (1 = sequential).
+	Parallel int `json:"parallel,omitempty"`
+	// WallSequentialMs, when present, is the wall time of a sequential
+	// (Parallel=1) rerun of the same experiment, recorded so the artifact
+	// carries the fan-out speedup alongside the parallel time.
+	WallSequentialMs int64 `json:"wall_sequential_ms,omitempty"`
 	// Solver and Sim carry the effort and throughput counters.
 	Solver BenchSolver `json:"solver"`
 	Sim    BenchSim    `json:"sim"`
@@ -64,12 +70,17 @@ type BenchArtifact struct {
 // wall-clock time.
 func NewBenchArtifact(experiment string, reg *obs.Registry, opts RunOptions, wall time.Duration) *BenchArtifact {
 	opts = opts.withDefaults()
+	parallel := opts.Parallel
+	if parallel < 1 {
+		parallel = 1
+	}
 	a := &BenchArtifact{
 		Experiment:    experiment,
 		Tool:          "etsn-bench",
 		Seed:          opts.Seed,
 		SimDurationNs: int64(opts.Duration),
 		WallMs:        wall.Milliseconds(),
+		Parallel:      parallel,
 		Solver: BenchSolver{
 			Decisions:    reg.CounterValue("etsn_smt_decisions_total"),
 			Propagations: reg.CounterValue("etsn_smt_propagations_total"),
@@ -146,6 +157,11 @@ func (a *BenchArtifact) Validate() error {
 	case a.Solver.Solves > 0 && a.Solver.Propagations == 0:
 		return fmt.Errorf("bench artifact %s: %d solves but no propagations",
 			a.Experiment, a.Solver.Solves)
+	case a.Parallel < 0:
+		return fmt.Errorf("bench artifact %s: parallel = %d", a.Experiment, a.Parallel)
+	case a.WallSequentialMs < 0:
+		return fmt.Errorf("bench artifact %s: wall_sequential_ms = %d",
+			a.Experiment, a.WallSequentialMs)
 	}
 	return nil
 }

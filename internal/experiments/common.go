@@ -24,6 +24,11 @@ type RunOptions struct {
 	Obs *obs.Registry
 	// Phases optionally traces planner and simulation phases.
 	Phases *obs.Tracer
+	// Parallel bounds the worker pool that runs independent experiment
+	// cells (load x method grid points) concurrently. Values <= 1 run the
+	// exact legacy sequential path. The merged result is identical either
+	// way: cells land in fixed index order regardless of completion order.
+	Parallel int
 }
 
 func (o RunOptions) withDefaults() RunOptions {

@@ -27,32 +27,41 @@ type Fig11Result struct {
 	Cells []Fig11Cell
 }
 
-// Fig11 runs the experiment.
+// Fig11 runs the experiment. The load x method grid cells are independent,
+// so they fan out over opts.Parallel workers; cells land in fixed
+// load-major order either way.
 func Fig11(opts RunOptions) (*Fig11Result, error) {
-	out := &Fig11Result{}
-	for _, load := range Fig11Loads {
+	scens := make([]*Scenario, len(Fig11Loads))
+	for i, load := range Fig11Loads {
 		scen, err := NewTestbedScenario(load, DefaultSeed)
 		if err != nil {
 			return nil, fmt.Errorf("fig11 load %v: %w", load, err)
 		}
-		for _, m := range AllMethods {
-			res, err := RunMethod(scen, m, opts)
-			if err != nil {
-				return nil, fmt.Errorf("fig11 load %v: %w", load, err)
-			}
-			if err := CheckDropAccounting(res.Raw, scen.TCT, scen.ECT); err != nil {
-				return nil, fmt.Errorf("fig11 load %v %v: %w", load, m, err)
-			}
-			samples := res.ECTSamples["ect"]
-			out.Cells = append(out.Cells, Fig11Cell{
-				Load:    load,
-				Method:  m,
-				Summary: res.ECT["ect"],
-				CDF:     stats.CDF(samples, 20),
-			})
-		}
+		scens[i] = scen
 	}
-	return out, nil
+	cells := make([]Fig11Cell, len(Fig11Loads)*len(AllMethods))
+	err := runJobs(opts, len(cells), func(i int, o RunOptions) error {
+		li, mi := i/len(AllMethods), i%len(AllMethods)
+		scen, m, load := scens[li], AllMethods[mi], Fig11Loads[li]
+		res, err := RunMethod(scen, m, o)
+		if err != nil {
+			return fmt.Errorf("fig11 load %v: %w", load, err)
+		}
+		if err := CheckDropAccounting(res.Raw, scen.TCT, scen.ECT); err != nil {
+			return fmt.Errorf("fig11 load %v %v: %w", load, m, err)
+		}
+		cells[i] = Fig11Cell{
+			Load:    load,
+			Method:  m,
+			Summary: res.ECT["ect"],
+			CDF:     stats.CDF(res.ECTSamples["ect"], 20),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig11Result{Cells: cells}, nil
 }
 
 // Cell returns the cell for a load/method pair.

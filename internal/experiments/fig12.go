@@ -45,7 +45,8 @@ type Fig12Result struct {
 // Fig12Load is the TCT load the figure sweep runs at.
 const Fig12Load = 0.50
 
-// Fig12 runs the experiment.
+// Fig12 runs the experiment. The E-TSN run and the four PERIOD budgets are
+// independent series and fan out over opts.Parallel workers.
 func Fig12(opts RunOptions) (*Fig12Result, error) {
 	scen, err := NewTestbedScenario(Fig12Load, DefaultSeed)
 	if err != nil {
@@ -53,36 +54,44 @@ func Fig12(opts RunOptions) (*Fig12Result, error) {
 	}
 	out := &Fig12Result{}
 
-	res, err := RunMethod(scen, sched.MethodETSN, opts)
-	if err != nil {
-		return nil, fmt.Errorf("fig12 E-TSN: %w", err)
-	}
-	out.Series = append(out.Series, Fig12Series{
-		Label:   "E-TSN",
-		Summary: res.ECT["ect"],
-		CDF:     stats.CDF(res.ECTSamples["ect"], 20),
-	})
-
 	labels := map[int]string{1: "PERIOD", 2: "PERIOD_double", 4: "PERIOD_quad", 8: "PERIOD_octa"}
-	for _, mult := range Fig12Multipliers {
-		o := opts
+	series := make([]Fig12Series, 1+len(Fig12Multipliers))
+	err = runJobs(opts, len(series), func(i int, o RunOptions) error {
+		if i == 0 {
+			res, err := RunMethod(scen, sched.MethodETSN, o)
+			if err != nil {
+				return fmt.Errorf("fig12 E-TSN: %w", err)
+			}
+			series[0] = Fig12Series{
+				Label:   "E-TSN",
+				Summary: res.ECT["ect"],
+				CDF:     stats.CDF(res.ECTSamples["ect"], 20),
+			}
+			return nil
+		}
+		mult := Fig12Multipliers[i-1]
 		o.Multiplier = mult
 		res, err := RunMethod(scen, sched.MethodPERIOD, o)
 		if err != nil {
-			return nil, fmt.Errorf("fig12 PERIOD x%d: %w", mult, err)
+			return fmt.Errorf("fig12 PERIOD x%d: %w", mult, err)
 		}
 		k := res.Plan.SlotBudget["ect"]
 		tx := float64(model.WireBytes(model.MTUBytes)*8) / float64(LinkRate)
 		frac := float64(k) * tx / TestbedInterevent.Seconds()
-		out.Series = append(out.Series, Fig12Series{
+		series[i] = Fig12Series{
 			Label:              labels[mult],
 			Multiplier:         mult,
 			SlotsPerInterevent: k,
 			ReservedFraction:   frac,
 			Summary:            res.ECT["ect"],
 			CDF:                stats.CDF(res.ECTSamples["ect"], 20),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Series = series
 	// Probe the paper's load point: does the octa budget even fit at 75%?
 	if hot, err := NewTestbedScenario(0.75, DefaultSeed); err == nil {
 		plan, err := sched.BuildPERIOD(hot.Problem().Core(), 8)

@@ -36,32 +36,43 @@ func Fig14(opts RunOptions) (*Fig14Result, error) {
 }
 
 // Fig14Custom runs a restricted sweep (used by fast tests and ablations).
+// Scenarios build up front; the load x length x method cells then fan out
+// over opts.Parallel workers in fixed grid order.
 func Fig14Custom(loads []float64, lengths []int, opts RunOptions) (*Fig14Result, error) {
-	out := &Fig14Result{}
-	for _, load := range loads {
-		for _, length := range lengths {
+	scens := make([]*Scenario, len(loads)*len(lengths))
+	for li, load := range loads {
+		for gi, length := range lengths {
 			scen, err := NewSimulationScenario(load, length, 1, DefaultSeed)
 			if err != nil {
 				return nil, fmt.Errorf("fig14 load %v len %d: %w", load, length, err)
 			}
-			for _, m := range AllMethods {
-				res, err := RunMethod(scen, m, opts)
-				if err != nil {
-					return nil, fmt.Errorf("fig14 load %v len %d: %w", load, length, err)
-				}
-				if err := CheckDropAccounting(res.Raw, scen.TCT, scen.ECT); err != nil {
-					return nil, fmt.Errorf("fig14 load %v len %d %v: %w", load, length, m, err)
-				}
-				out.Cells = append(out.Cells, Fig14Cell{
-					Load:    load,
-					Length:  length,
-					Method:  m,
-					Summary: res.ECT["ect"],
-				})
-			}
+			scens[li*len(lengths)+gi] = scen
 		}
 	}
-	return out, nil
+	cells := make([]Fig14Cell, len(scens)*len(AllMethods))
+	err := runJobs(opts, len(cells), func(i int, o RunOptions) error {
+		si, mi := i/len(AllMethods), i%len(AllMethods)
+		scen, m := scens[si], AllMethods[mi]
+		load, length := loads[si/len(lengths)], lengths[si%len(lengths)]
+		res, err := RunMethod(scen, m, o)
+		if err != nil {
+			return fmt.Errorf("fig14 load %v len %d: %w", load, length, err)
+		}
+		if err := CheckDropAccounting(res.Raw, scen.TCT, scen.ECT); err != nil {
+			return fmt.Errorf("fig14 load %v len %d %v: %w", load, length, m, err)
+		}
+		cells[i] = Fig14Cell{
+			Load:    load,
+			Length:  length,
+			Method:  m,
+			Summary: res.ECT["ect"],
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig14Result{Cells: cells}, nil
 }
 
 // Cell returns one measurement.

@@ -8,6 +8,7 @@ import (
 
 	"etsn/internal/model"
 	"etsn/internal/sched"
+	"etsn/internal/sim"
 	"etsn/internal/stats"
 )
 
@@ -42,20 +43,34 @@ func Fig15(opts RunOptions) (*Fig15Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig15 plan: %w", err)
 	}
+	// The plan builds once; the two simulations (without and with ECT
+	// traffic) are independent and fan out over opts.Parallel workers.
 	o := opts.withDefaults()
-	without, err := plan.Simulate(scen.Network, nil, scen.BE, o.Duration, o.Seed)
+	var without, with *sim.Results
+	err = runJobs(opts, 2, func(i int, _ RunOptions) error {
+		if i == 0 {
+			r, err := plan.Simulate(scen.Network, nil, scen.BE, o.Duration, o.Seed)
+			if err != nil {
+				return fmt.Errorf("fig15 run without ECT: %w", err)
+			}
+			if err := CheckDropAccounting(r, scen.TCT, nil); err != nil {
+				return fmt.Errorf("fig15 run without ECT: %w", err)
+			}
+			without = r
+			return nil
+		}
+		r, err := plan.Simulate(scen.Network, scen.ECT, scen.BE, o.Duration, o.Seed)
+		if err != nil {
+			return fmt.Errorf("fig15 run with ECT: %w", err)
+		}
+		if err := CheckDropAccounting(r, scen.TCT, scen.ECT); err != nil {
+			return fmt.Errorf("fig15 run with ECT: %w", err)
+		}
+		with = r
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("fig15 run without ECT: %w", err)
-	}
-	if err := CheckDropAccounting(without, scen.TCT, nil); err != nil {
-		return nil, fmt.Errorf("fig15 run without ECT: %w", err)
-	}
-	with, err := plan.Simulate(scen.Network, scen.ECT, scen.BE, o.Duration, o.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("fig15 run with ECT: %w", err)
-	}
-	if err := CheckDropAccounting(with, scen.TCT, scen.ECT); err != nil {
-		return nil, fmt.Errorf("fig15 run with ECT: %w", err)
+		return nil, err
 	}
 
 	// Pick three sharing and three non-sharing streams that cross the

@@ -39,19 +39,28 @@ func Fig16(opts RunOptions) (*Fig16Result, error) {
 	for _, e := range scen.ECT {
 		out.Streams = append(out.Streams, e.ID)
 	}
-	for _, m := range AllMethods {
-		res, err := RunMethod(scen, m, opts)
+	// The three method cells are independent and fan out over opts.Parallel
+	// workers; each fills its method's slice of the cell grid.
+	cells := make([]Fig16Cell, len(AllMethods)*len(scen.ECT))
+	err = runJobs(opts, len(AllMethods), func(i int, o RunOptions) error {
+		m := AllMethods[i]
+		res, err := RunMethod(scen, m, o)
 		if err != nil {
-			return nil, fmt.Errorf("fig16 %v: %w", m, err)
+			return fmt.Errorf("fig16 %v: %w", m, err)
 		}
-		for _, e := range scen.ECT {
-			out.Cells = append(out.Cells, Fig16Cell{
+		for j, e := range scen.ECT {
+			cells[i*len(scen.ECT)+j] = Fig16Cell{
 				Stream:  e.ID,
 				Method:  m,
 				Summary: res.ECT[e.ID],
-			})
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Cells = cells
 	return out, nil
 }
 

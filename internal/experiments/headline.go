@@ -29,7 +29,8 @@ type HeadlineResult struct {
 	JitterRatioVsAVB       float64
 }
 
-// Headline runs the testbed scenario at 75% load for all methods.
+// Headline runs the testbed scenario at 75% load for all methods. The three
+// method cells are independent and fan out over opts.Parallel workers.
 func Headline(opts RunOptions) (*HeadlineResult, error) {
 	scen, err := NewTestbedScenario(0.75, DefaultSeed)
 	if err != nil {
@@ -37,18 +38,31 @@ func Headline(opts RunOptions) (*HeadlineResult, error) {
 	}
 	out := &HeadlineResult{Summaries: make(map[sched.Method]stats.Summary, len(AllMethods))}
 	var ectID model.StreamID = "ect"
-	for _, m := range AllMethods {
-		res, err := RunMethod(scen, m, opts)
+	summaries := make([]stats.Summary, len(AllMethods))
+	bounds := make([]time.Duration, len(AllMethods))
+	err = runJobs(opts, len(AllMethods), func(i int, o RunOptions) error {
+		m := AllMethods[i]
+		res, err := RunMethod(scen, m, o)
 		if err != nil {
-			return nil, fmt.Errorf("headline: %w", err)
+			return fmt.Errorf("headline: %w", err)
 		}
-		out.Summaries[m] = res.ECT[ectID]
+		summaries[i] = res.ECT[ectID]
 		if m == sched.MethodETSN {
 			bound, err := core.ECTWorstCaseBound(scen.Network, res.Plan.Result, ectID)
 			if err != nil {
-				return nil, fmt.Errorf("headline bound: %w", err)
+				return fmt.Errorf("headline bound: %w", err)
 			}
-			out.Bound = bound
+			bounds[i] = bound
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range AllMethods {
+		out.Summaries[m] = summaries[i]
+		if m == sched.MethodETSN {
+			out.Bound = bounds[i]
 		}
 	}
 	et := out.Summaries[sched.MethodETSN]

@@ -37,14 +37,18 @@ func FourWay(opts RunOptions) (*FourWayResult, error) {
 	}
 	out := &FourWayResult{Load: 0.50}
 	methods := append(append([]sched.Method(nil), AllMethods...), sched.MethodCQF)
-	for _, m := range methods {
+	// The four method cells are independent and fan out over opts.Parallel
+	// workers; rows land in the paper's method order regardless.
+	rows := make([]FourWayRow, len(methods))
+	err = runJobs(opts, len(methods), func(i int, o RunOptions) error {
+		m := methods[i]
 		plan, err := sched.Build(m, scen.Problem(), 1)
 		if err != nil {
-			return nil, fmt.Errorf("fourway %v: %w", m, err)
+			return fmt.Errorf("fourway %v: %w", m, err)
 		}
-		raw, err := plan.Simulate(scen.Network, scen.ECT, scen.BE, opts.Duration, opts.Seed)
+		raw, err := plan.Simulate(scen.Network, scen.ECT, scen.BE, o.Duration, o.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("fourway %v: %w", m, err)
+			return fmt.Errorf("fourway %v: %w", m, err)
 		}
 		row := FourWayRow{Method: m, ECT: stats.Summarize(raw.Latencies("ect"))}
 		for _, s := range scen.TCT {
@@ -62,8 +66,13 @@ func FourWay(opts RunOptions) (*FourWayResult, error) {
 		case sched.MethodPERIOD:
 			row.Note = fmt.Sprintf("%d dedicated slots per %v", plan.SlotBudget["ect"], TestbedInterevent)
 		}
-		out.Rows = append(out.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strconv"
+	"sync"
+
+	"etsn/internal/obs"
+)
+
+// runJobs executes n independent experiment cells through a bounded worker
+// pool and merges their observability output in fixed index order.
+//
+// The determinism contract: a job must write its result into a
+// pre-allocated slot keyed by its index, never append to shared state.
+// Under that contract the merged result is byte-identical to a sequential
+// run, whatever order the workers finish in.
+//
+//   - opts.Parallel <= 1 (or n <= 1) runs the jobs sequentially in index
+//     order with the caller's RunOptions untouched — the exact legacy code
+//     path, stopping at the first error.
+//   - Otherwise min(opts.Parallel, n) workers drain the job indices. Each
+//     job receives a private obs.Registry / obs.Tracer shard (only when the
+//     caller supplied one), so jobs never contend on metric atomics or the
+//     tracer mutex. After all jobs return, shards merge into the caller's
+//     registry and tracer in index order; spans gain a "cell" label carrying
+//     the job index. Every job runs even if an earlier one failed; the
+//     lowest-index error is returned, matching the sequential choice.
+func runJobs(opts RunOptions, n int, job func(i int, o RunOptions) error) error {
+	if opts.Parallel <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i, opts); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := opts.Parallel
+	if workers > n {
+		workers = n
+	}
+	type shard struct {
+		obs    *obs.Registry
+		phases *obs.Tracer
+	}
+	shards := make([]shard, n)
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				o := opts
+				if opts.Obs != nil {
+					shards[i].obs = obs.NewRegistry()
+					o.Obs = shards[i].obs
+				}
+				if opts.Phases != nil {
+					shards[i].phases = obs.NewTracer()
+					o.Phases = shards[i].phases
+				}
+				errs[i] = job(i, o)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if opts.Obs != nil && shards[i].obs != nil {
+			opts.Obs.Merge(shards[i].obs)
+		}
+		if opts.Phases != nil && shards[i].phases != nil {
+			opts.Phases.Merge(shards[i].phases, "cell", strconv.Itoa(i))
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

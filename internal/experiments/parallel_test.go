@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"etsn/internal/obs"
+)
+
+// detOpts keeps the determinism comparisons short: the contract is about
+// ordering, not statistics, so a brief simulation suffices.
+var detOpts = RunOptions{Duration: 500 * time.Millisecond, Seed: DefaultSeed}
+
+func TestFig11ParallelMatchesSequential(t *testing.T) {
+	seq, err := Fig11(detOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := detOpts
+	par.Parallel = 4
+	got, err := Fig11(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bseq, bpar bytes.Buffer
+	seq.WriteTable(&bseq)
+	got.WriteTable(&bpar)
+	if bseq.String() != bpar.String() {
+		t.Fatalf("parallel Fig11 output differs from sequential:\n--- sequential\n%s--- parallel\n%s",
+			bseq.String(), bpar.String())
+	}
+}
+
+func TestHeadlineParallelMatchesSequential(t *testing.T) {
+	seq, err := Headline(detOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := detOpts
+	par.Parallel = 3
+	got, err := Headline(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bseq, bpar bytes.Buffer
+	seq.WriteTable(&bseq)
+	got.WriteTable(&bpar)
+	if bseq.String() != bpar.String() {
+		t.Fatalf("parallel Headline output differs from sequential:\n--- sequential\n%s--- parallel\n%s",
+			bseq.String(), bpar.String())
+	}
+}
+
+func TestFig16ParallelMatchesSequential(t *testing.T) {
+	seq, err := Fig16(detOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := detOpts
+	par.Parallel = 3
+	got, err := Fig16(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bseq, bpar bytes.Buffer
+	seq.WriteTable(&bseq)
+	got.WriteTable(&bpar)
+	if bseq.String() != bpar.String() {
+		t.Fatalf("parallel Fig16 output differs from sequential:\n--- sequential\n%s--- parallel\n%s",
+			bseq.String(), bpar.String())
+	}
+}
+
+func TestRunJobsSequentialStopsAtFirstError(t *testing.T) {
+	var ran []int
+	err := runJobs(RunOptions{}, 5, func(i int, _ RunOptions) error {
+		ran = append(ran, i)
+		if i == 2 {
+			return fmt.Errorf("job %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "job 2 failed" {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 3 {
+		t.Fatalf("sequential mode ran %v, want jobs 0..2 only", ran)
+	}
+}
+
+func TestRunJobsParallelReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	err := runJobs(RunOptions{Parallel: 4}, 6, func(i int, _ RunOptions) error {
+		switch i {
+		case 1:
+			return errLow
+		case 4:
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want the lowest-index failure", err)
+	}
+}
+
+func TestRunJobsShardsAndMergesObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	opts := RunOptions{Parallel: 4, Obs: reg, Phases: tr}
+	var sawShared atomic.Int32
+	err := runJobs(opts, 8, func(i int, o RunOptions) error {
+		if o.Obs == reg || o.Phases == tr {
+			sawShared.Add(1)
+		}
+		o.Obs.Counter("jobs_run_total").Inc()
+		sp := o.Phases.Begin("job")
+		sp.End()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawShared.Load() != 0 {
+		t.Fatal("parallel jobs received the shared registry/tracer instead of shards")
+	}
+	if got := reg.CounterValue("jobs_run_total"); got != 8 {
+		t.Fatalf("merged counter = %d, want 8", got)
+	}
+	spans := tr.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("merged spans = %d, want 8", len(spans))
+	}
+	cells := map[string]bool{}
+	for _, s := range spans {
+		var cell string
+		for i := 0; i+1 < len(s.Labels); i += 2 {
+			if s.Labels[i] == "cell" {
+				cell = s.Labels[i+1]
+			}
+		}
+		if cell == "" {
+			t.Fatalf("span %v has no cell label: %v", s.Name, s.Labels)
+		}
+		cells[cell] = true
+	}
+	if len(cells) != 8 {
+		t.Fatalf("cell labels cover %d jobs, want 8", len(cells))
+	}
+}
+
+func TestRunJobsSequentialKeepsCallerObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := RunOptions{Obs: reg}
+	err := runJobs(opts, 3, func(i int, o RunOptions) error {
+		if o.Obs != reg {
+			t.Errorf("job %d: sequential mode must pass the caller's registry", i)
+		}
+		o.Obs.Counter("jobs_run_total").Inc()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("jobs_run_total"); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+}

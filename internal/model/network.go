@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -25,10 +26,28 @@ const DefaultTimeUnit = time.Microsecond
 
 // Network is a directed graph of switches and devices connected by
 // full-duplex links (each physical link contributes two directed edges).
+//
+// Query methods (ShortestPath, Neighbors, ...) are safe for concurrent
+// use once construction is done; mutation (AddDevice/AddSwitch/AddLink)
+// must not race with queries. The routing caches below exist because the
+// experiment pipeline resolves the same scenario's routes once per
+// method cell — and, after the parallel fan-out, from several cells at
+// once.
 type Network struct {
 	nodes map[NodeID]*Node
 	links map[LinkID]*Link
 	adj   map[NodeID][]NodeID
+
+	// cacheMu guards the lazily built caches; mutators drop them.
+	cacheMu   sync.RWMutex
+	sortedAdj map[NodeID][]NodeID      // Neighbors, sorted once per node
+	routes    map[[2]NodeID]routeEntry // memoized ShortestPath results
+}
+
+// routeEntry is one memoized ShortestPath outcome (path or error).
+type routeEntry struct {
+	path []LinkID
+	err  error
 }
 
 // NewNetwork returns an empty network.
@@ -54,7 +73,17 @@ func (n *Network) addNode(id NodeID, kind NodeKind) error {
 		return fmt.Errorf("%w: %q", ErrDuplicateNode, id)
 	}
 	n.nodes[id] = &Node{ID: id, Kind: kind}
+	n.invalidateCaches()
 	return nil
+}
+
+// invalidateCaches drops the memoized adjacency and routing state; every
+// topology mutation calls it.
+func (n *Network) invalidateCaches() {
+	n.cacheMu.Lock()
+	n.sortedAdj = nil
+	n.routes = nil
+	n.cacheMu.Unlock()
 }
 
 // AddLink adds a full-duplex link between a and b: two directed edges with
@@ -85,6 +114,7 @@ func (n *Network) AddLink(a, b NodeID, cfg LinkConfig) error {
 		n.links[dir] = l
 		n.adj[dir.From] = append(n.adj[dir.From], dir.To)
 	}
+	n.invalidateCaches()
 	return nil
 }
 
@@ -132,12 +162,35 @@ func (n *Network) Links() []*Link {
 }
 
 // Neighbors returns the nodes reachable over one directed link from id,
-// sorted for deterministic iteration.
+// sorted for deterministic iteration. The caller may mutate the result.
 func (n *Network) Neighbors(id NodeID) []NodeID {
-	out := make([]NodeID, len(n.adj[id]))
-	copy(out, n.adj[id])
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	s := n.neighborsSorted(id)
+	out := make([]NodeID, len(s))
+	copy(out, s)
 	return out
+}
+
+// neighborsSorted returns the cached sorted adjacency list for id. Every
+// BFS used to copy and re-sort the list per visited node; memoizing it
+// makes repeated path queries allocation-free on the adjacency side.
+// Callers must not mutate the result.
+func (n *Network) neighborsSorted(id NodeID) []NodeID {
+	n.cacheMu.RLock()
+	s, ok := n.sortedAdj[id]
+	n.cacheMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = make([]NodeID, len(n.adj[id]))
+	copy(s, n.adj[id])
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n.cacheMu.Lock()
+	if n.sortedAdj == nil {
+		n.sortedAdj = make(map[NodeID][]NodeID)
+	}
+	n.sortedAdj[id] = s
+	n.cacheMu.Unlock()
+	return s
 }
 
 // NumNodes returns the number of nodes.
@@ -148,7 +201,31 @@ func (n *Network) NumLinks() int { return len(n.links) }
 
 // ShortestPath returns the minimum-hop directed path from src to dst as a
 // sequence of link IDs. Ties are broken deterministically by node ID.
+// Results are memoized per (src, dst) until the topology changes; the
+// caller may mutate the returned slice.
 func (n *Network) ShortestPath(src, dst NodeID) ([]LinkID, error) {
+	key := [2]NodeID{src, dst}
+	n.cacheMu.RLock()
+	e, ok := n.routes[key]
+	n.cacheMu.RUnlock()
+	if !ok {
+		e.path, e.err = n.shortestPathUncached(src, dst)
+		n.cacheMu.Lock()
+		if n.routes == nil {
+			n.routes = make(map[[2]NodeID]routeEntry)
+		}
+		n.routes[key] = e
+		n.cacheMu.Unlock()
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	out := make([]LinkID, len(e.path))
+	copy(out, e.path)
+	return out, nil
+}
+
+func (n *Network) shortestPathUncached(src, dst NodeID) ([]LinkID, error) {
 	if _, ok := n.nodes[src]; !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, src)
 	}
@@ -163,7 +240,7 @@ func (n *Network) ShortestPath(src, dst NodeID) ([]LinkID, error) {
 	for len(queue) > 0 && prev[dst] == "" {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, next := range n.Neighbors(cur) {
+		for _, next := range n.neighborsSorted(cur) {
 			if _, seen := prev[next]; seen {
 				continue
 			}
@@ -218,7 +295,7 @@ func (n *Network) DisjointPaths(src, dst NodeID) ([]LinkID, []LinkID, error) {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, next := range n.Neighbors(cur) {
+		for _, next := range n.neighborsSorted(cur) {
 			if banned[LinkID{From: cur, To: next}] {
 				continue
 			}
@@ -289,7 +366,7 @@ func (n *Network) shortestPathAvoiding(src, dst NodeID, banned map[LinkID]bool) 
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, next := range n.Neighbors(cur) {
+		for _, next := range n.neighborsSorted(cur) {
 			if banned[LinkID{From: cur, To: next}] {
 				continue
 			}

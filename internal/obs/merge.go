@@ -1,0 +1,97 @@
+package obs
+
+import "time"
+
+// Merge folds another registry's instruments into r. The parallel
+// experiment runner shards observability per worker (each cell records
+// into its own registry) and merges the shards back in fixed cell order,
+// so the merged export is deterministic for a deterministic workload.
+//
+// Merge semantics per kind:
+//   - counters add — total effort is the sum of per-cell effort;
+//   - gauges take the maximum — the repo's gauges are sizes and
+//     high-water marks (etsn_smt_clauses, queue depth HWMs), for which
+//     the max across cells is the meaningful aggregate;
+//   - histograms merge their buckets, counts, sums, and min/max.
+//
+// A nil receiver or argument is a no-op.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	for _, m := range o.Gather() {
+		switch m.Kind {
+		case KindCounter:
+			r.Counter(m.Name).Add(m.Value)
+		case KindGauge:
+			r.Gauge(m.Name).Max(m.Value)
+		case KindHistogram:
+			r.Histogram(m.Name).absorb(m.Hist)
+		}
+	}
+}
+
+// absorb folds a snapshot's samples into the histogram.
+func (h *Histogram) absorb(s *HistogramSnapshot) {
+	if h == nil || s == nil || s.Count == 0 {
+		return
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	for _, b := range s.Buckets {
+		// The snapshot's upper bounds are exactly this histogram's bucket
+		// bounds, so bucketIndex round-trips them.
+		h.buckets[bucketIndex(b.UpperBound)].Add(b.Count)
+	}
+	for {
+		cur := h.min.Load()
+		if s.Min >= cur || h.min.CompareAndSwap(cur, s.Min) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if s.Max <= cur || h.max.CompareAndSwap(cur, s.Max) {
+			break
+		}
+	}
+}
+
+// Merge appends another tracer's completed spans to t, rebasing their
+// start times from o's origin onto t's so the merged timeline is
+// consistent. The extra labels (alternating key, value — e.g. "cell",
+// "3") are appended to every merged span, which is how parallel workers'
+// spans stay attributable after the per-worker tracers are folded back
+// together. A nil receiver or argument is a no-op.
+func (t *Tracer) Merge(o *Tracer, labels ...string) {
+	if t == nil || o == nil {
+		return
+	}
+	var delta int64
+	o.mu.Lock()
+	origin := o.origin
+	spans := make([]SpanRecord, len(o.spans))
+	copy(spans, o.spans)
+	o.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delta = origin.Sub(t.origin).Nanoseconds()
+	for _, s := range spans {
+		s.StartNs += delta
+		if len(labels) > 0 {
+			merged := make([]string, 0, len(s.Labels)+len(labels))
+			merged = append(merged, s.Labels...)
+			merged = append(merged, labels...)
+			s.Labels = merged
+		}
+		t.spans = append(t.spans, s)
+	}
+}
+
+// originTime exposes the tracer origin for tests.
+func (t *Tracer) originTime() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.origin
+}

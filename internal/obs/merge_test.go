@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegistryMergeCounters(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	a.Counter("etsn_smt_decisions_total").Add(10)
+	b.Counter("etsn_smt_decisions_total").Add(32)
+	b.Counter("etsn_sim_events_total").Add(5)
+	a.Merge(b)
+	if got := a.CounterValue("etsn_smt_decisions_total"); got != 42 {
+		t.Fatalf("merged counter = %d, want 42", got)
+	}
+	if got := a.CounterValue("etsn_sim_events_total"); got != 5 {
+		t.Fatalf("merged new counter = %d, want 5", got)
+	}
+}
+
+func TestRegistryMergeGaugesTakeMax(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	a.Gauge("etsn_smt_clauses").Set(100)
+	b.Gauge("etsn_smt_clauses").Set(70)
+	b.Gauge("etsn_smt_vars").Set(9)
+	a.Merge(b)
+	if got := a.GaugeValue("etsn_smt_clauses"); got != 100 {
+		t.Fatalf("merged gauge = %d, want max 100", got)
+	}
+	if got := a.GaugeValue("etsn_smt_vars"); got != 9 {
+		t.Fatalf("merged new gauge = %d, want 9", got)
+	}
+}
+
+func TestRegistryMergeHistograms(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	for _, v := range []int64{1, 5, 100} {
+		a.Histogram("etsn_sim_latency_ns").Observe(v)
+	}
+	for _, v := range []int64{2, 1000} {
+		b.Histogram("etsn_sim_latency_ns").Observe(v)
+	}
+	a.Merge(b)
+	snap, ok := a.HistogramSnapshotFor("etsn_sim_latency_ns")
+	if !ok {
+		t.Fatal("merged histogram missing")
+	}
+	if snap.Count != 5 {
+		t.Fatalf("merged Count = %d, want 5", snap.Count)
+	}
+	if snap.Sum != 1108 {
+		t.Fatalf("merged Sum = %d, want 1108", snap.Sum)
+	}
+	if snap.Min != 1 || snap.Max != 1000 {
+		t.Fatalf("merged Min/Max = %d/%d, want 1/1000", snap.Min, snap.Max)
+	}
+	// Bucket totals must equal the count (nothing lost in transit).
+	var total int64
+	for _, bk := range snap.Buckets {
+		total += bk.Count
+	}
+	if total != snap.Count {
+		t.Fatalf("bucket total = %d, want %d", total, snap.Count)
+	}
+}
+
+func TestRegistryMergeDeterministicOrder(t *testing.T) {
+	// Merging the same shards in the same order must give identical
+	// exports, run after run.
+	build := func() *Registry {
+		r := NewRegistry()
+		for i, name := range []string{"etsn_a_total", "etsn_b_total"} {
+			s1 := NewRegistry()
+			s1.Counter(name).Add(int64(i + 1))
+			s1.Gauge("etsn_hwm").Max(int64(10 * (i + 1)))
+			r.Merge(s1)
+		}
+		return r
+	}
+	m1 := build().Gather()
+	m2 := build().Gather()
+	if len(m1) != len(m2) {
+		t.Fatalf("gather lengths differ: %d vs %d", len(m1), len(m2))
+	}
+	for i := range m1 {
+		if m1[i].Name != m2[i].Name || m1[i].Value != m2[i].Value {
+			t.Fatalf("metric %d differs: %+v vs %+v", i, m1[i], m2[i])
+		}
+	}
+}
+
+func TestRegistryMergeNilSafe(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Merge(NewRegistry()) // must not panic
+	r := NewRegistry()
+	r.Merge(nil) // must not panic
+	if got := len(r.Gather()); got != 0 {
+		t.Fatalf("Gather after nil merge = %d metrics, want 0", got)
+	}
+}
+
+func TestTracerMergeRebasesAndLabels(t *testing.T) {
+	parent := NewTracer()
+	child := NewTracer()
+	sp := child.Begin("solve", "method", "E-TSN")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	parent.Merge(child, "cell", "3")
+	spans := parent.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("merged spans = %d, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "solve" {
+		t.Fatalf("span name = %q", s.Name)
+	}
+	wantStart := child.originTime().Sub(parent.originTime()).Nanoseconds()
+	if s.StartNs < wantStart {
+		t.Fatalf("StartNs = %d, want >= rebased origin delta %d", s.StartNs, wantStart)
+	}
+	var gotCell string
+	for i := 0; i+1 < len(s.Labels); i += 2 {
+		if s.Labels[i] == "cell" {
+			gotCell = s.Labels[i+1]
+		}
+	}
+	if gotCell != "3" {
+		t.Fatalf("labels = %v, want cell=3 appended", s.Labels)
+	}
+	// The original label must survive too.
+	if s.Labels[0] != "method" || s.Labels[1] != "E-TSN" {
+		t.Fatalf("original labels lost: %v", s.Labels)
+	}
+}
+
+func TestTracerMergeDoesNotMutateSource(t *testing.T) {
+	child := NewTracer()
+	child.Begin("phase").End()
+	before := child.Spans()[0]
+	parent := NewTracer()
+	parent.Merge(child, "cell", "0")
+	after := child.Spans()[0]
+	if len(after.Labels) != len(before.Labels) {
+		t.Fatalf("source span labels mutated by merge: %v", after.Labels)
+	}
+}

@@ -130,6 +130,10 @@ type SchedulerOptions struct {
 	// per-possibility ECT latency rather than stop at the first
 	// satisfying schedule.
 	MinimizeECT bool `json:"minimize_ect,omitempty"`
+	// Portfolio runs this many diversified replicas of the monolithic SMT
+	// search and takes the first definitive answer (values <= 1 keep the
+	// single deterministic search). The incremental backend ignores it.
+	Portfolio int `json:"portfolio,omitempty"`
 }
 
 // Config is a complete configuration document.
@@ -253,6 +257,7 @@ func (c *Config) coreOptions() core.Options {
 		SpreadFrames:   c.Options.Spread,
 		SharedReserves: c.Options.SharedReserves,
 		MinimizeECT:    c.Options.MinimizeECT,
+		Portfolio:      c.Options.Portfolio,
 		Obs:            c.Obs,
 		Phases:         c.Phases,
 	}

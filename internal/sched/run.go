@@ -50,6 +50,13 @@ type Problem struct {
 	// planner phases. Both pass through to core.Options.
 	Obs    *obs.Registry
 	Phases *obs.Tracer
+	// Cache optionally memoizes ECT expansion across the methods planned
+	// on one scenario (passes through to core.Options.ExpandCache).
+	Cache *core.ExpandCache
+	// Portfolio sets the diversified SMT portfolio width for monolithic
+	// solves (passes through to core.Options.Portfolio; <= 1 keeps the
+	// single deterministic search).
+	Portfolio int
 }
 
 // Core converts to the scheduler's problem type. Evaluation plans run with
@@ -58,7 +65,7 @@ type Problem struct {
 func (p Problem) Core() *core.Problem {
 	return &core.Problem{Network: p.Network, TCT: p.TCT, ECT: p.ECT,
 		Opts: core.Options{NProb: p.NProb, SpreadFrames: p.Spread, SharedReserves: true,
-			Obs: p.Obs, Phases: p.Phases}}
+			Obs: p.Obs, Phases: p.Phases, ExpandCache: p.Cache, Portfolio: p.Portfolio}}
 }
 
 // SimOptions configures a plan simulation beyond the common parameters.

@@ -117,7 +117,7 @@ func TestFaultLossBurst(t *testing.T) {
 	n, res, gcls := singleStreamPlan(t)
 	r := runWithFaults(t, n, res, gcls, []Fault{
 		{At: 30 * time.Millisecond, Kind: FaultLossBurst,
-			Link: model.LinkID{From: "D1", To: "SW1"},
+			Link:     model.LinkID{From: "D1", To: "SW1"},
 			Duration: 20 * time.Millisecond, Loss: 1.0},
 	}, nil)
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"sync"
 	"testing"
 	"time"
 
@@ -104,6 +105,45 @@ func TestResultsAccessorsReturnCopies(t *testing.T) {
 	if r.Latencies("missing") != nil {
 		t.Fatal("absent stream should yield nil")
 	}
+}
+
+// TestResultsConcurrentReaders exercises the documented contract that a
+// Results is immutable after Run and safe for concurrent consumption (the
+// experiment fan-out reads cells from several workers). Run under -race.
+func TestResultsConcurrentReaders(t *testing.T) {
+	n, res, gcls, ect := etsnPlan(t)
+	s, err := New(Config{Network: n, Schedule: res.Schedule, GCLs: gcls,
+		ECT:      []ECTTraffic{{Stream: ect, Priority: model.PriorityECT}},
+		Duration: 50 * time.Millisecond, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(r.Latencies(ect.ID))
+	if want == 0 {
+		t.Fatal("no deliveries to read")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if got := len(r.Latencies(ect.ID)); got != want {
+					panic("latency count changed under concurrent readers")
+				}
+				r.Streams()
+				r.DroppedStreams()
+				r.DeliveryRatio(ect.ID)
+				r.TotalDrops()
+				r.DeliveryTimes(ect.ID)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // TestSimMetricsPopulated checks the simulator's registry instrumentation:

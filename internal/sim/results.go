@@ -8,6 +8,12 @@ import (
 )
 
 // Results collects per-stream delivery latencies from a run.
+//
+// Concurrency: recording happens only on the simulator's single event-loop
+// goroutine while Run executes; once Run returns, the struct is immutable.
+// All exported accessors are read-only and return defensive copies, so a
+// Results may be consumed concurrently — the experiment fan-out reads
+// sibling cells' results from multiple workers at once.
 type Results struct {
 	latencies  map[model.StreamID][]time.Duration
 	drops      map[model.StreamID]int

@@ -1,0 +1,201 @@
+package smt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Clone returns an independent copy of the solver holding the same
+// variables, atoms, and clauses, with all search state reset. Clause
+// literal/id storage is shared with the parent (the arenas are append-only
+// and committed regions are write-once, so sharing is race-free); effort
+// counters start at zero so portfolio aggregation counts each replica's
+// own work.
+func (s *Solver) Clone() *Solver {
+	c := &Solver{
+		g:            s.g.clone(),
+		names:        append([]string(nil), s.names...),
+		lazyNames:    s.lazyNames,
+		atomIDs:      make(map[Atom]int, len(s.atomIDs)),
+		atoms:        append([]Atom(nil), s.atoms...),
+		val:          make([]int8, len(s.val)),
+		watch:        make([][]int, len(s.watch)),
+		clauses:      append([]clause(nil), s.clauses...),
+		marks:        append([]mark(nil), s.marks...),
+		MaxDecisions: s.MaxDecisions,
+		Deadline:     s.Deadline,
+		ScanOffset:   s.ScanOffset,
+		InvertPhase:  s.InvertPhase,
+	}
+	for a, id := range s.atomIDs {
+		c.atomIDs[a] = id
+	}
+	for i, w := range s.watch {
+		c.watch[i] = append([]int(nil), w...)
+	}
+	return c
+}
+
+// SolvePortfolio races k diversified replicas of the solver over the same
+// clause set and returns the first definitive answer (a model, or
+// ErrUnsat): the losers are canceled through a shared stop flag. The
+// search is complete, so SAT/UNSAT answers agree across replicas — only
+// which model comes back (and how much effort it took) varies between
+// runs, which is why the deterministic experiment pipeline keeps k = 1.
+//
+// Replica 0 is the solver itself with its configured decision order;
+// replica i > 0 is a clone with a rotated clause-scan offset and, on odd
+// replicas, an inverted branching phase. The replicas' effort is folded
+// into the parent's TotalStats (and Solves) before returning.
+//
+// With k <= 1 this degenerates to a single Solve, canceled when ctx is
+// done. If every replica fails indeterminately the first budget error (by
+// replica index) is returned, or ErrCanceled when ctx expired first.
+func (s *Solver) SolvePortfolio(ctx context.Context, k int) (*Model, error) {
+	if k <= 1 {
+		return s.solveCtx(ctx)
+	}
+	stop := &atomic.Bool{}
+	replicas := make([]*Solver, k)
+	replicas[0] = s
+	for i := 1; i < k; i++ {
+		r := s.Clone()
+		r.ScanOffset = s.ScanOffset + i*offsetStride(len(s.clauses), k)
+		r.InvertPhase = s.InvertPhase != (i%2 == 1)
+		replicas[i] = r
+	}
+	prevStop := s.Stop
+	for _, r := range replicas {
+		r.Stop = stop
+	}
+	defer func() { s.Stop = prevStop }()
+
+	watchDone := make(chan struct{})
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				stop.Store(true)
+			case <-watchDone:
+			}
+		}()
+	}
+	defer close(watchDone)
+
+	type outcome struct {
+		idx int
+		m   *Model
+		err error
+	}
+	results := make([]outcome, k)
+	var wg sync.WaitGroup
+	for i := 1; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := replicas[i].Solve()
+			results[i] = outcome{idx: i, m: m, err: err}
+			if definitive(err) {
+				stop.Store(true)
+			}
+		}(i)
+	}
+	m, err := s.Solve()
+	results[0] = outcome{m: m, err: err}
+	if definitive(err) {
+		stop.Store(true)
+	}
+	wg.Wait()
+
+	// Fold replica effort into the parent so TotalStats reports the whole
+	// portfolio's work. Replica Solve() already folded each replica's
+	// stats into its own total on completion — except the last call, which
+	// TotalStats() accounts for.
+	for i := 1; i < k; i++ {
+		s.total.addEffort(replicas[i].TotalStats())
+		s.solves += replicas[i].Solves()
+	}
+	s.stats.Clauses = len(s.clauses)
+	s.stats.Vars = s.NumVars()
+
+	// First definitive outcome by replica index wins; the answer itself is
+	// identical across replicas (only the model/effort differ).
+	var firstBudget error
+	for i := 0; i < k; i++ {
+		o := results[i]
+		if definitive(o.err) {
+			return o.m, o.err
+		}
+		if firstBudget == nil && o.err != nil && errors.Is(o.err, ErrBudget) {
+			firstBudget = o.err
+		}
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	}
+	if firstBudget != nil {
+		return nil, firstBudget
+	}
+	return nil, results[0].err
+}
+
+// definitive reports whether a Solve outcome settles the instance: a model
+// or a proof of unsatisfiability. Budget exhaustion and cancellation are
+// indeterminate.
+func definitive(err error) bool {
+	return err == nil || errors.Is(err, ErrUnsat)
+}
+
+// offsetStride spreads k replicas' scan offsets evenly over the clause set.
+func offsetStride(clauses, k int) int {
+	if k <= 1 || clauses < k {
+		return 1
+	}
+	return clauses / k
+}
+
+// solveCtx runs a single Solve canceled when ctx is done.
+func (s *Solver) solveCtx(ctx context.Context) (*Model, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return s.Solve()
+	}
+	prevStop := s.Stop
+	stop := &atomic.Bool{}
+	s.Stop = stop
+	defer func() { s.Stop = prevStop }()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop.Store(true)
+		case <-watchDone:
+		}
+	}()
+	m, err := s.Solve()
+	if errors.Is(err, ErrCanceled) && ctx.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	}
+	return m, err
+}
+
+// clone deep-copies the graph at its root state: asserted search edges and
+// potential changes recorded in the undo logs are rewound, so the clone
+// starts exactly where a fresh Solve would.
+func (g *graph) clone() *graph {
+	c := &graph{
+		pi:      append([]int64(nil), g.pi...),
+		out:     make([][]gEdge, len(g.out)),
+		piLog:   append([]piChange(nil), g.piLog...),
+		edgeLog: append([]Var(nil), g.edgeLog...),
+		inQ:     make([]bool, len(g.inQ)),
+	}
+	for i, es := range g.out {
+		c.out[i] = append([]gEdge(nil), es...)
+	}
+	c.undoTo(0, 0)
+	return c
+}

@@ -1,0 +1,276 @@
+package smt
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// jobShop builds a small disjunctive scheduling instance: n tasks of the
+// given length on one shared resource, each within [0, horizon]. SAT iff
+// n*length <= horizon+length (tasks can be laid end to end).
+func jobShop(n int, length, horizon int64) (*Solver, []Var) {
+	s := NewSolver()
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = s.NewVar("t")
+		s.AssertRange(vars[i], 0, horizon)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			// t_i + length <= t_j  OR  t_j + length <= t_i
+			s.AddClause(LE(vars[i], vars[j], -length), LE(vars[j], vars[i], -length))
+		}
+	}
+	return s, vars
+}
+
+func checkJobShopModel(t *testing.T, m *Model, vars []Var, length, horizon int64) {
+	t.Helper()
+	for i, v := range vars {
+		val := m.Value(v)
+		if val < 0 || val > horizon {
+			t.Fatalf("t%d = %d, want in [0,%d]", i, val, horizon)
+		}
+		for j := i + 1; j < len(vars); j++ {
+			d := val - m.Value(vars[j])
+			if d > -length && d < length {
+				t.Fatalf("t%d=%d and t%d=%d overlap (length %d)", i, val, j, m.Value(vars[j]), length)
+			}
+		}
+	}
+}
+
+func TestSolvePortfolioSat(t *testing.T) {
+	const n, length = 8, 10
+	horizon := int64((n - 1) * length)
+	s, vars := jobShop(n, length, horizon)
+	m, err := s.SolvePortfolio(context.Background(), 4)
+	if err != nil {
+		t.Fatalf("SolvePortfolio: %v", err)
+	}
+	checkJobShopModel(t, m, vars, length, horizon)
+	if got := s.TotalStats(); got.Decisions == 0 {
+		t.Fatalf("TotalStats.Decisions = 0, want aggregated replica effort")
+	}
+	if s.Solves() < 4 {
+		t.Fatalf("Solves = %d, want >= 4 (one per replica)", s.Solves())
+	}
+}
+
+func TestSolvePortfolioUnsat(t *testing.T) {
+	const n, length = 6, 10
+	horizon := int64((n-1)*length - 1) // one slot too tight
+	s, _ := jobShop(n, length, horizon)
+	if _, err := s.SolvePortfolio(context.Background(), 4); !errors.Is(err, ErrUnsat) {
+		t.Fatalf("SolvePortfolio = %v, want ErrUnsat", err)
+	}
+}
+
+func TestSolvePortfolioAgreesWithSolve(t *testing.T) {
+	// Every diversified replica must reach the same verdict as the plain
+	// search on both satisfiable and unsatisfiable instances.
+	for _, sat := range []bool{true, false} {
+		const n, length = 5, 7
+		horizon := int64((n - 1) * length)
+		if !sat {
+			horizon--
+		}
+		single, _ := jobShop(n, length, horizon)
+		_, errSingle := single.Solve()
+		port, _ := jobShop(n, length, horizon)
+		_, errPort := port.SolvePortfolio(context.Background(), 3)
+		if (errSingle == nil) != (errPort == nil) {
+			t.Fatalf("sat=%v: Solve err %v, SolvePortfolio err %v", sat, errSingle, errPort)
+		}
+	}
+}
+
+func TestSolvePortfolioSingleReplica(t *testing.T) {
+	s, vars := jobShop(4, 5, 30)
+	m, err := s.SolvePortfolio(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("SolvePortfolio(1): %v", err)
+	}
+	checkJobShopModel(t, m, vars, 5, 30)
+}
+
+func TestSolvePortfolioCancellation(t *testing.T) {
+	// A hard over-constrained instance with no decision budget: the only
+	// way out is the context.
+	s, _ := jobShop(14, 10, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.SolvePortfolio(ctx, 4)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		// Either the context won the race or a replica finished first;
+		// both are valid outcomes, but a canceled run must say so.
+		if err != nil && !errors.Is(err, ErrCanceled) && !errors.Is(err, ErrUnsat) {
+			t.Fatalf("SolvePortfolio = %v, want ErrCanceled or a definitive answer", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("SolvePortfolio did not return after cancellation")
+	}
+}
+
+func TestSolveStopFlag(t *testing.T) {
+	s, _ := jobShop(14, 10, 100)
+	var stop atomic.Bool
+	stop.Store(true)
+	s.Stop = &stop
+	if _, err := s.Solve(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Solve with stop set = %v, want ErrCanceled", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s, vars := jobShop(4, 5, 30)
+	c := s.Clone()
+	if c.NumClauses() != s.NumClauses() || c.NumAtoms() != s.NumAtoms() || c.NumVars() != s.NumVars() {
+		t.Fatalf("clone sizes differ: clauses %d/%d atoms %d/%d vars %d/%d",
+			c.NumClauses(), s.NumClauses(), c.NumAtoms(), s.NumAtoms(), c.NumVars(), s.NumVars())
+	}
+	// Adding clauses to the parent must not leak into the clone.
+	s.AssertRange(vars[0], 100, 200) // makes the parent UNSAT (range was [0,30])
+	if _, err := s.Solve(); !errors.Is(err, ErrUnsat) {
+		t.Fatalf("parent Solve = %v, want ErrUnsat", err)
+	}
+	m, err := c.Solve()
+	if err != nil {
+		t.Fatalf("clone Solve: %v", err)
+	}
+	checkJobShopModel(t, m, vars, 5, 30)
+	if c.Solves() != 1 {
+		t.Fatalf("clone Solves = %d, want 1 (counters reset on clone)", c.Solves())
+	}
+}
+
+func TestSolvePortfolioDiversification(t *testing.T) {
+	// The diversification knobs themselves must preserve correctness.
+	for offset := 0; offset < 5; offset++ {
+		for _, invert := range []bool{false, true} {
+			s, vars := jobShop(6, 4, 40)
+			s.ScanOffset = offset * 7
+			s.InvertPhase = invert
+			m, err := s.Solve()
+			if err != nil {
+				t.Fatalf("offset=%d invert=%v: %v", offset, invert, err)
+			}
+			checkJobShopModel(t, m, vars, 4, 40)
+		}
+	}
+}
+
+func TestPopRetractsInternedAtoms(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar("x")
+	y := s.NewVar("y")
+	s.AssertRange(x, 0, 100)
+	s.AssertRange(y, 0, 100)
+	s.AssertLE(x, y, -5) // x <= y - 5
+	atomsBefore := s.NumAtoms()
+	clausesBefore := s.NumClauses()
+
+	// Push/assert/Solve/Pop with fresh atoms, several rounds: the solver
+	// must return to its pre-Push size each time (this is the Minimize
+	// probe pattern, which used to leak one atom per probe).
+	for round := 0; round < 5; round++ {
+		s.Push()
+		s.AddClause(LEConst(y, int64(10+round))) // new atom each round
+		m, err := s.Solve()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if v := m.Value(y); v > int64(10+round) {
+			t.Fatalf("round %d: y = %d, want <= %d", round, v, 10+round)
+		}
+		s.Pop()
+		if got := s.NumAtoms(); got != atomsBefore {
+			t.Fatalf("round %d: NumAtoms = %d after Pop, want %d", round, got, atomsBefore)
+		}
+		if got := s.NumClauses(); got != clausesBefore {
+			t.Fatalf("round %d: NumClauses = %d after Pop, want %d", round, got, clausesBefore)
+		}
+	}
+
+	// Re-asserting after Pop must reach the same model as a fresh solver.
+	s.AddClause(LEConst(y, 10))
+	m1, err := s.Solve()
+	if err != nil {
+		t.Fatalf("re-assert Solve: %v", err)
+	}
+	fresh := NewSolver()
+	fx := fresh.NewVar("x")
+	fy := fresh.NewVar("y")
+	fresh.AssertRange(fx, 0, 100)
+	fresh.AssertRange(fy, 0, 100)
+	fresh.AssertLE(fx, fy, -5)
+	fresh.AddClause(LEConst(fy, 10))
+	m2, err := fresh.Solve()
+	if err != nil {
+		t.Fatalf("fresh Solve: %v", err)
+	}
+	if m1.Value(x) != m2.Value(fx) || m1.Value(y) != m2.Value(fy) {
+		t.Fatalf("models differ after Pop/re-assert: (%d,%d) vs fresh (%d,%d)",
+			m1.Value(x), m1.Value(y), m2.Value(fx), m2.Value(fy))
+	}
+}
+
+func TestPopNoAtomLeakAcrossClones(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar("v")
+	s.AssertRange(v, 0, 1000)
+	base := s.NumAtoms()
+	// Minimize runs the Push/probe/Pop loop internally.
+	m, err := s.Minimize(v, 0, 1000)
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if m.Value(v) != 0 {
+		t.Fatalf("Minimize value = %d, want 0", m.Value(v))
+	}
+	if got := s.NumAtoms(); got != base {
+		t.Fatalf("NumAtoms = %d after Minimize, want %d (probe atoms retracted)", got, base)
+	}
+	// A replica cloned after the probes must not carry leaked watch state.
+	c := s.Clone()
+	if got := c.NumAtoms(); got != base {
+		t.Fatalf("clone NumAtoms = %d, want %d", got, base)
+	}
+	for id, w := range c.watch {
+		for _, ci := range w {
+			if ci >= len(c.clauses) {
+				t.Fatalf("clone watch[%d] references retracted clause %d (have %d clauses)", id, ci, len(c.clauses))
+			}
+		}
+	}
+	if _, err := c.Solve(); err != nil {
+		t.Fatalf("clone Solve after Minimize probes: %v", err)
+	}
+}
+
+func TestNewVarLazyName(t *testing.T) {
+	s := NewSolver()
+	calls := 0
+	v := s.NewVarLazy(func() string { calls++; return "lazy-v" })
+	u := s.NewVarLazy(nil)
+	if calls != 0 {
+		t.Fatalf("name builder ran at allocation time")
+	}
+	if got := s.Name(v); got != "lazy-v" {
+		t.Fatalf("Name = %q, want lazy-v", got)
+	}
+	if got := s.Name(v); got != "lazy-v" || calls != 1 {
+		t.Fatalf("Name memoization broken: %q, %d calls", got, calls)
+	}
+	if got := s.Name(u); got != "" {
+		t.Fatalf("Name(unnamed) = %q, want empty", got)
+	}
+}

@@ -3,6 +3,7 @@ package smt
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,6 +13,9 @@ var (
 	ErrUnsat = errors.New("unsatisfiable")
 	// ErrBudget means the search exceeded MaxDecisions or Deadline.
 	ErrBudget = errors.New("solver budget exhausted")
+	// ErrCanceled means the search was stopped externally (Stop flag or a
+	// portfolio sibling finishing first).
+	ErrCanceled = errors.New("solve canceled")
 )
 
 // Model is a satisfying assignment: an integer value per variable, with
@@ -59,15 +63,18 @@ func (s *Stats) addEffort(o Stats) {
 // Solver accumulates clauses over difference-logic literals and decides
 // their satisfiability. The zero value is not usable; call NewSolver.
 type Solver struct {
-	g        *graph
-	names    []string
-	atomIDs  map[Atom]int
-	atoms    []Atom
-	val      []int8  // per atom: 0 unknown, +1 true, -1 false
-	watch    [][]int // per atom: indices of clauses containing it
-	clauses  []clause
-	numTrue  []int32 // per clause
-	numFalse []int32 // per clause
+	g         *graph
+	names     []string
+	lazyNames map[int]func() string // deferred name builders, keyed by var
+	atomIDs   map[Atom]int
+	atoms     []Atom
+	val       []int8  // per atom: 0 unknown, +1 true, -1 false
+	watch     [][]int // per atom: indices of clauses containing it
+	clauses   []clause
+	numTrue   []int32 // per clause
+	numFalse  []int32 // per clause
+	litArena  []Lit   // backing storage for clause lits (append-only)
+	idArena   []int   // backing storage for clause ids (append-only)
 
 	trail     []int // assigned atom ids, in order
 	decisions []decisionFrame
@@ -77,12 +84,33 @@ type Solver struct {
 	MaxDecisions int64
 	// Deadline aborts the search when passed; zero means no deadline.
 	Deadline time.Time
+	// Stop, when non-nil, is polled during the search; once it reads true
+	// the search aborts with ErrCanceled. SolvePortfolio shares one flag
+	// across all replicas so the first definitive answer cancels the rest.
+	Stop *atomic.Bool
+	// ScanOffset rotates the open-clause scan so diversified portfolio
+	// replicas branch on different clauses first. Zero keeps the natural
+	// (deterministic) order.
+	ScanOffset int
+	// InvertPhase flips the fallback branching phase: instead of asserting
+	// the first unassigned literal of an open clause, assert its negation
+	// first and let conflict resolution flip it back. Another cheap
+	// diversification axis for portfolio replicas.
+	InvertPhase bool
 
 	stats     Stats
-	total     Stats // effort accumulated over completed Solve calls
-	solves    int64 // number of Solve calls started
-	marks     []int // Push/Pop clause-count marks
-	propQueue []int // clauses that lost a literal and may be unit or empty
+	total     Stats  // effort accumulated over completed Solve calls
+	solves    int64  // number of Solve calls started
+	marks     []mark // Push/Pop marks
+	propQueue []int  // clauses that lost a literal and may be unit or empty
+}
+
+// mark records a Push point: both the clause count and the atom count, so
+// Pop can retract interned atoms along with the clauses that introduced
+// them.
+type mark struct {
+	clauses int
+	atoms   int
 }
 
 type clause struct {
@@ -117,10 +145,33 @@ func (s *Solver) NewVar(name string) Var {
 	return v
 }
 
-// Name returns the name given to a variable at allocation.
+// NewVarLazy allocates a fresh integer variable whose name is materialized
+// only when Name is first asked for it. Constraint emission allocates tens
+// of thousands of variables whose names are read only in debug paths, so
+// deferring the fmt.Sprintf keeps it off the hot path.
+func (s *Solver) NewVarLazy(name func() string) Var {
+	v := s.g.addVar()
+	s.names = append(s.names, "")
+	if name != nil {
+		if s.lazyNames == nil {
+			s.lazyNames = make(map[int]func() string)
+		}
+		s.lazyNames[int(v)] = name
+	}
+	return v
+}
+
+// Name returns the name given to a variable at allocation, materializing
+// lazily named variables on first use.
 func (s *Solver) Name(v Var) string {
 	if int(v) >= len(s.names) {
 		return fmt.Sprintf("v%d", int(v))
+	}
+	if s.names[int(v)] == "" {
+		if fn, ok := s.lazyNames[int(v)]; ok {
+			s.names[int(v)] = fn()
+			delete(s.lazyNames, int(v))
+		}
 	}
 	return s.names[int(v)]
 }
@@ -130,6 +181,9 @@ func (s *Solver) NumVars() int { return len(s.names) }
 
 // NumClauses returns the number of asserted clauses.
 func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumAtoms returns the number of distinct interned atoms.
+func (s *Solver) NumAtoms() int { return len(s.atoms) }
 
 // Stats returns the effort counters of the most recent Solve call.
 func (s *Solver) Stats() Stats { return s.stats }
@@ -150,13 +204,22 @@ func (s *Solver) Solves() int64 { return s.solves }
 
 // AddClause asserts the disjunction of the given literals. An empty clause
 // makes the problem trivially unsatisfiable.
+//
+// Clause storage comes from two append-only arenas so that millions of
+// short clauses cost two amortized appends instead of two allocations
+// each. The arenas are never rewound (Pop only drops the clause headers),
+// so Clone may share them safely: committed regions are write-once.
 func (s *Solver) AddClause(lits ...Lit) {
-	c := clause{lits: append([]Lit(nil), lits...)}
-	c.ids = make([]int, len(c.lits))
 	ci := len(s.clauses)
-	for i, l := range c.lits {
-		id := s.internAtom(l.A)
-		c.ids[i] = id
+	la := len(s.litArena)
+	s.litArena = append(s.litArena, lits...)
+	c := clause{lits: s.litArena[la:len(s.litArena):len(s.litArena)]}
+	ia := len(s.idArena)
+	for _, l := range c.lits {
+		s.idArena = append(s.idArena, s.internAtom(l.A))
+	}
+	c.ids = s.idArena[ia:len(s.idArena):len(s.idArena)]
+	for _, id := range c.ids {
 		s.watch[id] = append(s.watch[id], ci)
 	}
 	s.clauses = append(s.clauses, c)
@@ -174,24 +237,46 @@ func (s *Solver) AssertRange(v Var, lo, hi int64) {
 	s.AddClause(LEConst(v, hi))
 }
 
-// Push records the current clause count so a later Pop can retract clauses
-// added since. Variables are never retracted.
-func (s *Solver) Push() { s.marks = append(s.marks, len(s.clauses)) }
+// Push records the current clause and atom counts so a later Pop can
+// retract clauses added since, together with any atoms those clauses
+// interned. Variables are never retracted.
+func (s *Solver) Push() {
+	s.marks = append(s.marks, mark{clauses: len(s.clauses), atoms: len(s.atoms)})
+}
 
-// Pop retracts all clauses added since the matching Push.
+// Pop retracts all clauses added since the matching Push, along with any
+// atoms interned by them. Retracting the atoms matters for long-lived
+// solvers: Minimize probes a fresh bound atom per Push/Pop round, and
+// without retraction those atoms (and their watch lists and value slots)
+// accumulated forever — and were then replicated into every portfolio
+// clone. Search state referencing a retracted atom is cleared; the next
+// Solve restarts from scratch anyway.
 func (s *Solver) Pop() {
 	if len(s.marks) == 0 {
 		return
 	}
-	mark := s.marks[len(s.marks)-1]
+	m := s.marks[len(s.marks)-1]
 	s.marks = s.marks[:len(s.marks)-1]
-	for ci := len(s.clauses) - 1; ci >= mark; ci-- {
+	for ci := len(s.clauses) - 1; ci >= m.clauses; ci-- {
 		for _, id := range s.clauses[ci].ids {
 			w := s.watch[id]
 			s.watch[id] = w[:len(w)-1]
 		}
 	}
-	s.clauses = s.clauses[:mark]
+	s.clauses = s.clauses[:m.clauses]
+	if m.atoms < len(s.atoms) {
+		for _, a := range s.atoms[m.atoms:] {
+			delete(s.atomIDs, a)
+		}
+		s.atoms = s.atoms[:m.atoms]
+		s.val = s.val[:m.atoms]
+		s.watch = s.watch[:m.atoms]
+		// The trail and decision stack may reference retracted atom ids;
+		// drop them rather than leave dangling indices.
+		s.trail = s.trail[:0]
+		s.decisions = s.decisions[:0]
+		s.g.undoTo(0, 0)
+	}
 }
 
 func (s *Solver) internAtom(a Atom) int {
@@ -203,7 +288,6 @@ func (s *Solver) internAtom(a Atom) int {
 	s.atoms = append(s.atoms, a)
 	s.val = append(s.val, 0)
 	s.watch = append(s.watch, nil)
-	s.numTrue = nil // force counter rebuild on next Solve
 	return id
 }
 
@@ -250,14 +334,14 @@ func (s *Solver) Solve() (*Model, error) {
 }
 
 func (s *Solver) reset() {
-	for _, id := range s.trail {
-		s.val[id] = 0
-	}
 	s.trail = s.trail[:0]
 	s.decisions = s.decisions[:0]
 	s.g.undoTo(0, 0)
-	s.numTrue = make([]int32, len(s.clauses))
-	s.numFalse = make([]int32, len(s.clauses))
+	// Counter buffers are pooled across re-solves: incremental scheduling
+	// re-solves the same instance dozens of times, and reallocating two
+	// len(clauses) slices per call showed up in profiles.
+	s.numTrue = resizeCounters(s.numTrue, len(s.clauses))
+	s.numFalse = resizeCounters(s.numFalse, len(s.clauses))
 	for i := range s.val {
 		s.val[i] = 0
 	}
@@ -267,7 +351,23 @@ func (s *Solver) reset() {
 	s.propQueue = s.propQueue[:0]
 }
 
+// resizeCounters returns a zeroed []int32 of length n, reusing buf's
+// backing array when it is large enough.
+func resizeCounters(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
 func (s *Solver) checkBudget() error {
+	if s.Stop != nil && s.Stop.Load() {
+		return ErrCanceled
+	}
 	if s.MaxDecisions > 0 && s.stats.Decisions >= s.MaxDecisions {
 		return fmt.Errorf("%w: %d decisions", ErrBudget, s.stats.Decisions)
 	}
@@ -373,8 +473,22 @@ func (s *Solver) propagateRoot() bool {
 }
 
 // findOpenClause returns the index of a clause with no true literal, or -1.
+// The scan starts at ScanOffset (mod the clause count) so portfolio
+// replicas explore the clause set in rotated orders.
 func (s *Solver) findOpenClause() int {
-	for ci := range s.clauses {
+	n := len(s.clauses)
+	if n == 0 {
+		return -1
+	}
+	start := 0
+	if s.ScanOffset > 0 {
+		start = s.ScanOffset % n
+	}
+	for k := 0; k < n; k++ {
+		ci := start + k
+		if ci >= n {
+			ci -= n
+		}
 		if s.numTrue[ci] == 0 {
 			return ci
 		}
@@ -384,15 +498,19 @@ func (s *Solver) findOpenClause() int {
 
 // pickLiteral chooses an unassigned literal of the clause, preferring one
 // already satisfied by the current potentials (a free theory lookahead).
+// With InvertPhase set, the fallback picks the last unassigned literal
+// instead of the first — a second diversification axis for portfolio
+// replicas that changes the search order without affecting completeness
+// (conflict resolution still flips every decision).
 func (s *Solver) pickLiteral(ci int) (Lit, int, bool) {
 	cl := &s.clauses[ci]
-	first := -1
+	fallback := -1
 	for i, id := range cl.ids {
 		if s.val[id] != 0 {
 			continue
 		}
-		if first < 0 {
-			first = i
+		if fallback < 0 || s.InvertPhase {
+			fallback = i
 		}
 		l := cl.lits[i]
 		holds := s.g.holds(l.A)
@@ -400,10 +518,10 @@ func (s *Solver) pickLiteral(ci int) (Lit, int, bool) {
 			return l, id, true
 		}
 	}
-	if first < 0 {
+	if fallback < 0 {
 		return Lit{}, 0, false
 	}
-	return cl.lits[first], cl.ids[first], true
+	return cl.lits[fallback], cl.ids[fallback], true
 }
 
 // resolveConflict backtracks chronologically: undo decisions until one can

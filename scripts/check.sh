@@ -32,6 +32,17 @@ go build -o "$BENCHDIR/etsn-bench" ./cmd/etsn-bench
     -bench-dir "$BENCHDIR" -bench-name smoke >/dev/null
 "$BENCHDIR/etsn-bench" -check-bench "$BENCHDIR/BENCH_smoke.json"
 
+echo "==> bench artifacts (bench/BENCH_headline.json, bench/BENCH_fig11.json)"
+# Refresh the committed artifacts: the parallel wall time plus a sequential
+# rerun, so each records the fan-out speedup on this machine.
+mkdir -p bench
+"$BENCHDIR/etsn-bench" -experiment headline -duration 1s \
+    -compare-sequential -bench-dir bench >/dev/null
+"$BENCHDIR/etsn-bench" -experiment fig11 -duration 1s \
+    -compare-sequential -bench-dir bench >/dev/null
+"$BENCHDIR/etsn-bench" -check-bench bench/BENCH_headline.json
+"$BENCHDIR/etsn-bench" -check-bench bench/BENCH_fig11.json
+
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test ./internal/qcc/ -run=^$ -fuzz=FuzzParse$ -fuzztime="$FUZZTIME"
 go test ./internal/qcc/ -run=^$ -fuzz=FuzzParseDeployment -fuzztime="$FUZZTIME"
