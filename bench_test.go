@@ -9,6 +9,7 @@ import (
 	"etsn/internal/experiments"
 	"etsn/internal/gcl"
 	"etsn/internal/model"
+	"etsn/internal/obs"
 	"etsn/internal/sched"
 	"etsn/internal/sim"
 	"etsn/internal/smt"
@@ -201,6 +202,58 @@ func BenchmarkSimulator(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := plan.Simulate(scen.Network, scen.ECT, scen.BE, time.Second, int64(i)+1); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchSimulatorAttrib runs the BenchmarkSimulator workload with the
+// attribution and registry knobs set, so the three variants below isolate
+// the cost of per-frame causal attribution on the event loop.
+func benchSimulatorAttrib(b *testing.B, attrib, withReg bool) {
+	b.Helper()
+	scen, err := experiments.NewSimulationScenario(0.75, 1, 1, experiments.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sched.Build(sched.MethodETSN, scen.Problem(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := sched.SimOptions{ECT: scen.ECT, BE: scen.BE,
+			Duration: time.Second, Seed: int64(i) + 1, Attribution: attrib}
+		if withReg {
+			opts.Obs = obs.NewRegistry()
+		}
+		if _, err := plan.SimulateOpts(scen.Network, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorAttribOff is the baseline: attribution disabled, nil
+// registry. The disabled path must cost nothing on the event loop
+// (sim.TestAttributionDisabledNoAllocs pins the zero-allocation claim).
+func BenchmarkSimulatorAttribOff(b *testing.B) { benchSimulatorAttrib(b, false, false) }
+
+// BenchmarkSimulatorAttribOn measures the full causal decomposition:
+// per-frame hop records, exact wait charging, and conformance scoring.
+func BenchmarkSimulatorAttribOn(b *testing.B) { benchSimulatorAttrib(b, true, false) }
+
+// BenchmarkSimulatorAttribOnObs adds the metrics registry, the
+// configuration etsn-bench -attrib runs (slack histograms included).
+func BenchmarkSimulatorAttribOnObs(b *testing.B) { benchSimulatorAttrib(b, true, true) }
+
+// BenchmarkAttribExperiment regenerates the attribution experiment table.
+func BenchmarkAttribExperiment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Attrib(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Frames == 0 {
+			b.Fatal("no frames attributed")
 		}
 	}
 }

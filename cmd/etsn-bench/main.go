@@ -13,20 +13,28 @@
 //
 //	etsn-bench [-experiment all|headline|fig11|fig12|fig14|fig15|fig16]
 //	           [-duration 4s] [-seed 60802] [-parallel N]
-//	           [-compare-sequential]
+//	           [-compare-sequential] [-attrib]
 //	           [-metrics out.prom] [-trace-phases out.trace.json]
 //	           [-pprof cpu=FILE|mem=FILE|HOST:PORT]
 //	           [-bench-dir DIR] [-bench-name NAME]
-//	           [-check-bench FILE]
+//	           [-check-bench FILE] [-history FILE]
 //
 // -parallel N fans independent experiment cells (load x method grid points)
 // out over N workers; the tables printed are byte-identical to a sequential
 // run. -compare-sequential additionally reruns each experiment with
 // -parallel 1 (output discarded) and records both wall times in the bench
 // artifact.
+//
+// -attrib enables the per-frame latency attribution in every simulation
+// (the "attrib" experiment forces it regardless); the bench artifact then
+// carries an attrib section with frame and bound-conformance counters.
+// -history FILE appends one JSON line per completed experiment
+// ({"experiment","wall_ms","parallel","seed"}) so wall-time trends
+// accumulate across runs (see bench/history.jsonl).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +47,28 @@ import (
 	"etsn/internal/obs"
 )
 
+// appendHistory adds one JSON line per completed experiment to a running
+// log, so wall-time trends accumulate across commits (bench/history.jsonl
+// in this repo; scripts/check.sh feeds the headline run into it).
+func appendHistory(path, name string, art *experiments.BenchArtifact, at time.Time) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	line := struct {
+		Experiment string `json:"experiment"`
+		WallMs     int64  `json:"wall_ms"`
+		Parallel   int    `json:"parallel"`
+		Seed       int64  `json:"seed"`
+		UnixMs     int64  `json:"unix_ms"`
+	}{name, art.WallMs, art.Parallel, art.Seed, at.UnixMilli()}
+	if err := json.NewEncoder(f).Encode(line); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "etsn-bench:", err)
@@ -48,7 +78,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("etsn-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment to run: all, headline, fig11, fig12, fig14, fig15, fig16, fourway, frer, scale, sync, ablation, faults")
+	experiment := fs.String("experiment", "all", "experiment to run: all, headline, fig11, fig12, fig14, fig15, fig16, fourway, frer, scale, sync, ablation, faults, attrib")
 	duration := fs.Duration("duration", experiments.DefaultDuration, "simulated time per run")
 	seed := fs.Int64("seed", experiments.DefaultSeed, "random seed for event arrivals")
 	metrics := fs.String("metrics", "", "write run metrics to this file (.json for JSON, else Prometheus text)")
@@ -59,6 +89,8 @@ func run(args []string, w io.Writer) error {
 	checkBench := fs.String("check-bench", "", "validate an existing bench artifact and exit")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for independent experiment cells (1 = sequential)")
 	compareSeq := fs.Bool("compare-sequential", false, "rerun each experiment with -parallel 1 and record both wall times in the bench artifact")
+	attribOn := fs.Bool("attrib", false, "enable per-frame latency attribution in every simulation")
+	history := fs.String("history", "", "append one {experiment, wall_ms, parallel, seed} JSON line per run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,7 +113,8 @@ func run(args []string, w io.Writer) error {
 		}
 		defer func() { _ = stop() }()
 	}
-	opts := experiments.RunOptions{Duration: *duration, Seed: *seed, Parallel: *parallel}
+	opts := experiments.RunOptions{Duration: *duration, Seed: *seed, Parallel: *parallel,
+		Attribution: *attribOn}
 
 	type runner struct {
 		name string
@@ -203,6 +236,14 @@ func run(args []string, w io.Writer) error {
 			}
 			return nil
 		}},
+		{"attrib", func(o experiments.RunOptions, w io.Writer) error {
+			r, err := experiments.Attrib(o)
+			if err != nil {
+				return err
+			}
+			r.WriteTable(w)
+			return nil
+		}},
 	}
 
 	// Each experiment runs with a fresh registry and tracer so its bench
@@ -237,7 +278,15 @@ func run(args []string, w io.Writer) error {
 			}
 			art.WallSequentialMs = time.Since(seqStart).Milliseconds()
 		}
-		return art.Write(filepath.Join(*benchDir, "BENCH_"+name+".json"))
+		if err := art.Write(filepath.Join(*benchDir, "BENCH_"+name+".json")); err != nil {
+			return err
+		}
+		if *history != "" {
+			if err := appendHistory(*history, name, art, time.Now()); err != nil {
+				return fmt.Errorf("-history: %w", err)
+			}
+		}
+		return nil
 	}
 	exports := func() error {
 		if *metrics != "" && lastReg != nil {

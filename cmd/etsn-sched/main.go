@@ -6,7 +6,7 @@
 // Usage:
 //
 //	etsn-sched -config network.json [-out deployment.json] [-quiet] [-v]
-//	           [-parallel N]
+//	           [-parallel N] [-bounds bounds.json]
 //	           [-metrics out.prom] [-trace-phases out.trace.json]
 //	           [-pprof cpu=FILE|mem=FILE|HOST:PORT]
 //
@@ -14,9 +14,14 @@
 // monolithic solver is selected; the first definitive answer wins and the
 // rest are cancelled. N <= 1 keeps the single deterministic search. It
 // overrides the configuration's options.portfolio.
+//
+// -bounds FILE writes the analytic per-stream worst-case latencies as
+// JSON ({"stream": nanoseconds}), the same bounds the simulator scores
+// conformance against (sched.Plan.Bounds).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +30,7 @@ import (
 	"etsn/internal/gcl"
 	"etsn/internal/obs"
 	"etsn/internal/qcc"
+	"etsn/internal/sched"
 )
 
 func main() {
@@ -45,6 +51,7 @@ func run(args []string) error {
 	tracePhases := fs.String("trace-phases", "", "write a Chrome trace_event JSON file of planner phases")
 	pprofSpec := fs.String("pprof", "", "profiling: cpu=FILE, mem=FILE, or HOST:PORT for a live pprof server")
 	parallel := fs.Int("parallel", 0, "diversified SMT portfolio width for the monolithic solver (overrides the config; <= 1 keeps the single search)")
+	boundsPath := fs.String("bounds", "", "write the analytic per-stream worst-case bounds as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +98,11 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *boundsPath != "" {
+		if err := writeBounds(*boundsPath, dep); err != nil {
+			return fmt.Errorf("-bounds: %w", err)
+		}
+	}
 	if !*quiet {
 		printSummary(dep)
 	}
@@ -111,6 +123,30 @@ func run(args []string) error {
 		return nil
 	}
 	return dep.WriteJSON(out)
+}
+
+// writeBounds exports the analytic per-stream worst cases as a flat
+// {"stream": nanoseconds} JSON object — machine-readable input for
+// downstream conformance checks outside the simulator.
+func writeBounds(path string, dep *qcc.Deployment) error {
+	pl := &sched.Plan{Method: sched.MethodETSN, Schedule: dep.Result.Schedule,
+		GCLs: dep.GCLs, Result: dep.Result}
+	bounds := pl.Bounds(dep.Network, dep.Problem.ECT)
+	out := make(map[string]int64, len(bounds))
+	for id, b := range bounds {
+		out[string(id)] = int64(b)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printSolverStats reports the backend's cumulative search effort — for the

@@ -9,10 +9,18 @@
 //	         [-fail-link SW1->SW2 -fail-at 1s -heal-after 500ms]
 //	         [-metrics out.prom] [-trace-phases out.trace.json]
 //	         [-pprof cpu=FILE|mem=FILE|HOST:PORT]
+//	         [-attrib] [-trace-hops] [-trace FILE] [-trace-lanes FILE]
 //
 // -parallel N runs a portfolio of N diversified SMT replicas during
 // planning when the monolithic solver is selected (<= 1 keeps the single
 // deterministic search).
+//
+// -attrib enables the per-frame causal latency decomposition: each row
+// gains its analytic bound, worst slack, miss count, and dominant latency
+// phase, the -trace JSONL stream gains "attrib" and "slack" records
+// (analyze with etsn-trace), and -trace-lanes renders the attributed
+// frames as a Chrome trace_event lane file (one track per link).
+// -trace-hops records per-hop completion latencies in the results.
 package main
 
 import (
@@ -54,6 +62,9 @@ func run(args []string) error {
 	tracePhases := fs.String("trace-phases", "", "write a Chrome trace_event JSON file of planner/simulation phases")
 	pprofSpec := fs.String("pprof", "", "profiling: cpu=FILE, mem=FILE, or HOST:PORT for a live pprof server")
 	parallel := fs.Int("parallel", 0, "diversified SMT portfolio width during planning (<= 1 keeps the single search)")
+	attrib := fs.Bool("attrib", false, "attribute each frame's latency to queue/gate/preempt/tx/prop phases and score bound conformance")
+	traceHops := fs.Bool("trace-hops", false, "record per-hop completion latencies in the results")
+	traceLanes := fs.String("trace-lanes", "", "write attributed frames as a Chrome trace_event lane file (requires -attrib)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,7 +118,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	simOpts := sched.SimOptions{ECT: p.ECT, Duration: *duration, Seed: *seed, Obs: reg}
+	if *traceLanes != "" && !*attrib {
+		return fmt.Errorf("-trace-lanes requires -attrib")
+	}
+	simOpts := sched.SimOptions{ECT: p.ECT, Duration: *duration, Seed: *seed, Obs: reg,
+		Attribution: *attrib, TraceHops: *traceHops}
 	if *failLink != "" {
 		lid, err := model.ParseLinkID(*failLink)
 		if err != nil {
@@ -145,6 +160,19 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *traceLanes != "" {
+		lf, err := os.Create(*traceLanes)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteLaneTrace(lf, results.FrameLanes()); err != nil {
+			lf.Close()
+			return err
+		}
+		if err := lf.Close(); err != nil {
+			return err
+		}
+	}
 
 	type row struct {
 		Stream   string  `json:"stream"`
@@ -154,6 +182,13 @@ func run(args []string) error {
 		WorstUs  float64 `json:"worst_us"`
 		JitterUs float64 `json:"jitter_us"`
 		Drops    int     `json:"drops,omitempty"`
+		// Conformance columns, present for streams with an analytic bound.
+		BoundUs    float64 `json:"bound_us,omitempty"`
+		MinSlackUs float64 `json:"min_slack_us,omitempty"`
+		Misses     int     `json:"misses,omitempty"`
+		Checked    int     `json:"checked,omitempty"`
+		// Dominant is the stream's heaviest latency phase (with -attrib).
+		Dominant string `json:"dominant_phase,omitempty"`
 	}
 	isECT := make(map[model.StreamID]bool, len(p.ECT))
 	for _, e := range p.ECT {
@@ -166,7 +201,7 @@ func run(args []string) error {
 		if isECT[id] {
 			kind = "ECT"
 		}
-		rows = append(rows, row{
+		r := row{
 			Stream:   string(id),
 			Kind:     kind,
 			Count:    s.Count,
@@ -174,7 +209,17 @@ func run(args []string) error {
 			WorstUs:  us(s.Max),
 			JitterUs: us(s.StdDev),
 			Drops:    results.Drops(id),
-		})
+		}
+		if c, ok := results.Conformance(id); ok {
+			r.BoundUs = us(c.Bound)
+			r.MinSlackUs = us(c.MinSlack)
+			r.Misses = c.Misses
+			r.Checked = c.Checked
+		}
+		if prof, ok := results.Attribution(id); ok {
+			r.Dominant = prof.DominantPhase().String()
+		}
+		rows = append(rows, r)
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].Kind != rows[j].Kind {
@@ -189,11 +234,23 @@ func run(args []string) error {
 		return enc.Encode(rows)
 	}
 	fmt.Printf("method %s, %v simulated, seed %d\n", method, *duration, *seed)
-	fmt.Printf("%-14s %-5s %8s %12s %12s %12s %6s\n",
-		"stream", "kind", "msgs", "mean(us)", "worst(us)", "jitter(us)", "drops")
+	fmt.Printf("%-14s %-5s %8s %12s %12s %12s %6s %12s %12s %6s %-8s\n",
+		"stream", "kind", "msgs", "mean(us)", "worst(us)", "jitter(us)", "drops",
+		"bound(us)", "slack(us)", "miss", "phase")
 	for _, r := range rows {
-		fmt.Printf("%-14s %-5s %8d %12.2f %12.2f %12.2f %6d\n",
-			r.Stream, r.Kind, r.Count, r.MeanUs, r.WorstUs, r.JitterUs, r.Drops)
+		bound, slack, miss := "-", "-", "-"
+		if r.Checked > 0 {
+			bound = fmt.Sprintf("%.2f", r.BoundUs)
+			slack = fmt.Sprintf("%.2f", r.MinSlackUs)
+			miss = fmt.Sprintf("%d", r.Misses)
+		}
+		phase := r.Dominant
+		if phase == "" {
+			phase = "-"
+		}
+		fmt.Printf("%-14s %-5s %8d %12.2f %12.2f %12.2f %6d %12s %12s %6s %-8s\n",
+			r.Stream, r.Kind, r.Count, r.MeanUs, r.WorstUs, r.JitterUs, r.Drops,
+			bound, slack, miss, phase)
 	}
 	return nil
 }

@@ -101,6 +101,38 @@ func TestRunTrace(t *testing.T) {
 	}
 }
 
+func TestRunAttribOutputs(t *testing.T) {
+	cfg := writeConfig(t)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	lanes := filepath.Join(dir, "lanes.json")
+	if err := run([]string{"-config", cfg, "-duration", "50ms",
+		"-attrib", "-trace-hops", "-trace", trace, "-trace-lanes", lanes}); err != nil {
+		t.Fatalf("run -attrib: %v", err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"\"kind\":\"attrib\"", "\"kind\":\"slack\"", "queue_ns"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("trace missing %s:\n%.200s", want, data)
+		}
+	}
+	ldata, err := os.ReadFile(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ldata), "traceEvents") || !strings.Contains(string(ldata), "\"tx\"") {
+		t.Fatalf("lane file incomplete:\n%.200s", ldata)
+	}
+	// -trace-lanes without -attrib has nothing to render and must say so.
+	if err := run([]string{"-config", cfg, "-duration", "20ms", "-trace-lanes", lanes}); err == nil ||
+		!strings.Contains(err.Error(), "-attrib") {
+		t.Fatalf("lanes without attrib: %v", err)
+	}
+}
+
 func TestRunMetricsAndPhases(t *testing.T) {
 	cfg := writeConfig(t)
 	dir := t.TempDir()

@@ -1,0 +1,391 @@
+// etsn-trace analyzes the JSONL trace an attributed simulation writes
+// (etsn-sim -attrib -trace FILE): it aggregates the "attrib" and "slack"
+// line kinds into per-stream latency-attribution reports — frame counts,
+// phase totals and shares, the worst frame with its per-hop decomposition,
+// and bound-conformance scores with slack percentiles.
+//
+// Usage:
+//
+//	etsn-trace [-stream ID] [-json] [-lanes out.json] [trace.jsonl]
+//
+// With no file argument the trace is read from stdin, so it pipes:
+//
+//	etsn-sim -config net.json -attrib -trace /dev/stdout | etsn-trace
+//
+// -lanes additionally renders the attributed frames as a Chrome
+// trace_event lane file (one track per link, one span per hop phase) for
+// chrome://tracing or Perfetto.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"etsn/internal/model"
+	"etsn/internal/obs"
+	"etsn/internal/sim"
+	"etsn/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "etsn-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("etsn-trace", flag.ContinueOnError)
+	streamFilter := fs.String("stream", "", "report only this stream")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	lanesPath := fs.String("lanes", "", "write the attributed frames as a Chrome trace_event lane file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var in io.Reader
+	switch fs.NArg() {
+	case 0:
+		in = os.Stdin
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		fs.Usage()
+		return fmt.Errorf("at most one trace file")
+	}
+	rep, err := Analyze(in)
+	if err != nil {
+		return err
+	}
+	if *lanesPath != "" {
+		lf, err := os.Create(*lanesPath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteLaneTrace(lf, sim.LanesFromRecords(rep.records)); err != nil {
+			lf.Close()
+			return err
+		}
+		if err := lf.Close(); err != nil {
+			return err
+		}
+	}
+	streams := rep.Streams
+	if *streamFilter != "" {
+		streams = nil
+		for _, s := range rep.Streams {
+			if s.Stream == *streamFilter {
+				streams = append(streams, s)
+			}
+		}
+		if len(streams) == 0 {
+			return fmt.Errorf("stream %q not in trace (have %d attributed/bounded streams)",
+				*streamFilter, len(rep.Streams))
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(streams)
+	}
+	writeReport(w, streams)
+	return nil
+}
+
+// PhaseShare is one phase's aggregate in a stream report.
+type PhaseShare struct {
+	Phase   string  `json:"phase"`
+	TotalNs int64   `json:"total_ns"`
+	Share   float64 `json:"share"`
+}
+
+// HopReport is one hop of the worst frame's decomposition.
+type HopReport struct {
+	Link      string `json:"link"`
+	QueueNs   int64  `json:"queue_ns"`
+	GateNs    int64  `json:"gate_ns"`
+	PreemptNs int64  `json:"preempt_ns"`
+	TxNs      int64  `json:"tx_ns"`
+	PropNs    int64  `json:"prop_ns"`
+}
+
+// WorstFrame is the longest-sojourn frame of a stream.
+type WorstFrame struct {
+	Seq       int64       `json:"seq"`
+	Frag      int         `json:"frag"`
+	SojournNs int64       `json:"sojourn_ns"`
+	Dominant  string      `json:"dominant_phase"`
+	Hops      []HopReport `json:"hops"`
+}
+
+// ConfReport is a stream's bound-conformance section.
+type ConfReport struct {
+	BoundNs    int64          `json:"bound_ns"`
+	Checked    int            `json:"checked"`
+	Misses     int            `json:"misses"`
+	MinSlackNs int64          `json:"min_slack_ns"`
+	WorstLatNs int64          `json:"worst_lat_ns"`
+	SlackP50Ns int64          `json:"slack_p50_ns"`
+	SlackP90Ns int64          `json:"slack_p90_ns"`
+	SlackP99Ns int64          `json:"slack_p99_ns"`
+	MissCauses map[string]int `json:"miss_causes,omitempty"`
+}
+
+// StreamReport is the per-stream analysis of the trace.
+type StreamReport struct {
+	Stream string `json:"stream"`
+	Frames int    `json:"frames"`
+	// Phases lists the aggregate decomposition in taxonomy order.
+	Phases []PhaseShare `json:"phases,omitempty"`
+	Worst  *WorstFrame  `json:"worst,omitempty"`
+	Conf   *ConfReport  `json:"conformance,omitempty"`
+}
+
+// Report is the full analysis: one entry per attributed or bounded stream,
+// sorted by stream ID.
+type Report struct {
+	Streams []StreamReport
+	// records keeps the reconstructed frame records for -lanes.
+	records []sim.FrameRecord
+}
+
+// traceProbe sniffs the line kind before full decoding.
+type traceProbe struct {
+	Kind string `json:"kind"`
+}
+
+type seqKey struct {
+	stream string
+	seq    int64
+}
+
+// Analyze streams the JSONL trace once and aggregates it. Lines other
+// than "attrib" and "slack" (the frame-event kinds) are skipped.
+func Analyze(r io.Reader) (*Report, error) {
+	type agg struct {
+		frames int
+		totals [sim.NumPhases]int64
+		worst  sim.FrameRecord
+		slack  []time.Duration
+		conf   *ConfReport
+	}
+	streams := make(map[string]*agg)
+	get := func(id string) *agg {
+		a := streams[id]
+		if a == nil {
+			a = &agg{}
+			streams[id] = a
+		}
+		return a
+	}
+	// The completing fragment of a message is the last attrib record of
+	// its (stream, seq) before the slack line — the simulator emits them
+	// at the same instant, attribution first.
+	lastFrag := make(map[seqKey]sim.FrameRecord)
+	var records []sim.FrameRecord
+
+	sc := bufio.NewScanner(r)
+	// Attribution lines carry a hop array per frame; give multi-hop paths
+	// at high event rates ample room.
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		var probe traceProbe
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		switch probe.Kind {
+		case "attrib":
+			var ev sim.AttribEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			rec, err := recordFromEvent(&ev)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			records = append(records, rec)
+			a := get(ev.Stream)
+			a.frames++
+			for p := sim.PhaseQueue; p < sim.NumPhases; p++ {
+				a.totals[p] += rec.PhaseTotal(p)
+			}
+			if a.frames == 1 || rec.Sojourn() > a.worst.Sojourn() {
+				a.worst = rec
+			}
+			lastFrag[seqKey{ev.Stream, ev.Seq}] = rec
+		case "slack":
+			var ev sim.SlackEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			a := get(ev.Stream)
+			if a.conf == nil {
+				a.conf = &ConfReport{BoundNs: ev.BoundNs, MinSlackNs: ev.SlackNs}
+			}
+			c := a.conf
+			c.Checked++
+			if ev.SlackNs < c.MinSlackNs {
+				c.MinSlackNs = ev.SlackNs
+			}
+			if ev.LatNs > c.WorstLatNs {
+				c.WorstLatNs = ev.LatNs
+			}
+			a.slack = append(a.slack, time.Duration(ev.SlackNs))
+			if ev.SlackNs < 0 {
+				c.Misses++
+				if rec, ok := lastFrag[seqKey{ev.Stream, ev.Seq}]; ok {
+					if c.MissCauses == nil {
+						c.MissCauses = make(map[string]int)
+					}
+					c.MissCauses[rec.DominantPhase().String()]++
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := &Report{records: records}
+	ids := make([]string, 0, len(streams))
+	for id := range streams {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		a := streams[id]
+		sr := StreamReport{Stream: id, Frames: a.frames}
+		if a.frames > 0 {
+			var sum int64
+			for _, v := range a.totals {
+				sum += v
+			}
+			for p := sim.PhaseQueue; p < sim.NumPhases; p++ {
+				share := 0.0
+				if sum > 0 {
+					share = float64(a.totals[p]) / float64(sum)
+				}
+				sr.Phases = append(sr.Phases, PhaseShare{
+					Phase: p.String(), TotalNs: a.totals[p], Share: share,
+				})
+			}
+			wf := &WorstFrame{
+				Seq:       a.worst.Seq,
+				Frag:      a.worst.Frag,
+				SojournNs: a.worst.Sojourn(),
+				Dominant:  a.worst.DominantPhase().String(),
+			}
+			for i := range a.worst.Hops {
+				h := &a.worst.Hops[i]
+				wf.Hops = append(wf.Hops, HopReport{
+					Link:      h.Link.String(),
+					QueueNs:   h.QueueNs,
+					GateNs:    h.GateNs,
+					PreemptNs: h.PreemptNs,
+					TxNs:      h.TxNs,
+					PropNs:    h.PropNs,
+				})
+			}
+			sr.Worst = wf
+		}
+		if a.conf != nil {
+			a.conf.SlackP50Ns = int64(stats.Quantile(a.slack, 0.50))
+			a.conf.SlackP90Ns = int64(stats.Quantile(a.slack, 0.90))
+			a.conf.SlackP99Ns = int64(stats.Quantile(a.slack, 0.99))
+			sr.Conf = a.conf
+		}
+		out.Streams = append(out.Streams, sr)
+	}
+	return out, nil
+}
+
+// recordFromEvent reconstructs the simulator's FrameRecord from its JSONL
+// rendering, so report logic (phase totals, dominant phase, lanes) is the
+// exact code the in-process Results API runs.
+func recordFromEvent(ev *sim.AttribEvent) (sim.FrameRecord, error) {
+	rec := sim.FrameRecord{
+		Stream:      model.StreamID(ev.Stream),
+		Seq:         ev.Seq,
+		Frag:        ev.Frag,
+		Priority:    ev.Priority,
+		CreatedNs:   ev.CreatedNs,
+		EnqueuedNs:  ev.EnqueuedNs,
+		DeliveredNs: ev.DeliveredNs,
+	}
+	for i := range ev.Hops {
+		h := &ev.Hops[i]
+		link, err := model.ParseLinkID(h.Link)
+		if err != nil {
+			return rec, err
+		}
+		rec.Hops = append(rec.Hops, sim.HopRecord{
+			Link:      link,
+			ArriveNs:  h.ArriveNs,
+			StartNs:   h.StartNs,
+			QueueNs:   h.QueueNs,
+			GateNs:    h.GateNs,
+			PreemptNs: h.PreemptNs,
+			TxNs:      h.TxNs,
+			PropNs:    h.PropNs,
+		})
+	}
+	return rec, nil
+}
+
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// writeReport renders the text report.
+func writeReport(w io.Writer, streams []StreamReport) {
+	for i, s := range streams {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "stream %s: %d frames\n", s.Stream, s.Frames)
+		if len(s.Phases) > 0 {
+			fmt.Fprintf(w, "  %-8s %14s %7s\n", "phase", "total(us)", "share")
+			for _, p := range s.Phases {
+				fmt.Fprintf(w, "  %-8s %14.2f %6.1f%%\n", p.Phase, us(p.TotalNs), p.Share*100)
+			}
+		}
+		if wf := s.Worst; wf != nil {
+			fmt.Fprintf(w, "  worst frame: seq=%d frag=%d sojourn=%.2fus dominant=%s\n",
+				wf.Seq, wf.Frag, us(wf.SojournNs), wf.Dominant)
+			fmt.Fprintf(w, "    %-14s %10s %10s %10s %10s %10s\n",
+				"link", "queue(us)", "gate(us)", "preempt", "tx(us)", "prop(us)")
+			for _, h := range wf.Hops {
+				fmt.Fprintf(w, "    %-14s %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+					h.Link, us(h.QueueNs), us(h.GateNs), us(h.PreemptNs), us(h.TxNs), us(h.PropNs))
+			}
+		}
+		if c := s.Conf; c != nil {
+			fmt.Fprintf(w, "  conformance: bound=%.2fus checked=%d misses=%d min_slack=%.2fus worst=%.2fus\n",
+				us(c.BoundNs), c.Checked, c.Misses, us(c.MinSlackNs), us(c.WorstLatNs))
+			fmt.Fprintf(w, "  slack percentiles: p50=%.2fus p90=%.2fus p99=%.2fus\n",
+				us(c.SlackP50Ns), us(c.SlackP90Ns), us(c.SlackP99Ns))
+			if len(c.MissCauses) > 0 {
+				causes := make([]string, 0, len(c.MissCauses))
+				for cause := range c.MissCauses {
+					causes = append(causes, cause)
+				}
+				sort.Strings(causes)
+				fmt.Fprintf(w, "  miss causes:")
+				for _, cause := range causes {
+					fmt.Fprintf(w, " %s=%d", cause, c.MissCauses[cause])
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+}

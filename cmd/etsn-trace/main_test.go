@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"etsn/internal/experiments"
+	"etsn/internal/sched"
+	"etsn/internal/sim"
+)
+
+// tracedRun simulates the testbed scenario with attribution and a JSONL
+// trace, returning both the in-process results and the trace bytes so
+// tests can check the offline analysis reproduces the online one.
+func tracedRun(t *testing.T) (*sim.Results, []byte) {
+	t.Helper()
+	scen, err := experiments.NewTestbedScenario(0.5, experiments.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sched.Build(sched.MethodETSN, scen.Problem(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	raw, err := plan.SimulateOpts(scen.Network, sched.SimOptions{
+		ECT: scen.ECT, BE: scen.BE, Duration: time.Second,
+		Seed: experiments.DefaultSeed, Trace: &buf, Attribution: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, buf.Bytes()
+}
+
+// TestAnalyzeMatchesResultsAPI is the round-trip contract: the report
+// etsn-trace derives from the JSONL trace must agree with the in-process
+// Results API on every attributed stream — frame counts, phase totals,
+// the worst frame and its cause breakdown, and the conformance scores.
+func TestAnalyzeMatchesResultsAPI(t *testing.T) {
+	raw, trace := tracedRun(t)
+	rep, err := Analyze(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[string]StreamReport, len(rep.Streams))
+	for _, s := range rep.Streams {
+		byID[s.Stream] = s
+	}
+	attributed := raw.AttributedStreams()
+	if len(attributed) == 0 {
+		t.Fatal("no attributed streams in-process")
+	}
+	for _, id := range attributed {
+		prof, _ := raw.Attribution(id)
+		sr, ok := byID[string(id)]
+		if !ok {
+			t.Fatalf("stream %s missing from trace report", id)
+		}
+		if sr.Frames != prof.Frames {
+			t.Fatalf("%s: trace frames %d, results %d", id, sr.Frames, prof.Frames)
+		}
+		for p := sim.PhaseQueue; p < sim.NumPhases; p++ {
+			if got := sr.Phases[p].TotalNs; got != prof.TotalNs[p] {
+				t.Fatalf("%s phase %s: trace total %d, results %d", id, p, got, prof.TotalNs[p])
+			}
+		}
+		if sr.Worst == nil {
+			t.Fatalf("%s: no worst frame in trace report", id)
+		}
+		if sr.Worst.Seq != prof.Worst.Seq || sr.Worst.Frag != prof.Worst.Frag ||
+			sr.Worst.SojournNs != prof.Worst.Sojourn() ||
+			sr.Worst.Dominant != prof.Worst.DominantPhase().String() {
+			t.Fatalf("%s worst frame diverged: trace %+v, results seq=%d frag=%d sojourn=%d dominant=%s",
+				id, sr.Worst, prof.Worst.Seq, prof.Worst.Frag,
+				prof.Worst.Sojourn(), prof.Worst.DominantPhase())
+		}
+		if len(sr.Worst.Hops) != len(prof.Worst.Hops) {
+			t.Fatalf("%s worst hops: trace %d, results %d", id, len(sr.Worst.Hops), len(prof.Worst.Hops))
+		}
+	}
+	for _, id := range raw.BoundedStreams() {
+		conf, _ := raw.Conformance(id)
+		sr, ok := byID[string(id)]
+		if !ok || sr.Conf == nil {
+			t.Fatalf("bounded stream %s missing conformance in trace report", id)
+		}
+		c := sr.Conf
+		if c.Checked != conf.Checked || c.Misses != conf.Misses ||
+			c.BoundNs != int64(conf.Bound) || c.MinSlackNs != int64(conf.MinSlack) ||
+			c.WorstLatNs != int64(conf.WorstLatency) {
+			t.Fatalf("%s conformance diverged: trace %+v, results %+v", id, *c, conf)
+		}
+	}
+}
+
+// TestRunTextAndJSON drives the CLI end to end on a real trace file:
+// stream filtering, the text report, the JSON report, and the lane export.
+func TestRunTextAndJSON(t *testing.T) {
+	_, trace := tracedRun(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	if err := os.WriteFile(path, trace, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var text bytes.Buffer
+	if err := run([]string{"-stream", "ect", path}, &text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, want := range []string{"stream ect:", "worst frame:", "conformance:", "slack percentiles:", "tx"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+
+	lanes := filepath.Join(dir, "lanes.json")
+	var js bytes.Buffer
+	if err := run([]string{"-json", "-lanes", lanes, path}, &js); err != nil {
+		t.Fatal(err)
+	}
+	var streams []StreamReport
+	if err := json.Unmarshal(js.Bytes(), &streams); err != nil {
+		t.Fatalf("bad -json output: %v", err)
+	}
+	if len(streams) == 0 {
+		t.Fatal("empty JSON report")
+	}
+	laneData, err := os.ReadFile(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var laneFile struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(laneData, &laneFile); err != nil {
+		t.Fatalf("bad lane file: %v", err)
+	}
+	if len(laneFile.TraceEvents) == 0 {
+		t.Fatal("empty lane file")
+	}
+
+	if err := run([]string{"-stream", "nope", path}, io.Discard); err == nil {
+		t.Fatal("unknown -stream should error")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"etsn/internal/model"
+	"etsn/internal/sched"
+	"etsn/internal/sim"
+)
+
+// AttribStream is one stream's causal latency decomposition from the
+// attribution experiment.
+type AttribStream struct {
+	Stream model.StreamID
+	// Profile aggregates the per-phase decomposition across all of the
+	// stream's delivered frames.
+	Profile sim.AttributionProfile
+	// Conf scores the stream's deliveries against its analytic worst
+	// case; Bounded is false when the stream has none.
+	Conf    sim.Conformance
+	Bounded bool
+}
+
+// AttribResult is the frame-attribution experiment: where does an ECT
+// frame's latency actually go? It runs the E-TSN testbed scenario at 75%
+// load (the headline operating point) with attribution on, validates the
+// charging invariant — every frame's phases sum exactly to its measured
+// sojourn — and reports the per-stream phase breakdown next to the
+// bound-conformance scores.
+type AttribResult struct {
+	Method sched.Method
+	// Streams holds the attributed streams in sorted ID order.
+	Streams []AttribStream
+	// Frames is the total number of attributed frames across streams.
+	Frames int
+}
+
+// Attrib runs the attribution experiment. Attribution is forced on
+// regardless of opts; a violated charging invariant is an error, not a
+// table row.
+func Attrib(opts RunOptions) (*AttribResult, error) {
+	opts = opts.withDefaults()
+	opts.Attribution = true
+	scen, err := NewTestbedScenario(0.75, DefaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunMethod(scen, sched.MethodETSN, opts)
+	if err != nil {
+		return nil, fmt.Errorf("attrib: %w", err)
+	}
+	if err := CheckDropAccounting(res.Raw, scen.TCT, scen.ECT); err != nil {
+		return nil, fmt.Errorf("attrib: %w", err)
+	}
+	out := &AttribResult{Method: sched.MethodETSN}
+	for _, id := range res.Raw.AttributedStreams() {
+		if err := checkAttributionSums(res.Raw, id); err != nil {
+			return nil, fmt.Errorf("attrib: %w", err)
+		}
+		prof, _ := res.Raw.Attribution(id)
+		conf, bounded := res.Raw.Conformance(id)
+		out.Streams = append(out.Streams, AttribStream{
+			Stream: id, Profile: prof, Conf: conf, Bounded: bounded,
+		})
+		out.Frames += prof.Frames
+	}
+	if out.Frames == 0 {
+		return nil, fmt.Errorf("attrib: no frames attributed")
+	}
+	return out, nil
+}
+
+// checkAttributionSums enforces the charging invariant on every recorded
+// frame of one stream: the per-hop phases must sum exactly to the
+// measured enqueue-to-delivery sojourn.
+func checkAttributionSums(raw *sim.Results, id model.StreamID) error {
+	for _, rec := range raw.FrameRecords(id) {
+		var sum int64
+		for p := sim.PhaseQueue; p < sim.NumPhases; p++ {
+			sum += rec.PhaseTotal(p)
+		}
+		if sum != rec.Sojourn() {
+			return fmt.Errorf("stream %s seq %d frag %d: phases sum to %dns, sojourn is %dns",
+				id, rec.Seq, rec.Frag, sum, rec.Sojourn())
+		}
+	}
+	return nil
+}
+
+// WriteTable renders the per-stream phase breakdown and conformance.
+func (r *AttribResult) WriteTable(w io.Writer) {
+	fmt.Fprintln(w, "Attribution — where ECT/TCT latency goes (testbed topology, 75% load, E-TSN)")
+	fmt.Fprintf(w, "  %-10s %8s  %-42s %s\n", "stream", "frames", "phase shares", "conformance")
+	for _, s := range r.Streams {
+		shares := ""
+		for p := sim.PhaseQueue; p < sim.NumPhases; p++ {
+			shares += fmt.Sprintf("%s=%.0f%% ", p, s.Profile.Share(p)*100)
+		}
+		fmt.Fprintf(w, "  %-10s %8d  %-42s %s\n",
+			s.Stream, s.Profile.Frames, shares, fmtConformance(s.Conf, s.Bounded))
+	}
+	for _, s := range r.Streams {
+		if s.Stream != "ect" {
+			continue
+		}
+		worst := s.Profile.Worst
+		fmt.Fprintf(w, "  worst ect frame: seq=%d sojourn=%s dominant=%s hops=%d\n",
+			worst.Seq, fmtDur(time.Duration(worst.Sojourn())), worst.DominantPhase(), len(worst.Hops))
+	}
+}

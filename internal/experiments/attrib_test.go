@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"etsn/internal/sim"
+)
+
+// TestAttribShape runs the attribution experiment fast and checks its
+// claims: every attributed frame satisfied the charging invariant (the
+// experiment errors otherwise), the ECT stream is attributed and
+// conformant, and the table renders phase shares and conformance.
+func TestAttribShape(t *testing.T) {
+	r, err := Attrib(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Frames == 0 || len(r.Streams) == 0 {
+		t.Fatalf("no attribution: %+v", r)
+	}
+	var ect *AttribStream
+	for i := range r.Streams {
+		if r.Streams[i].Stream == "ect" {
+			ect = &r.Streams[i]
+		}
+	}
+	if ect == nil {
+		t.Fatal("ECT stream not attributed")
+	}
+	if !ect.Bounded || ect.Conf.Checked == 0 {
+		t.Fatalf("ECT stream not scored: %+v", ect.Conf)
+	}
+	if ect.Conf.Misses != 0 || ect.Conf.MinSlack < 0 {
+		t.Fatalf("ECT misses its analytic bound in a fault-free run: %+v", ect.Conf)
+	}
+	// A frame spends real time on the wire, so tx and prop shares are
+	// positive; wait time exists at 75% load.
+	if ect.Profile.TotalNs[sim.PhaseTx] == 0 || ect.Profile.TotalNs[sim.PhaseProp] == 0 {
+		t.Fatalf("no tx/prop time attributed: %+v", ect.Profile.TotalNs)
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"ect", "conformance", "worst ect frame", "ok slack>="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunMethodCollectsConformance checks the generic runner surfaces
+// conformance for bounded streams without any attribution opt-in.
+func TestRunMethodCollectsConformance(t *testing.T) {
+	scen, err := NewTestbedScenario(0.25, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMethod(scen, AllMethods[0], fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := res.Conformance["ect"]
+	if !ok || c.Checked == 0 {
+		t.Fatalf("ECT conformance missing: %+v", res.Conformance)
+	}
+	if c.Checked != res.Raw.Delivered("ect") {
+		t.Fatalf("checked %d of %d deliveries", c.Checked, res.Raw.Delivered("ect"))
+	}
+}

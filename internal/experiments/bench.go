@@ -31,6 +31,15 @@ type BenchSim struct {
 	Lost         int64 `json:"lost"`
 }
 
+// BenchAttrib is the attribution/conformance section, harvested from the
+// etsn_sim_attrib_* and etsn_sim_bound_* counters. Present only on runs
+// that enabled attribution or had bounded streams.
+type BenchAttrib struct {
+	Frames       int64 `json:"frames"`
+	BoundChecked int64 `json:"bound_checked"`
+	BoundMisses  int64 `json:"bound_misses"`
+}
+
 // BenchLatency summarizes the end-to-end delivery latency histogram.
 type BenchLatency struct {
 	P50Ns int64 `json:"p50_ns"`
@@ -63,6 +72,8 @@ type BenchArtifact struct {
 	Sim    BenchSim    `json:"sim"`
 	// Latency is present when the run delivered at least one message.
 	Latency *BenchLatency `json:"latency,omitempty"`
+	// Attrib is present when the run attributed frames or scored bounds.
+	Attrib *BenchAttrib `json:"attrib,omitempty"`
 }
 
 // NewBenchArtifact harvests a registry into a bench artifact. The registry
@@ -105,6 +116,14 @@ func NewBenchArtifact(experiment string, reg *obs.Registry, opts RunOptions, wal
 			P99Ns: h.Quantile(0.99),
 			MaxNs: h.Max,
 		}
+	}
+	attrib := BenchAttrib{
+		Frames:       reg.CounterValue("etsn_sim_attrib_frames_total"),
+		BoundChecked: reg.CounterValue("etsn_sim_bound_checked_total"),
+		BoundMisses:  reg.CounterValue("etsn_sim_bound_miss_total"),
+	}
+	if attrib.Frames > 0 || attrib.BoundChecked > 0 {
+		a.Attrib = &attrib
 	}
 	return a
 }
@@ -162,6 +181,18 @@ func (a *BenchArtifact) Validate() error {
 	case a.WallSequentialMs < 0:
 		return fmt.Errorf("bench artifact %s: wall_sequential_ms = %d",
 			a.Experiment, a.WallSequentialMs)
+	}
+	if at := a.Attrib; at != nil {
+		switch {
+		case at.Frames < 0 || at.BoundChecked < 0 || at.BoundMisses < 0:
+			return fmt.Errorf("bench artifact %s: negative attrib counters %+v",
+				a.Experiment, *at)
+		case at.BoundMisses > at.BoundChecked:
+			return fmt.Errorf("bench artifact %s: %d bound misses out of %d checked",
+				a.Experiment, at.BoundMisses, at.BoundChecked)
+		case at.Frames == 0 && at.BoundChecked == 0:
+			return fmt.Errorf("bench artifact %s: empty attrib section", a.Experiment)
+		}
 	}
 	return nil
 }

@@ -29,6 +29,11 @@ type RunOptions struct {
 	// exact legacy sequential path. The merged result is identical either
 	// way: cells land in fixed index order regardless of completion order.
 	Parallel int
+	// Attribution enables the per-frame causal latency decomposition in
+	// every simulation the experiment runs (sim.Config.Attribution).
+	// Bound conformance is scored regardless; attribution additionally
+	// explains each miss by its dominant phase.
+	Attribution bool
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -58,6 +63,9 @@ type MethodResult struct {
 	ECTSamples map[model.StreamID][]time.Duration
 	// TCT maps each TCT stream to its latency summary.
 	TCT map[model.StreamID]stats.Summary
+	// Conformance scores each bounded stream's deliveries against its
+	// analytic worst case (derived from the plan by SimulateOpts).
+	Conformance map[model.StreamID]sim.Conformance
 }
 
 // RunMethod plans the scenario with the given method and simulates it.
@@ -73,6 +81,7 @@ func RunMethod(s *Scenario, m sched.Method, opts RunOptions) (*MethodResult, err
 	spSim := opts.Phases.Begin("simulate", "method", m.String())
 	raw, err := plan.SimulateOpts(s.Network, sched.SimOptions{
 		ECT: s.ECT, BE: s.BE, Duration: opts.Duration, Seed: opts.Seed, Obs: opts.Obs,
+		Attribution: opts.Attribution,
 	})
 	spSim.End()
 	if err != nil {
@@ -94,7 +103,31 @@ func RunMethod(s *Scenario, m sched.Method, opts RunOptions) (*MethodResult, err
 	for _, t := range s.TCT {
 		out.TCT[t.ID] = stats.Summarize(raw.Latencies(t.ID))
 	}
+	bounded := raw.BoundedStreams()
+	out.Conformance = make(map[model.StreamID]sim.Conformance, len(bounded))
+	for _, id := range bounded {
+		if c, ok := raw.Conformance(id); ok {
+			out.Conformance[id] = c
+		}
+	}
 	return out, nil
+}
+
+// fmtConformance renders one stream's conformance cell for figure tables:
+// "ok slack>=Xus" when every delivery met the bound, a miss count plus the
+// worst overrun otherwise, or "unbounded" for methods with no analytic
+// worst case (AVB ECT).
+func fmtConformance(c sim.Conformance, ok bool) string {
+	switch {
+	case !ok:
+		return "unbounded"
+	case c.Checked == 0:
+		return "unchecked"
+	case c.Misses == 0:
+		return fmt.Sprintf("ok slack>=%s", fmtDur(c.MinSlack))
+	default:
+		return fmt.Sprintf("MISS %d/%d worst=%s", c.Misses, c.Checked, fmtDur(-c.MinSlack))
+	}
 }
 
 // CheckDropAccounting cross-checks a run's drop bookkeeping before a figure

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"etsn/internal/sched"
+	"etsn/internal/sim"
 	"etsn/internal/stats"
 )
 
@@ -19,6 +20,10 @@ type Fig11Cell struct {
 	Method  sched.Method
 	Summary stats.Summary
 	CDF     []stats.CDFPoint
+	// Conf scores the ECT deliveries against the method's analytic worst
+	// case; Bounded is false for methods without one (AVB).
+	Conf    sim.Conformance
+	Bounded bool
 }
 
 // Fig11Result reproduces Fig. 11: CDFs of ECT latency for the three methods
@@ -50,11 +55,14 @@ func Fig11(opts RunOptions) (*Fig11Result, error) {
 		if err := CheckDropAccounting(res.Raw, scen.TCT, scen.ECT); err != nil {
 			return fmt.Errorf("fig11 load %v %v: %w", load, m, err)
 		}
+		conf, bounded := res.Conformance["ect"]
 		cells[i] = Fig11Cell{
 			Load:    load,
 			Method:  m,
 			Summary: res.ECT["ect"],
 			CDF:     stats.CDF(res.ECTSamples["ect"], 20),
+			Conf:    conf,
+			Bounded: bounded,
 		}
 		return nil
 	})
@@ -85,6 +93,7 @@ func (r *Fig11Result) WriteTable(w io.Writer) {
 				continue
 			}
 			printSummaryRow(w, m.String(), c.Summary)
+			fmt.Fprintf(w, "    conformance: %s\n", fmtConformance(c.Conf, c.Bounded))
 			fmt.Fprintf(w, "    CDF: ")
 			for _, p := range c.CDF {
 				fmt.Fprintf(w, "%.0f%%@%s ", p.Fraction*100, shortDur(p.Latency))

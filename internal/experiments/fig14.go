@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"etsn/internal/sched"
+	"etsn/internal/sim"
 	"etsn/internal/stats"
 )
 
@@ -21,6 +22,10 @@ type Fig14Cell struct {
 	Length  int
 	Method  sched.Method
 	Summary stats.Summary
+	// Conf scores the ECT deliveries against the method's analytic worst
+	// case; Bounded is false for methods without one (AVB).
+	Conf    sim.Conformance
+	Bounded bool
 }
 
 // Fig14Result reproduces Fig. 14 (a)-(f): ECT latency and jitter on the
@@ -61,11 +66,14 @@ func Fig14Custom(loads []float64, lengths []int, opts RunOptions) (*Fig14Result,
 		if err := CheckDropAccounting(res.Raw, scen.TCT, scen.ECT); err != nil {
 			return fmt.Errorf("fig14 load %v len %d %v: %w", load, length, m, err)
 		}
+		conf, bounded := res.Conformance["ect"]
 		cells[i] = Fig14Cell{
 			Load:    load,
 			Length:  length,
 			Method:  m,
 			Summary: res.ECT["ect"],
+			Conf:    conf,
+			Bounded: bounded,
 		}
 		return nil
 	})
@@ -93,7 +101,7 @@ func (r *Fig14Result) WriteTable(w io.Writer) {
 		fmt.Fprintf(w, "network load %.0f%%:\n", load*100)
 		fmt.Fprintf(w, "  %-8s", "len")
 		for _, m := range AllMethods {
-			fmt.Fprintf(w, "%-34s", m.String()+" avg/worst/jitter")
+			fmt.Fprintf(w, "%-56s", m.String()+" avg/worst/jitter conformance")
 		}
 		fmt.Fprintln(w)
 		for _, length := range Fig14Lengths {
@@ -101,12 +109,13 @@ func (r *Fig14Result) WriteTable(w io.Writer) {
 			for _, m := range AllMethods {
 				c, ok := r.Cell(load, length, m)
 				if !ok {
-					fmt.Fprintf(w, "%-34s", "-")
+					fmt.Fprintf(w, "%-56s", "-")
 					continue
 				}
-				cell := fmt.Sprintf("%s/%s/%s",
-					fmtDur(c.Summary.Mean), fmtDur(c.Summary.Max), fmtDur(c.Summary.StdDev))
-				fmt.Fprintf(w, "%-34s", cell)
+				cell := fmt.Sprintf("%s/%s/%s %s",
+					fmtDur(c.Summary.Mean), fmtDur(c.Summary.Max), fmtDur(c.Summary.StdDev),
+					fmtConformance(c.Conf, c.Bounded))
+				fmt.Fprintf(w, "%-56s", cell)
 			}
 			fmt.Fprintln(w)
 		}

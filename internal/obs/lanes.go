@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// LaneSpan is one labelled time span inside a lane.
+type LaneSpan struct {
+	// Name is the span label shown on the track (e.g. a phase name).
+	Name string
+	// StartNs/DurNs position the span on the lane's time axis.
+	StartNs int64
+	DurNs   int64
+	// Args are extra key/value details shown on selection.
+	Args map[string]string
+}
+
+// Lane is one named track of time spans — the attribution exporter
+// renders one lane per network link, with a span per frame phase.
+type Lane struct {
+	// Track is the lane's display name.
+	Track string
+	// Spans are the lane's spans; order is preserved in the output.
+	Spans []LaneSpan
+}
+
+// WriteLaneTrace renders lanes as Chrome trace_event JSON loadable in
+// chrome://tracing or Perfetto: everything under pid 1, one tid per lane
+// in slice order, with thread_name metadata labelling each track.
+func WriteLaneTrace(w io.Writer, lanes []Lane) error {
+	n := 0
+	for _, ln := range lanes {
+		n += 1 + len(ln.Spans)
+	}
+	events := make([]chromeEvent, 0, n)
+	for i, ln := range lanes {
+		tid := i + 1
+		events = append(events, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]string{"name": ln.Track},
+		})
+		for _, sp := range ln.Spans {
+			events = append(events, chromeEvent{
+				Name: sp.Name,
+				Ph:   "X",
+				Ts:   float64(sp.StartNs) / 1e3,
+				Dur:  float64(sp.DurNs) / 1e3,
+				Pid:  1,
+				Tid:  tid,
+				Args: sp.Args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: events})
+}

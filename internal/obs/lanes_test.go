@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteLaneTraceGolden pins the lane export byte-for-byte: one pid,
+// one named tid per lane in slice order, spans as complete events with
+// their args, and the link-name HTML escaping encoding/json applies.
+func TestWriteLaneTraceGolden(t *testing.T) {
+	lanes := []Lane{
+		{Track: "D1->SW1", Spans: []LaneSpan{
+			{Name: "gate", StartNs: 1_000, DurNs: 2_000, Args: map[string]string{"stream": "s1", "seq": "4"}},
+			{Name: "tx", StartNs: 3_000, DurNs: 124_000},
+		}},
+		{Track: "SW1->D3", Spans: []LaneSpan{
+			{Name: "preempt", StartNs: 130_000, DurNs: 62_000, Args: map[string]string{"stream": "e1"}},
+		}},
+	}
+	var sb strings.Builder
+	if err := WriteLaneTrace(&sb, lanes); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"thread_name","ph":"M","ts":0,"dur":0,"pid":1,"tid":1,"args":{"name":"D1-\u003eSW1"}},` +
+		`{"name":"gate","ph":"X","ts":1,"dur":2,"pid":1,"tid":1,"args":{"seq":"4","stream":"s1"}},` +
+		`{"name":"tx","ph":"X","ts":3,"dur":124,"pid":1,"tid":1},` +
+		`{"name":"thread_name","ph":"M","ts":0,"dur":0,"pid":1,"tid":2,"args":{"name":"SW1-\u003eD3"}},` +
+		`{"name":"preempt","ph":"X","ts":130,"dur":62,"pid":1,"tid":2,"args":{"stream":"e1"}}` +
+		"]}\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("lane trace drifted:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestWriteLaneTraceEmpty keeps the degenerate export loadable.
+func TestWriteLaneTraceEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteLaneTrace(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != "{\"traceEvents\":[]}\n" {
+		t.Fatalf("empty lane trace = %q", got)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -146,5 +147,59 @@ func TestTracerMergeDoesNotMutateSource(t *testing.T) {
 	after := child.Spans()[0]
 	if len(after.Labels) != len(before.Labels) {
 		t.Fatalf("source span labels mutated by merge: %v", after.Labels)
+	}
+}
+
+// TestMergedTracerChromeGolden pins the Chrome trace_event export of a
+// tracer assembled from per-worker shards: unlabelled spans stay on tid
+// 1, each merged cell gets its own named thread row in first-appearance
+// order, nesting depth survives the merge, and start times are rebased
+// onto the root origin. The tracers are hand-built so the output is
+// byte-exact.
+func TestMergedTracerChromeGolden(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	root := &Tracer{origin: t0, spans: []SpanRecord{
+		{Name: "plan", StartNs: 0, WallNs: 10_000, CPUNs: 5_000},
+	}}
+	shardA := &Tracer{origin: t0.Add(time.Millisecond), spans: []SpanRecord{
+		{Name: "simulate", StartNs: 0, WallNs: 4_000, CPUNs: 2_000},
+		{Name: "deliver", StartNs: 2_000, WallNs: 1_000, CPUNs: 500, Depth: 1},
+	}}
+	shardB := &Tracer{origin: t0.Add(2 * time.Millisecond), spans: []SpanRecord{
+		{Name: "simulate", StartNs: 0, WallNs: 3_000, CPUNs: 1_000, Labels: []string{"method", "AVB"}},
+	}}
+	root.Merge(shardA, "cell", "0")
+	root.Merge(shardB, "cell", "1")
+
+	var sb strings.Builder
+	if err := root.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"plan","ph":"X","ts":0,"dur":10,"pid":1,"tid":1,"args":{"cpu_us":"5.000"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"dur":0,"pid":1,"tid":2,"args":{"name":"cell 0"}},` +
+		`{"name":"simulate","ph":"X","ts":1000,"dur":4,"pid":1,"tid":2,"args":{"cell":"0","cpu_us":"2.000"}},` +
+		`{"name":"deliver","ph":"X","ts":1002,"dur":1,"pid":1,"tid":2,"args":{"cell":"0","cpu_us":"0.500"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"dur":0,"pid":1,"tid":3,"args":{"name":"cell 1"}},` +
+		`{"name":"simulate","ph":"X","ts":2000,"dur":3,"pid":1,"tid":3,"args":{"cell":"1","cpu_us":"1.000","method":"AVB"}}` +
+		"]}\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("merged chrome trace drifted:\ngot  %s\nwant %s", got, want)
+	}
+	// The merged nesting must survive: deliver sits inside shard A's
+	// simulate span on the same thread row.
+	spans := root.Spans()
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		if len(s.Labels) > 0 {
+			byName[s.Name+s.Labels[len(s.Labels)-1]] = s
+		}
+	}
+	outer, inner := byName["simulate0"], byName["deliver0"]
+	if inner.Depth != outer.Depth+1 {
+		t.Fatalf("nesting lost: outer depth %d, inner depth %d", outer.Depth, inner.Depth)
+	}
+	if inner.StartNs < outer.StartNs || inner.StartNs+inner.WallNs > outer.StartNs+outer.WallNs {
+		t.Fatal("inner span not contained in outer after rebasing")
 	}
 }

@@ -124,15 +124,41 @@ type chromeEvent struct {
 
 // WriteChromeTrace writes the spans as Chrome trace_event JSON, loadable
 // in chrome://tracing or Perfetto. A nil tracer writes an empty trace.
+//
+// Spans merged from worker shards carry cell=<i> labels (Tracer.Merge);
+// each distinct cell gets its own thread row (tid 2 onward, in order of
+// first appearance, named by thread_name metadata) so merged traces nest
+// per worker instead of interleaving on one line. Unlabelled spans stay
+// on tid 1.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Spans()
+	tids := make(map[string]int)
 	events := make([]chromeEvent, 0, len(spans))
 	for _, s := range spans {
 		args := map[string]string{
 			"cpu_us": fmt.Sprintf("%.3f", float64(s.CPUNs)/1e3),
 		}
+		cell := ""
 		for i := 0; i+1 < len(s.Labels); i += 2 {
 			args[s.Labels[i]] = s.Labels[i+1]
+			if s.Labels[i] == "cell" {
+				cell = s.Labels[i+1]
+			}
+		}
+		tid := 1
+		if cell != "" {
+			var ok bool
+			if tid, ok = tids[cell]; !ok {
+				tid = 2 + len(tids)
+				tids[cell] = tid
+				events = append(events, chromeEvent{
+					Name: "thread_name",
+					Ph:   "M",
+					Pid:  1,
+					Tid:  tid,
+					Args: map[string]string{"name": "cell " + cell},
+				})
+			}
 		}
 		events = append(events, chromeEvent{
 			Name: s.Name,
@@ -140,7 +166,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Ts:   float64(s.StartNs) / 1e3,
 			Dur:  float64(s.WallNs) / 1e3,
 			Pid:  1,
-			Tid:  1,
+			Tid:  tid,
 			Args: args,
 		})
 	}

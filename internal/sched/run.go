@@ -91,6 +91,14 @@ type SimOptions struct {
 	OnFault func(*sim.Simulator, sim.Fault)
 	// Obs optionally collects simulator runtime metrics.
 	Obs *obs.Registry
+	// TraceHops records per-hop completion latencies in the results.
+	TraceHops bool
+	// Attribution enables the per-frame causal latency decomposition
+	// (sim.Config.Attribution).
+	Attribution bool
+	// Bounds overrides the analytic per-stream worst cases used for
+	// conformance scoring; nil derives them from the plan (Plan.Bounds).
+	Bounds map[model.StreamID]time.Duration
 }
 
 // Simulate runs a plan against stochastic ECT traffic (plus optional
@@ -109,6 +117,10 @@ func (pl *Plan) SimulateOpts(network *model.Network, o SimOptions) (*sim.Results
 	if pl.CQF != nil {
 		cqf = &sim.CQFConfig{CycleTime: pl.CQF.CycleTime, QueueA: CQFQueueA, QueueB: CQFQueueB}
 	}
+	bounds := o.Bounds
+	if bounds == nil {
+		bounds = pl.Bounds(network, o.ECT)
+	}
 	s, err := sim.New(sim.Config{
 		Network:     network,
 		Schedule:    pl.Schedule,
@@ -126,6 +138,9 @@ func (pl *Plan) SimulateOpts(network *model.Network, o SimOptions) (*sim.Results
 		Faults:      o.Faults,
 		OnFault:     o.OnFault,
 		Obs:         o.Obs,
+		TraceHops:   o.TraceHops,
+		Attribution: o.Attribution,
+		Bounds:      bounds,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s simulation: %w", pl.Method, err)

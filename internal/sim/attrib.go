@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"time"
+
+	"etsn/internal/model"
+)
+
+// Phase is one cause in the per-frame latency decomposition. Every
+// nanosecond between a frame's first enqueue and its delivery is charged
+// to exactly one phase, so the phases of a frame sum to its measured
+// sojourn exactly (the attribution property test pins this).
+type Phase int
+
+// The phase taxonomy, in reporting order. Charging precedence at an
+// egress port: time the port spends transmitting another frame is charged
+// first (as PhasePreempt when exactly one of the two frames is in the ECT
+// traffic class, PhaseQueue otherwise), then closed-gate time
+// (PhaseGate), and whatever remains — head-of-line wait behind same-class
+// frames inside open windows, shaper throttling — is PhaseQueue.
+const (
+	// PhaseQueue is head-of-line/FIFO wait that is not explained by a
+	// closed gate or by a cross-class transmission in progress.
+	PhaseQueue Phase = iota
+	// PhaseGate is time spent waiting with the frame's gate closed while
+	// the port was otherwise idle.
+	PhaseGate
+	// PhasePreempt is cross-class blocking: an ECT frame waiting out a
+	// non-ECT transmission, or a non-ECT frame waiting out an ECT one.
+	PhasePreempt
+	// PhaseTx is serialization time on the wire.
+	PhaseTx
+	// PhaseProp is link propagation delay.
+	PhaseProp
+	// NumPhases bounds arrays indexed by Phase.
+	NumPhases
+)
+
+// String returns the short phase name used in reports and JSONL records.
+func (p Phase) String() string {
+	switch p {
+	case PhaseQueue:
+		return "queue"
+	case PhaseGate:
+		return "gate"
+	case PhasePreempt:
+		return "preempt"
+	case PhaseTx:
+		return "tx"
+	case PhaseProp:
+		return "prop"
+	}
+	return "unknown"
+}
+
+// HopRecord decomposes a frame's sojourn at one egress port: it arrived
+// (joined the queue) at ArriveNs, started transmission at StartNs, and
+// the wait StartNs-ArriveNs splits exactly into QueueNs+GateNs+PreemptNs.
+// TxNs and PropNs complete the hop; ArriveNs of the next hop (or
+// delivery) equals StartNs+TxNs+PropNs.
+type HopRecord struct {
+	Link      model.LinkID
+	ArriveNs  int64
+	StartNs   int64
+	QueueNs   int64
+	GateNs    int64
+	PreemptNs int64
+	TxNs      int64
+	PropNs    int64
+}
+
+// PhaseNs returns the time charged to one phase at this hop.
+func (h *HopRecord) PhaseNs(p Phase) int64 {
+	switch p {
+	case PhaseQueue:
+		return h.QueueNs
+	case PhaseGate:
+		return h.GateNs
+	case PhasePreempt:
+		return h.PreemptNs
+	case PhaseTx:
+		return h.TxNs
+	case PhaseProp:
+		return h.PropNs
+	}
+	return 0
+}
+
+// Sojourn returns the total time the hop accounts for.
+func (h *HopRecord) Sojourn() int64 {
+	return h.QueueNs + h.GateNs + h.PreemptNs + h.TxNs + h.PropNs
+}
+
+// FrameRecord is the full causal record of one delivered frame: identity,
+// talker handoff (CreatedNs), first enqueue (EnqueuedNs — later than
+// CreatedNs for trailing TCT fragments emitted at staggered slot
+// offsets), delivery, and one HopRecord per link crossed.
+type FrameRecord struct {
+	Stream      model.StreamID
+	Seq         int64
+	Frag        int
+	Priority    int
+	CreatedNs   int64
+	EnqueuedNs  int64
+	DeliveredNs int64
+	Hops        []HopRecord
+}
+
+// PhaseTotal sums one phase across all hops.
+func (f *FrameRecord) PhaseTotal(p Phase) int64 {
+	var total int64
+	for i := range f.Hops {
+		total += f.Hops[i].PhaseNs(p)
+	}
+	return total
+}
+
+// Sojourn returns the frame's measured enqueue-to-delivery time, which
+// the per-hop phases sum to exactly.
+func (f *FrameRecord) Sojourn() int64 { return f.DeliveredNs - f.EnqueuedNs }
+
+// DominantPhase returns the phase that consumed the most time across the
+// frame's hops (ties break toward the earlier phase in the taxonomy).
+func (f *FrameRecord) DominantPhase() Phase {
+	best := PhaseQueue
+	var bestNs int64 = -1
+	for p := PhaseQueue; p < NumPhases; p++ {
+		if t := f.PhaseTotal(p); t > bestNs {
+			best, bestNs = p, t
+		}
+	}
+	return best
+}
+
+func (f *FrameRecord) clone() FrameRecord {
+	out := *f
+	out.Hops = append([]HopRecord(nil), f.Hops...)
+	return out
+}
+
+// AttributionProfile aggregates the causal decomposition of every
+// recorded frame of one stream.
+type AttributionProfile struct {
+	// Frames is the number of attributed frames.
+	Frames int
+	// TotalNs sums each phase across all frames and hops.
+	TotalNs [NumPhases]int64
+	// Worst is the frame with the longest sojourn.
+	Worst FrameRecord
+}
+
+// SumNs returns the total attributed time across all phases.
+func (p *AttributionProfile) SumNs() int64 {
+	var s int64
+	for _, v := range p.TotalNs {
+		s += v
+	}
+	return s
+}
+
+// DominantPhase returns the phase with the largest aggregate total (ties
+// break toward the earlier phase in the taxonomy).
+func (p *AttributionProfile) DominantPhase() Phase {
+	best := PhaseQueue
+	var bestNs int64 = -1
+	for ph := PhaseQueue; ph < NumPhases; ph++ {
+		if p.TotalNs[ph] > bestNs {
+			best, bestNs = ph, p.TotalNs[ph]
+		}
+	}
+	return best
+}
+
+// Share returns the fraction of the stream's attributed time spent in one
+// phase (0 when nothing was attributed).
+func (p *AttributionProfile) Share(ph Phase) float64 {
+	total := p.SumNs()
+	if total == 0 {
+		return 0
+	}
+	return float64(p.TotalNs[ph]) / float64(total)
+}
+
+// Conformance scores a stream's delivered messages against its analytic
+// worst-case bound from the schedule.
+type Conformance struct {
+	// Bound is the analytic worst case the stream was checked against.
+	Bound time.Duration
+	// Checked counts scored messages; Misses counts those past the bound.
+	Checked int
+	Misses  int
+	// MinSlack is the smallest bound-latency margin seen (negative on a
+	// miss); WorstLatency is the largest scored latency.
+	MinSlack     time.Duration
+	WorstLatency time.Duration
+	// MissCauses histograms the dominant phase of the completing fragment
+	// of each missed message (populated only when attribution is on).
+	MissCauses [NumPhases]int
+}
+
+// frameAttrib carries the in-flight attribution state of one frame. All
+// methods are no-ops on the nil receiver, so the event loop stays
+// branch-light and allocation-free when attribution is off.
+type frameAttrib struct {
+	rec FrameRecord
+	cur HopRecord
+	// acct is the instant up to which the current hop's wait has been
+	// charged; every charge advances it, so no instant is counted twice.
+	acct    time.Duration
+	started bool
+	inHop   bool
+}
+
+// beginHop opens the hop record when the frame joins an egress queue.
+func (a *frameAttrib) beginHop(link model.LinkID, now time.Duration) {
+	if a == nil {
+		return
+	}
+	a.cur = HopRecord{Link: link, ArriveNs: int64(now)}
+	a.acct = now
+	a.inHop = true
+	if !a.started {
+		a.started = true
+		a.rec.EnqueuedNs = int64(now)
+	}
+}
+
+// addWait charges wait time to a phase of the current hop.
+func (a *frameAttrib) addWait(p Phase, d time.Duration) {
+	if a == nil || d <= 0 {
+		return
+	}
+	switch p {
+	case PhaseGate:
+		a.cur.GateNs += int64(d)
+	case PhasePreempt:
+		a.cur.PreemptNs += int64(d)
+	default:
+		a.cur.QueueNs += int64(d)
+	}
+}
+
+// endHop closes the hop record when the frame clears the link.
+func (a *frameAttrib) endHop() {
+	if a == nil || !a.inHop {
+		return
+	}
+	a.rec.Hops = append(a.rec.Hops, a.cur)
+	a.inHop = false
+}

@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"etsn/internal/core"
+	"etsn/internal/model"
+)
+
+// attribRun simulates the Fig. 6 E-TSN scenario (sharing TCT + ECT, plus a
+// best-effort flow) with attribution and analytic bounds enabled.
+func attribRun(t *testing.T, trace *bytes.Buffer) (*Results, map[model.StreamID]time.Duration) {
+	t.Helper()
+	n, res, gcls, ect := etsnPlan(t)
+	tctWC, err := core.TCTWorstCase(n, res, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ectWC, err := core.ECTWorstCaseBound(n, res, ect.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := map[model.StreamID]time.Duration{"s1": tctWC, ect.ID: ectWC}
+	cfg := Config{Network: n, Schedule: res.Schedule, GCLs: gcls,
+		ECT: []ECTTraffic{{Stream: ect, Priority: model.PriorityECT}},
+		BestEffort: []BETraffic{{Path: mustPath(t, n, "D1", "D3"),
+			MeanGap: 2 * mtuTx, Priority: model.PriorityBestEffort}},
+		Duration: time.Second, Seed: 11, Attribution: true, Bounds: bounds}
+	if trace != nil {
+		cfg.Trace = trace
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, bounds
+}
+
+// TestAttributionSumsToSojourn is the acceptance property: for every
+// attributed frame the per-hop phases sum exactly to the measured
+// enqueue-to-delivery time, and hop records chain without gaps.
+func TestAttributionSumsToSojourn(t *testing.T) {
+	r, _ := attribRun(t, nil)
+	if !r.AttributionEnabled() {
+		t.Fatal("AttributionEnabled = false")
+	}
+	frames := 0
+	for _, id := range r.AttributedStreams() {
+		for _, rec := range r.FrameRecords(id) {
+			frames++
+			var sum int64
+			for p := PhaseQueue; p < NumPhases; p++ {
+				sum += rec.PhaseTotal(p)
+			}
+			sojourn := rec.DeliveredNs - rec.EnqueuedNs
+			if diff := sum - sojourn; diff > 1 || diff < -1 {
+				t.Fatalf("%s seq %d frag %d: phases sum to %d ns, sojourn %d ns (diff %d)",
+					id, rec.Seq, rec.Frag, sum, sojourn, diff)
+			}
+			if len(rec.Hops) == 0 {
+				t.Fatalf("%s seq %d: no hop records", id, rec.Seq)
+			}
+			if rec.Hops[0].ArriveNs != rec.EnqueuedNs {
+				t.Fatalf("%s seq %d: first hop arrives at %d, enqueued at %d",
+					id, rec.Seq, rec.Hops[0].ArriveNs, rec.EnqueuedNs)
+			}
+			for i, h := range rec.Hops {
+				if wait := h.QueueNs + h.GateNs + h.PreemptNs; h.ArriveNs+wait != h.StartNs {
+					t.Fatalf("%s seq %d hop %d: waits %d ns do not span arrive %d -> start %d",
+						id, rec.Seq, i, wait, h.ArriveNs, h.StartNs)
+				}
+				end := h.StartNs + h.TxNs + h.PropNs
+				if i+1 < len(rec.Hops) {
+					if rec.Hops[i+1].ArriveNs != end {
+						t.Fatalf("%s seq %d hop %d ends at %d, next hop arrives at %d",
+							id, rec.Seq, i, end, rec.Hops[i+1].ArriveNs)
+					}
+				} else if end != rec.DeliveredNs {
+					t.Fatalf("%s seq %d last hop ends at %d, delivered at %d",
+						id, rec.Seq, end, rec.DeliveredNs)
+				}
+			}
+		}
+	}
+	if frames < 100 {
+		t.Fatalf("attributed %d frames, want a real population", frames)
+	}
+}
+
+// TestAttributionSlackNonNegative pins the fault-free guarantee: every
+// TCT and ECT message of the seed scenario stays within its analytic
+// bound, so conformance records no misses and non-negative slack.
+func TestAttributionSlackNonNegative(t *testing.T) {
+	r, bounds := attribRun(t, nil)
+	for id, bound := range bounds {
+		c, ok := r.Conformance(id)
+		if !ok {
+			t.Fatalf("no conformance for %s", id)
+		}
+		if c.Bound != bound {
+			t.Fatalf("%s: bound %v, want %v", id, c.Bound, bound)
+		}
+		if c.Checked != r.Delivered(id) {
+			t.Fatalf("%s: checked %d of %d delivered", id, c.Checked, r.Delivered(id))
+		}
+		if c.Misses != 0 || c.MinSlack < 0 {
+			t.Fatalf("%s: %d misses, min slack %v (bound %v, worst %v)",
+				id, c.Misses, c.MinSlack, bound, c.WorstLatency)
+		}
+		if c.WorstLatency <= 0 || c.WorstLatency > bound {
+			t.Fatalf("%s: worst latency %v outside (0, %v]", id, c.WorstLatency, bound)
+		}
+	}
+	// Unbounded streams (best effort) must not be scored.
+	if _, ok := r.Conformance(BEStreamID(0)); ok {
+		t.Fatal("best-effort stream scored without a bound")
+	}
+}
+
+// TestAttributionProfileMatchesRecords cross-checks the aggregate profile
+// against the raw frame records.
+func TestAttributionProfileMatchesRecords(t *testing.T) {
+	r, _ := attribRun(t, nil)
+	for _, id := range r.AttributedStreams() {
+		prof, ok := r.Attribution(id)
+		if !ok {
+			t.Fatalf("no profile for %s", id)
+		}
+		recs := r.FrameRecords(id)
+		if prof.Frames != len(recs) {
+			t.Fatalf("%s: profile counts %d frames, records %d", id, prof.Frames, len(recs))
+		}
+		var totals [NumPhases]int64
+		var worst int64
+		for _, rec := range recs {
+			for p := PhaseQueue; p < NumPhases; p++ {
+				totals[p] += rec.PhaseTotal(p)
+			}
+			if rec.Sojourn() > worst {
+				worst = rec.Sojourn()
+			}
+		}
+		if totals != prof.TotalNs {
+			t.Fatalf("%s: profile totals %v, records sum %v", id, prof.TotalNs, totals)
+		}
+		if prof.Worst.Sojourn() != worst {
+			t.Fatalf("%s: profile worst %d ns, records worst %d ns", id, prof.Worst.Sojourn(), worst)
+		}
+	}
+}
+
+// TestAttributionPreemptionCharged pins the cross-class charging rule: on
+// an always-open port, an ECT frame arriving while a best-effort frame
+// occupies the wire is charged preemption delay, not queueing.
+func TestAttributionPreemptionCharged(t *testing.T) {
+	n := fig2Network(t)
+	ect := &model.ECT{ID: "e1", Path: mustPath(t, n, "D2", "D3"), E2E: 10 * mtuTx,
+		LengthBytes: model.MTUBytes, MinInterevent: 2 * mtuTx}
+	s, err := New(Config{Network: n, Schedule: model.NewSchedule(),
+		ECT: []ECTTraffic{{Stream: ect, Priority: model.PriorityECT}},
+		BestEffort: []BETraffic{{Path: mustPath(t, n, "D2", "D3"),
+			MeanGap: mtuTx, Priority: model.PriorityBestEffort}},
+		Duration: 200 * time.Millisecond, Seed: 3, Attribution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, ok := r.Attribution(ect.ID)
+	if !ok {
+		t.Fatal("no ECT profile")
+	}
+	if prof.TotalNs[PhasePreempt] == 0 {
+		t.Fatal("ECT never charged preemption delay despite best-effort contention")
+	}
+	if prof.TotalNs[PhaseGate] != 0 {
+		t.Fatalf("gate wait %d ns on always-open ports", prof.TotalNs[PhaseGate])
+	}
+}
+
+// TestAttribTraceRoundTrip re-derives the in-process profile from the
+// JSONL attrib/slack lines and requires an exact match.
+func TestAttribTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r, _ := attribRun(t, &buf)
+	type probe struct {
+		Kind string `json:"kind"`
+	}
+	totals := make(map[model.StreamID]*[NumPhases]int64)
+	frames := make(map[model.StreamID]int)
+	slacks := make(map[model.StreamID]int)
+	misses := make(map[model.StreamID]int)
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var p probe
+		if err := json.Unmarshal(line, &p); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		switch p.Kind {
+		case "attrib":
+			var ev AttribEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatal(err)
+			}
+			id := model.StreamID(ev.Stream)
+			frames[id]++
+			tt := totals[id]
+			if tt == nil {
+				tt = new([NumPhases]int64)
+				totals[id] = tt
+			}
+			var sum int64
+			for _, h := range ev.Hops {
+				tt[PhaseQueue] += h.QueueNs
+				tt[PhaseGate] += h.GateNs
+				tt[PhasePreempt] += h.PreemptNs
+				tt[PhaseTx] += h.TxNs
+				tt[PhaseProp] += h.PropNs
+				sum += h.QueueNs + h.GateNs + h.PreemptNs + h.TxNs + h.PropNs
+			}
+			if sum != ev.DeliveredNs-ev.EnqueuedNs {
+				t.Fatalf("trace frame %s/%d: phases %d != sojourn %d",
+					ev.Stream, ev.Seq, sum, ev.DeliveredNs-ev.EnqueuedNs)
+			}
+		case "slack":
+			var ev SlackEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatal(err)
+			}
+			id := model.StreamID(ev.Stream)
+			slacks[id]++
+			if ev.SlackNs != ev.BoundNs-ev.LatNs {
+				t.Fatalf("slack line inconsistent: %+v", ev)
+			}
+			if ev.SlackNs < 0 {
+				misses[id]++
+			}
+		}
+	}
+	for _, id := range r.AttributedStreams() {
+		prof, _ := r.Attribution(id)
+		if frames[id] != prof.Frames {
+			t.Fatalf("%s: %d attrib lines, %d recorded frames", id, frames[id], prof.Frames)
+		}
+		if *totals[id] != prof.TotalNs {
+			t.Fatalf("%s: trace totals %v, results totals %v", id, *totals[id], prof.TotalNs)
+		}
+	}
+	for _, id := range r.BoundedStreams() {
+		c, _ := r.Conformance(id)
+		if slacks[id] != c.Checked || misses[id] != c.Misses {
+			t.Fatalf("%s: trace %d/%d checked/missed, results %d/%d",
+				id, slacks[id], misses[id], c.Checked, c.Misses)
+		}
+	}
+}
+
+// TestHopTracingSentinel covers the HopLatencies footgun fix: disabled
+// tracing is distinguishable from an empty capture.
+func TestHopTracingSentinel(t *testing.T) {
+	n, res, gcls, ect := etsnPlan(t)
+	run := func(traceHops bool) *Results {
+		s, err := New(Config{Network: n, Schedule: res.Schedule, GCLs: gcls,
+			ECT:      []ECTTraffic{{Stream: ect, Priority: model.PriorityECT}},
+			Duration: 100 * time.Millisecond, Seed: 5, TraceHops: traceHops})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	off := run(false)
+	if off.HopTracingEnabled() {
+		t.Fatal("HopTracingEnabled = true on an untraced run")
+	}
+	if _, err := off.HopLatenciesChecked(ect.ID, 0); !errors.Is(err, ErrHopTracingDisabled) {
+		t.Fatalf("HopLatenciesChecked error = %v, want ErrHopTracingDisabled", err)
+	}
+	if off.HopLatencies(ect.ID, 0) != nil {
+		t.Fatal("HopLatencies should stay nil when tracing is off")
+	}
+	on := run(true)
+	if !on.HopTracingEnabled() {
+		t.Fatal("HopTracingEnabled = false on a traced run")
+	}
+	samples, err := on.HopLatenciesChecked(ect.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no hop samples on a traced run")
+	}
+}
+
+// TestAttributionDisabledNoAllocs pins the zero-cost contract: with
+// attribution off every frame carries a nil record whose methods, like
+// the nil obs instruments, allocate nothing on the event loop.
+func TestAttributionDisabledNoAllocs(t *testing.T) {
+	var a *frameAttrib
+	allocs := testing.AllocsPerRun(1000, func() {
+		a.beginHop(model.LinkID{}, time.Millisecond)
+		a.addWait(PhaseQueue, time.Microsecond)
+		a.addWait(PhaseGate, time.Microsecond)
+		a.endHop()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil frameAttrib allocates %.1f per event sequence, want 0", allocs)
+	}
+	// And the simulator must not allocate records when attribution is off.
+	n, res, gcls, ect := etsnPlan(t)
+	s, err := New(Config{Network: n, Schedule: res.Schedule, GCLs: gcls,
+		ECT:      []ECTTraffic{{Stream: ect, Priority: model.PriorityECT}},
+		Duration: 50 * time.Millisecond, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AttributionEnabled() {
+		t.Fatal("AttributionEnabled = true without Config.Attribution")
+	}
+	if got := r.AttributedStreams(); len(got) != 0 {
+		t.Fatalf("attributed streams %v on a disabled run", got)
+	}
+}

@@ -27,6 +27,10 @@ type Frame struct {
 	// (or about to be crossed).
 	Path []model.LinkID
 	Hop  int
+	// attrib carries the frame's causal latency record; nil (a free
+	// no-op) unless Config.Attribution is on and the frame post-dates the
+	// warm-up.
+	attrib *frameAttrib
 }
 
 // CurrentLink returns the link the frame must traverse next.

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"sort"
+	"strconv"
+
+	"etsn/internal/obs"
+)
+
+// LanesFromRecords renders frame attribution records as Chrome trace
+// lanes: one track per directed link (sorted by name), and for every hop
+// one span per non-zero phase. The wait phases are laid out back to back
+// from the hop's arrival in charging-precedence order (their total always
+// reaches the transmission start exactly), then serialization and
+// propagation follow on the wire.
+func LanesFromRecords(recs []FrameRecord) []obs.Lane {
+	byLink := make(map[string][]obs.LaneSpan)
+	for ri := range recs {
+		rec := &recs[ri]
+		args := map[string]string{
+			"stream": string(rec.Stream),
+			"seq":    strconv.FormatInt(rec.Seq, 10),
+			"frag":   strconv.Itoa(rec.Frag),
+		}
+		for hi := range rec.Hops {
+			h := &rec.Hops[hi]
+			link := h.Link.String()
+			at := h.ArriveNs
+			for _, ph := range []Phase{PhaseQueue, PhaseGate, PhasePreempt} {
+				if d := h.PhaseNs(ph); d > 0 {
+					byLink[link] = append(byLink[link],
+						obs.LaneSpan{Name: ph.String(), StartNs: at, DurNs: d, Args: args})
+					at += d
+				}
+			}
+			byLink[link] = append(byLink[link],
+				obs.LaneSpan{Name: PhaseTx.String(), StartNs: h.StartNs, DurNs: h.TxNs, Args: args})
+			if h.PropNs > 0 {
+				byLink[link] = append(byLink[link],
+					obs.LaneSpan{Name: PhaseProp.String(), StartNs: h.StartNs + h.TxNs, DurNs: h.PropNs, Args: args})
+			}
+		}
+	}
+	tracks := make([]string, 0, len(byLink))
+	for link := range byLink {
+		tracks = append(tracks, link)
+	}
+	sort.Strings(tracks)
+	lanes := make([]obs.Lane, 0, len(tracks))
+	for _, track := range tracks {
+		spans := byLink[track]
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartNs < spans[j].StartNs })
+		lanes = append(lanes, obs.Lane{Track: track, Spans: spans})
+	}
+	return lanes
+}
+
+// FrameLanes renders the run's attributed frames as Chrome trace lanes
+// (empty unless Config.Attribution was on) — pass the result to
+// obs.WriteLaneTrace.
+func (r *Results) FrameLanes() []obs.Lane {
+	var recs []FrameRecord
+	for _, id := range r.AttributedStreams() {
+		recs = append(recs, r.FrameRecords(id)...)
+	}
+	return LanesFromRecords(recs)
+}

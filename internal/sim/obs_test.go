@@ -69,6 +69,7 @@ func TestTraceStreamParses(t *testing.T) {
 // slice must not corrupt a later read.
 func TestResultsAccessorsReturnCopies(t *testing.T) {
 	r := newResults()
+	r.hopTracing = true // recordHop only runs on traced runs
 	r.record("s1", 3*time.Millisecond, 10*time.Millisecond)
 	r.record("s1", 1*time.Millisecond, 20*time.Millisecond)
 	r.recordDrop("s1", 5*time.Millisecond)

@@ -31,8 +31,16 @@ type outPort struct {
 	drops   int
 	// windows caches the gate program per priority, merged and unrolled
 	// over two cycles, so transmission selection is a binary search
-	// instead of an entry scan.
-	windows [model.NumPriorities][]gateWin
+	// instead of an entry scan. oneWin keeps the single-cycle merged
+	// windows and openPerCycle their total open time, for the attribution
+	// layer's closed-gate arithmetic.
+	windows      [model.NumPriorities][]gateWin
+	oneWin       [model.NumPriorities][]gateWin
+	openPerCycle [model.NumPriorities]time.Duration
+	// curTxEnd/curTxPri describe the most recent transmission so waits can
+	// be attributed to the class that occupied the port.
+	curTxEnd time.Duration
+	curTxPri int
 	// wakeAt is the earliest already-scheduled future wake-up, or zero.
 	wakeAt time.Duration
 	// down marks a failed link: arrivals drop until the link comes back.
@@ -87,6 +95,11 @@ func (p *outPort) buildWindows() {
 			}
 			acc += e.Duration
 		}
+		p.oneWin[pri] = one
+		p.openPerCycle[pri] = 0
+		for _, w := range one {
+			p.openPerCycle[pri] += w.end - w.start
+		}
 		if len(one) == 0 {
 			p.windows[pri] = nil
 			continue
@@ -131,6 +144,82 @@ func (p *outPort) nextOpen(t time.Duration, pri int, need time.Duration) (time.D
 	return 0, false
 }
 
+// openBefore returns the total time the priority's gate is open in the
+// node-local interval [0, t).
+func (p *outPort) openBefore(pri int, t time.Duration) time.Duration {
+	if t <= 0 {
+		return 0
+	}
+	c := p.program.Cycle
+	open := time.Duration(t/c) * p.openPerCycle[pri]
+	rem := t % c
+	for _, w := range p.oneWin[pri] {
+		if w.start >= rem {
+			break
+		}
+		end := w.end
+		if end > rem {
+			end = rem
+		}
+		open += end - w.start
+	}
+	return open
+}
+
+// closedDuring returns the closed-gate time for the priority over the
+// node-local interval [a, b).
+func (p *outPort) closedDuring(pri int, a, b time.Duration) time.Duration {
+	if b <= a {
+		return 0
+	}
+	closed := (b - a) - (p.openBefore(pri, b) - p.openBefore(pri, a))
+	if closed < 0 {
+		return 0
+	}
+	return closed
+}
+
+// chargeWait attributes a queued frame's unaccounted wait [acct, until):
+// first the tail of the most recent transmission (preemption when the
+// transmitting frame crossed the ECT class boundary, queueing otherwise),
+// then idle time split into gate-closed versus queue wait by the gate
+// program. Exactly until-acct is charged, so phases sum to the sojourn.
+func (p *outPort) chargeWait(f *Frame, until time.Duration) {
+	a := f.attrib
+	from := a.acct
+	if from >= until {
+		return
+	}
+	if p.curTxEnd > from {
+		end := p.curTxEnd
+		if end > until {
+			end = until
+		}
+		a.addWait(p.waitCause(p.curTxPri, f.Priority), end-from)
+		from = end
+	}
+	if from < until {
+		skew := p.localNow() - p.sim.now
+		closed := p.closedDuring(f.Priority, from+skew, until+skew)
+		if closed > until-from {
+			closed = until - from
+		}
+		a.addWait(PhaseGate, closed)
+		a.addWait(PhaseQueue, until-from-closed)
+	}
+	a.acct = until
+}
+
+// waitCause classifies time spent waiting out a transmission: crossing
+// the ECT class boundary is preemption delay, same-side blocking is
+// ordinary queueing.
+func (p *outPort) waitCause(txPri, waitPri int) Phase {
+	if p.sim.ectClass[txPri] != p.sim.ectClass[waitPri] {
+		return PhasePreempt
+	}
+	return PhaseQueue
+}
+
 // enqueue appends a frame to its priority queue and triggers selection.
 // Under 802.1Qch the frame joins whichever of the two alternating classes
 // is receiving in the current cycle.
@@ -147,6 +236,7 @@ func (p *outPort) enqueue(f *Frame) {
 		f.Priority = c.receiveQueue(p.localNow())
 	}
 	p.sim.trace.emit(p.sim.now, "enqueue", f, p.link.ID())
+	f.attrib.beginHop(p.link.ID(), p.sim.now)
 	p.queues[f.Priority] = append(p.queues[f.Priority], f)
 	p.depth++
 	p.mQueueHWM.Max(int64(p.depth))
@@ -239,6 +329,29 @@ func (p *outPort) transmit(f *Frame, pri int, tx time.Duration) {
 	if sh := p.shapers[pri]; sh != nil {
 		sh.onTransmit(now, tx)
 	}
+	if p.sim.attribOn {
+		// Settle every attributed frame's wait up to now (against the
+		// previous transmission's tail and the gate program), then charge
+		// the frames left behind for this transmission.
+		if f.attrib != nil {
+			p.chargeWait(f, now)
+			f.attrib.cur.StartNs = int64(now)
+			f.attrib.cur.TxNs = int64(tx)
+			f.attrib.cur.PropNs = int64(p.link.PropDelay)
+		}
+		for qp := range p.queues {
+			for _, g := range p.queues[qp] {
+				if g.attrib == nil {
+					continue
+				}
+				p.chargeWait(g, now)
+				g.attrib.addWait(p.waitCause(pri, g.Priority), tx)
+				g.attrib.acct = now + tx
+			}
+		}
+	}
+	p.curTxEnd = now + tx
+	p.curTxPri = pri
 	p.busy = now + tx
 	p.sim.trace.emit(now, "tx", f, p.link.ID())
 	loss := p.sim.cfg.LinkLoss[p.link.ID()]

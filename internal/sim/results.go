@@ -1,11 +1,17 @@
 package sim
 
 import (
+	"errors"
 	"sort"
 	"time"
 
 	"etsn/internal/model"
 )
+
+// ErrHopTracingDisabled is the documented sentinel HopLatenciesChecked
+// returns when the run did not enable Config.TraceHops — distinguishing
+// "tracing was off" from "no samples for this hop".
+var ErrHopTracingDisabled = errors.New("hop tracing disabled (set Config.TraceHops)")
 
 // Results collects per-stream delivery latencies from a run.
 //
@@ -27,6 +33,15 @@ type Results struct {
 	deliveredAt map[model.StreamID][]time.Duration
 	dropAt      map[model.StreamID][]time.Duration
 	lostAt      map[model.StreamID][]time.Duration
+	// hopTracing/attribOn record which optional captures the run enabled,
+	// so accessors can distinguish "off" from "empty".
+	hopTracing bool
+	attribOn   bool
+	// frames/profiles hold the causal attribution capture; conf scores
+	// bounded streams against their analytic worst case.
+	frames   map[model.StreamID][]*FrameRecord
+	profiles map[model.StreamID]*AttributionProfile
+	conf     map[model.StreamID]*Conformance
 }
 
 type hopKey struct {
@@ -45,6 +60,46 @@ func newResults() *Results {
 		deliveredAt: make(map[model.StreamID][]time.Duration),
 		dropAt:      make(map[model.StreamID][]time.Duration),
 		lostAt:      make(map[model.StreamID][]time.Duration),
+		frames:      make(map[model.StreamID][]*FrameRecord),
+		profiles:    make(map[model.StreamID]*AttributionProfile),
+		conf:        make(map[model.StreamID]*Conformance),
+	}
+}
+
+func (r *Results) recordFrame(rec *FrameRecord) {
+	r.frames[rec.Stream] = append(r.frames[rec.Stream], rec)
+	p := r.profiles[rec.Stream]
+	if p == nil {
+		p = &AttributionProfile{}
+		r.profiles[rec.Stream] = p
+	}
+	p.Frames++
+	for ph := PhaseQueue; ph < NumPhases; ph++ {
+		p.TotalNs[ph] += rec.PhaseTotal(ph)
+	}
+	if p.Frames == 1 || rec.Sojourn() > p.Worst.Sojourn() {
+		p.Worst = *rec
+	}
+}
+
+func (r *Results) recordConformance(id model.StreamID, bound, lat time.Duration, rec *FrameRecord) {
+	c := r.conf[id]
+	if c == nil {
+		c = &Conformance{Bound: bound, MinSlack: bound}
+		r.conf[id] = c
+	}
+	c.Checked++
+	if slack := bound - lat; slack < c.MinSlack {
+		c.MinSlack = slack
+	}
+	if lat > c.WorstLatency {
+		c.WorstLatency = lat
+	}
+	if lat > bound {
+		c.Misses++
+		if rec != nil {
+			c.MissCauses[rec.DominantPhase()]++
+		}
 	}
 }
 
@@ -63,11 +118,34 @@ func (r *Results) recordHop(id model.StreamID, hop int, lat time.Duration) {
 	r.hops[k] = append(r.hops[k], lat)
 }
 
+// HopTracingEnabled reports whether the run recorded per-hop completion
+// latencies (Config.TraceHops). When false, HopLatencies returns nil for
+// every stream — use HopLatenciesChecked to tell the cases apart.
+func (r *Results) HopTracingEnabled() bool { return r.hopTracing }
+
+// AttributionEnabled reports whether the run recorded per-frame causal
+// attribution (Config.Attribution).
+func (r *Results) AttributionEnabled() bool { return r.attribOn }
+
 // HopLatencies returns, when hop tracing is enabled, the per-frame latency
 // from message creation until the frame cleared the given hop (0-based
 // along the stream's path). The returned slice is the caller's to keep.
+// When hop tracing was off it returns nil for every stream — callers that
+// need to distinguish that from "no samples" should use
+// HopLatenciesChecked or HopTracingEnabled.
 func (r *Results) HopLatencies(id model.StreamID, hop int) []time.Duration {
-	return copyDurations(r.hops[hopKey{stream: id, hop: hop}])
+	out, _ := r.HopLatenciesChecked(id, hop)
+	return out
+}
+
+// HopLatenciesChecked is HopLatencies with the silent-nil footgun
+// removed: it returns ErrHopTracingDisabled when the run did not set
+// Config.TraceHops, instead of an indistinguishable nil slice.
+func (r *Results) HopLatenciesChecked(id model.StreamID, hop int) ([]time.Duration, error) {
+	if !r.hopTracing {
+		return nil, ErrHopTracingDisabled
+	}
+	return copyDurations(r.hops[hopKey{stream: id, hop: hop}]), nil
 }
 
 // copyDurations detaches an internal sample slice so callers can sort or
@@ -165,4 +243,63 @@ func (r *Results) DropTimes(id model.StreamID) []time.Duration {
 // wire. The returned slice is the caller's to keep.
 func (r *Results) LossTimes(id model.StreamID) []time.Duration {
 	return copyDurations(r.lostAt[id])
+}
+
+// FrameRecords returns the causal attribution records of a stream's
+// delivered frames in delivery order (empty unless Config.Attribution was
+// on). The records and their hop slices are the caller's to keep.
+func (r *Results) FrameRecords(id model.StreamID) []FrameRecord {
+	recs := r.frames[id]
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]FrameRecord, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.clone()
+	}
+	return out
+}
+
+// Attribution returns a stream's aggregated attribution profile; ok is
+// false when no frame of the stream was attributed.
+func (r *Results) Attribution(id model.StreamID) (AttributionProfile, bool) {
+	p := r.profiles[id]
+	if p == nil {
+		return AttributionProfile{}, false
+	}
+	out := *p
+	out.Worst = p.Worst.clone()
+	return out, true
+}
+
+// AttributedStreams lists the streams with at least one attributed frame,
+// sorted.
+func (r *Results) AttributedStreams() []model.StreamID {
+	out := make([]model.StreamID, 0, len(r.profiles))
+	for id := range r.profiles {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Conformance returns a stream's bound-conformance score; ok is false
+// when the stream had no bound or delivered no scored message.
+func (r *Results) Conformance(id model.StreamID) (Conformance, bool) {
+	c := r.conf[id]
+	if c == nil {
+		return Conformance{}, false
+	}
+	return *c, true
+}
+
+// BoundedStreams lists the streams with at least one scored message,
+// sorted.
+func (r *Results) BoundedStreams() []model.StreamID {
+	out := make([]model.StreamID, 0, len(r.conf))
+	for id := range r.conf {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

@@ -91,6 +91,19 @@ type Config struct {
 	// end-to-end latencies. Off by default; it grows memory linearly with
 	// frames x hops.
 	TraceHops bool
+	// Attribution records a causal latency decomposition for every frame
+	// created after the warm-up: per hop, its sojourn splits exactly into
+	// queue-wait, gate-wait, preemption delay, serialization, and
+	// propagation (see Phase). Off by default; like TraceHops it grows
+	// memory with frames x hops, and when off it adds zero allocations to
+	// the event loop.
+	Attribution bool
+	// Bounds maps streams to their analytic worst-case latency from the
+	// schedule. Every delivered message of a bounded stream is scored:
+	// slack (bound minus latency) feeds a per-stream etsn_sim_slack_ns
+	// histogram and the Results conformance accessors, and bound misses
+	// are attributed to their dominant cause when Attribution is on.
+	Bounds map[model.StreamID]time.Duration
 	// LinkLoss maps directed links to an independent per-frame loss
 	// probability (a coarse PHY error model for redundancy studies).
 	LinkLoss map[model.LinkID]float64
@@ -166,6 +179,14 @@ type Simulator struct {
 	// clockStep accumulates per-node clock-step faults on top of the
 	// configured ClockOffset model.
 	clockStep map[model.NodeID]time.Duration
+	// attribOn caches cfg.Attribution; ectClass marks the traffic classes
+	// carrying event-triggered streams, the boundary preemption delay is
+	// charged across.
+	attribOn bool
+	ectClass [model.NumPriorities]bool
+	// slackHist holds one slack histogram per bounded stream (all nil
+	// no-ops when cfg.Obs is nil).
+	slackHist map[model.StreamID]*obs.Histogram
 	// Cached instruments; all nil (free no-ops) when cfg.Obs is nil.
 	mEvents       *obs.Counter
 	mEventsPerSec *obs.Gauge
@@ -175,6 +196,9 @@ type Simulator struct {
 	mDropsJam     *obs.Counter
 	mDropsDown    *obs.Counter
 	mDropsFlush   *obs.Counter
+	mAttribFrames *obs.Counter
+	mBoundChecked *obs.Counter
+	mBoundMiss    *obs.Counter
 }
 
 type fragKey struct {
@@ -229,6 +253,11 @@ func New(cfg Config) (*Simulator, error) {
 			return nil, err
 		}
 	}
+	for id, b := range cfg.Bounds {
+		if b <= 0 {
+			return nil, fmt.Errorf("%w: bound %v for stream %q", ErrBadConfig, b, id)
+		}
+	}
 	s := &Simulator{
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
@@ -243,6 +272,12 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Trace != nil {
 		s.trace = newTracer(cfg.Trace)
 	}
+	s.attribOn = cfg.Attribution
+	s.results.hopTracing = cfg.TraceHops
+	s.results.attribOn = cfg.Attribution
+	for _, e := range cfg.ECT {
+		s.ectClass[e.Priority] = true
+	}
 	// A nil cfg.Obs yields nil instruments whose methods are no-ops, so the
 	// hot paths below stay branch-light and allocation-free when disabled.
 	s.mEvents = cfg.Obs.Counter("etsn_sim_events_total")
@@ -253,6 +288,15 @@ func New(cfg Config) (*Simulator, error) {
 	s.mDropsJam = cfg.Obs.Counter(`etsn_sim_drops_total{cause="jam"}`)
 	s.mDropsDown = cfg.Obs.Counter(`etsn_sim_drops_total{cause="down"}`)
 	s.mDropsFlush = cfg.Obs.Counter(`etsn_sim_drops_total{cause="flush"}`)
+	s.mAttribFrames = cfg.Obs.Counter("etsn_sim_attrib_frames_total")
+	s.mBoundChecked = cfg.Obs.Counter("etsn_sim_bound_checked_total")
+	s.mBoundMiss = cfg.Obs.Counter("etsn_sim_bound_miss_total")
+	if len(cfg.Bounds) > 0 {
+		s.slackHist = make(map[model.StreamID]*obs.Histogram, len(cfg.Bounds))
+		for id := range cfg.Bounds {
+			s.slackHist[id] = cfg.Obs.Histogram(`etsn_sim_slack_ns{stream="` + string(id) + `"}`)
+		}
+	}
 	for _, link := range cfg.Network.Links() {
 		program := cfg.GCLs[link.ID()]
 		if program == nil {
@@ -270,6 +314,21 @@ func New(cfg Config) (*Simulator, error) {
 		s.ports[link.ID()] = p
 	}
 	return s, nil
+}
+
+// newAttrib allocates a frame's attribution record, or nil (the free
+// no-op) when attribution is off or the frame pre-dates the warm-up.
+func (s *Simulator) newAttrib(f *Frame) *frameAttrib {
+	if !s.attribOn || f.Created < s.cfg.WarmUp {
+		return nil
+	}
+	return &frameAttrib{rec: FrameRecord{
+		Stream:    f.Stream,
+		Seq:       f.Seq,
+		Frag:      f.Frag,
+		Priority:  f.Priority,
+		CreatedNs: int64(f.Created),
+	}}
 }
 
 // localTime maps simulation time to a node's local clock, including any
@@ -388,6 +447,7 @@ func (s *Simulator) scheduleTCTCycle(gen int64, st *model.Stream, offsets []time
 				Created:      created,
 				Path:         st.Path,
 			}
+			f.attrib = s.newAttrib(f)
 			s.ports[f.CurrentLink()].enqueue(f)
 		})
 	}
@@ -446,6 +506,7 @@ func (s *Simulator) scheduleECTEvent(src ECTTraffic, gap func(*rand.Rand) time.D
 					Created:      at,
 					Path:         path,
 				}
+				f.attrib = s.newAttrib(f)
 				s.ports[f.CurrentLink()].enqueue(f)
 			}
 		}
@@ -495,6 +556,7 @@ func (s *Simulator) scheduleBEFrame(be BETraffic, flow int, at time.Duration, se
 			Created:      at,
 			Path:         be.Path,
 		}
+		f.attrib = s.newAttrib(f)
 		s.ports[f.CurrentLink()].enqueue(f)
 		s.scheduleBEFrame(be, flow, at+gap, seq+1)
 	})
@@ -504,6 +566,7 @@ func (s *Simulator) scheduleBEFrame(be BETraffic, flow int, at time.Duration, se
 // switch, or complete the message at the destination device.
 func (s *Simulator) deliver(f *Frame, over *model.Link) {
 	s.trace.emit(s.now, "deliver", f, over.ID())
+	f.attrib.endHop()
 	if s.cfg.TraceHops && f.Created >= s.cfg.WarmUp {
 		s.results.recordHop(f.Stream, f.Hop, s.now-f.Created)
 	}
@@ -516,6 +579,12 @@ func (s *Simulator) deliver(f *Frame, over *model.Link) {
 			}
 			s.seen[fk] = true
 		}
+		if f.attrib != nil {
+			f.attrib.rec.DeliveredNs = int64(s.now)
+			s.results.recordFrame(&f.attrib.rec)
+			s.trace.emitAttrib(s.now, &f.attrib.rec)
+			s.mAttribFrames.Inc()
+		}
 		k := msgKey{stream: f.Stream, seq: f.Seq}
 		s.arrived[k]++
 		if s.arrived[k] == f.FragCount {
@@ -525,12 +594,35 @@ func (s *Simulator) deliver(f *Frame, over *model.Link) {
 				s.results.record(f.Stream, lat, s.now)
 				s.mDelivered.Inc()
 				s.mLatencyNs.Observe(int64(lat))
+				if bound, ok := s.cfg.Bounds[f.Stream]; ok {
+					s.scoreBound(f, bound, lat)
+				}
 			}
 		}
 		return
 	}
 	f.Hop++
 	s.ports[f.CurrentLink()].enqueue(f)
+}
+
+// scoreBound scores a completed message against its stream's analytic
+// worst case: slack feeds the per-stream histogram (negative slack clamps
+// to the zero bucket there; the signed minimum lives in Results), misses
+// bump the miss counter and, when attribution is on, are charged to the
+// dominant phase of the completing fragment.
+func (s *Simulator) scoreBound(f *Frame, bound, lat time.Duration) {
+	var rec *FrameRecord
+	if f.attrib != nil {
+		rec = &f.attrib.rec
+	}
+	s.results.recordConformance(f.Stream, bound, lat, rec)
+	s.mBoundChecked.Inc()
+	slack := bound - lat
+	if slack < 0 {
+		s.mBoundMiss.Inc()
+	}
+	s.slackHist[f.Stream].Observe(int64(slack))
+	s.trace.emitSlack(s.now, f, lat, bound)
 }
 
 // fragmentBytes returns the payload of fragment j of a message: full MTUs

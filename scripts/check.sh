@@ -2,8 +2,11 @@
 # check.sh — the tier-1 gate. Everything a change must pass before merge:
 # vet, build, the full test suite under the race detector, a one-iteration
 # benchmark smoke, a bench-artifact round trip (emit BENCH_smoke.json with
-# etsn-bench, fail if it does not validate), and a short fuzz smoke over
-# the corpus seeds of every fuzz target.
+# etsn-bench, fail if it does not validate), an attribution round trip
+# (etsn-sim -attrib -trace piped through etsn-trace must reproduce the
+# committed golden report), and a short fuzz smoke over the corpus seeds
+# of every fuzz target. Each bench refresh appends its headline wall time
+# to bench/history.jsonl so regressions are visible across runs.
 #
 # Usage: ./scripts/check.sh            (from the repository root)
 #        FUZZTIME=10s ./scripts/check.sh
@@ -32,16 +35,28 @@ go build -o "$BENCHDIR/etsn-bench" ./cmd/etsn-bench
     -bench-dir "$BENCHDIR" -bench-name smoke >/dev/null
 "$BENCHDIR/etsn-bench" -check-bench "$BENCHDIR/BENCH_smoke.json"
 
-echo "==> bench artifacts (bench/BENCH_headline.json, bench/BENCH_fig11.json)"
+echo "==> trace round trip (etsn-sim -attrib | etsn-trace vs golden)"
+go build -o "$BENCHDIR/etsn-sim" ./cmd/etsn-sim
+go build -o "$BENCHDIR/etsn-trace" ./cmd/etsn-trace
+"$BENCHDIR/etsn-sim" -config scripts/testdata/trace-config.json \
+    -duration 200ms -seed 7 -attrib -trace "$BENCHDIR/trace.jsonl" >/dev/null
+"$BENCHDIR/etsn-trace" "$BENCHDIR/trace.jsonl" >"$BENCHDIR/trace-report.txt"
+diff -u scripts/testdata/trace-report.golden "$BENCHDIR/trace-report.txt"
+
+echo "==> bench artifacts (bench/BENCH_headline.json, bench/BENCH_fig11.json, bench/BENCH_attrib.json)"
 # Refresh the committed artifacts: the parallel wall time plus a sequential
-# rerun, so each records the fan-out speedup on this machine.
+# rerun, so each records the fan-out speedup on this machine. The headline
+# run also appends its wall time to bench/history.jsonl.
 mkdir -p bench
 "$BENCHDIR/etsn-bench" -experiment headline -duration 1s \
-    -compare-sequential -bench-dir bench >/dev/null
+    -compare-sequential -bench-dir bench -history bench/history.jsonl >/dev/null
 "$BENCHDIR/etsn-bench" -experiment fig11 -duration 1s \
     -compare-sequential -bench-dir bench >/dev/null
+"$BENCHDIR/etsn-bench" -experiment attrib -duration 1s \
+    -bench-dir bench >/dev/null
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_headline.json
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_fig11.json
+"$BENCHDIR/etsn-bench" -check-bench bench/BENCH_attrib.json
 
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test ./internal/qcc/ -run=^$ -fuzz=FuzzParse$ -fuzztime="$FUZZTIME"
