@@ -1,8 +1,14 @@
 # Tier-1 gate: `make check` must pass before merge (see README).
-.PHONY: check test build vet fuzz
+.PHONY: check test build vet fuzz bench-smt
 
 check:
 	./scripts/check.sh
+
+# Refresh and gate the solver micro-benchmark artifact (bench/BENCH_smt.json):
+# CDCL must beat the reference oracle on every instance class.
+bench-smt:
+	go run ./cmd/etsn-bench -experiment smt -bench-dir bench -history bench/history.jsonl
+	go run ./cmd/etsn-bench -check-bench bench/BENCH_smt.json
 
 test:
 	go test ./...

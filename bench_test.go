@@ -2,6 +2,7 @@ package etsn_test
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -345,6 +346,43 @@ func jobShopSolver(n int, length, horizon int64) *smt.Solver {
 		}
 	}
 	return s
+}
+
+// BenchmarkCDCLvsReference compares the CDCL(T) core against the
+// chronological Reference oracle on the bench/BENCH_smt.json instance
+// classes: an UNSAT core and a forced Minimize objective, each buried
+// behind k independent disjunctive distractor pairs. The reference solver
+// re-refutes the core once per distractor assignment (2^k times); CDCL
+// learns it once and backjumps past the distractors.
+func BenchmarkCDCLvsReference(b *testing.B) {
+	for _, mode := range []smt.Mode{smt.ModeCDCL, smt.ModeReference} {
+		b.Run("buried-conflict-14/"+mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := experiments.BuriedConflict(14)
+				s.Mode = mode
+				b.StartTimer()
+				if _, err := s.Solve(); !errors.Is(err, smt.ErrUnsat) {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("buried-minimize-12/"+mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, v := experiments.BuriedMinimize(12)
+				s.Mode = mode
+				b.StartTimer()
+				m, err := s.Minimize(v, 0, 50)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.Value(v) != 15 {
+					b.Fatalf("optimum %d, want 15", m.Value(v))
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSMTSolve measures the single deterministic search on a job-shop

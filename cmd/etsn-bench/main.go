@@ -78,7 +78,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("etsn-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment to run: all, headline, fig11, fig12, fig14, fig15, fig16, fourway, frer, scale, sync, ablation, faults, attrib")
+	experiment := fs.String("experiment", "all", "experiment to run: all, headline, fig11, fig12, fig14, fig15, fig16, fourway, frer, scale, sync, ablation, faults, attrib, smt")
 	duration := fs.Duration("duration", experiments.DefaultDuration, "simulated time per run")
 	seed := fs.Int64("seed", experiments.DefaultSeed, "random seed for event arrivals")
 	metrics := fs.String("metrics", "", "write run metrics to this file (.json for JSON, else Prometheus text)")
@@ -102,8 +102,13 @@ func run(args []string, w io.Writer) error {
 		if err := a.Validate(); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s: valid bench artifact (%s, wall %dms, %d events)\n",
-			*checkBench, a.Experiment, a.WallMs, a.Sim.Events)
+		if len(a.SMT) > 0 {
+			fmt.Fprintf(w, "%s: valid bench artifact (%s, wall %dms, %d smt classes)\n",
+				*checkBench, a.Experiment, a.WallMs, len(a.SMT))
+		} else {
+			fmt.Fprintf(w, "%s: valid bench artifact (%s, wall %dms, %d events)\n",
+				*checkBench, a.Experiment, a.WallMs, a.Sim.Events)
+		}
 		return nil
 	}
 	if *pprofSpec != "" {
@@ -120,6 +125,10 @@ func run(args []string, w io.Writer) error {
 		name string
 		fn   func(experiments.RunOptions, io.Writer) error
 	}
+	// The smt runner stashes its per-class comparison here; runOne attaches
+	// it to that run's artifact (the registry harvest carries only the
+	// aggregate counters, not the per-class split).
+	var smtClasses []experiments.BenchSMTClass
 	all := []runner{
 		{"headline", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.Headline(o)
@@ -244,6 +253,15 @@ func run(args []string, w io.Writer) error {
 			r.WriteTable(w)
 			return nil
 		}},
+		{"smt", func(o experiments.RunOptions, w io.Writer) error {
+			classes, err := experiments.SMTBench(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteSMTBenchTable(w, classes)
+			smtClasses = classes
+			return nil
+		}},
 	}
 
 	// Each experiment runs with a fresh registry and tracer so its bench
@@ -256,6 +274,7 @@ func run(args []string, w io.Writer) error {
 		o := opts
 		o.Obs = obs.NewRegistry()
 		o.Phases = obs.NewTracer()
+		smtClasses = nil
 		start := time.Now()
 		if err := r.fn(o, w); err != nil {
 			return err
@@ -267,6 +286,7 @@ func run(args []string, w io.Writer) error {
 			name = r.name
 		}
 		art := experiments.NewBenchArtifact(name, o.Obs, o, wall)
+		art.SMT = smtClasses
 		if *compareSeq {
 			// Rerun sequentially with tables discarded, so the artifact
 			// records the fan-out speedup on this machine.

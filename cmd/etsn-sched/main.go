@@ -155,6 +155,8 @@ func printSolverStats(dep *qcc.Deployment) {
 	st := dep.Result.SolverStats
 	fmt.Fprintf(os.Stderr, "solver: %d solves, %d decisions, %d propagations, %d conflicts, %d theory checks, %d clauses, %d vars\n",
 		st.Solves, st.Decisions, st.Propagations, st.Conflicts, st.TheoryChecks, st.Clauses, st.Vars)
+	fmt.Fprintf(os.Stderr, "solver: %d restarts, %d learned clauses, %d theory propagations, max decision level %d\n",
+		st.Restarts, st.Learned, st.TheoryProps, st.MaxDecisionLevel)
 }
 
 func printSummary(dep *qcc.Deployment) {

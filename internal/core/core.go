@@ -133,6 +133,18 @@ type Options struct {
 	// (5-MTU ECT messages, 40 sharing streams) are capacity-infeasible.
 	// The strict per-stream behaviour remains the default.
 	SharedReserves bool
+	// ReferenceSolver selects the chronological-backtracking reference
+	// search instead of the default CDCL(T) core in the SMT backends. The
+	// reference solver is the differential-testing oracle: slower on hard
+	// instances but structurally simple, useful for cross-checking a
+	// suspect schedule or bisecting a solver regression.
+	ReferenceSolver bool
+	// TheoryProp enables the SMT solver's exhaustive theory propagation
+	// pass (implied interned atoms asserted from the difference graph's
+	// potentials). It prunes search on deeply disjunctive instances but
+	// costs two shortest-path sweeps per asserted edge, which does not pay
+	// off on typical scheduling instances; off by default.
+	TheoryProp bool
 	// Obs receives scheduler metrics (solver effort, expansion and
 	// reservation counters) when non-nil; a nil registry disables
 	// instrumentation at zero cost.
@@ -190,8 +202,17 @@ type SolverStats struct {
 	Propagations int64
 	Conflicts    int64
 	TheoryChecks int64
-	// Solves is the number of Solve calls (each restarts the search), so
-	// it doubles as the restart count.
+	// Restarts counts in-search Luby restarts (CDCL mode only; distinct
+	// from Solves, which counts full Solve calls).
+	Restarts int64
+	// Learned counts conflict clauses learned by 1UIP analysis.
+	Learned int64
+	// TheoryProps counts literals assigned by difference-logic theory
+	// propagation (only non-zero when the optional pass is enabled).
+	TheoryProps int64
+	// MaxDecisionLevel is the deepest decision level any search reached.
+	MaxDecisionLevel int64
+	// Solves is the number of Solve calls the backend made.
 	Solves  int64
 	Clauses int
 	Vars    int

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"etsn/internal/model"
+	"etsn/internal/obs"
 )
 
 // mtuTx is the transmission time of one MTU frame on a 100 Mb/s link,
@@ -132,6 +133,65 @@ func TestScheduleFig4SMT(t *testing.T) {
 	if res.SolverStats.Clauses == 0 || res.SolverStats.Vars == 0 {
 		t.Fatalf("missing solver stats: %+v", res.SolverStats)
 	}
+}
+
+// TestScheduleSMTStatsSurfaced runs a real schedule through the SMT
+// backend and checks the CDCL stats land in both Result.SolverStats and
+// the obs registry's etsn_smt_* family. A feasible scheduling run is
+// typically conflict-free, so the conflict-derived counters (Learned,
+// Restarts) are only asserted non-negative; the search-shape counters
+// must be live.
+func TestScheduleSMTStatsSurfaced(t *testing.T) {
+	n := fig2Network(t)
+	p := fig4Problem(t, n)
+	p.Opts.Backend = BackendSMT
+	reg := obs.NewRegistry()
+	p.Opts.Obs = reg
+	res, err := Schedule(p)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	st := res.SolverStats
+	if st.Decisions == 0 || st.Propagations == 0 || st.MaxDecisionLevel == 0 {
+		t.Fatalf("search-shape stats not populated: %+v", st)
+	}
+	if st.Learned < 0 || st.Restarts < 0 || st.TheoryProps < 0 {
+		t.Fatalf("negative stats: %+v", st)
+	}
+	// The new counters must be registered (published, possibly at zero)
+	// alongside the established effort family.
+	want := map[string]bool{
+		"etsn_smt_restarts_total":     false,
+		"etsn_smt_learned_clauses":    false,
+		"etsn_smt_theory_props_total": false,
+		"etsn_smt_decisions_total":    false,
+	}
+	for _, m := range reg.Gather() {
+		if _, ok := want[m.Name]; ok {
+			want[m.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("metric %s not published", name)
+		}
+	}
+	if got := reg.CounterValue("etsn_smt_decisions_total"); got != st.Decisions {
+		t.Errorf("etsn_smt_decisions_total = %d, want %d", got, st.Decisions)
+	}
+	// The exported deployment-style stats must survive a reference-mode
+	// run too, with the CDCL-only counters pinned at zero.
+	p2 := fig4Problem(t, n)
+	p2.Opts.Backend = BackendSMT
+	p2.Opts.ReferenceSolver = true
+	res2, err := Schedule(p2)
+	if err != nil {
+		t.Fatalf("Schedule (reference): %v", err)
+	}
+	if res2.SolverStats.Learned != 0 || res2.SolverStats.Restarts != 0 {
+		t.Fatalf("reference solver reported CDCL effort: %+v", res2.SolverStats)
+	}
+	verifyClean(t, n, res2)
 }
 
 func TestScheduleFig4SMTIncremental(t *testing.T) {

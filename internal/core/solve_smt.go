@@ -36,6 +36,10 @@ func newSMTBuilder(inst *instance) *smtBuilder {
 	if inst.opts.Timeout > 0 {
 		b.solver.Deadline = time.Now().Add(inst.opts.Timeout)
 	}
+	if inst.opts.ReferenceSolver {
+		b.solver.Mode = smt.ModeReference
+	}
+	b.solver.TheoryProp = inst.opts.TheoryProp
 	return b
 }
 
@@ -210,13 +214,17 @@ func solveSMT(inst *instance, incremental bool) (*Result, error) {
 	})
 	st := b.solver.TotalStats()
 	res.SolverStats = SolverStats{
-		Decisions:    st.Decisions,
-		Propagations: st.Propagations,
-		Conflicts:    st.Conflicts,
-		TheoryChecks: st.TheoryChecks,
-		Solves:       b.solver.Solves(),
-		Clauses:      st.Clauses,
-		Vars:         st.Vars,
+		Decisions:        st.Decisions,
+		Propagations:     st.Propagations,
+		Conflicts:        st.Conflicts,
+		TheoryChecks:     st.TheoryChecks,
+		Restarts:         st.Restarts,
+		Learned:          st.Learned,
+		TheoryProps:      st.TheoryProps,
+		MaxDecisionLevel: st.MaxDecisionLevel,
+		Solves:           b.solver.Solves(),
+		Clauses:          st.Clauses,
+		Vars:             st.Vars,
 	}
 	if incremental {
 		res.BackendUsed = BackendSMTIncremental
@@ -263,6 +271,9 @@ func publishSolverStats(reg *obs.Registry, s *smt.Solver) {
 	reg.Counter("etsn_smt_propagations_total").Add(st.Propagations)
 	reg.Counter("etsn_smt_conflicts_total").Add(st.Conflicts)
 	reg.Counter("etsn_smt_theory_checks_total").Add(st.TheoryChecks)
+	reg.Counter("etsn_smt_restarts_total").Add(st.Restarts)
+	reg.Counter("etsn_smt_learned_clauses").Add(st.Learned)
+	reg.Counter("etsn_smt_theory_props_total").Add(st.TheoryProps)
 	reg.Counter("etsn_smt_solves_total").Add(s.Solves())
 	reg.Gauge("etsn_smt_clauses").Set(int64(st.Clauses))
 	reg.Gauge("etsn_smt_vars").Set(int64(st.Vars))

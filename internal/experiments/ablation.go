@@ -251,8 +251,8 @@ func (r *AblationBackendResult) WriteTable(w io.Writer) {
 			fmt.Fprintf(w, "  %-16s %-14v FAILED: %s\n", row.Backend, row.BuildDur.Round(time.Microsecond), row.Err)
 			continue
 		}
-		fmt.Fprintf(w, "  %-16s %-14v slots=%-5d decisions=%-8d conflicts=%-8d clauses=%d\n",
+		fmt.Fprintf(w, "  %-16s %-14v slots=%-5d decisions=%-8d conflicts=%-8d learned=%-6d clauses=%d\n",
 			row.Backend, row.BuildDur.Round(time.Microsecond), row.Slots,
-			row.Stats.Decisions, row.Stats.Conflicts, row.Stats.Clauses)
+			row.Stats.Decisions, row.Stats.Conflicts, row.Stats.Learned, row.Stats.Clauses)
 	}
 }

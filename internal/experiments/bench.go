@@ -16,6 +16,9 @@ type BenchSolver struct {
 	Propagations int64 `json:"propagations"`
 	Conflicts    int64 `json:"conflicts"`
 	TheoryChecks int64 `json:"theory_checks"`
+	Restarts     int64 `json:"restarts"`
+	Learned      int64 `json:"learned"`
+	TheoryProps  int64 `json:"theory_props"`
 	Solves       int64 `json:"solves"`
 	Clauses      int64 `json:"clauses"`
 	Vars         int64 `json:"vars"`
@@ -38,6 +41,27 @@ type BenchAttrib struct {
 	Frames       int64 `json:"frames"`
 	BoundChecked int64 `json:"bound_checked"`
 	BoundMisses  int64 `json:"bound_misses"`
+}
+
+// BenchSMTRun is one side (CDCL or Reference) of an SMT bench class run:
+// the solver's aggregate effort counters plus wall time.
+type BenchSMTRun struct {
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Conflicts    int64 `json:"conflicts"`
+	Learned      int64 `json:"learned"`
+	Restarts     int64 `json:"restarts"`
+	TheoryProps  int64 `json:"theory_props"`
+	WallUs       int64 `json:"wall_us"`
+}
+
+// BenchSMTClass compares both solver modes on one hard instance class.
+// The committed artifact is a regression gate: Validate demands the CDCL
+// side beat the reference oracle on every class.
+type BenchSMTClass struct {
+	Name      string      `json:"name"`
+	CDCL      BenchSMTRun `json:"cdcl"`
+	Reference BenchSMTRun `json:"reference"`
 }
 
 // BenchLatency summarizes the end-to-end delivery latency histogram.
@@ -74,6 +98,10 @@ type BenchArtifact struct {
 	Latency *BenchLatency `json:"latency,omitempty"`
 	// Attrib is present when the run attributed frames or scored bounds.
 	Attrib *BenchAttrib `json:"attrib,omitempty"`
+	// SMT is present on the solver micro-benchmark run: per-class
+	// CDCL-versus-reference effort and wall-time comparisons. Runs with a
+	// non-empty SMT section are solver-only and carry no simulator traffic.
+	SMT []BenchSMTClass `json:"smt_classes,omitempty"`
 }
 
 // NewBenchArtifact harvests a registry into a bench artifact. The registry
@@ -97,6 +125,9 @@ func NewBenchArtifact(experiment string, reg *obs.Registry, opts RunOptions, wal
 			Propagations: reg.CounterValue("etsn_smt_propagations_total"),
 			Conflicts:    reg.CounterValue("etsn_smt_conflicts_total"),
 			TheoryChecks: reg.CounterValue("etsn_smt_theory_checks_total"),
+			Restarts:     reg.CounterValue("etsn_smt_restarts_total"),
+			Learned:      reg.CounterValue("etsn_smt_learned_clauses"),
+			TheoryProps:  reg.CounterValue("etsn_smt_theory_props_total"),
 			Solves:       reg.CounterValue("etsn_smt_solves_total"),
 			Clauses:      reg.GaugeValue("etsn_smt_clauses"),
 			Vars:         reg.GaugeValue("etsn_smt_vars"),
@@ -160,8 +191,13 @@ func LoadBenchArtifact(path string) (*BenchArtifact, error) {
 // scheduled and simulated anything at all must show simulator activity,
 // positive throughput, and a positive wall time. Solver effort may be zero
 // (placer-only runs), but a run that claims solves must also show theory
-// activity.
+// activity. Solver-only artifacts (non-empty SMT section) skip the
+// simulator checks and instead gate on CDCL strictly beating the reference
+// oracle — fewer decisions+conflicts AND lower wall time — on every class.
 func (a *BenchArtifact) Validate() error {
+	if len(a.SMT) > 0 {
+		return a.validateSMT()
+	}
 	switch {
 	case a.Experiment == "":
 		return fmt.Errorf("bench artifact: empty experiment name")
@@ -182,6 +218,43 @@ func (a *BenchArtifact) Validate() error {
 		return fmt.Errorf("bench artifact %s: wall_sequential_ms = %d",
 			a.Experiment, a.WallSequentialMs)
 	}
+	return a.validateAttrib()
+}
+
+// validateSMT gates the solver micro-benchmark artifact: every class must
+// show the CDCL search strictly beating the chronological reference on
+// both search effort (decisions + conflicts) and wall time.
+func (a *BenchArtifact) validateSMT() error {
+	if a.Experiment == "" {
+		return fmt.Errorf("bench artifact: empty experiment name")
+	}
+	if a.WallMs <= 0 {
+		return fmt.Errorf("bench artifact %s: wall_ms = %d", a.Experiment, a.WallMs)
+	}
+	for _, c := range a.SMT {
+		switch {
+		case c.Name == "":
+			return fmt.Errorf("bench artifact %s: unnamed smt class", a.Experiment)
+		case c.CDCL.WallUs <= 0 || c.Reference.WallUs <= 0:
+			return fmt.Errorf("bench artifact %s: class %s has non-positive wall time",
+				a.Experiment, c.Name)
+		case c.CDCL.Decisions+c.CDCL.Conflicts >= c.Reference.Decisions+c.Reference.Conflicts:
+			return fmt.Errorf("bench artifact %s: class %s: cdcl effort %d+%d not below reference %d+%d",
+				a.Experiment, c.Name, c.CDCL.Decisions, c.CDCL.Conflicts,
+				c.Reference.Decisions, c.Reference.Conflicts)
+		case c.CDCL.WallUs >= c.Reference.WallUs:
+			return fmt.Errorf("bench artifact %s: class %s: cdcl wall %dus not below reference %dus",
+				a.Experiment, c.Name, c.CDCL.WallUs, c.Reference.WallUs)
+		case c.Reference.Learned != 0 || c.Reference.Restarts != 0:
+			return fmt.Errorf("bench artifact %s: class %s: reference side reports CDCL-only effort",
+				a.Experiment, c.Name)
+		}
+	}
+	return nil
+}
+
+// validateAttrib checks the optional attribution section.
+func (a *BenchArtifact) validateAttrib() error {
 	if at := a.Attrib; at != nil {
 		switch {
 		case at.Frames < 0 || at.BoundChecked < 0 || at.BoundMisses < 0:

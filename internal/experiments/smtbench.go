@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"etsn/internal/obs"
+	"etsn/internal/smt"
+)
+
+// This file is the SMT solver micro-benchmark: hard difference-logic
+// instance classes run under both search modes (CDCL and the chronological
+// reference oracle), producing the per-class effort/wall record committed
+// as bench/BENCH_smt.json. The classes are adversarial for chronological
+// backtracking — a small UNSAT core or forced objective buried behind k
+// independent disjunctive distractor pairs, so a solver without conflict
+// learning re-refutes the core once per distractor assignment (2^k times)
+// while CDCL learns it once and backjumps past the distractors.
+
+// BuriedConflict builds an UNSAT instance whose 4-clause core over two
+// fresh atoms is preceded by k satisfiable disjunctive distractor pairs.
+// The reference solver's chronological scan branches through the
+// distractors first and pays O(2^k) refutations of the core; CDCL learns
+// the core's emptiness in a handful of conflicts.
+func BuriedConflict(k int) *smt.Solver {
+	s := smt.NewSolver()
+	for i := 0; i < k; i++ {
+		x, y := s.NewVar("x"), s.NewVar("y")
+		s.AssertRange(x, 0, 50)
+		s.AssertRange(y, 0, 50)
+		s.AddClause(smt.LE(x, y, -5), smt.LE(y, x, -5))
+	}
+	u, v := s.NewVar("u"), s.NewVar("v")
+	s.AssertRange(u, 0, 50)
+	s.AssertRange(v, 0, 50)
+	a, b := smt.LE(u, v, -3), smt.LE(v, u, -3)
+	s.AddClause(a, b)
+	s.AddClause(a, smt.Not(b))
+	s.AddClause(smt.Not(a), b)
+	s.AddClause(smt.Not(a), smt.Not(b))
+	return s
+}
+
+// BuriedMinimize builds a SAT instance with objective m whose optimum is
+// 15: k distractor pairs, one disjunctive pair forcing max(u, v) >= 5, and
+// m >= u + 10, m >= v + 10. Each UNSAT Minimize probe (bound below 15)
+// costs the reference solver a full 2^k distractor sweep; CDCL refutes it
+// once and retains the lemma across the Push/Pop probe loop.
+func BuriedMinimize(k int) (*smt.Solver, smt.Var) {
+	s := smt.NewSolver()
+	for i := 0; i < k; i++ {
+		x, y := s.NewVar("x"), s.NewVar("y")
+		s.AssertRange(x, 0, 50)
+		s.AssertRange(y, 0, 50)
+		s.AddClause(smt.LE(x, y, -5), smt.LE(y, x, -5))
+	}
+	m := s.NewVar("m")
+	s.AssertRange(m, 0, 50)
+	u, v := s.NewVar("u"), s.NewVar("v")
+	s.AssertRange(u, 0, 50)
+	s.AssertRange(v, 0, 50)
+	s.AddClause(smt.LE(u, v, -5), smt.LE(v, u, -5))
+	s.AssertGE(m, u, 10)
+	s.AssertGE(m, v, 10)
+	return s, m
+}
+
+// smtBenchClass is one instance class of the solver benchmark: a name and
+// a closure that builds a fresh instance and runs the measured operation
+// (a plain Solve on UNSAT classes, a Minimize on optimization classes),
+// returning the solver's aggregate effort. theoryProp runs the CDCL side
+// with exhaustive theory propagation enabled, exercising that pass's
+// counters in the artifact; the reference solver ignores the flag.
+type smtBenchClass struct {
+	name       string
+	theoryProp bool
+	run        func(mode smt.Mode, theoryProp bool) (smt.Stats, error)
+}
+
+// smtBenchClasses lists the committed classes. Sizes are chosen so the
+// reference side stays under ~100ms per class while the chronological
+// blow-up (2^k) remains orders of magnitude above CDCL's flat cost.
+func smtBenchClasses() []smtBenchClass {
+	conflict := func(k int) func(smt.Mode, bool) (smt.Stats, error) {
+		return func(mode smt.Mode, tp bool) (smt.Stats, error) {
+			s := BuriedConflict(k)
+			s.Mode = mode
+			s.TheoryProp = tp
+			if _, err := s.Solve(); !errors.Is(err, smt.ErrUnsat) {
+				return smt.Stats{}, fmt.Errorf("buried-conflict-%d: want UNSAT, got %v", k, err)
+			}
+			return s.TotalStats(), nil
+		}
+	}
+	minimize := func(k int) func(smt.Mode, bool) (smt.Stats, error) {
+		return func(mode smt.Mode, tp bool) (smt.Stats, error) {
+			s, m := BuriedMinimize(k)
+			s.Mode = mode
+			s.TheoryProp = tp
+			mdl, err := s.Minimize(m, 0, 50)
+			if err != nil {
+				return smt.Stats{}, fmt.Errorf("buried-minimize-%d: %w", k, err)
+			}
+			if got := mdl.Value(m); got != 15 {
+				return smt.Stats{}, fmt.Errorf("buried-minimize-%d: optimum %d, want 15", k, got)
+			}
+			return s.TotalStats(), nil
+		}
+	}
+	return []smtBenchClass{
+		{name: "buried-conflict-14", run: conflict(14)},
+		{name: "buried-conflict-17", run: conflict(17)},
+		{name: "buried-minimize-12", run: minimize(12)},
+		{name: "buried-minimize-tp-12", theoryProp: true, run: minimize(12)},
+	}
+}
+
+// SMTBench runs every instance class under both solver modes and returns
+// the per-class comparison. Each class validates its own answer (UNSAT
+// verdict or optimum value), so a miscompiled search core fails loudly
+// rather than producing a fast-but-wrong row. Effort counters are folded
+// into o.Obs under the etsn_smt_* family so the bench artifact's solver
+// section reflects the run.
+func SMTBench(o RunOptions) ([]BenchSMTClass, error) {
+	o = o.withDefaults()
+	var out []BenchSMTClass
+	for _, c := range smtBenchClasses() {
+		sp := o.Phases.Begin("smt-class", "class", c.name)
+		cdcl, err := timeSMTRun(c.run, smt.ModeCDCL, c.theoryProp)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
+		ref, err := timeSMTRun(c.run, smt.ModeReference, c.theoryProp)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BenchSMTClass{Name: c.name, CDCL: cdcl, Reference: ref})
+		publishSMTBench(o.Obs, cdcl)
+		publishSMTBench(o.Obs, ref)
+	}
+	return out, nil
+}
+
+// timeSMTRun executes one class in one mode and flattens the solver's
+// aggregate stats plus wall time into a BenchSMTRun.
+func timeSMTRun(run func(smt.Mode, bool) (smt.Stats, error), mode smt.Mode, tp bool) (BenchSMTRun, error) {
+	start := time.Now()
+	st, err := run(mode, tp)
+	if err != nil {
+		return BenchSMTRun{}, err
+	}
+	return BenchSMTRun{
+		Decisions:    st.Decisions,
+		Propagations: st.Propagations,
+		Conflicts:    st.Conflicts,
+		Learned:      st.Learned,
+		Restarts:     st.Restarts,
+		TheoryProps:  st.TheoryProps,
+		WallUs:       maxI64(time.Since(start).Microseconds(), 1),
+	}, nil
+}
+
+// publishSMTBench folds one run's effort into the registry's etsn_smt_*
+// counters (the same family the scheduler publishes through), so
+// NewBenchArtifact's solver section is live for the smt experiment.
+func publishSMTBench(reg *obs.Registry, r BenchSMTRun) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("etsn_smt_decisions_total").Add(r.Decisions)
+	reg.Counter("etsn_smt_propagations_total").Add(r.Propagations)
+	reg.Counter("etsn_smt_conflicts_total").Add(r.Conflicts)
+	reg.Counter("etsn_smt_restarts_total").Add(r.Restarts)
+	reg.Counter("etsn_smt_learned_clauses").Add(r.Learned)
+	reg.Counter("etsn_smt_theory_props_total").Add(r.TheoryProps)
+	reg.Counter("etsn_smt_solves_total").Add(1)
+}
+
+// WriteSMTBenchTable renders the per-class comparison as a fixed-width
+// table, one row per (class, mode).
+func WriteSMTBenchTable(w io.Writer, classes []BenchSMTClass) {
+	fmt.Fprintf(w, "%-24s %-10s %10s %10s %8s %8s %8s %10s\n",
+		"class", "mode", "decisions", "conflicts", "learned", "restart", "tprops", "wall")
+	for _, c := range classes {
+		for _, side := range []struct {
+			mode string
+			r    BenchSMTRun
+		}{{"cdcl", c.CDCL}, {"reference", c.Reference}} {
+			fmt.Fprintf(w, "%-24s %-10s %10d %10d %8d %8d %8d %9dus\n",
+				c.Name, side.mode, side.r.Decisions, side.r.Conflicts,
+				side.r.Learned, side.r.Restarts, side.r.TheoryProps, side.r.WallUs)
+		}
+		fmt.Fprintf(w, "%-24s %-10s %9.1fx fewer decisions, %.1fx faster\n",
+			"", "  ratio",
+			float64(c.Reference.Decisions+c.Reference.Conflicts)/float64(maxI64(c.CDCL.Decisions+c.CDCL.Conflicts, 1)),
+			float64(c.Reference.WallUs)/float64(maxI64(c.CDCL.WallUs, 1)))
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"etsn/internal/obs"
+)
+
+// TestSMTBenchBeatsReference runs the committed instance classes and
+// checks the acceptance gate the bench artifact enforces: CDCL must beat
+// the chronological reference on search effort on every class. (Wall time
+// is asserted only through the artifact on real bench runs — under -race
+// instrumentation the timing relationship still holds but with thin
+// margins on the smallest classes.)
+func TestSMTBenchBeatsReference(t *testing.T) {
+	reg := obs.NewRegistry()
+	classes, err := SMTBench(RunOptions{Obs: reg})
+	if err != nil {
+		t.Fatalf("SMTBench: %v", err)
+	}
+	if len(classes) != len(smtBenchClasses()) {
+		t.Fatalf("got %d classes, want %d", len(classes), len(smtBenchClasses()))
+	}
+	for _, c := range classes {
+		ce := c.CDCL.Decisions + c.CDCL.Conflicts
+		re := c.Reference.Decisions + c.Reference.Conflicts
+		if ce >= re {
+			t.Errorf("%s: cdcl effort %d not below reference %d", c.Name, ce, re)
+		}
+		if c.CDCL.WallUs <= 0 || c.Reference.WallUs <= 0 {
+			t.Errorf("%s: non-positive wall time", c.Name)
+		}
+	}
+	// The theory-propagation class must actually exercise the pass.
+	var tpSeen bool
+	for _, c := range classes {
+		if strings.Contains(c.Name, "-tp-") && c.CDCL.TheoryProps > 0 {
+			tpSeen = true
+		}
+	}
+	if !tpSeen {
+		t.Error("no class recorded theory propagations")
+	}
+	// Effort must have been folded into the registry for the artifact.
+	if reg.CounterValue("etsn_smt_decisions_total") == 0 {
+		t.Error("decisions not published to the registry")
+	}
+	// A synthetic artifact over these classes must pass the gate when the
+	// wall times respect the ordering, and fail when a class regresses.
+	art := &BenchArtifact{Experiment: "smt", WallMs: 1, SMT: classes}
+	for i := range art.SMT {
+		art.SMT[i].CDCL.WallUs = 1
+		art.SMT[i].Reference.WallUs = 2
+	}
+	if err := art.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	bad := *art
+	bad.SMT = append([]BenchSMTClass(nil), art.SMT...)
+	bad.SMT[0].CDCL.Decisions = bad.SMT[0].Reference.Decisions + bad.SMT[0].Reference.Conflicts
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted a class where cdcl does not beat reference")
+	}
+}
+
+// TestSMTBenchTable smoke-checks the table renderer.
+func TestSMTBenchTable(t *testing.T) {
+	var sb strings.Builder
+	WriteSMTBenchTable(&sb, []BenchSMTClass{{
+		Name:      "c",
+		CDCL:      BenchSMTRun{Decisions: 1, WallUs: int64(time.Microsecond / time.Microsecond)},
+		Reference: BenchSMTRun{Decisions: 100, Conflicts: 100, WallUs: 50},
+	}})
+	out := sb.String()
+	for _, want := range []string{"cdcl", "reference", "decisions", "faster"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

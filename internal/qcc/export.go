@@ -43,10 +43,25 @@ type PortGCLExport struct {
 	Entries []GCLEntryExport `json:"entries"`
 }
 
+// SolverExport is the SMT backend's cumulative search effort, present when
+// an SMT backend produced the schedule (the placer leaves it out).
+type SolverExport struct {
+	Solves           int64 `json:"solves"`
+	Decisions        int64 `json:"decisions"`
+	Propagations     int64 `json:"propagations"`
+	Conflicts        int64 `json:"conflicts"`
+	TheoryChecks     int64 `json:"theory_checks"`
+	Restarts         int64 `json:"restarts,omitempty"`
+	Learned          int64 `json:"learned,omitempty"`
+	TheoryProps      int64 `json:"theory_props,omitempty"`
+	MaxDecisionLevel int64 `json:"max_decision_level,omitempty"`
+}
+
 // DeploymentExport is the JSON form of a CNC deployment.
 type DeploymentExport struct {
 	HyperperiodUs int64                `json:"hyperperiod_us"`
 	Backend       string               `json:"backend"`
+	Solver        *SolverExport        `json:"solver,omitempty"`
 	Schedule      []LinkScheduleExport `json:"schedule"`
 	GCLs          []PortGCLExport      `json:"gcls"`
 }
@@ -56,6 +71,19 @@ func (d *Deployment) Export() *DeploymentExport {
 	out := &DeploymentExport{
 		HyperperiodUs: int64(d.Result.Schedule.Hyperperiod.Microseconds()),
 		Backend:       d.Result.BackendUsed.String(),
+	}
+	if st := d.Result.SolverStats; st.Solves > 0 {
+		out.Solver = &SolverExport{
+			Solves:           st.Solves,
+			Decisions:        st.Decisions,
+			Propagations:     st.Propagations,
+			Conflicts:        st.Conflicts,
+			TheoryChecks:     st.TheoryChecks,
+			Restarts:         st.Restarts,
+			Learned:          st.Learned,
+			TheoryProps:      st.TheoryProps,
+			MaxDecisionLevel: st.MaxDecisionLevel,
+		}
 	}
 	for _, lid := range d.Result.Schedule.Links() {
 		ls := LinkScheduleExport{Link: lid.String()}

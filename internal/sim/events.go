@@ -12,10 +12,7 @@
 // queueing mechanics the hardware implements.
 package sim
 
-import (
-	"container/heap"
-	"time"
-)
+import "time"
 
 // event is a scheduled callback; seq breaks ties deterministically.
 type event struct {
@@ -24,29 +21,67 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
+// before is the total order the event loop pops in: (at, seq). Because the
+// order is total, any internal heap layout pops the same sequence, so the
+// simulation stays deterministic.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a hand-specialized binary min-heap of events by value. The
+// event loop is the simulator's hottest path; compared to container/heap
+// over []*event this drops the per-event allocation and the
+// interface-dispatched Less/Swap calls, and the sift routines move the
+// hole instead of swapping (one copy per level instead of three).
+type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// push inserts e, sifting the hole up from the new leaf.
+func (h *eventHeap) push(e event) {
+	a := append(*h, event{})
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.before(&a[p]) {
+			break
+		}
+		a[i] = a[p]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	a[i] = e
+	*h = a
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	a := *h
+	min := a[0]
+	last := a[len(a)-1]
+	a[len(a)-1] = event{}
+	a = a[:len(a)-1]
+	if n := len(a); n > 0 {
+		// Sift the former last leaf down from the root, moving the hole.
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && a[r].before(&a[c]) {
+				c = r
+			}
+			if !a[c].before(&last) {
+				break
+			}
+			a[i] = a[c]
+			i = c
+		}
+		a[i] = last
+	}
+	*h = a
+	return min
 }
-
-var _ heap.Interface = (*eventHeap)(nil)

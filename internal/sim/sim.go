@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"io"
@@ -174,6 +173,9 @@ type Simulator struct {
 	gen int64
 	// shed silences streams dropped by graceful degradation.
 	shed map[model.StreamID]bool
+	// beIDs caches BEStreamID per flow so the per-frame emission path does
+	// not re-format the name.
+	beIDs []model.StreamID
 	// ectPath overrides event-stream routes after a recovery reroute.
 	ectPath map[model.StreamID][]model.LinkID
 	// clockStep accumulates per-node clock-step faults on top of the
@@ -349,7 +351,7 @@ func (s *Simulator) schedule(at time.Duration, fn func()) {
 		at = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+	s.events.push(event{at: at, seq: s.seq, fn: fn})
 }
 
 // Run executes the simulation and returns the collected results.
@@ -366,7 +368,7 @@ func (s *Simulator) Run() (*Results, error) {
 	wallStart := time.Now()
 	var processed int64
 	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(*event)
+		e := s.events.pop()
 		if e.at > s.cfg.Duration {
 			break
 		}
@@ -523,7 +525,9 @@ func BEStreamID(flow int) model.StreamID {
 // startBESources schedules background best-effort flows with exponential
 // inter-arrival gaps.
 func (s *Simulator) startBESources() {
+	s.beIDs = make([]model.StreamID, len(s.cfg.BestEffort))
 	for i := range s.cfg.BestEffort {
+		s.beIDs[i] = BEStreamID(i)
 		be := s.cfg.BestEffort[i]
 		if be.PayloadBytes == 0 {
 			be.PayloadBytes = model.MTUBytes
@@ -541,7 +545,7 @@ func (s *Simulator) scheduleBEFrame(be BETraffic, flow int, at time.Duration, se
 		return
 	}
 	s.schedule(at, func() {
-		id := BEStreamID(flow)
+		id := s.beIDs[flow]
 		gap := time.Duration(s.rng.ExpFloat64() * float64(be.MeanGap))
 		if s.shed[id] {
 			s.scheduleBEFrame(be, flow, at+gap, seq)

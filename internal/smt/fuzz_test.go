@@ -1,8 +1,69 @@
 package smt
 
 import (
+	"errors"
 	"testing"
 )
+
+// decodeFuzzInstance loads the byte-string-encoded constraint system into
+// a fresh solver in the given mode, returning the solver and the asserted
+// clauses (nil solver when the data is too short to encode anything).
+func decodeFuzzInstance(data []byte, mode Mode) (*Solver, [][]Lit, []Var) {
+	if len(data) < 3 {
+		return nil, nil, nil
+	}
+	s := NewSolver()
+	s.Mode = mode
+	s.MaxDecisions = 5000
+	nVars := int(data[0]%6) + 2
+	vars := make([]Var, nVars)
+	for i := range vars {
+		vars[i] = s.NewVar("v")
+		s.AssertRange(vars[i], 0, int64(data[1]%20)+1)
+	}
+	var clauses [][]Lit
+	pos := 2
+	for pos+3 <= len(data) && len(clauses) < 24 {
+		width := int(data[pos]%3) + 1
+		pos++
+		var lits []Lit
+		for k := 0; k < width && pos+2 < len(data); k++ {
+			x := vars[int(data[pos])%nVars]
+			y := vars[int(data[pos+1])%nVars]
+			c := int64(data[pos+2]%31) - 15
+			pos += 3
+			l := LE(x, y, c)
+			if c < 0 && data[pos-1]&1 == 1 {
+				l = Not(l)
+			}
+			lits = append(lits, l)
+		}
+		if len(lits) == 0 {
+			break
+		}
+		clauses = append(clauses, lits)
+		s.AddClause(lits...)
+	}
+	return s, clauses, vars
+}
+
+// validateFuzzModel fails the test when the model violates any clause.
+func validateFuzzModel(t *testing.T, tag string, m *Model, clauses [][]Lit) {
+	t.Helper()
+	for i, cl := range clauses {
+		ok := false
+		for _, l := range cl {
+			holds := m.Value(l.A.X)-m.Value(l.A.Y) <= l.A.C
+			if holds != l.Neg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("%s: model violates clause %d", tag, i)
+		}
+	}
+}
 
 // FuzzSolve decodes a byte string into a small constraint system and checks
 // the solver's answer: no panics, and any SAT model must satisfy every
@@ -62,6 +123,51 @@ func FuzzSolve(f *testing.F) {
 			if !ok {
 				t.Fatalf("model violates clause %d", i)
 			}
+		}
+	})
+}
+
+// FuzzDifferential races the CDCL(T) solver against the chronological
+// Reference solver on the same fuzzed instance. The two searches are
+// implemented independently (watched literals + learning vs counter walks
+// + flip-on-conflict), so any SAT/UNSAT disagreement localizes a bug in
+// one of them. Both returned models are validated against every clause,
+// and when both modes finish a Minimize the optima must match — which is
+// the strongest available probe of lemma retention across Push/Pop.
+func FuzzDifferential(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 254, 253, 252, 10, 20, 30})
+	f.Add([]byte{3, 7, 2, 1, 0, 17, 2, 0, 1, 3, 1, 1, 0, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cd, cdClauses, cdVars := decodeFuzzInstance(data, ModeCDCL)
+		if cd == nil {
+			return
+		}
+		rf, rfClauses, rfVars := decodeFuzzInstance(data, ModeReference)
+		cm, cerr := cd.Solve()
+		rm, rerr := rf.Solve()
+		cDef := cerr == nil || errors.Is(cerr, ErrUnsat)
+		rDef := rerr == nil || errors.Is(rerr, ErrUnsat)
+		if !cDef || !rDef {
+			return // a budget ran out: no verdict to compare
+		}
+		if (cerr == nil) != (rerr == nil) {
+			t.Fatalf("disagreement: cdcl err=%v reference err=%v", cerr, rerr)
+		}
+		if cerr != nil {
+			return
+		}
+		validateFuzzModel(t, "cdcl", cm, cdClauses)
+		validateFuzzModel(t, "reference", rm, rfClauses)
+		hi := int64(data[1]%20) + 1
+		cmin, cerr := cd.Minimize(cdVars[0], 0, hi)
+		rmin, rerr := rf.Minimize(rfVars[0], 0, hi)
+		if cerr != nil || rerr != nil {
+			return
+		}
+		if cv, rv := cmin.Value(cdVars[0]), rmin.Value(rfVars[0]); cv != rv {
+			t.Fatalf("minimize disagrees: cdcl=%d reference=%d", cv, rv)
 		}
 	})
 }

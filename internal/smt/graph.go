@@ -6,29 +6,70 @@ package smt
 // triggers a decrease-only relaxation, and a negative cycle (theory
 // conflict) is detected exactly when the relaxation wraps around to the new
 // edge's source (Cotton & Maler style propagation).
+//
+// Every edge carries the boolean literal that asserted it, so the theory
+// can explain itself to the CDCL layer: a negative cycle is reported as the
+// set of literals whose edges form the cycle (a theory lemma the SAT core
+// can learn), and implied atoms are reported with the literals of the
+// shortest path that entails them.
 type graph struct {
 	pi  []int64   // current potential per variable
 	out [][]gEdge // adjacency: asserted edges by source
+	in  [][]gEdge // reverse adjacency: asserted edges by target
 
-	// undo logs, truncated on backtracking.
+	// undo logs, truncated on backtracking. edgeLog keeps the full edge so
+	// the CDCL layer can propagate over edges asserted since a mark.
 	piLog   []piChange // potential changes, most recent last
-	edgeLog []Var      // sources of added edges, most recent last
+	edgeLog []loggedEdge
 
 	// scratch for relaxation.
 	queue   []Var
 	inQ     []bool
 	touched []piChange // changes made by the in-flight relaxation
+
+	// parent pointers for explanation reconstruction, valid for nodes
+	// stamped with the current epoch.
+	parentVar   []Var
+	parentLit   []int32
+	parentEpoch []uint32
+	epoch       uint32
+
+	// conflict explanation of the most recent failed addEdge: the literals
+	// whose edges close the negative cycle (includes the rejected edge's
+	// own literal). Entries are -1 for untagged edges.
+	cfl []int32
+
+	// scratch for Dijkstra-based theory propagation.
+	dist      []int64
+	distEpoch []uint32
+	heap      []heapItem
 }
 
 type gEdge struct {
-	to Var
-	w  int64
+	to  Var
+	w   int64
+	lit int32 // boolean literal that asserted the edge; -1 if untagged
+}
+
+type loggedEdge struct {
+	from Var
+	to   Var
+	w    int64
+	lit  int32
 }
 
 type piChange struct {
 	v   Var
 	old int64
 }
+
+type heapItem struct {
+	v  Var
+	rd int64 // reduced-cost distance
+}
+
+// noLit tags edges asserted outside the boolean search (tests, probes).
+const noLit int32 = -1
 
 func newGraph() *graph { return &graph{} }
 
@@ -37,7 +78,13 @@ func (g *graph) addVar() Var {
 	v := Var(len(g.pi))
 	g.pi = append(g.pi, 0)
 	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
 	g.inQ = append(g.inQ, false)
+	g.parentVar = append(g.parentVar, 0)
+	g.parentLit = append(g.parentLit, noLit)
+	g.parentEpoch = append(g.parentEpoch, 0)
+	g.dist = append(g.dist, 0)
+	g.distEpoch = append(g.distEpoch, 0)
 	return v
 }
 
@@ -45,20 +92,26 @@ func (g *graph) addVar() Var {
 func (g *graph) markEdges() int { return len(g.edgeLog) }
 func (g *graph) markPi() int    { return len(g.piLog) }
 
+// conflict returns the literal set explaining the most recent failed
+// addEdge: the edges of the negative cycle. Valid until the next addEdge.
+func (g *graph) conflict() []int32 { return g.cfl }
+
 // addEdge asserts pi[to] <= pi[from] + w, relaxing potentials as needed.
 // It returns false on a negative cycle, in which case the graph is left
-// unchanged.
-func (g *graph) addEdge(from, to Var, w int64) bool {
+// unchanged and conflict() names the cycle's asserting literals. lit tags
+// the edge for explanations; pass noLit outside the boolean search.
+func (g *graph) addEdge(from, to Var, w int64, lit int32) bool {
 	if g.pi[to] <= g.pi[from]+w {
 		// Already satisfied; record the edge for future relaxations.
-		g.out[from] = append(g.out[from], gEdge{to: to, w: w})
-		g.edgeLog = append(g.edgeLog, from)
+		g.appendEdge(from, to, w, lit)
+		g.edgeLog = append(g.edgeLog, loggedEdge{from: from, to: to, w: w, lit: lit})
 		return true
 	}
 	// Tentatively add the edge, then propagate the decrease from `to`.
-	g.out[from] = append(g.out[from], gEdge{to: to, w: w})
+	g.appendEdge(from, to, w, lit)
+	g.epoch++
 	g.touched = g.touched[:0]
-	g.setPi(to, g.pi[from]+w)
+	g.setPi(to, g.pi[from]+w, from, lit)
 	g.queue = append(g.queue[:0], to)
 	g.inQ[to] = true
 	ok := true
@@ -71,12 +124,14 @@ func (g *graph) addEdge(from, to Var, w int64) bool {
 				continue
 			}
 			if e.to == from {
-				// Decreasing the new edge's source means the new
-				// edge closes a negative cycle.
+				// Decreasing the new edge's source means the new edge
+				// closes a negative cycle: from -> to (new), the parent
+				// chain to -> ... -> u, and u -> from (e).
+				g.explainCycle(u, to, e.lit)
 				ok = false
 				break
 			}
-			g.setPi(e.to, g.pi[u]+e.w)
+			g.setPi(e.to, g.pi[u]+e.w, u, e.lit)
 			if !g.inQ[e.to] {
 				g.queue = append(g.queue, e.to)
 				g.inQ[e.to] = true
@@ -92,25 +147,51 @@ func (g *graph) addEdge(from, to Var, w int64) bool {
 			g.inQ[v] = false
 		}
 		g.queue = g.queue[:0]
-		g.out[from] = g.out[from][:len(g.out[from])-1]
+		g.removeEdge(from)
 		return false
 	}
 	// Commit: move the relaxation changes onto the undo log.
 	g.piLog = append(g.piLog, g.touched...)
-	g.edgeLog = append(g.edgeLog, from)
+	g.edgeLog = append(g.edgeLog, loggedEdge{from: from, to: to, w: w, lit: lit})
 	return true
 }
 
-func (g *graph) setPi(v Var, val int64) {
+func (g *graph) appendEdge(from, to Var, w int64, lit int32) {
+	g.out[from] = append(g.out[from], gEdge{to: to, w: w, lit: lit})
+	g.in[to] = append(g.in[to], gEdge{to: from, w: w, lit: lit})
+}
+
+func (g *graph) removeEdge(from Var) {
+	e := g.out[from][len(g.out[from])-1]
+	g.out[from] = g.out[from][:len(g.out[from])-1]
+	g.in[e.to] = g.in[e.to][:len(g.in[e.to])-1]
+}
+
+// explainCycle reconstructs the negative cycle's literal set: closeLit is
+// the edge u->from that closed the cycle, and the parent chain runs from u
+// back to `to`, whose own parent records the new edge's literal.
+func (g *graph) explainCycle(u, to Var, closeLit int32) {
+	g.cfl = append(g.cfl[:0], closeLit)
+	v := u
+	for v != to {
+		g.cfl = append(g.cfl, g.parentLit[v])
+		v = g.parentVar[v]
+	}
+	g.cfl = append(g.cfl, g.parentLit[to])
+}
+
+func (g *graph) setPi(v Var, val int64, parent Var, lit int32) {
 	g.touched = append(g.touched, piChange{v: v, old: g.pi[v]})
 	g.pi[v] = val
+	g.parentVar[v] = parent
+	g.parentLit[v] = lit
+	g.parentEpoch[v] = g.epoch
 }
 
 // undoTo removes edges and potential changes recorded after the given marks.
 func (g *graph) undoTo(edgeMark, piMark int) {
 	for i := len(g.edgeLog) - 1; i >= edgeMark; i-- {
-		from := g.edgeLog[i]
-		g.out[from] = g.out[from][:len(g.out[from])-1]
+		g.removeEdge(g.edgeLog[i].from)
 	}
 	g.edgeLog = g.edgeLog[:edgeMark]
 	for i := len(g.piLog) - 1; i >= piMark; i-- {
@@ -124,3 +205,113 @@ func (g *graph) holds(a Atom) bool { return g.pi[a.X]-g.pi[a.Y] <= a.C }
 
 // value returns the model value of v relative to Zero.
 func (g *graph) value(v Var) int64 { return g.pi[v] - g.pi[Zero] }
+
+// ---- theory propagation (Cotton–Maler implied-atom detection) ----
+//
+// The potentials double as a feasible dual solution: for every asserted
+// edge u->v, the reduced cost pi[u] + w - pi[v] is >= 0, so Dijkstra over
+// reduced costs computes exact shortest paths in the asserted-edge graph.
+// An unassigned atom x - y <= c is entailed iff dist(y -> x) <= c; its
+// negation is entailed iff dist(x -> y) <= -c-1. After asserting a new
+// edge e = (u -> v), only distances through e can have decreased, so one
+// backward Dijkstra to u and one forward Dijkstra from v cover every atom
+// the assertion newly implies.
+
+// dists holds the result of one Dijkstra sweep: reduced-cost distances and
+// the parent literals of the shortest-path tree, valid for nodes whose
+// epoch matches.
+type dists struct {
+	rd        []int64
+	parentVar []Var
+	parentLit []int32
+	epoch     []uint32
+	cur       uint32
+}
+
+func (d *dists) grow(n int) {
+	for len(d.rd) < n {
+		d.rd = append(d.rd, 0)
+		d.parentVar = append(d.parentVar, 0)
+		d.parentLit = append(d.parentLit, noLit)
+		d.epoch = append(d.epoch, 0)
+	}
+}
+
+func (d *dists) reached(v Var) bool { return d.epoch[v] == d.cur }
+
+// dijkstra runs a reduced-cost Dijkstra from src over the given adjacency
+// (g.out for forward distances from src, g.in for backward distances to
+// src), filling d. The reduced cost of u->v is pi[u] + w - pi[v] forward;
+// for the reversed graph the same formula applies with the roles of the
+// stored endpoint swapped.
+func (g *graph) dijkstra(src Var, adj [][]gEdge, rev bool, d *dists) {
+	d.grow(len(g.pi))
+	d.cur++
+	d.epoch[src] = d.cur
+	d.rd[src] = 0
+	d.parentLit[src] = noLit
+	g.heap = append(g.heap[:0], heapItem{v: src, rd: 0})
+	for len(g.heap) > 0 {
+		it := g.heap[0]
+		n := len(g.heap) - 1
+		g.heap[0] = g.heap[n]
+		g.heap = g.heap[:n]
+		g.siftDown(0)
+		if it.rd > d.rd[it.v] {
+			continue // stale entry
+		}
+		for _, e := range adj[it.v] {
+			var rc int64
+			if rev {
+				// e in g.in[it.v]: stored endpoint is the source of the
+				// original edge e.to -> it.v with weight e.w.
+				rc = g.pi[e.to] + e.w - g.pi[it.v]
+			} else {
+				rc = g.pi[it.v] + e.w - g.pi[e.to]
+			}
+			nd := it.rd + rc
+			if d.epoch[e.to] == d.cur && d.rd[e.to] <= nd {
+				continue
+			}
+			d.epoch[e.to] = d.cur
+			d.rd[e.to] = nd
+			d.parentVar[e.to] = it.v
+			d.parentLit[e.to] = e.lit
+			g.heap = append(g.heap, heapItem{v: e.to, rd: nd})
+			g.siftUp(len(g.heap) - 1)
+		}
+	}
+}
+
+func (g *graph) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if g.heap[p].rd <= g.heap[i].rd {
+			return
+		}
+		g.heap[p], g.heap[i] = g.heap[i], g.heap[p]
+		i = p
+	}
+}
+
+func (g *graph) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(g.heap) && g.heap[l].rd < g.heap[min].rd {
+			min = l
+		}
+		if r < len(g.heap) && g.heap[r].rd < g.heap[min].rd {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		g.heap[i], g.heap[min] = g.heap[min], g.heap[i]
+		i = min
+	}
+}
+
+// pathDist converts reduced-cost distances into an actual path weight for
+// a path src -> x (forward sweep from src): w = rd[x] - pi[src] + pi[x].
+func pathDist(rd, piSrc, piDst int64) int64 { return rd - piSrc + piDst }

@@ -10,7 +10,7 @@ func TestGraphAddEdgeSatisfied(t *testing.T) {
 	g := newGraph()
 	x, y := g.addVar(), g.addVar()
 	// pi all zero: edge x->y weight 5 already satisfied (0 <= 0+5).
-	if !g.addEdge(x, y, 5) {
+	if !g.addEdge(x, y, 5, noLit) {
 		t.Fatal("satisfied edge rejected")
 	}
 	if g.pi[y] != 0 {
@@ -22,14 +22,14 @@ func TestGraphRelaxation(t *testing.T) {
 	g := newGraph()
 	x, y, z := g.addVar(), g.addVar(), g.addVar()
 	// y <= x - 3 (edge x->y weight -3) forces pi[y] down.
-	if !g.addEdge(x, y, -3) {
+	if !g.addEdge(x, y, -3, noLit) {
 		t.Fatal("edge rejected")
 	}
 	if g.pi[y] != -3 {
 		t.Fatalf("pi[y] = %d, want -3", g.pi[y])
 	}
 	// z <= y - 2 propagates through.
-	if !g.addEdge(y, z, -2) {
+	if !g.addEdge(y, z, -2, noLit) {
 		t.Fatal("edge rejected")
 	}
 	if g.pi[z] != -5 {
@@ -38,7 +38,7 @@ func TestGraphRelaxation(t *testing.T) {
 	// Now a pre-existing chain must be relaxed transitively: x <= w - 1
 	// with w new root dropping x drops y and z too.
 	w := g.addVar()
-	if !g.addEdge(w, x, -1) {
+	if !g.addEdge(w, x, -1, noLit) {
 		t.Fatal("edge rejected")
 	}
 	if g.pi[x] != -1 || g.pi[y] != -4 || g.pi[z] != -6 {
@@ -49,13 +49,13 @@ func TestGraphRelaxation(t *testing.T) {
 func TestGraphNegativeCycleDetected(t *testing.T) {
 	g := newGraph()
 	x, y := g.addVar(), g.addVar()
-	if !g.addEdge(x, y, -1) {
+	if !g.addEdge(x, y, -1, noLit) {
 		t.Fatal("first edge rejected")
 	}
 	piX, piY := g.pi[x], g.pi[y]
 	// Closing the cycle with total weight -2 must fail and leave the
 	// graph untouched.
-	if g.addEdge(y, x, -1) {
+	if g.addEdge(y, x, -1, noLit) {
 		t.Fatal("negative cycle accepted")
 	}
 	if g.pi[x] != piX || g.pi[y] != piY {
@@ -65,7 +65,7 @@ func TestGraphNegativeCycleDetected(t *testing.T) {
 		t.Fatal("failed edge left in adjacency")
 	}
 	// A zero-weight cycle is fine.
-	if !g.addEdge(y, x, 1) {
+	if !g.addEdge(y, x, 1, noLit) {
 		t.Fatal("non-negative cycle rejected")
 	}
 }
@@ -74,7 +74,7 @@ func TestGraphUndo(t *testing.T) {
 	g := newGraph()
 	x, y := g.addVar(), g.addVar()
 	em, pm := g.markEdges(), g.markPi()
-	if !g.addEdge(x, y, -7) {
+	if !g.addEdge(x, y, -7, noLit) {
 		t.Fatal("edge rejected")
 	}
 	if g.pi[y] != -7 {
@@ -88,7 +88,7 @@ func TestGraphUndo(t *testing.T) {
 		t.Fatal("undo did not remove edge")
 	}
 	// The retracted edge can be re-added.
-	if !g.addEdge(x, y, -7) {
+	if !g.addEdge(x, y, -7, noLit) {
 		t.Fatal("re-add rejected")
 	}
 }
@@ -101,7 +101,7 @@ func TestGraphHoldsAndValue(t *testing.T) {
 		t.Fatalf("first var = %d", zero)
 	}
 	// x >= 4: edge x -> Zero? GEConst(x, 4) is Zero - x <= -4: edge x->Zero weight -4.
-	if !g.addEdge(x, Zero, -4) {
+	if !g.addEdge(x, Zero, -4, noLit) {
 		t.Fatal("edge rejected")
 	}
 	// value(x) = pi[x] - pi[Zero] >= 4.
@@ -134,7 +134,7 @@ func TestQuickGraphPotentialsValid(t *testing.T) {
 				to:   Var(rng.Intn(n)),
 				w:    int64(rng.Intn(21) - 10),
 			}
-			if g.addEdge(e.from, e.to, e.w) {
+			if g.addEdge(e.from, e.to, e.w, noLit) {
 				accepted = append(accepted, e)
 			}
 			// Invariant: all accepted edges satisfied.
@@ -162,12 +162,12 @@ func TestQuickGraphUndoRestores(t *testing.T) {
 			g.addVar()
 		}
 		for k := 0; k < 10; k++ {
-			g.addEdge(Var(rng.Intn(n)), Var(rng.Intn(n)), int64(rng.Intn(11)-5))
+			g.addEdge(Var(rng.Intn(n)), Var(rng.Intn(n)), int64(rng.Intn(11)-5), noLit)
 		}
 		snapshot := append([]int64(nil), g.pi...)
 		em, pm := g.markEdges(), g.markPi()
 		for k := 0; k < 10; k++ {
-			g.addEdge(Var(rng.Intn(n)), Var(rng.Intn(n)), int64(rng.Intn(11)-5))
+			g.addEdge(Var(rng.Intn(n)), Var(rng.Intn(n)), int64(rng.Intn(11)-5), noLit)
 		}
 		g.undoTo(em, pm)
 		for i := range snapshot {

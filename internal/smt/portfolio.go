@@ -11,9 +11,10 @@ import (
 // Clone returns an independent copy of the solver holding the same
 // variables, atoms, and clauses, with all search state reset. Clause
 // literal/id storage is shared with the parent (the arenas are append-only
-// and committed regions are write-once, so sharing is race-free); effort
-// counters start at zero so portfolio aggregation counts each replica's
-// own work.
+// and committed regions are write-once, so sharing is race-free);
+// learned-clause literal slices are deep-copied because BCP reorders them
+// in place to track the watched pair. Effort counters start at zero so
+// portfolio aggregation counts each replica's own work.
 func (s *Solver) Clone() *Solver {
 	c := &Solver{
 		g:            s.g.clone(),
@@ -29,6 +30,9 @@ func (s *Solver) Clone() *Solver {
 		Deadline:     s.Deadline,
 		ScanOffset:   s.ScanOffset,
 		InvertPhase:  s.InvertPhase,
+		Mode:         s.Mode,
+		RestartBase:  s.RestartBase,
+		TheoryProp:   s.TheoryProp,
 	}
 	for a, id := range s.atomIDs {
 		c.atomIDs[a] = id
@@ -36,6 +40,18 @@ func (s *Solver) Clone() *Solver {
 	for i, w := range s.watch {
 		c.watch[i] = append([]int(nil), w...)
 	}
+	// Carry the CDCL mode's persistent search knowledge: lemmas transfer
+	// (they are consequences of the shared clause set), and activities and
+	// saved phases seed the replica's branching.
+	c.cdcl.learnts = append([]learnt(nil), s.cdcl.learnts...)
+	for i := range c.cdcl.learnts {
+		c.cdcl.learnts[i].lits = append([]blit(nil), c.cdcl.learnts[i].lits...)
+	}
+	c.cdcl.activity = append([]float64(nil), s.cdcl.activity...)
+	c.cdcl.saved = append([]int8(nil), s.cdcl.saved...)
+	c.cdcl.varInc = s.cdcl.varInc
+	c.cdcl.clauseInc = s.cdcl.clauseInc
+	c.cdcl.maxLearnts = s.cdcl.maxLearnts
 	return c
 }
 
@@ -47,9 +63,13 @@ func (s *Solver) Clone() *Solver {
 // runs, which is why the deterministic experiment pipeline keeps k = 1.
 //
 // Replica 0 is the solver itself with its configured decision order;
-// replica i > 0 is a clone with a rotated clause-scan offset and, on odd
-// replicas, an inverted branching phase. The replicas' effort is folded
-// into the parent's TotalStats (and Solves) before returning.
+// replica i > 0 is a clone diversified along three axes: a rotated
+// ScanOffset (the VSIDS tie-break rotation in CDCL mode, the clause-scan
+// start in Reference mode), an inverted branching phase on odd replicas,
+// and a cycled restart base (Luby schedules of different granularity
+// de-correlate which part of the search tree each replica commits to).
+// The replicas' effort is folded into the parent's TotalStats (and
+// Solves) before returning.
 //
 // With k <= 1 this degenerates to a single Solve, canceled when ctx is
 // done. If every replica fails indeterminately the first budget error (by
@@ -63,8 +83,13 @@ func (s *Solver) SolvePortfolio(ctx context.Context, k int) (*Model, error) {
 	replicas[0] = s
 	for i := 1; i < k; i++ {
 		r := s.Clone()
-		r.ScanOffset = s.ScanOffset + i*offsetStride(len(s.clauses), k)
+		stride := offsetStride(len(s.clauses), k)
+		if s.Mode == ModeCDCL {
+			stride = offsetStride(len(s.atoms), k)
+		}
+		r.ScanOffset = s.ScanOffset + i*stride
 		r.InvertPhase = s.InvertPhase != (i%2 == 1)
+		r.RestartBase = restartBases[i%len(restartBases)]
 		replicas[i] = r
 	}
 	prevStop := s.Stop
@@ -149,12 +174,17 @@ func definitive(err error) bool {
 	return err == nil || errors.Is(err, ErrUnsat)
 }
 
-// offsetStride spreads k replicas' scan offsets evenly over the clause set.
-func offsetStride(clauses, k int) int {
-	if k <= 1 || clauses < k {
+// restartBases cycles Luby restart granularities across portfolio
+// replicas (0 keeps the solver default).
+var restartBases = [...]int{0, 64, 256, 512}
+
+// offsetStride spreads k replicas' scan offsets evenly over n items
+// (clauses in Reference mode, atoms in CDCL mode).
+func offsetStride(n, k int) int {
+	if k <= 1 || n < k {
 		return 1
 	}
-	return clauses / k
+	return n / k
 }
 
 // solveCtx runs a single Solve canceled when ctx is done.
@@ -187,14 +217,23 @@ func (s *Solver) solveCtx(ctx context.Context) (*Model, error) {
 // starts exactly where a fresh Solve would.
 func (g *graph) clone() *graph {
 	c := &graph{
-		pi:      append([]int64(nil), g.pi...),
-		out:     make([][]gEdge, len(g.out)),
-		piLog:   append([]piChange(nil), g.piLog...),
-		edgeLog: append([]Var(nil), g.edgeLog...),
-		inQ:     make([]bool, len(g.inQ)),
+		pi:          append([]int64(nil), g.pi...),
+		out:         make([][]gEdge, len(g.out)),
+		in:          make([][]gEdge, len(g.in)),
+		piLog:       append([]piChange(nil), g.piLog...),
+		edgeLog:     append([]loggedEdge(nil), g.edgeLog...),
+		inQ:         make([]bool, len(g.inQ)),
+		parentVar:   make([]Var, len(g.parentVar)),
+		parentLit:   make([]int32, len(g.parentLit)),
+		parentEpoch: make([]uint32, len(g.parentEpoch)),
+		dist:        make([]int64, len(g.dist)),
+		distEpoch:   make([]uint32, len(g.distEpoch)),
 	}
 	for i, es := range g.out {
 		c.out[i] = append([]gEdge(nil), es...)
+	}
+	for i, es := range g.in {
+		c.in[i] = append([]gEdge(nil), es...)
 	}
 	c.undoTo(0, 0)
 	return c

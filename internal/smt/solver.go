@@ -18,6 +18,34 @@ var (
 	ErrCanceled = errors.New("solve canceled")
 )
 
+// Mode selects the search algorithm.
+type Mode int
+
+const (
+	// ModeCDCL is the default: conflict-driven clause learning over the
+	// difference-logic theory — two-watched-literal propagation, 1UIP
+	// conflict analysis with non-chronological backjumping, VSIDS
+	// branching with phase saving, Luby restarts, and theory propagation
+	// of implied atoms.
+	ModeCDCL Mode = iota
+	// ModeReference is the original chronological-backtracking DPLL,
+	// kept as a differential-testing oracle: slower, but independently
+	// implemented, so SAT/UNSAT disagreements expose bugs in either core.
+	ModeReference
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeCDCL:
+		return "cdcl"
+	case ModeReference:
+		return "reference"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
 // Model is a satisfying assignment: an integer value per variable, with
 // Zero mapped to 0.
 type Model struct {
@@ -43,6 +71,16 @@ type Stats struct {
 	// TheoryChecks is the number of difference-logic edge assertions
 	// checked for negative cycles.
 	TheoryChecks int64
+	// Restarts is the number of in-search restarts (CDCL mode only; the
+	// reference solver never restarts).
+	Restarts int64
+	// Learned is the number of conflict clauses learned (CDCL mode only).
+	Learned int64
+	// TheoryProps is the number of literals assigned by difference-logic
+	// theory propagation (implied atoms, CDCL mode only).
+	TheoryProps int64
+	// MaxDecisionLevel is the deepest decision level the search reached.
+	MaxDecisionLevel int64
 	// Clauses is the number of clauses at solve time.
 	Clauses int
 	// Vars is the number of integer variables.
@@ -50,12 +88,19 @@ type Stats struct {
 }
 
 // addEffort folds another Stats' effort counters into s. Clauses and
-// Vars are sizes, not effort, and take the other value.
+// Vars are sizes, not effort, and take the other value;
+// MaxDecisionLevel is a high-water mark.
 func (s *Stats) addEffort(o Stats) {
 	s.Decisions += o.Decisions
 	s.Propagations += o.Propagations
 	s.Conflicts += o.Conflicts
 	s.TheoryChecks += o.TheoryChecks
+	s.Restarts += o.Restarts
+	s.Learned += o.Learned
+	s.TheoryProps += o.TheoryProps
+	if o.MaxDecisionLevel > s.MaxDecisionLevel {
+		s.MaxDecisionLevel = o.MaxDecisionLevel
+	}
 	s.Clauses = o.Clauses
 	s.Vars = o.Vars
 }
@@ -71,14 +116,17 @@ type Solver struct {
 	val       []int8  // per atom: 0 unknown, +1 true, -1 false
 	watch     [][]int // per atom: indices of clauses containing it
 	clauses   []clause
-	numTrue   []int32 // per clause
-	numFalse  []int32 // per clause
+	numTrue   []int32 // per clause (reference mode)
+	numFalse  []int32 // per clause (reference mode)
 	litArena  []Lit   // backing storage for clause lits (append-only)
 	idArena   []int   // backing storage for clause ids (append-only)
 
-	trail     []int // assigned atom ids, in order
+	trail     []int // assigned atom ids, in order (reference mode)
 	decisions []decisionFrame
 
+	// Mode selects the search algorithm: ModeCDCL (default) or
+	// ModeReference (the chronological oracle).
+	Mode Mode
 	// MaxDecisions bounds the number of branching decisions; zero means
 	// unlimited.
 	MaxDecisions int64
@@ -88,26 +136,43 @@ type Solver struct {
 	// the search aborts with ErrCanceled. SolvePortfolio shares one flag
 	// across all replicas so the first definitive answer cancels the rest.
 	Stop *atomic.Bool
-	// ScanOffset rotates the open-clause scan so diversified portfolio
-	// replicas branch on different clauses first. Zero keeps the natural
-	// (deterministic) order.
+	// ScanOffset diversifies deterministic tie-breaking: in CDCL mode it
+	// rotates the VSIDS tie-break order, in reference mode it rotates the
+	// open-clause scan. Zero keeps the natural order.
 	ScanOffset int
-	// InvertPhase flips the fallback branching phase: instead of asserting
-	// the first unassigned literal of an open clause, assert its negation
-	// first and let conflict resolution flip it back. Another cheap
-	// diversification axis for portfolio replicas.
+	// InvertPhase flips the default branching phase (the theory-lookahead
+	// polarity in CDCL mode, the fallback literal pick in reference mode).
+	// A cheap diversification axis for portfolio replicas.
 	InvertPhase bool
+	// RestartBase scales the Luby restart schedule (conflicts before the
+	// first restart); zero means the default. Reference mode ignores it.
+	RestartBase int
+	// TheoryProp enables exhaustive difference-logic theory propagation
+	// (implied-atom detection) in CDCL mode. The pass is sound but costs
+	// two Dijkstra sweeps plus an all-atoms scan per asserted edge, which
+	// only pays off when implied atoms prune enough search to cover it —
+	// on the scheduler's mostly-easy instances it does not, so it is off
+	// by default and enabled per-instance (ablations, hard Minimize runs).
+	TheoryProp bool
 
-	stats     Stats
-	total     Stats  // effort accumulated over completed Solve calls
-	solves    int64  // number of Solve calls started
-	marks     []mark // Push/Pop marks
-	propQueue []int  // clauses that lost a literal and may be unit or empty
+	stats  Stats
+	total  Stats // effort accumulated over completed Solve calls
+	solves int64 // number of Solve calls started
+	marks  []mark
+
+	// budgetTick counts checkBudget calls so the Deadline poll runs on a
+	// fixed call cadence. Keying the poll off the decision counter (as an
+	// earlier version did) stalled whenever the counter parked on a
+	// multiple of the poll interval through long conflict/flip sequences.
+	budgetTick uint32
+
+	propQueue []int // reference mode: clauses that may be unit or empty
+
+	cdcl cdclState
 }
 
-// mark records a Push point: both the clause count and the atom count, so
-// Pop can retract interned atoms along with the clauses that introduced
-// them.
+// mark records a Push point: the clause count and the atom count, so Pop
+// can retract interned atoms along with the clauses that introduced them.
 type mark struct {
 	clauses int
 	atoms   int
@@ -185,6 +250,9 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 // NumAtoms returns the number of distinct interned atoms.
 func (s *Solver) NumAtoms() int { return len(s.atoms) }
 
+// NumLearnts returns the number of clauses currently in the learned DB.
+func (s *Solver) NumLearnts() int { return len(s.cdcl.learnts) }
+
 // Stats returns the effort counters of the most recent Solve call.
 func (s *Solver) Stats() Stats { return s.stats }
 
@@ -197,9 +265,8 @@ func (s *Solver) TotalStats() Stats {
 	return t
 }
 
-// Solves returns the number of Solve calls made on this solver —
-// every call restarts the search from scratch, so this is also the
-// solver's restart count.
+// Solves returns the number of Solve calls made on this solver. In-search
+// restarts are counted separately in Stats.Restarts.
 func (s *Solver) Solves() int64 { return s.solves }
 
 // AddClause asserts the disjunction of the given literals. An empty clause
@@ -251,6 +318,12 @@ func (s *Solver) Push() {
 // accumulated forever — and were then replicated into every portfolio
 // clone. Search state referencing a retracted atom is cleared; the next
 // Solve restarts from scratch anyway.
+//
+// Learned clauses survive the Pop when they remain sound: theory lemmas
+// (derived from difference-logic reasoning alone) are valid regardless of
+// which clauses exist, and clause-derived lemmas are kept iff every
+// problem clause in their derivation predates the Push. Lemmas that
+// mention a retracted atom are always dropped.
 func (s *Solver) Pop() {
 	if len(s.marks) == 0 {
 		return
@@ -277,6 +350,7 @@ func (s *Solver) Pop() {
 		s.decisions = s.decisions[:0]
 		s.g.undoTo(0, 0)
 	}
+	s.cdcl.pruneLearnts(m.clauses, m.atoms)
 }
 
 func (s *Solver) internAtom(a Atom) int {
@@ -293,77 +367,35 @@ func (s *Solver) internAtom(a Atom) int {
 
 // Solve searches for a model of all asserted clauses. It returns ErrUnsat
 // if none exists and ErrBudget if MaxDecisions or Deadline was exceeded.
-// Solve restarts from scratch each call; clauses persist across calls.
+// Solve restarts the search each call; clauses — and, in CDCL mode, still-
+// sound learned lemmas, variable activities, and saved phases — persist
+// across calls, which is what makes Minimize's Push/probe/Pop rounds and
+// the incremental backend's re-solves cheap.
 func (s *Solver) Solve() (*Model, error) {
-	s.reset()
-	// Assert unit clauses and propagate at the root level.
-	if !s.propagateRoot() {
-		return nil, ErrUnsat
+	if s.Mode == ModeReference {
+		return s.solveReference()
 	}
-	for {
-		if err := s.checkBudget(); err != nil {
-			return nil, err
-		}
-		ci := s.findOpenClause()
-		if ci < 0 {
-			return s.extractModel(), nil
-		}
-		lit, id, ok := s.pickLiteral(ci)
-		if !ok {
-			// All literals of an unsatisfied clause are false:
-			// conflict discovered outside propagation.
-			if !s.resolveConflict() {
-				return nil, ErrUnsat
-			}
-			continue
-		}
-		s.stats.Decisions++
-		s.decisions = append(s.decisions, decisionFrame{
-			lit:       lit,
-			litID:     id,
-			trailMark: len(s.trail),
-			edgeMark:  s.g.markEdges(),
-			piMark:    s.g.markPi(),
-		})
-		if !s.assign(lit, id) || !s.propagate() {
-			if !s.resolveConflict() {
-				return nil, ErrUnsat
-			}
-		}
-	}
+	return s.solveCDCL()
 }
 
-func (s *Solver) reset() {
+func (s *Solver) resetCommon() {
 	s.trail = s.trail[:0]
 	s.decisions = s.decisions[:0]
 	s.g.undoTo(0, 0)
-	// Counter buffers are pooled across re-solves: incremental scheduling
-	// re-solves the same instance dozens of times, and reallocating two
-	// len(clauses) slices per call showed up in profiles.
-	s.numTrue = resizeCounters(s.numTrue, len(s.clauses))
-	s.numFalse = resizeCounters(s.numFalse, len(s.clauses))
 	for i := range s.val {
 		s.val[i] = 0
 	}
 	s.total.addEffort(s.stats)
 	s.solves++
 	s.stats = Stats{Clauses: len(s.clauses), Vars: s.NumVars()}
-	s.propQueue = s.propQueue[:0]
+	s.budgetTick = 0
 }
 
-// resizeCounters returns a zeroed []int32 of length n, reusing buf's
-// backing array when it is large enough.
-func resizeCounters(buf []int32, n int) []int32 {
-	if cap(buf) < n {
-		return make([]int32, n)
-	}
-	buf = buf[:n]
-	for i := range buf {
-		buf[i] = 0
-	}
-	return buf
-}
-
+// checkBudget polls the stop flag, decision budget, and deadline. The
+// deadline poll runs every 256 calls by its own tick counter — not by the
+// decision counter, which can sit parked on a multiple of the interval
+// across long conflict/flip sequences and then either never poll or poll
+// on every iteration.
 func (s *Solver) checkBudget() error {
 	if s.Stop != nil && s.Stop.Load() {
 		return ErrCanceled
@@ -371,8 +403,11 @@ func (s *Solver) checkBudget() error {
 	if s.MaxDecisions > 0 && s.stats.Decisions >= s.MaxDecisions {
 		return fmt.Errorf("%w: %d decisions", ErrBudget, s.stats.Decisions)
 	}
-	if !s.Deadline.IsZero() && s.stats.Decisions%256 == 0 && time.Now().After(s.Deadline) {
-		return fmt.Errorf("%w: deadline exceeded", ErrBudget)
+	if !s.Deadline.IsZero() {
+		s.budgetTick++
+		if s.budgetTick&255 == 0 && time.Now().After(s.Deadline) {
+			return fmt.Errorf("%w: deadline exceeded", ErrBudget)
+		}
 	}
 	return nil
 }
@@ -389,201 +424,23 @@ func (s *Solver) litTruth(l Lit, id int) int8 {
 	return v
 }
 
-// assign makes the literal true: records the atom value, updates clause
-// counters, and asserts the theory edge. It returns false on theory
-// conflict (the assignment is rolled back by the caller via backtracking,
-// so the bookkeeping is still applied).
-func (s *Solver) assign(l Lit, id int) bool {
-	want := int8(1)
-	if l.Neg {
-		want = -1
-	}
-	if s.val[id] != 0 {
-		return s.val[id] == want
-	}
-	s.val[id] = want
-	s.trail = append(s.trail, id)
-	for _, ci := range s.watch[id] {
-		cl := &s.clauses[ci]
-		for i, cid := range cl.ids {
-			if cid != id {
-				continue
-			}
-			if s.litTruth(cl.lits[i], id) > 0 {
-				s.numTrue[ci]++
-			} else {
-				s.numFalse[ci]++
-				if s.numTrue[ci] == 0 {
-					s.propQueue = append(s.propQueue, ci)
-				}
-			}
-		}
-	}
-	from, to, w := l.edge()
-	s.stats.TheoryChecks++
-	return s.g.addEdge(from, to, w)
-}
-
-// propagate runs unit propagation to fixpoint. It returns false on conflict.
-func (s *Solver) propagate() bool {
-	for len(s.propQueue) > 0 {
-		ci := s.propQueue[len(s.propQueue)-1]
-		s.propQueue = s.propQueue[:len(s.propQueue)-1]
-		cl := &s.clauses[ci]
-		if s.numTrue[ci] > 0 {
-			continue
-		}
-		open := int(len(cl.lits)) - int(s.numFalse[ci])
-		switch {
-		case open == 0:
-			return false
-		case open == 1:
-			// Find the unassigned literal and force it.
-			for i, id := range cl.ids {
-				if s.val[id] == 0 {
-					s.stats.Propagations++
-					if !s.assign(cl.lits[i], id) {
-						return false
-					}
-					break
-				}
-			}
-		}
-	}
-	return true
-}
-
-// propagateRoot asserts all unit clauses at the root level and propagates.
-func (s *Solver) propagateRoot() bool {
-	for ci := range s.clauses {
-		cl := &s.clauses[ci]
-		if len(cl.lits) == 0 {
-			return false
-		}
-		if len(cl.lits) == 1 {
-			if s.litTruth(cl.lits[0], cl.ids[0]) < 0 {
-				return false
-			}
-			if !s.assign(cl.lits[0], cl.ids[0]) {
-				return false
-			}
-		}
-	}
-	return s.propagate()
-}
-
-// findOpenClause returns the index of a clause with no true literal, or -1.
-// The scan starts at ScanOffset (mod the clause count) so portfolio
-// replicas explore the clause set in rotated orders.
-func (s *Solver) findOpenClause() int {
-	n := len(s.clauses)
-	if n == 0 {
-		return -1
-	}
-	start := 0
-	if s.ScanOffset > 0 {
-		start = s.ScanOffset % n
-	}
-	for k := 0; k < n; k++ {
-		ci := start + k
-		if ci >= n {
-			ci -= n
-		}
-		if s.numTrue[ci] == 0 {
-			return ci
-		}
-	}
-	return -1
-}
-
-// pickLiteral chooses an unassigned literal of the clause, preferring one
-// already satisfied by the current potentials (a free theory lookahead).
-// With InvertPhase set, the fallback picks the last unassigned literal
-// instead of the first — a second diversification axis for portfolio
-// replicas that changes the search order without affecting completeness
-// (conflict resolution still flips every decision).
-func (s *Solver) pickLiteral(ci int) (Lit, int, bool) {
-	cl := &s.clauses[ci]
-	fallback := -1
-	for i, id := range cl.ids {
-		if s.val[id] != 0 {
-			continue
-		}
-		if fallback < 0 || s.InvertPhase {
-			fallback = i
-		}
-		l := cl.lits[i]
-		holds := s.g.holds(l.A)
-		if holds != l.Neg { // literal true under current potentials
-			return l, id, true
-		}
-	}
-	if fallback < 0 {
-		return Lit{}, 0, false
-	}
-	return cl.lits[fallback], cl.ids[fallback], true
-}
-
-// resolveConflict backtracks chronologically: undo decisions until one can
-// be flipped, flip it, and re-propagate. Returns false when the root level
-// is reached (UNSAT).
-func (s *Solver) resolveConflict() bool {
-	s.stats.Conflicts++
-	for len(s.decisions) > 0 {
-		d := s.decisions[len(s.decisions)-1]
-		s.undoTo(d.trailMark, d.edgeMark, d.piMark)
-		s.decisions = s.decisions[:len(s.decisions)-1]
-		if d.flipped {
-			continue
-		}
-		flipped := Not(d.lit)
-		s.decisions = append(s.decisions, decisionFrame{
-			lit:       flipped,
-			litID:     d.litID,
-			trailMark: d.trailMark,
-			edgeMark:  d.edgeMark,
-			piMark:    d.piMark,
-			flipped:   true,
-		})
-		if s.assign(flipped, d.litID) && s.propagate() {
-			return true
-		}
-		s.stats.Conflicts++
-	}
-	return false
-}
-
-func (s *Solver) undoTo(trailMark, edgeMark, piMark int) {
-	for i := len(s.trail) - 1; i >= trailMark; i-- {
-		id := s.trail[i]
-		for _, ci := range s.watch[id] {
-			cl := &s.clauses[ci]
-			for k, cid := range cl.ids {
-				if cid != id {
-					continue
-				}
-				if s.litTruth(cl.lits[k], id) > 0 {
-					s.numTrue[ci]--
-				} else {
-					s.numFalse[ci]--
-				}
-			}
-		}
-		s.val[id] = 0
-	}
-	s.trail = s.trail[:trailMark]
-	s.g.undoTo(edgeMark, piMark)
-	s.propQueue = s.propQueue[:0]
-}
-
 // Minimize finds a model that minimizes variable v within [lo, hi] by
 // binary search over upper-bound assertions (each probe is a Push/Solve/Pop
 // round). It returns the best model found; ErrUnsat means no model exists
 // even at hi, and ErrBudget propagates from the underlying searches.
+//
+// In CDCL mode the probes share one learned-lemma database: lemmas that
+// depend on a probe bound keep the bound's negation as an explicit literal
+// (assumption-style learning, see analyze), which makes them sound
+// consequences of the persistent clause set and lets them carry over, so
+// each probe starts from the pruning its predecessors already paid for.
+// The bound atom is interned before the Push so those lemmas also survive
+// Pop's atom retraction.
 func (s *Solver) Minimize(v Var, lo, hi int64) (*Model, error) {
 	var best *Model
 	for lo <= hi {
 		mid := lo + (hi-lo)/2
+		s.internAtom(LEConst(v, mid).A)
 		s.Push()
 		s.AddClause(LEConst(v, mid))
 		m, err := s.Solve()

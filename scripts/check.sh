@@ -14,6 +14,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 FUZZTIME="${FUZZTIME:-5s}"
+# The CDCL-vs-reference differential fuzz gets a longer default: it is the
+# primary guard against search-core unsoundness.
+DIFF_FUZZTIME="${DIFF_FUZZTIME:-10s}"
 
 echo "==> go vet ./..."
 go vet ./...
@@ -23,6 +26,9 @@ go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> go test -race ./internal/smt/... (solver core, explicit)"
+go test -race -count=1 ./internal/smt/...
 
 echo "==> benchmark smoke (-benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x ./...
@@ -54,13 +60,21 @@ mkdir -p bench
     -compare-sequential -bench-dir bench >/dev/null
 "$BENCHDIR/etsn-bench" -experiment attrib -duration 1s \
     -bench-dir bench >/dev/null
+# The solver micro-benchmark: CDCL must beat the reference oracle on every
+# committed instance class, and its wall times accumulate in the history.
+"$BENCHDIR/etsn-bench" -experiment smt \
+    -bench-dir bench -history bench/history.jsonl >/dev/null
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_headline.json
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_fig11.json
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_attrib.json
+"$BENCHDIR/etsn-bench" -check-bench bench/BENCH_smt.json
 
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test ./internal/qcc/ -run=^$ -fuzz=FuzzParse$ -fuzztime="$FUZZTIME"
 go test ./internal/qcc/ -run=^$ -fuzz=FuzzParseDeployment -fuzztime="$FUZZTIME"
 go test ./internal/smt/ -run=^$ -fuzz=FuzzSolve -fuzztime="$FUZZTIME"
+
+echo "==> differential fuzz smoke (CDCL vs reference, ${DIFF_FUZZTIME})"
+go test ./internal/smt/ -run=^$ -fuzz=FuzzDifferential -fuzztime="$DIFF_FUZZTIME"
 
 echo "==> OK"
