@@ -1,0 +1,113 @@
+// etsn-cncd runs the CNC as a long-lived service: an HTTP/JSON daemon that
+// accepts Qcc-style configuration documents and incremental stream
+// admissions per tenant, schedules them on a bounded worker pool with
+// per-job deadlines and retry backoff, degrades gracefully under overload
+// (shedding best-effort and loose TCT streams, never event-triggered
+// critical traffic), and journals every job transition to a write-ahead
+// log so a crash mid-solve recovers on restart.
+//
+// Usage:
+//
+//	etsn-cncd -data DIR [-listen HOST:PORT] [-workers N] [-queue N]
+//	          [-tenant-quota N] [-job-timeout D] [-drain-timeout D]
+//
+// On startup the daemon replays DIR/journal.jsonl, restores every tenant's
+// plan history, re-enqueues unfinished jobs, prints "listening on ADDR" to
+// stdout, and serves until SIGINT/SIGTERM. Shutdown drains: /readyz flips
+// to 503, new submissions are rejected, in-flight jobs get -drain-timeout
+// to finish, and whatever remains is journal-parked for the next start.
+//
+// See DESIGN.md §13 for the API and recovery invariants.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"etsn/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "etsn-cncd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("etsn-cncd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:8428", "HTTP listen address (use :0 for an ephemeral port)")
+	dataDir := fs.String("data", "", "data directory for the job journal (required)")
+	workers := fs.Int("workers", 0, "solver worker-pool size (default 2)")
+	queueDepth := fs.Int("queue", 0, "global pending-job queue bound (default 16)")
+	tenantQuota := fs.Int("tenant-quota", 0, "max queued+running jobs per tenant (default 4)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job solver deadline (default 30s)")
+	drainTimeout := fs.Duration("drain-timeout", 0, "graceful-shutdown budget for in-flight jobs (default 10s)")
+	maxRetries := fs.Int("max-retries", 0, "retries after a solver timeout (default 2)")
+	solveDelay := fs.Duration("solve-delay", 0, "fault-injection: artificial delay before each solve (testing only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -data")
+	}
+
+	srv, err := service.New(service.Config{
+		DataDir:      *dataDir,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		TenantQuota:  *tenantQuota,
+		JobTimeout:   *jobTimeout,
+		DrainTimeout: *drainTimeout,
+		MaxRetries:   *maxRetries,
+		SolveDelay:   *solveDelay,
+	})
+	if err != nil {
+		return err
+	}
+	if n := srv.RecoveredJobs; n > 0 {
+		fmt.Fprintf(os.Stderr, "etsn-cncd: recovered %d unfinished job(s) from the journal\n", n)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: service.Handler(srv)}
+
+	// The gate driver (and humans running -listen :0) parse this line.
+	fmt.Printf("listening on %s\n", ln.Addr())
+	_ = os.Stdout.Sync()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "etsn-cncd: %s: draining\n", sig)
+	case err := <-errCh:
+		srv.Shutdown()
+		return err
+	}
+
+	// Flip readiness first so load balancers stop routing, then drain jobs
+	// (finish or journal-park), then close the HTTP listener.
+	srv.BeginDrain()
+	srv.Shutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	fmt.Fprintln(os.Stderr, "etsn-cncd: drained, exiting")
+	return nil
+}

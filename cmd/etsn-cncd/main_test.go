@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresDataDir(t *testing.T) {
+	err := run([]string{"-listen", "127.0.0.1:0"})
+	if err == nil || !strings.Contains(err.Error(), "-data") {
+		t.Fatalf("err = %v, want missing -data", err)
+	}
+}
+
+func TestRunRejectsBadListenAddress(t *testing.T) {
+	err := run([]string{"-data", t.TempDir(), "-listen", "not-an-address:-1"})
+	if err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestRunRejectsUnwritableDataDir covers journal-open failures surfacing as
+// startup errors rather than a half-started daemon.
+func TestRunRejectsUnwritableDataDir(t *testing.T) {
+	err := run([]string{"-data", "/proc/definitely/not/writable", "-listen", "127.0.0.1:0"})
+	if err == nil {
+		t.Fatal("unwritable data dir accepted")
+	}
+}

@@ -31,12 +31,16 @@ import (
 	"etsn/internal/obs"
 	"etsn/internal/qcc"
 	"etsn/internal/sched"
+	"etsn/internal/service"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "etsn-sched:", err)
-		os.Exit(1)
+		// Machine-readable exit codes, shared with the daemon's HTTP
+		// mapping (service.Classify): 1 internal, 2 invalid input,
+		// 3 infeasible, 4 solver timeout.
+		os.Exit(service.Classify(err).ExitCode())
 	}
 }
 

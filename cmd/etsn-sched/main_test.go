@@ -2,10 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"etsn/internal/core"
+	"etsn/internal/service"
 )
 
 const testConfig = `{
@@ -149,5 +153,64 @@ func TestRunVerboseSMTBackendReportsEffort(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("SMT metrics missing %s:\n%.600s", want, data)
 		}
+	}
+}
+
+// TestExitCodes pins the machine-readable exit-code mapping: the daemon's
+// HTTP statuses and these process exit codes come from the same
+// classification, so scripts and the service can never disagree.
+func TestExitCodes(t *testing.T) {
+	writeTo := func(doc string) string {
+		path := filepath.Join(t.TempDir(), "c.json")
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Feasible: exit 0.
+	if err := run([]string{"-config", writeConfig(t), "-quiet", "-out", os.DevNull}); err != nil {
+		t.Fatalf("feasible run: %v", err)
+	}
+
+	// Invalid input (unroutable talker): exit 2.
+	invalid := strings.Replace(testConfig, `"talker": "D1"`, `"talker": "D9"`, 1)
+	err := run([]string{"-config", writeTo(invalid), "-quiet", "-out", os.DevNull})
+	if got := service.Classify(err).ExitCode(); got != 2 {
+		t.Fatalf("invalid config: exit %d (%v), want 2", got, err)
+	}
+
+	// Malformed JSON: exit 2.
+	err = run([]string{"-config", writeTo(`{"network":`), "-quiet", "-out", os.DevNull})
+	if got := service.Classify(err).ExitCode(); got != 2 {
+		t.Fatalf("malformed config: exit %d (%v), want 2", got, err)
+	}
+
+	// Infeasible deadline: exit 3.
+	infeasible := strings.Replace(testConfig, `"max_latency_us": 744`, `"max_latency_us": 2`, 1)
+	err = run([]string{"-config", writeTo(infeasible), "-quiet", "-out", os.DevNull})
+	if got := service.Classify(err).ExitCode(); got != 3 {
+		t.Fatalf("infeasible config: exit %d (%v), want 3", got, err)
+	}
+
+	// Missing file: exit 1 (internal/environmental).
+	err = run([]string{"-config", "/does/not/exist.json", "-quiet"})
+	if got := service.Classify(err).ExitCode(); got != 1 {
+		t.Fatalf("missing file: exit %d (%v), want 1", got, err)
+	}
+}
+
+// TestExitCodeTimeout pins exit 4 for budget exhaustion exactly as Compute
+// surfaces it (wrapped), including the precedence rule: a budget error that
+// wraps a scheduling failure is a timeout, never "infeasible".
+func TestExitCodeTimeout(t *testing.T) {
+	err := fmt.Errorf("cnc scheduling: %w",
+		fmt.Errorf("smt: %w: wall clock exceeded", core.ErrBudget))
+	if got := service.Classify(err).ExitCode(); got != 4 {
+		t.Fatalf("budget error: exit %d, want 4", got)
+	}
+	both := fmt.Errorf("%w after partial search: %w", core.ErrBudget, core.ErrInfeasible)
+	if got := service.Classify(both).ExitCode(); got != 4 {
+		t.Fatalf("budget+infeasible: exit %d, want 4", got)
 	}
 }

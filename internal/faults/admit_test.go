@@ -1,0 +1,214 @@
+package faults_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"etsn/internal/core"
+	"etsn/internal/faults"
+	"etsn/internal/model"
+)
+
+func TestAdmitIncrementalKeepsDeployedSlots(t *testing.T) {
+	p := ringProblem(t, false)
+	c, orig := controller(t, p, nil)
+	period := 10 * time.Millisecond
+	path, err := p.Network.ShortestPath("D2", "D4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := []*model.Stream{{
+		ID: "n1", Path: path, E2E: period, LengthBytes: model.MTUBytes,
+		Period: period, Type: model.StreamDet,
+	}}
+	rec, err := c.Admit(add, nil)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if !rec.Incremental {
+		t.Fatal("a small non-sharing TCT must admit incrementally")
+	}
+	if _, ok := rec.Result.Schedule.Streams["n1"]; !ok {
+		t.Fatal("admitted stream missing from schedule")
+	}
+	if !core.SlotsUnchanged(orig.Schedule, rec.Result.Schedule) {
+		t.Fatal("incremental admission moved deployed slots")
+	}
+	if vs := core.Verify(rec.Problem.Network, rec.Result); len(vs) > 0 {
+		t.Fatalf("admitted schedule fails verification: %v", vs[0])
+	}
+}
+
+// Admission requires a seed path (endpoints derive from it); Admit may
+// keep it or walk the alternates.
+func TestAdmitECTIncrementally(t *testing.T) {
+	p := ringProblem(t, false)
+	c, orig := controller(t, p, nil)
+	period := 10 * time.Millisecond
+	path, err := p.Network.ShortestPath("D2", "D4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := []*model.ECT{{
+		ID: "e2", Path: path, E2E: 4 * period,
+		LengthBytes: model.MTUBytes, MinInterevent: period,
+	}}
+	rec, err := c.Admit(nil, add)
+	if err != nil {
+		t.Fatalf("Admit ECT: %v", err)
+	}
+	if !rec.Incremental {
+		t.Fatal("shared-reserve ECT admission should stay incremental")
+	}
+	if !core.SlotsUnchanged(orig.Schedule, rec.Result.Schedule) {
+		t.Fatal("ECT admission moved deployed slots")
+	}
+	found := false
+	for _, e := range rec.Problem.ECT {
+		if e.ID == "e2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("e2 missing from recovered problem")
+	}
+}
+
+func TestAdmitDuplicateRejected(t *testing.T) {
+	p := ringProblem(t, false)
+	c, _ := controller(t, p, nil)
+	period := 10 * time.Millisecond
+	path, err := p.Network.ShortestPath("D2", "D4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := []*model.Stream{{
+		ID: "s1", Path: path, E2E: period, LengthBytes: model.MTUBytes,
+		Period: period, Type: model.StreamDet,
+	}}
+	if _, err := c.Admit(dup, nil); !errors.Is(err, core.ErrInvalidProblem) {
+		t.Fatalf("duplicate admission = %v, want ErrInvalidProblem", err)
+	}
+	if _, err := c.Admit(nil, nil); !errors.Is(err, core.ErrInvalidProblem) {
+		t.Fatalf("empty admission = %v, want ErrInvalidProblem", err)
+	}
+}
+
+func TestAdmitSharingTCTFallsBackToFullReplan(t *testing.T) {
+	p := ringProblem(t, false)
+	c, _ := controller(t, p, nil)
+	period := 10 * time.Millisecond
+	path, err := p.Network.ShortestPath("D2", "D4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := []*model.Stream{{
+		ID: "share-new", Path: path, E2E: period, LengthBytes: model.MTUBytes,
+		Period: period, Type: model.StreamDet, Share: true,
+	}}
+	rec, err := c.Admit(add, nil)
+	if err != nil {
+		t.Fatalf("Admit sharing TCT: %v", err)
+	}
+	if rec.Incremental {
+		t.Fatal("a sharing TCT reshapes reservations and must force a full replan")
+	}
+	if _, ok := rec.Result.Schedule.Streams["share-new"]; !ok {
+		t.Fatal("admitted sharing stream missing from schedule")
+	}
+	if len(rec.ShedTCT) != 0 {
+		t.Fatalf("replan shed deployed TCT %v on an uncontended ring", rec.ShedTCT)
+	}
+}
+
+func TestAdmitUnroutableRejectedAndStateUntouched(t *testing.T) {
+	p := ringProblem(t, false)
+	c, orig := controller(t, p, nil)
+	// Strand D1: both of SW1's ring links die. s1 gets shed by recovery;
+	// admitting a stream to the dead island must then be a clean rejection.
+	if _, err := c.Fail(sw12, sw41); err != nil {
+		t.Fatalf("Fail: %v", err)
+	}
+	_, afterFail, _ := c.Deployed()
+	period := 10 * time.Millisecond
+	path, err := p.Network.ShortestPath("D1", "D3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := []*model.Stream{{
+		ID: "doomed", Path: path, E2E: period, LengthBytes: model.MTUBytes,
+		Period: period, Type: model.StreamDet,
+	}}
+	if _, err := c.Admit(add, nil); !errors.Is(err, faults.ErrRejected) {
+		t.Fatalf("unroutable admission = %v, want ErrRejected", err)
+	}
+	_, now, _ := c.Deployed()
+	if !schedulesEqual(afterFail.Schedule, now.Schedule) {
+		t.Fatal("rejected admission changed the deployed schedule")
+	}
+	_ = orig
+}
+
+func TestAdmitSurvivesLaterRecovery(t *testing.T) {
+	p := ringProblem(t, false)
+	c, _ := controller(t, p, nil)
+	period := 10 * time.Millisecond
+	path, err := p.Network.ShortestPath("D2", "D4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := []*model.Stream{{
+		ID: "n1", Path: path, E2E: period, LengthBytes: model.MTUBytes,
+		Period: period, Type: model.StreamDet,
+	}}
+	if _, err := c.Admit(add, nil); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	// A later fault recovery must keep planning for the admitted stream.
+	rec, err := c.Fail(sw12)
+	if err != nil {
+		t.Fatalf("Fail after Admit: %v", err)
+	}
+	if _, ok := rec.Result.Schedule.Streams["n1"]; !ok {
+		t.Fatal("admitted stream lost by a later recovery")
+	}
+	// And a restore replans from the enlarged pristine set.
+	rec, err = c.Restore(sw12)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if _, ok := rec.Result.Schedule.Streams["n1"]; !ok {
+		t.Fatal("admitted stream lost by restore")
+	}
+}
+
+func TestAdmitBatchIsAtomic(t *testing.T) {
+	p := ringProblem(t, false)
+	c, orig := controller(t, p, nil)
+	period := 10 * time.Millisecond
+	path, err := p.Network.ShortestPath("D2", "D4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &model.Stream{ID: "good", Path: path, E2E: period, LengthBytes: model.MTUBytes,
+		Period: period, Type: model.StreamDet}
+	// An impossible deadline cannot be scheduled on any route.
+	bad := &model.Stream{ID: "bad", Path: path, E2E: time.Microsecond, LengthBytes: model.MTUBytes,
+		Period: period, Type: model.StreamDet}
+	if _, err := c.Admit([]*model.Stream{good, bad}, nil); err == nil {
+		t.Fatal("admission with an unschedulable member must fail")
+	}
+	nowProb, now, _ := c.Deployed()
+	if !schedulesEqual(orig.Schedule, now.Schedule) {
+		t.Fatal("failed batch admission changed the deployed schedule")
+	}
+	ids := map[model.StreamID]bool{}
+	for _, s := range nowProb.TCT {
+		ids[s.ID] = true
+	}
+	if ids["good"] || ids["bad"] {
+		t.Fatalf("failed batch leaked streams into the problem: %v", reflect.ValueOf(ids).MapKeys())
+	}
+}

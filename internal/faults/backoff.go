@@ -1,0 +1,83 @@
+package faults
+
+import (
+	"time"
+)
+
+// Backoff computes capped exponential retry schedules with bounded,
+// deterministic jitter. It is a pure function of (configuration, attempt):
+// two callers with the same Seed see the same schedule, which keeps
+// recovery runs and service retries reproducible while still decorrelating
+// independent tenants (give each its own Seed).
+//
+// The zero value is not useful; fill in at least Base. The Controller uses
+// an un-jittered, un-capped Backoff to grow its full-replan solver budget
+// (preserving the historical strict-doubling schedule), and the scheduling
+// service uses a capped, jittered one for retry delays on transient
+// failures.
+type Backoff struct {
+	// Base is the attempt-0 delay.
+	Base time.Duration
+	// Factor is the per-attempt growth multiplier; values < 1 (including
+	// the zero value) mean the default of 2.
+	Factor float64
+	// Cap bounds every delay; zero means uncapped.
+	Cap time.Duration
+	// Jitter is the fractional spread in [0, 1): attempt delays are scaled
+	// by a deterministic factor in [1-Jitter, 1+Jitter). Zero disables
+	// jitter.
+	Jitter float64
+	// Seed selects the deterministic jitter sequence.
+	Seed uint64
+}
+
+// Delay returns the delay before retry number attempt (attempt 0 is the
+// first retry). The un-jittered schedule is min(Base·Factor^attempt, Cap);
+// jitter scales each point by [1-Jitter, 1+Jitter) without ever exceeding
+// Cap or dropping to zero.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(b.Base)
+	limit := float64(b.Cap)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if b.Cap > 0 && d >= limit {
+			d = limit
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		j := b.Jitter
+		if j >= 1 {
+			j = 0.999
+		}
+		// splitmix64 over (seed, attempt): uniform in [0, 1).
+		u := float64(splitmix64(b.Seed+uint64(attempt)+1)>>11) / float64(1<<53)
+		d *= 1 - j + 2*j*u
+	}
+	if b.Cap > 0 && d > limit {
+		d = limit
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// splitmix64 is the standard 64-bit finalizer-style mixer; good enough to
+// decorrelate jitter across attempts and seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowth(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// Factor is honored, default 2 kicks in for Factor < 1.
+	b3 := Backoff{Base: time.Second, Factor: 3}
+	if got := b3.Delay(2); got != 9*time.Second {
+		t.Fatalf("factor-3 Delay(2) = %v, want 9s", got)
+	}
+	b0 := Backoff{Base: time.Second, Factor: 0.5}
+	if got := b0.Delay(1); got != 2*time.Second {
+		t.Fatalf("sub-unit factor must default to 2, Delay(1) = %v", got)
+	}
+}
+
+func TestBackoffCap(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: 500 * time.Millisecond}
+	for i := 0; i < 64; i++ {
+		if got := b.Delay(i); got > 500*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v exceeds cap", i, got)
+		}
+	}
+	if got := b.Delay(10); got != 500*time.Millisecond {
+		t.Fatalf("deep attempts must saturate at the cap, Delay(10) = %v", got)
+	}
+	// A huge attempt index must not overflow into a negative or tiny delay.
+	if got := b.Delay(1 << 20); got != 500*time.Millisecond {
+		t.Fatalf("Delay(2^20) = %v, want cap", got)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	const jitter = 0.25
+	b := Backoff{Base: 100 * time.Millisecond, Cap: 10 * time.Second, Jitter: jitter, Seed: 42}
+	for attempt := 0; attempt < 12; attempt++ {
+		nominal := Backoff{Base: b.Base, Cap: b.Cap}.Delay(attempt)
+		got := b.Delay(attempt)
+		lo := time.Duration(float64(nominal) * (1 - jitter))
+		hi := time.Duration(float64(nominal) * (1 + jitter))
+		if got < lo || got > hi {
+			t.Fatalf("Delay(%d) = %v outside [%v, %v]", attempt, got, lo, hi)
+		}
+		if got > b.Cap {
+			t.Fatalf("jittered Delay(%d) = %v exceeds cap", attempt, got)
+		}
+	}
+	// Deterministic: same seed, same schedule.
+	for attempt := 0; attempt < 12; attempt++ {
+		if b.Delay(attempt) != b.Delay(attempt) {
+			t.Fatalf("Delay(%d) is not deterministic", attempt)
+		}
+	}
+	// Different seeds decorrelate at least one point of the schedule.
+	other := b
+	other.Seed = 43
+	same := true
+	for attempt := 0; attempt < 12; attempt++ {
+		if b.Delay(attempt) != other.Delay(attempt) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical jitter schedules")
+	}
+}
+
+func TestBackoffDegenerate(t *testing.T) {
+	if got := (Backoff{}).Delay(3); got != 0 {
+		t.Fatalf("zero-value backoff must yield 0, got %v", got)
+	}
+	b := Backoff{Base: time.Second}
+	if got := b.Delay(-5); got != time.Second {
+		t.Fatalf("negative attempts clamp to 0, got %v", got)
+	}
+	// Jitter >= 1 is clamped below 1 so delays stay positive.
+	j := Backoff{Base: time.Second, Jitter: 5}
+	for attempt := 0; attempt < 8; attempt++ {
+		if got := j.Delay(attempt); got <= 0 {
+			t.Fatalf("over-jittered Delay(%d) = %v, want > 0", attempt, got)
+		}
+	}
+}

@@ -79,6 +79,10 @@ type Controller struct {
 	// BaseTimeout is the planning budget of the first full-replan attempt;
 	// it doubles on every retry (exponential backoff; default 2s).
 	BaseTimeout time.Duration
+	// RetryBackoff, when its Base is set, replaces the historical
+	// strict-doubling budget schedule with an explicit Backoff (allowing a
+	// cap and jitter). Leave zero for BaseTimeout doubling, uncapped.
+	RetryBackoff Backoff
 	// GCL configures gate synthesis for recovered schedules; it should
 	// match the deployed plan's synthesis config.
 	GCL gcl.Config
@@ -192,7 +196,7 @@ func (c *Controller) replan(tryIncremental bool) (*Recovery, error) {
 	}
 	if err != nil {
 		rec.Incremental = false
-		prob, res, err = c.full(reduced, rec, shedBE)
+		prob, res, err = c.full(cloneProblem(c.pristine), reduced, rec, shedBE, nil)
 		if err != nil {
 			c.Obs.Counter("etsn_faults_unrecoverable_total").Inc()
 			c.Obs.Counter("etsn_faults_attempts_total").Add(int64(rec.Attempts))
@@ -355,12 +359,14 @@ func (c *Controller) incremental(reduced *model.Network, rec *Recovery) (*core.P
 	return nil, nil, fmt.Errorf("incremental admission budget exhausted: %w", lastErr)
 }
 
-// full replans from the pristine problem on the reduced network with
-// bounded retries and exponential backoff, shedding best-effort flows and
-// then the loosest non-sharing TCT streams until the rest fits. ECT streams
-// are never shed: an unreachable or unschedulable ECT is unrecoverable.
-func (c *Controller) full(reduced *model.Network, rec *Recovery, shedBE map[model.StreamID]bool) (*core.Problem, *core.Result, error) {
-	base := cloneProblem(c.pristine)
+// full replans base (normally the pristine problem, or pristine plus the
+// streams being admitted) on the reduced network with bounded retries and
+// exponential backoff, shedding best-effort flows and then the loosest
+// non-sharing TCT streams until the rest fits. ECT streams are never shed:
+// an unreachable or unschedulable ECT is unrecoverable. Streams in
+// protected are exempt from degradation (admission refuses to shed the very
+// streams it was asked to add). base is consumed.
+func (c *Controller) full(base *core.Problem, reduced *model.Network, rec *Recovery, shedBE map[model.StreamID]bool, protected map[model.StreamID]bool) (*core.Problem, *core.Result, error) {
 	base.Network = reduced
 	shedTCT := make(map[model.StreamID]bool)
 	// Pre-route streams whose pristine path is broken; unreachable TCT is
@@ -391,7 +397,10 @@ func (c *Controller) full(reduced *model.Network, rec *Recovery, shedBE map[mode
 		e.Path = path
 	}
 
-	timeout := c.BaseTimeout
+	bo := c.RetryBackoff
+	if bo.Base <= 0 {
+		bo = Backoff{Base: c.BaseTimeout, Factor: 2}
+	}
 	var lastErr error
 	for attempt := 1; attempt <= c.MaxAttempts; attempt++ {
 		rec.Attempts++
@@ -401,7 +410,7 @@ func (c *Controller) full(reduced *model.Network, rec *Recovery, shedBE map[mode
 				p.TCT = append(p.TCT, s)
 			}
 		}
-		p.Opts.Timeout = timeout
+		p.Opts.Timeout = bo.Delay(attempt - 1)
 		res, routed, err := core.ScheduleWithRouting(p, c.KPaths)
 		if err == nil {
 			if vs := core.Verify(reduced, res); len(vs) > 0 {
@@ -423,7 +432,7 @@ func (c *Controller) full(reduced *model.Network, rec *Recovery, shedBE map[mode
 			for i := range c.be {
 				shedBE[sim.BEStreamID(i)] = true
 			}
-		} else if victim := c.pickVictim(base.TCT, shedTCT); victim != "" {
+		} else if victim := c.nextVictim(base.TCT, shedTCT, protected); victim != "" {
 			shedTCT[victim] = true
 		} else if attempt < c.MaxAttempts {
 			// Nothing left to shed; remaining retries only buy solver time.
@@ -431,24 +440,41 @@ func (c *Controller) full(reduced *model.Network, rec *Recovery, shedBE map[mode
 				break
 			}
 		}
-		timeout *= 2
 		c.Obs.Counter("etsn_faults_backoff_waits_total").Inc()
 	}
 	return nil, nil, fmt.Errorf("%w: %d attempts, %d TCT shed: %v",
 		ErrUnrecoverable, rec.Attempts, len(shedTCT), lastErr)
 }
 
-// pickVictim selects the next TCT stream to shed: non-sharing only (sharing
-// streams fund ECT drain capacity and reshape reservations), largest
-// deadline slack first, ties by ID.
-func (c *Controller) pickVictim(tct []*model.Stream, shed map[model.StreamID]bool) model.StreamID {
+// nextVictim applies PickVictim while treating protected streams as
+// already excluded from consideration (but not from the schedule).
+func (c *Controller) nextVictim(tct []*model.Stream, shed, protected map[model.StreamID]bool) model.StreamID {
+	if len(protected) == 0 {
+		return PickVictim(c.physical, tct, shed)
+	}
+	skip := make(map[model.StreamID]bool, len(shed)+len(protected))
+	for id := range shed {
+		skip[id] = true
+	}
+	for id := range protected {
+		skip[id] = true
+	}
+	return PickVictim(c.physical, tct, skip)
+}
+
+// PickVictim selects the next TCT stream graceful degradation sheds:
+// non-sharing only (sharing streams fund ECT drain capacity and reshape
+// reservations), largest deadline slack first, ties by ID. It is the one
+// step of the BE-then-TCT-never-ECT ladder that needs topology context, so
+// the scheduling service reuses it for overload degradation.
+func PickVictim(n *model.Network, tct []*model.Stream, shed map[model.StreamID]bool) model.StreamID {
 	var best model.StreamID
 	var bestSlack time.Duration = -1
 	for _, s := range tct {
 		if s.Share || shed[s.ID] {
 			continue
 		}
-		slack := s.E2E - pathFloor(c.physical, s.Path, s.LengthBytes)
+		slack := s.E2E - pathFloor(n, s.Path, s.LengthBytes)
 		if slack > bestSlack || (slack == bestSlack && (best == "" || s.ID < best)) {
 			best = s.ID
 			bestSlack = slack

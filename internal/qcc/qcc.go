@@ -87,6 +87,11 @@ type StreamRequirement struct {
 	Share bool `json:"share,omitempty"`
 }
 
+// Validate applies the semantic checks a CUC must pass before the CNC will
+// route a requirement: JSON that decodes is not necessarily a stream. i is
+// the requirement's position, used to name streams that have no id yet.
+func (r *StreamRequirement) Validate(i int) error { return r.validate(i) }
+
 // validate applies the semantic checks a CUC must pass before the CNC will
 // route a requirement: JSON that decodes is not necessarily a stream.
 func (r *StreamRequirement) validate(i int) error {
@@ -134,6 +139,10 @@ type SchedulerOptions struct {
 	// search and takes the first definitive answer (values <= 1 keep the
 	// single deterministic search). The incremental backend ignores it.
 	Portfolio int `json:"portfolio,omitempty"`
+	// TimeoutMs bounds the scheduler's wall-clock budget in milliseconds
+	// (core.Options.Timeout); zero means unlimited. The scheduling daemon
+	// overrides it with the per-job deadline.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // Config is a complete configuration document.
@@ -209,25 +218,39 @@ func (c *Config) BuildProblem() (*core.Problem, error) {
 		return nil, err
 	}
 	p := &core.Problem{Network: network, Opts: c.coreOptions()}
-	seen := make(map[string]bool, len(c.Streams))
-	for i := range c.Streams {
-		req := &c.Streams[i]
+	p.TCT, p.ECT, err = BuildStreams(network, c.Streams)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// BuildStreams validates and routes a batch of stream requirements over an
+// existing topology (shortest paths). It is the requirement-to-model step
+// of BuildProblem factored out so incremental admission — adding streams to
+// an already-deployed network — can reuse it.
+func BuildStreams(network *model.Network, reqs []StreamRequirement) ([]*model.Stream, []*model.ECT, error) {
+	var tct []*model.Stream
+	var ect []*model.ECT
+	seen := make(map[string]bool, len(reqs))
+	for i := range reqs {
+		req := &reqs[i]
 		if err := req.validate(i); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if seen[req.ID] {
-			return nil, fmt.Errorf("%w: duplicate stream id %q", ErrBadStream, req.ID)
+			return nil, nil, fmt.Errorf("%w: duplicate stream id %q", ErrBadStream, req.ID)
 		}
 		seen[req.ID] = true
 		path, err := network.ShortestPath(model.NodeID(req.Talker), model.NodeID(req.Listener))
 		if err != nil {
-			return nil, fmt.Errorf("%w: stream %q: %v", ErrBadStream, req.ID, err)
+			return nil, nil, fmt.Errorf("%w: stream %q: %v", ErrBadStream, req.ID, err)
 		}
 		period := time.Duration(req.PeriodUs) * time.Microsecond
 		e2e := time.Duration(req.MaxLatencyUs) * time.Microsecond
 		switch req.Type {
 		case TypeTimeTriggered:
-			p.TCT = append(p.TCT, &model.Stream{
+			tct = append(tct, &model.Stream{
 				ID:          model.StreamID(req.ID),
 				Path:        path,
 				E2E:         e2e,
@@ -237,7 +260,7 @@ func (c *Config) BuildProblem() (*core.Problem, error) {
 				Share:       req.Share,
 			})
 		case TypeEventTriggered:
-			p.ECT = append(p.ECT, &model.ECT{
+			ect = append(ect, &model.ECT{
 				ID:            model.StreamID(req.ID),
 				Path:          path,
 				E2E:           e2e,
@@ -245,10 +268,10 @@ func (c *Config) BuildProblem() (*core.Problem, error) {
 				MinInterevent: period,
 			})
 		default:
-			return nil, fmt.Errorf("%w: stream %q: unknown type %q", ErrBadConfig, req.ID, req.Type)
+			return nil, nil, fmt.Errorf("%w: stream %q: unknown type %q", ErrBadConfig, req.ID, req.Type)
 		}
 	}
-	return p, nil
+	return tct, ect, nil
 }
 
 func (c *Config) coreOptions() core.Options {
@@ -258,6 +281,7 @@ func (c *Config) coreOptions() core.Options {
 		SharedReserves: c.Options.SharedReserves,
 		MinimizeECT:    c.Options.MinimizeECT,
 		Portfolio:      c.Options.Portfolio,
+		Timeout:        time.Duration(c.Options.TimeoutMs) * time.Millisecond,
 		Obs:            c.Obs,
 		Phases:         c.Phases,
 	}

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"etsn/internal/qcc"
+)
+
+// Handler builds the daemon's HTTP surface over a Server.
+//
+//	POST /v1/tenants/{tenant}/jobs     submit a full-plan job (qcc config doc)
+//	POST /v1/tenants/{tenant}/streams  admit streams into the live plan
+//	GET  /v1/jobs                      list jobs
+//	GET  /v1/jobs/{id}                 poll one job
+//	GET  /v1/tenants/{tenant}/plans            plan-version history (metadata)
+//	GET  /v1/tenants/{tenant}/plans/{version}  full deployment export ("latest" ok)
+//	GET  /v1/tenants/{tenant}/diff?from=N&to=M GCL rollout between versions
+//	GET  /healthz                      liveness
+//	GET  /readyz                       readiness; 503 once draining
+//	GET  /metrics                      Prometheus text format
+//
+// Submissions answer 202 with the job snapshot, 429 + Retry-After when
+// admission control rejects (quota or queue bound), 503 while draining, and
+// 400 for bodies that fail validation. Job failures carry the same error
+// classes the etsn-sched CLI exits with (invalid/infeasible/timeout).
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/tenants/{tenant}/jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(r, s.cfg.MaxBodyBytes)
+		if err == nil {
+			_, err = DecodeSubmit(bytes.NewReader(body), s.cfg.MaxBodyBytes)
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		s.submitHTTP(w, r.PathValue("tenant"), KindPlan, body)
+	})
+
+	mux.HandleFunc("POST /v1/tenants/{tenant}/streams", func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(r, s.cfg.MaxBodyBytes)
+		if err == nil {
+			_, err = DecodeAdmit(bytes.NewReader(body), s.cfg.MaxBodyBytes)
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		s.submitHTTP(w, r.PathValue("tenant"), KindAdmit, body)
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.JobByID(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "unknown job", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Snapshot())
+	})
+
+	mux.HandleFunc("GET /v1/tenants/{tenant}/plans", func(w http.ResponseWriter, r *http.Request) {
+		versions, err := s.Plans(r.PathValue("tenant"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"versions": versions})
+	})
+
+	mux.HandleFunc("GET /v1/tenants/{tenant}/plans/{version}", func(w http.ResponseWriter, r *http.Request) {
+		want := 0 // latest
+		if v := r.PathValue("version"); v != "latest" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				http.Error(w, "version must be a positive integer or \"latest\"", http.StatusBadRequest)
+				return
+			}
+			want = n
+		}
+		pv, err := s.Plan(r.PathValue("tenant"), want)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Etsn-Plan-Version", strconv.Itoa(pv.Version))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(pv.Export)
+	})
+
+	mux.HandleFunc("GET /v1/tenants/{tenant}/diff", func(w http.ResponseWriter, r *http.Request) {
+		from, err1 := strconv.Atoi(r.URL.Query().Get("from"))
+		to, err2 := strconv.Atoi(r.URL.Query().Get("to"))
+		if err1 != nil || err2 != nil || from < 1 || to < 1 {
+			http.Error(w, "from and to must be positive plan versions", http.StatusBadRequest)
+			return
+		}
+		diff, err := s.Diff(r.PathValue("tenant"), from, to)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, diff)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = s.Metrics().WritePrometheus(w)
+	})
+
+	return mux
+}
+
+// submitHTTP runs admission control and writes the submission response.
+func (s *Server) submitHTTP(w http.ResponseWriter, tenantName string, kind JobKind, body []byte) {
+	job, err := s.Submit(tenantName, kind, body)
+	switch {
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrRejectedBusy):
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter()))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		writeJSON(w, http.StatusAccepted, job.Snapshot())
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), Classify(err).HTTPStatus())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// readBody slurps a bounded request body. Oversize bodies are caught here
+// (and again, defensively, by the decoders).
+func readBody(r *http.Request, limit int64) ([]byte, error) {
+	defer r.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading body: %v", qcc.ErrBadConfig, err)
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("%w: body exceeds %d bytes", qcc.ErrBadConfig, limit)
+	}
+	return data, nil
+}

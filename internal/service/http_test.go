@@ -1,0 +1,214 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newHTTPServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(Handler(s))
+	t.Cleanup(func() { ts.Close(); s.Shutdown() })
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url, reqBody string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{})
+
+	// Health endpoints.
+	resp, _ := doJSON(t, "GET", ts.URL+"/healthz", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, "GET", ts.URL+"/readyz", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("readyz = %d", resp.StatusCode)
+	}
+
+	// Submit a plan job; 202 with a job id.
+	resp, body := doJSON(t, "POST", ts.URL+"/v1/tenants/acme/jobs", planConfig)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("submit body: %v", err)
+	}
+	if snap.ID == "" || snap.Tenant != "acme" {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+
+	// Poll until done.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, body = doJSON(t, "GET", ts.URL+"/v1/jobs/"+snap.ID, "")
+		if resp.StatusCode != 200 {
+			t.Fatalf("poll = %d", resp.StatusCode)
+		}
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.State == JobDone || snap.State == JobFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", snap)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if snap.State != JobDone || snap.Version != 1 {
+		t.Fatalf("job: %+v", snap)
+	}
+
+	// Plan endpoints.
+	resp, body = doJSON(t, "GET", ts.URL+"/v1/tenants/acme/plans", "")
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"version": 1`) {
+		t.Fatalf("plans = %d: %s", resp.StatusCode, body)
+	}
+	resp, body = doJSON(t, "GET", ts.URL+"/v1/tenants/acme/plans/latest", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("plan latest = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Etsn-Plan-Version"); got != "1" {
+		t.Fatalf("plan version header = %q", got)
+	}
+	var export map[string]any
+	if err := json.Unmarshal(body, &export); err != nil {
+		t.Fatalf("export not JSON: %v", err)
+	}
+
+	// Admit streams, poll, then diff v1..v2.
+	resp, body = doJSON(t, "POST", ts.URL+"/v1/tenants/acme/streams", admitBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("admit = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	for snap.State != JobDone && snap.State != JobFailed {
+		if time.Now().After(deadline) {
+			t.Fatalf("admit stuck: %+v", snap)
+		}
+		time.Sleep(10 * time.Millisecond)
+		_, body = doJSON(t, "GET", ts.URL+"/v1/jobs/"+snap.ID, "")
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap.State != JobDone || snap.Version != 2 {
+		t.Fatalf("admit job: %+v", snap)
+	}
+	resp, body = doJSON(t, "GET", ts.URL+"/v1/tenants/acme/diff?from=1&to=2", "")
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "changed_ports") {
+		t.Fatalf("diff = %d: %s", resp.StatusCode, body)
+	}
+
+	// Metrics must be populated Prometheus text.
+	resp, body = doJSON(t, "GET", ts.URL+"/metrics", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	for _, want := range []string{"etsn_service_jobs_accepted_total", "etsn_service_jobs_done_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %s:\n%s", want, body)
+		}
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{})
+
+	// Malformed JSON -> 400.
+	resp, _ := doJSON(t, "POST", ts.URL+"/v1/tenants/acme/jobs", `{"network":`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed = %d", resp.StatusCode)
+	}
+	// Semantically invalid config (unroutable stream) -> 400.
+	bad := strings.Replace(planConfig, `"talker": "D1"`, `"talker": "D9"`, 1)
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/tenants/acme/jobs", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unroutable = %d", resp.StatusCode)
+	}
+	// Empty admission -> 400.
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/tenants/acme/streams", `{"streams": []}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty admit = %d", resp.StatusCode)
+	}
+	// Unknown job -> 404.
+	resp, _ = doJSON(t, "GET", ts.URL+"/v1/jobs/j-999", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job = %d", resp.StatusCode)
+	}
+	// No plans yet -> 404.
+	resp, _ = doJSON(t, "GET", ts.URL+"/v1/tenants/acme/plans", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no plans = %d", resp.StatusCode)
+	}
+	// Bad version selector -> 400.
+	resp, _ = doJSON(t, "GET", ts.URL+"/v1/tenants/acme/plans/zero", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad version = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPOverloadAndDrain(t *testing.T) {
+	s, ts := newHTTPServer(t, Config{
+		Workers:     1,
+		QueueDepth:  1,
+		TenantQuota: 1,
+		SolveDelay:  300 * time.Millisecond,
+	})
+
+	resp, body := doJSON(t, "POST", ts.URL+"/v1/tenants/t1/jobs", planConfig)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d: %s", resp.StatusCode, body)
+	}
+	// Tenant quota breach -> 429 with Retry-After.
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/tenants/t1/jobs", planConfig)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("quota breach = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Drain: readyz flips to 503 and submissions are refused.
+	s.BeginDrain()
+	resp, _ = doJSON(t, "GET", ts.URL+"/readyz", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/tenants/t2/jobs", planConfig)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d", resp.StatusCode)
+	}
+	// Liveness stays green during the drain.
+	resp, _ = doJSON(t, "GET", ts.URL+"/healthz", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz while draining = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,986 @@
+// Package service turns the one-shot CNC pipeline into a fault-tolerant,
+// long-running scheduling daemon ("CNC as a service"). A Server owns a set
+// of tenants, each with a versioned plan history and a live deployment; it
+// absorbs a request stream through a bounded, quota-guarded job queue, runs
+// scheduling jobs on a small worker pool with per-job deadlines, retries
+// transient failures with capped jittered backoff, degrades gracefully
+// under infeasibility (shedding best-effort and loose TCT streams, never
+// ECT — the internal/faults ladder), and journals every job transition to a
+// write-ahead log so a `kill -9` mid-solve recovers to a consistent state
+// on restart.
+//
+// The HTTP surface (see handler.go) is a thin layer over this package;
+// everything here is usable as a library and is exercised directly by the
+// tests.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"etsn/internal/faults"
+	"etsn/internal/gcl"
+	"etsn/internal/model"
+	"etsn/internal/obs"
+	"etsn/internal/qcc"
+)
+
+// ErrNoPlan is returned for operations that need a deployed plan (stream
+// admission, plan fetches) on a tenant that has none yet.
+var ErrNoPlan = errors.New("tenant has no deployed plan")
+
+// ErrRejectedBusy is the admission-control rejection: the tenant is over
+// quota or the queue is full. The HTTP layer maps it to 429 + Retry-After.
+var ErrRejectedBusy = errors.New("admission rejected: over quota or queue full")
+
+// ErrDraining is returned for submissions during graceful shutdown (503).
+var ErrDraining = errors.New("server is draining")
+
+// Config tunes the Server. The zero value gets sensible defaults from
+// withDefaults.
+type Config struct {
+	// DataDir holds the job journal. Empty disables persistence (tests
+	// mostly set it; the daemon requires it).
+	DataDir string
+	// Workers is the solver worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the global pending-job queue (default 16).
+	QueueDepth int
+	// TenantQuota bounds one tenant's queued+running jobs (default 4).
+	TenantQuota int
+	// JobTimeout is the per-job solver deadline (default 30s). A job's
+	// deadline propagates into core.Options.Timeout for every attempt.
+	JobTimeout time.Duration
+	// MaxRetries bounds re-solves after transient (budget/timeout)
+	// failures (default 2 retries after the first attempt).
+	MaxRetries int
+	// Backoff shapes the delay before each retry. Defaults to
+	// 100ms·2^n capped at 2s with 20% jitter.
+	Backoff faults.Backoff
+	// DrainTimeout bounds how long Shutdown waits for in-flight jobs
+	// before journal-parking them (default 10s).
+	DrainTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 4 MiB).
+	MaxBodyBytes int64
+	// SolveDelay injects artificial latency before every solve attempt —
+	// a fault-injection hook that makes "SIGKILL mid-job" deterministic in
+	// the crash-recovery gate. Zero in production.
+	SolveDelay time.Duration
+	// Obs receives service metrics; nil creates a private registry (the
+	// /metrics endpoint needs one to exist).
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.TenantQuota <= 0 {
+		c.TenantQuota = 4
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 30 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.Backoff.Base <= 0 {
+		c.Backoff = faults.Backoff{Base: 100 * time.Millisecond, Cap: 2 * time.Second, Jitter: 0.2}
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
+	}
+	return c
+}
+
+// PlanVersion is one entry of a tenant's plan history.
+type PlanVersion struct {
+	Version int    `json:"version"`
+	JobID   string `json:"job"`
+	// Export is the full deployment document (qcc.DeploymentExport JSON).
+	Export json.RawMessage `json:"-"`
+	// ChangedPorts lists the ports whose gate program differs from the
+	// previous version — the rollout set.
+	ChangedPorts []string `json:"changed_ports,omitempty"`
+	ShedTCT      []string `json:"shed_tct,omitempty"`
+	ShedBE       []string `json:"shed_be,omitempty"`
+	Incremental  bool     `json:"incremental,omitempty"`
+}
+
+// tenant is one isolated customer of the daemon.
+type tenant struct {
+	name string
+
+	// execMu serializes job execution for the tenant: plan state is a
+	// linear history, two concurrent solves for one tenant make no sense.
+	execMu sync.Mutex
+
+	mu        sync.Mutex
+	inflight  int // queued + running jobs (admission control)
+	versions  []*PlanVersion
+	effective []byte // cumulative config JSON producing the latest version
+	ctrl      *faults.Controller
+}
+
+// Server is the daemon core.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+
+	journal *journal
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	jobs     map[string]*Job
+	jobOrder []string
+	jobSeq   int
+	draining bool
+
+	queue chan *Job
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// RecoveredJobs counts jobs re-enqueued by journal replay at startup.
+	RecoveredJobs int
+}
+
+// New builds a Server: replays the journal in cfg.DataDir (if any),
+// restores tenant plan histories, re-enqueues unfinished jobs, and starts
+// the worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Obs,
+		tenants: make(map[string]*tenant),
+		jobs:    make(map[string]*Job),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+
+	var pending []*replayedJob
+	if cfg.DataDir != "" {
+		st, err := replayJournal(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.restore(st); err != nil {
+			return nil, err
+		}
+		pending = st.pending()
+		s.journal, err = openJournal(cfg.DataDir, st.lastSeq)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	depth := cfg.QueueDepth
+	if need := len(pending) + cfg.QueueDepth; need > depth {
+		depth = need
+	}
+	s.queue = make(chan *Job, depth)
+	for _, rj := range pending {
+		job := newJob(rj.rec.Job, rj.rec.Tenant, rj.rec.JobKind, rj.rec.Payload,
+			time.Duration(rj.rec.DeadlineMs)*time.Millisecond)
+		job.Recovered = true
+		s.jobs[job.ID] = job
+		s.jobOrder = append(s.jobOrder, job.ID)
+		s.tenantFor(job.Tenant).inflight++
+		s.queue <- job
+		s.RecoveredJobs++
+		s.reg.Counter("etsn_service_jobs_recovered_total").Inc()
+	}
+	s.reg.Gauge("etsn_service_queue_depth").Set(int64(len(s.queue)))
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// restore folds a replayed journal into server state: terminal jobs become
+// queryable snapshots, tenants get their version history and effective
+// configs back (live controllers are rebuilt lazily on first need).
+func (s *Server) restore(st *replayState) error {
+	for _, rj := range st.jobs {
+		job := newJob(rj.rec.Job, rj.rec.Tenant, rj.rec.JobKind, rj.rec.Payload,
+			time.Duration(rj.rec.DeadlineMs)*time.Millisecond)
+		if n := jobSeqOf(rj.rec.Job); n > s.jobSeq {
+			s.jobSeq = n
+		}
+		switch rj.terminal {
+		case "done":
+			job.finishDone(rj.doneRec.Version, rj.doneRec.ShedTCT, rj.doneRec.ShedBE)
+		case "failed":
+			job.finishFailed(ParseClass(rj.class), rj.errText)
+		default:
+			continue // pending: re-created (with Recovered set) by New
+		}
+		s.jobs[job.ID] = job
+		s.jobOrder = append(s.jobOrder, job.ID)
+	}
+	for name, recs := range st.tenantDone {
+		t := s.tenantFor(name)
+		for _, rec := range recs {
+			t.versions = append(t.versions, &PlanVersion{
+				Version:      rec.Version,
+				JobID:        rec.Job,
+				Export:       rec.Export,
+				ChangedPorts: rec.Changed,
+				ShedTCT:      rec.ShedTCT,
+				ShedBE:       rec.ShedBE,
+			})
+			t.effective = rec.Effective
+		}
+	}
+	return nil
+}
+
+// jobSeqOf parses the numeric suffix of a job id ("j-42" -> 42).
+func jobSeqOf(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "j-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+func (s *Server) tenantFor(name string) *tenant {
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenant{name: name}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// Metrics exposes the server's registry (for /metrics and tests).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// RetryAfter estimates (in whole seconds, at least 1) when a rejected
+// client should retry: the queue's current depth paced by the worker pool.
+func (s *Server) RetryAfter() int {
+	sec := 1 + len(s.queue)/s.cfg.Workers
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// Submit runs admission control and, when the job is admitted, journals and
+// enqueues it. The payload must already be validated (DecodeSubmit /
+// DecodeAdmit). Returns ErrDraining during shutdown and ErrRejectedBusy
+// when the tenant quota or the queue bound would be exceeded — the caller
+// maps those to 503/429.
+func (s *Server) Submit(tenantName string, kind JobKind, payload []byte) (*Job, error) {
+	start := time.Now()
+	if !json.Valid(payload) {
+		// The journal stores payloads verbatim as JSON values; a payload
+		// that is not JSON could never decode into a config anyway.
+		s.reg.Counter(`etsn_service_jobs_rejected_total{reason="body"}`).Inc()
+		return nil, fmt.Errorf("%w: body is not valid JSON", qcc.ErrBadConfig)
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.reg.Counter(`etsn_service_jobs_rejected_total{reason="draining"}`).Inc()
+		return nil, ErrDraining
+	}
+	t := s.tenantFor(tenantName)
+	if t.inflight >= s.cfg.TenantQuota {
+		s.mu.Unlock()
+		s.reg.Counter(`etsn_service_jobs_rejected_total{reason="quota"}`).Inc()
+		return nil, fmt.Errorf("%w: tenant %q has %d jobs in flight (quota %d)",
+			ErrRejectedBusy, tenantName, s.cfg.TenantQuota, s.cfg.TenantQuota)
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.reg.Counter(`etsn_service_jobs_rejected_total{reason="queue"}`).Inc()
+		return nil, fmt.Errorf("%w: queue depth %d reached", ErrRejectedBusy, s.cfg.QueueDepth)
+	}
+	s.jobSeq++
+	job := newJob(fmt.Sprintf("j-%d", s.jobSeq), tenantName, kind, payload, s.cfg.JobTimeout)
+	t.inflight++
+	s.jobs[job.ID] = job
+	s.jobOrder = append(s.jobOrder, job.ID)
+	s.mu.Unlock()
+
+	// WAL: the job must be durable before the client sees its id.
+	if err := s.journal.append(journalRecord{
+		Kind: "submitted", Job: job.ID, Tenant: tenantName, JobKind: kind,
+		Payload: json.RawMessage(payload), DeadlineMs: job.Deadline.Milliseconds(),
+	}); err != nil {
+		s.mu.Lock()
+		t.inflight--
+		delete(s.jobs, job.ID)
+		for i, id := range s.jobOrder {
+			if id == job.ID {
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case s.queue <- job:
+	default:
+		// The capacity check above makes this unreachable in practice
+		// (queue writes happen under admission accounting); park defensively
+		// rather than block a handler.
+		s.parkJob(job)
+		return job, nil
+	}
+	s.reg.Counter("etsn_service_jobs_accepted_total").Inc()
+	s.reg.Gauge("etsn_service_queue_depth").Set(int64(len(s.queue)))
+	s.reg.Histogram("etsn_service_admission_latency_ns").ObserveDuration(time.Since(start))
+	return job, nil
+}
+
+// JobByID returns a submitted job.
+func (s *Server) JobByID(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all jobs in submission order.
+func (s *Server) Jobs() []Snapshot {
+	s.mu.Lock()
+	ids := append([]string(nil), s.jobOrder...)
+	jobs := s.jobs
+	s.mu.Unlock()
+	out := make([]Snapshot, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, jobs[id].Snapshot())
+	}
+	return out
+}
+
+// Plans returns a tenant's plan history (newest last).
+func (s *Server) Plans(tenantName string) ([]*PlanVersion, error) {
+	s.mu.Lock()
+	t, ok := s.tenants[tenantName]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNoPlan
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.versions) == 0 {
+		return nil, ErrNoPlan
+	}
+	return append([]*PlanVersion(nil), t.versions...), nil
+}
+
+// Plan returns one plan version; version 0 means latest.
+func (s *Server) Plan(tenantName string, version int) (*PlanVersion, error) {
+	versions, err := s.Plans(tenantName)
+	if err != nil {
+		return nil, err
+	}
+	if version == 0 {
+		return versions[len(versions)-1], nil
+	}
+	for _, v := range versions {
+		if v.Version == version {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: version %d", ErrNoPlan, version)
+}
+
+// PlanDiff describes the GCL rollout from one plan version to another: the
+// ports whose gate programs changed, with their new programs.
+type PlanDiff struct {
+	Tenant string `json:"tenant"`
+	From   int    `json:"from"`
+	To     int    `json:"to"`
+	// ChangedPorts is every port whose program differs.
+	ChangedPorts []string `json:"changed_ports"`
+	// Programs holds the new gate program of each changed port.
+	Programs []qcc.PortGCLExport `json:"programs"`
+}
+
+// Diff computes the GCL rollout between two stored plan versions.
+func (s *Server) Diff(tenantName string, from, to int) (*PlanDiff, error) {
+	a, err := s.Plan(tenantName, from)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.Plan(tenantName, to)
+	if err != nil {
+		return nil, err
+	}
+	gclsA, _, err := exportPrograms(a.Export)
+	if err != nil {
+		return nil, err
+	}
+	gclsB, expB, err := exportPrograms(b.Export)
+	if err != nil {
+		return nil, err
+	}
+	changed := gcl.ChangedPorts(gclsA, gclsB)
+	diff := &PlanDiff{Tenant: tenantName, From: a.Version, To: b.Version}
+	byLink := make(map[string]qcc.PortGCLExport, len(expB.GCLs))
+	for _, pg := range expB.GCLs {
+		byLink[pg.Link] = pg
+	}
+	for _, lid := range changed {
+		diff.ChangedPorts = append(diff.ChangedPorts, lid.String())
+		if pg, ok := byLink[lid.String()]; ok {
+			diff.Programs = append(diff.Programs, pg)
+		}
+	}
+	return diff, nil
+}
+
+// exportPrograms parses a stored deployment export and reconstructs its
+// gate programs.
+func exportPrograms(raw json.RawMessage) (map[model.LinkID]*gcl.PortGCL, *qcc.DeploymentExport, error) {
+	exp, err := qcc.ParseDeployment(bytes.NewReader(raw))
+	if err != nil {
+		return nil, nil, err
+	}
+	gcls, err := exp.GCLPrograms()
+	if err != nil {
+		return nil, nil, err
+	}
+	return gcls, exp, nil
+}
+
+// worker drains the job queue until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case job, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.reg.Gauge("etsn_service_queue_depth").Set(int64(len(s.queue)))
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one job end to end: deadline, retries with backoff on
+// transient failures, graceful degradation on infeasibility, journaled
+// terminal state, tenant plan-version commit.
+func (s *Server) runJob(job *Job) {
+	t := s.tenantGet(job.Tenant)
+	t.execMu.Lock()
+	defer t.execMu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		t.inflight--
+		s.mu.Unlock()
+	}()
+
+	if job.State() == JobParked {
+		return // parked by a drain that lost the race with the queue
+	}
+	job.setRunning()
+	_ = s.journal.append(journalRecord{Kind: "started", Job: job.ID})
+
+	if s.cfg.SolveDelay > 0 && !s.sleep(s.cfg.SolveDelay) {
+		s.parkJob(job)
+		return
+	}
+
+	var err error
+	switch job.Kind {
+	case KindPlan:
+		err = s.runPlanJob(t, job)
+	case KindAdmit:
+		err = s.runAdmitJob(t, job)
+	default:
+		err = fmt.Errorf("%w: unknown job kind %q", qcc.ErrBadConfig, job.Kind)
+	}
+	if err == nil {
+		return
+	}
+	if s.ctx.Err() != nil && job.State() != JobFailed && job.State() != JobDone {
+		s.parkJob(job)
+		return
+	}
+	s.failJob(job, err)
+}
+
+// runPlanJob computes a full plan from the job's configuration document,
+// shedding per the degradation ladder when the problem is infeasible.
+func (s *Server) runPlanJob(t *tenant, job *Job) error {
+	cfg, err := qcc.Parse(job.Payload)
+	if err != nil {
+		return err
+	}
+	if ms := job.Deadline.Milliseconds(); ms > 0 {
+		cfg.Options.TimeoutMs = ms
+	}
+	cfg.Obs = s.reg
+
+	shed := make(map[string]bool)
+	attempt := 0
+	for {
+		job.addAttempt()
+		dep, err := qcc.Compute(configWithout(cfg, shed))
+		if err == nil {
+			return s.commitPlan(t, job, dep, shed, nil)
+		}
+		switch Classify(err) {
+		case ClassTimeout:
+			if attempt >= s.cfg.MaxRetries {
+				return err
+			}
+			s.reg.Counter("etsn_service_jobs_retried_total").Inc()
+			if !s.sleep(s.cfg.Backoff.Delay(attempt)) {
+				return err
+			}
+			attempt++
+		case ClassInfeasible:
+			// Degradation ladder: qcc configurations carry no best-effort
+			// flows (those exist only in the simulator), so the ladder
+			// starts at its TCT rung — shed the loosest non-sharing TCT
+			// stream and retry. ECT is never shed.
+			victim := s.pickVictim(cfg, shed)
+			if victim == "" {
+				return err
+			}
+			shed[victim] = true
+			s.reg.Counter("etsn_service_shed_streams_total").Inc()
+		default:
+			return err
+		}
+	}
+}
+
+// pickVictim orders the remaining TCT requirements by deadline slack on
+// their shortest paths and returns the loosest non-sharing one, or "".
+func (s *Server) pickVictim(cfg *qcc.Config, shed map[string]bool) string {
+	network, err := cfg.BuildNetwork()
+	if err != nil {
+		return ""
+	}
+	tct, _, err := qcc.BuildStreams(network, cfg.Streams)
+	if err != nil {
+		return ""
+	}
+	skip := make(map[model.StreamID]bool, len(shed))
+	for id := range shed {
+		skip[model.StreamID(id)] = true
+	}
+	if v := faults.PickVictim(network, tct, skip); v != "" {
+		return string(v)
+	}
+	// PickVictim's loosest-first ordering never selects a stream whose
+	// slack is deeply negative — but such a stream is exactly what makes a
+	// submitted problem infeasible. Fall back to the tightest remaining
+	// non-sharing candidate (sharing streams still protected: they fund
+	// ECT drain capacity).
+	var best model.StreamID
+	for _, st := range tct {
+		if st.Share || skip[st.ID] {
+			continue
+		}
+		if best == "" || st.E2E < e2eOf(tct, best) ||
+			(st.E2E == e2eOf(tct, best) && st.ID < best) {
+			best = st.ID
+		}
+	}
+	return string(best)
+}
+
+func e2eOf(tct []*model.Stream, id model.StreamID) time.Duration {
+	for _, st := range tct {
+		if st.ID == id {
+			return st.E2E
+		}
+	}
+	return 0
+}
+
+// configWithout clones the config minus the shed streams.
+func configWithout(cfg *qcc.Config, shed map[string]bool) *qcc.Config {
+	if len(shed) == 0 {
+		return cfg
+	}
+	cp := *cfg
+	cp.Streams = make([]qcc.StreamRequirement, 0, len(cfg.Streams))
+	for _, r := range cfg.Streams {
+		if !shed[r.ID] {
+			cp.Streams = append(cp.Streams, r)
+		}
+	}
+	return &cp
+}
+
+// runAdmitJob admits additional streams into the tenant's live plan.
+func (s *Server) runAdmitJob(t *tenant, job *Job) error {
+	req, err := DecodeAdmit(bytes.NewReader(job.Payload), s.cfg.MaxBodyBytes)
+	if err != nil {
+		return err
+	}
+	ctrl, err := s.liveController(t)
+	if err != nil {
+		return err
+	}
+	prob, _, _ := ctrl.Deployed()
+	newTCT, newECT, err := qcc.BuildStreams(prob.Network, req.Streams)
+	if err != nil {
+		return err
+	}
+
+	// The admission controller's full-replan budget follows the job
+	// deadline: first attempt gets a quarter, doubling per retry.
+	ctrl.BaseTimeout = job.Deadline / 4
+	if ctrl.BaseTimeout <= 0 {
+		ctrl.BaseTimeout = time.Second
+	}
+
+	attempt := 0
+	for {
+		job.addAttempt()
+		rec, err := ctrl.Admit(newTCT, newECT)
+		if err == nil {
+			return s.commitAdmit(t, job, req, rec)
+		}
+		if Classify(err) == ClassTimeout && attempt < s.cfg.MaxRetries {
+			s.reg.Counter("etsn_service_jobs_retried_total").Inc()
+			if !s.sleep(s.cfg.Backoff.Delay(attempt)) {
+				return err
+			}
+			attempt++
+			continue
+		}
+		return err
+	}
+}
+
+// liveController returns the tenant's live deployment controller,
+// rebuilding it deterministically from the journaled effective
+// configuration after a restart.
+func (s *Server) liveController(t *tenant) (*faults.Controller, error) {
+	t.mu.Lock()
+	ctrl := t.ctrl
+	effective := t.effective
+	t.mu.Unlock()
+	if ctrl != nil {
+		return ctrl, nil
+	}
+	if len(effective) == 0 {
+		return nil, fmt.Errorf("%w: tenant %q", ErrNoPlan, t.name)
+	}
+	cfg, err := qcc.Parse(effective)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding live plan: %w", err)
+	}
+	cfg.Obs = s.reg
+	dep, err := qcc.Compute(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding live plan: %w", err)
+	}
+	ctrl, err = faults.NewController(dep.Problem, dep.Result, dep.GCLs, nil)
+	if err != nil {
+		return nil, err
+	}
+	ctrl.Obs = s.reg
+	t.mu.Lock()
+	t.ctrl = ctrl
+	t.mu.Unlock()
+	return ctrl, nil
+}
+
+// commitPlan records a fresh full plan as the tenant's next version. The
+// effective config drops the shed streams, so a restart rebuilds exactly
+// the deployed plan.
+func (s *Server) commitPlan(t *tenant, job *Job, dep *qcc.Deployment, shed map[string]bool, shedBE []string) error {
+	cfg, err := qcc.Parse(job.Payload)
+	if err != nil {
+		return err
+	}
+	effectiveCfg := configWithout(cfg, shed)
+	effectiveCfg.Obs, effectiveCfg.Phases = nil, nil
+	effective, err := json.Marshal(effectiveCfg)
+	if err != nil {
+		return err
+	}
+	export, err := marshalExport(dep.Export())
+	if err != nil {
+		return err
+	}
+
+	ctrl, err := faults.NewController(dep.Problem, dep.Result, dep.GCLs, nil)
+	if err != nil {
+		return err
+	}
+	ctrl.Obs = s.reg
+
+	shedTCT := sortedKeys(shed)
+	t.mu.Lock()
+	prev := tailExport(t.versions)
+	version := nextVersion(t.versions)
+	changed, _ := changedPortsVs(prev, export)
+	pv := &PlanVersion{
+		Version: version, JobID: job.ID, Export: export,
+		ChangedPorts: changed, ShedTCT: shedTCT, ShedBE: shedBE,
+	}
+	t.versions = append(t.versions, pv)
+	t.effective = effective
+	t.ctrl = ctrl
+	t.mu.Unlock()
+
+	return s.finishJobDone(job, pv, effective)
+}
+
+// commitAdmit records an admission recovery as the tenant's next version
+// and extends the effective config with the admitted streams (minus any
+// deployed TCT the ladder shed to make room).
+func (s *Server) commitAdmit(t *tenant, job *Job, req *AdmitRequest, rec *faults.Recovery) error {
+	t.mu.Lock()
+	effective := t.effective
+	t.mu.Unlock()
+	cfg, err := qcc.Parse(effective)
+	if err != nil {
+		return err
+	}
+	cfg.Streams = append(cfg.Streams, req.Streams...)
+	shed := make(map[string]bool, len(rec.ShedTCT)+len(rec.ShedBE))
+	shedTCT := make([]string, 0, len(rec.ShedTCT))
+	for _, id := range rec.ShedTCT {
+		shed[string(id)] = true
+		shedTCT = append(shedTCT, string(id))
+	}
+	shedBE := make([]string, 0, len(rec.ShedBE))
+	for _, id := range rec.ShedBE {
+		shed[string(id)] = true
+		shedBE = append(shedBE, string(id))
+	}
+	newEffective, err := json.Marshal(configWithout(cfg, shed))
+	if err != nil {
+		return err
+	}
+	dep := &qcc.Deployment{Network: rec.Problem.Network, Problem: rec.Problem,
+		Result: rec.Result, GCLs: rec.GCLs}
+	export, err := marshalExport(dep.Export())
+	if err != nil {
+		return err
+	}
+
+	t.mu.Lock()
+	version := nextVersion(t.versions)
+	changed := make([]string, 0, len(rec.ChangedPorts))
+	for _, lid := range rec.ChangedPorts {
+		changed = append(changed, lid.String())
+	}
+	pv := &PlanVersion{
+		Version: version, JobID: job.ID, Export: export,
+		ChangedPorts: changed, ShedTCT: shedTCT, ShedBE: shedBE,
+		Incremental: rec.Incremental,
+	}
+	t.versions = append(t.versions, pv)
+	t.effective = newEffective
+	t.mu.Unlock()
+
+	return s.finishJobDone(job, pv, newEffective)
+}
+
+// finishJobDone journals the terminal done record and completes the job.
+func (s *Server) finishJobDone(job *Job, pv *PlanVersion, effective []byte) error {
+	err := s.journal.append(journalRecord{
+		Kind: "done", Job: job.ID, Tenant: job.Tenant, Version: pv.Version,
+		Export: pv.Export, Effective: json.RawMessage(effective),
+		Changed: pv.ChangedPorts, ShedTCT: pv.ShedTCT, ShedBE: pv.ShedBE,
+	})
+	job.finishDone(pv.Version, pv.ShedTCT, pv.ShedBE)
+	s.reg.Counter("etsn_service_jobs_done_total").Inc()
+	return err
+}
+
+func (s *Server) failJob(job *Job, err error) {
+	class := Classify(err)
+	_ = s.journal.append(journalRecord{
+		Kind: "failed", Job: job.ID, Tenant: job.Tenant,
+		Class: class.String(), Error: err.Error(),
+	})
+	job.finishFailed(class, err.Error())
+	s.reg.Counter(`etsn_service_jobs_failed_total{class="` + class.String() + `"}`).Inc()
+}
+
+func (s *Server) parkJob(job *Job) {
+	_ = s.journal.append(journalRecord{Kind: "parked", Job: job.ID, Tenant: job.Tenant})
+	job.park()
+	s.reg.Counter("etsn_service_jobs_parked_total").Inc()
+}
+
+func (s *Server) tenantGet(name string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenantFor(name)
+}
+
+// sleep waits interruptibly; false means shutdown interrupted it.
+func (s *Server) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-s.ctx.Done():
+		return false
+	}
+}
+
+// BeginDrain flips the server into draining mode: /readyz goes 503 and new
+// submissions are rejected, while queued and running jobs continue.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Shutdown drains gracefully: stop accepting work, give in-flight jobs up
+// to DrainTimeout to finish, then journal-park whatever remains so the
+// next startup's replay resumes it. Always closes the journal last.
+func (s *Server) Shutdown() {
+	s.BeginDrain()
+
+	// Pull jobs that never started out of the queue and park them; workers
+	// race with us for queue entries, which is fine either way.
+	parked := true
+	for parked {
+		select {
+		case job := <-s.queue:
+			s.parkJob(job)
+			s.mu.Lock()
+			s.tenantFor(job.Tenant).inflight--
+			s.mu.Unlock()
+		default:
+			parked = false
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	// Workers idle on the queue; cancelling the context is what releases
+	// them. In-flight solves keep running until they observe the cancel at
+	// their next retry/sleep point or complete within the drain budget.
+	s.cancel()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		// Past the deadline: park every job still not terminal. A worker
+		// finishing afterwards finds its job parked and drops the result;
+		// replay re-runs the job deterministically.
+		s.mu.Lock()
+		var stuck []*Job
+		for _, id := range s.jobOrder {
+			j := s.jobs[id]
+			if st := j.State(); st == JobQueued || st == JobRunning {
+				stuck = append(stuck, j)
+			}
+		}
+		s.mu.Unlock()
+		for _, j := range stuck {
+			s.parkJob(j)
+		}
+	}
+	s.journal.close()
+}
+
+func marshalExport(exp *qcc.DeploymentExport) (json.RawMessage, error) {
+	data, err := json.Marshal(exp)
+	if err != nil {
+		return nil, fmt.Errorf("plan export: %w", err)
+	}
+	return data, nil
+}
+
+func nextVersion(versions []*PlanVersion) int {
+	if len(versions) == 0 {
+		return 1
+	}
+	return versions[len(versions)-1].Version + 1
+}
+
+func tailExport(versions []*PlanVersion) json.RawMessage {
+	if len(versions) == 0 {
+		return nil
+	}
+	return versions[len(versions)-1].Export
+}
+
+// changedPortsVs lists ports whose gate program differs between two stored
+// exports (nil prev means every port changed — the first rollout).
+func changedPortsVs(prev, next json.RawMessage) ([]string, error) {
+	nextGCLs, _, err := exportPrograms(next)
+	if err != nil {
+		return nil, err
+	}
+	var prevGCLs map[model.LinkID]*gcl.PortGCL
+	if len(prev) > 0 {
+		prevGCLs, _, err = exportPrograms(prev)
+		if err != nil {
+			return nil, err
+		}
+	}
+	changed := gcl.ChangedPorts(prevGCLs, nextGCLs)
+	out := make([]string, 0, len(changed))
+	for _, lid := range changed {
+		out = append(out, lid.String())
+	}
+	return out, nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+// sortStrings is a tiny insertion sort; shed sets are small and this keeps
+// the import list lean.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -4,9 +4,11 @@
 # benchmark smoke, a bench-artifact round trip (emit BENCH_smoke.json with
 # etsn-bench, fail if it does not validate), an attribution round trip
 # (etsn-sim -attrib -trace piped through etsn-trace must reproduce the
-# committed golden report), and a short fuzz smoke over the corpus seeds
-# of every fuzz target. Each bench refresh appends its headline wall time
-# to bench/history.jsonl so regressions are visible across runs.
+# committed golden report), the end-to-end daemon gate (etsn-cncd under
+# overload and a SIGKILL mid-solve must recover from its journal), and a
+# short fuzz smoke over the corpus seeds of every fuzz target. Each bench
+# refresh appends its headline wall time to bench/history.jsonl so
+# regressions are visible across runs.
 #
 # Usage: ./scripts/check.sh            (from the repository root)
 #        FUZZTIME=10s ./scripts/check.sh
@@ -69,6 +71,12 @@ mkdir -p bench
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_attrib.json
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_smt.json
 
+echo "==> daemon gate (etsn-cncd: admission, overload, crash recovery)"
+go build -o "$BENCHDIR/etsn-cncd" ./cmd/etsn-cncd
+go build -o "$BENCHDIR/daemongate" ./scripts/daemongate
+"$BENCHDIR/daemongate" -bin "$BENCHDIR/etsn-cncd" \
+    -config scripts/testdata/trace-config.json -data "$BENCHDIR/cncd-data"
+
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test ./internal/qcc/ -run=^$ -fuzz=FuzzParse$ -fuzztime="$FUZZTIME"
 go test ./internal/qcc/ -run=^$ -fuzz=FuzzParseDeployment -fuzztime="$FUZZTIME"
@@ -76,5 +84,9 @@ go test ./internal/smt/ -run=^$ -fuzz=FuzzSolve -fuzztime="$FUZZTIME"
 
 echo "==> differential fuzz smoke (CDCL vs reference, ${DIFF_FUZZTIME})"
 go test ./internal/smt/ -run=^$ -fuzz=FuzzDifferential -fuzztime="$DIFF_FUZZTIME"
+
+echo "==> daemon decoder fuzz smoke (${DIFF_FUZZTIME})"
+go test ./internal/service/ -run=^$ -fuzz=FuzzDecodeSubmit -fuzztime="$DIFF_FUZZTIME"
+go test ./internal/service/ -run=^$ -fuzz=FuzzDecodeAdmit -fuzztime="$FUZZTIME"
 
 echo "==> OK"
