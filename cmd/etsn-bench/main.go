@@ -13,11 +13,13 @@
 //
 //	etsn-bench [-experiment all|headline|fig11|fig12|fig14|fig15|fig16]
 //	           [-duration 4s] [-seed 60802] [-parallel N]
+//	           [-engine seq|shard] [-shards N]
 //	           [-compare-sequential] [-attrib]
 //	           [-metrics out.prom] [-trace-phases out.trace.json]
 //	           [-pprof cpu=FILE|mem=FILE|HOST:PORT]
 //	           [-bench-dir DIR] [-bench-name NAME]
 //	           [-check-bench FILE] [-history FILE]
+//	           [-trend FILE] [-trend-threshold 0.10] [-trend-strict]
 //
 // -parallel N fans independent experiment cells (load x method grid points)
 // out over N workers; the tables printed are byte-identical to a sequential
@@ -31,6 +33,17 @@
 // -history FILE appends one JSON line per completed experiment
 // ({"experiment","wall_ms","parallel","seed"}) so wall-time trends
 // accumulate across runs (see bench/history.jsonl).
+//
+// -engine shard runs every simulation on the conservative-parallel sharded
+// engine (internal/psim) with -shards workers; tables stay byte-identical
+// because the sharded engine reproduces the sequential results exactly.
+// The scale experiment additionally sweeps the sharded engine over shard
+// counts 1/2/4/8 and emits BENCH_psim.json, gated by -check-bench.
+//
+// -trend FILE analyzes an accumulated history file: each experiment's
+// newest wall time is compared against the median of its previous (up to
+// five) runs, and runs more than -trend-threshold over that baseline are
+// flagged (-trend-strict turns flags into a non-zero exit).
 package main
 
 import (
@@ -91,8 +104,16 @@ func run(args []string, w io.Writer) error {
 	compareSeq := fs.Bool("compare-sequential", false, "rerun each experiment with -parallel 1 and record both wall times in the bench artifact")
 	attribOn := fs.Bool("attrib", false, "enable per-frame latency attribution in every simulation")
 	history := fs.String("history", "", "append one {experiment, wall_ms, parallel, seed} JSON line per run to this file")
+	engine := fs.String("engine", "", "simulation engine for every run: seq (default) or shard (conservative-parallel, internal/psim)")
+	shards := fs.Int("shards", 0, "shard count for -engine shard (0 = GOMAXPROCS)")
+	trend := fs.String("trend", "", "analyze a wall-time history file (bench/history.jsonl) for regressions and exit")
+	trendThreshold := fs.Float64("trend-threshold", 0.10, "flag a run whose wall time exceeds its rolling baseline by more than this fraction")
+	trendStrict := fs.Bool("trend-strict", false, "exit non-zero when -trend flags a regression")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *trend != "" {
+		return runTrend(w, *trend, *trendThreshold, *trendStrict)
 	}
 	if *checkBench != "" {
 		a, err := experiments.LoadBenchArtifact(*checkBench)
@@ -119,7 +140,7 @@ func run(args []string, w io.Writer) error {
 		defer func() { _ = stop() }()
 	}
 	opts := experiments.RunOptions{Duration: *duration, Seed: *seed, Parallel: *parallel,
-		Attribution: *attribOn}
+		Attribution: *attribOn, Engine: *engine, Shards: *shards}
 
 	type runner struct {
 		name string
@@ -203,7 +224,21 @@ func run(args []string, w io.Writer) error {
 				return err
 			}
 			r.WriteTable(w)
-			return nil
+			// The scale run also sweeps the parallel engine over shard
+			// counts on the same scenario, emitting a second artifact
+			// (BENCH_psim.json) gated on byte-identical results.
+			start := time.Now()
+			sweep, err := experiments.PsimSweep(o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			sweep.WriteTable(w)
+			art := sweep.Artifact(o, time.Since(start))
+			if err := art.Write(filepath.Join(*benchDir, "BENCH_psim.json")); err != nil {
+				return err
+			}
+			return art.Validate()
 		}},
 		{"sync", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.Sync(o)

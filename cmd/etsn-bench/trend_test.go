@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeHistory(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTrendFlagsRegression(t *testing.T) {
+	path := writeHistory(t,
+		`{"experiment":"headline","wall_ms":100,"parallel":4,"seed":1,"unix_ms":1}`,
+		`{"experiment":"headline","wall_ms":102,"parallel":4,"seed":1,"unix_ms":2}`,
+		`{"experiment":"headline","wall_ms":98,"parallel":4,"seed":1,"unix_ms":3}`,
+		`{"experiment":"headline","wall_ms":130,"parallel":4,"seed":1,"unix_ms":4}`,
+		`{"experiment":"smt","wall_ms":50,"parallel":1,"seed":1,"unix_ms":5}`,
+		`{"experiment":"smt","wall_ms":51,"parallel":1,"seed":1,"unix_ms":6}`,
+	)
+	var out strings.Builder
+	// Non-strict: regressions are reported but do not fail the run.
+	if err := run([]string{"-trend", path}, &out); err != nil {
+		t.Fatalf("non-strict trend: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("expected a flagged regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "smt") || strings.Contains(out.String(), "smt") && !strings.Contains(out.String(), "ok") {
+		t.Fatalf("expected smt to pass:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-trend", path, "-trend-strict"}, &out); err == nil {
+		t.Fatalf("strict trend should fail:\n%s", out.String())
+	}
+}
+
+func TestTrendBaselineIsRollingMedian(t *testing.T) {
+	// Seven prior runs, but only the last five (all 100ms) form the
+	// baseline: the two ancient 10ms runs must not drag the median down.
+	path := writeHistory(t,
+		`{"experiment":"headline","wall_ms":10,"parallel":1,"seed":1,"unix_ms":1}`,
+		`{"experiment":"headline","wall_ms":10,"parallel":1,"seed":1,"unix_ms":2}`,
+		`{"experiment":"headline","wall_ms":100,"parallel":1,"seed":1,"unix_ms":3}`,
+		`{"experiment":"headline","wall_ms":100,"parallel":1,"seed":1,"unix_ms":4}`,
+		`{"experiment":"headline","wall_ms":100,"parallel":1,"seed":1,"unix_ms":5}`,
+		`{"experiment":"headline","wall_ms":100,"parallel":1,"seed":1,"unix_ms":6}`,
+		`{"experiment":"headline","wall_ms":100,"parallel":1,"seed":1,"unix_ms":7}`,
+		`{"experiment":"headline","wall_ms":105,"parallel":1,"seed":1,"unix_ms":8}`,
+	)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reports, err := analyzeTrend(f, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	r := reports[0]
+	if r.BaselineMs != 100 {
+		t.Fatalf("baseline %dms, want 100 (rolling median of last %d)", r.BaselineMs, trendWindow)
+	}
+	if r.Regressed {
+		t.Fatalf("105ms vs 100ms baseline must not exceed +10%%: %+v", r)
+	}
+}
+
+func TestTrendFirstRunHasNoBaseline(t *testing.T) {
+	path := writeHistory(t,
+		`{"experiment":"fig11","wall_ms":77,"parallel":1,"seed":1,"unix_ms":1}`,
+	)
+	var out strings.Builder
+	if err := run([]string{"-trend", path, "-trend-strict"}, &out); err != nil {
+		t.Fatalf("single-entry history must not fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "no baseline") {
+		t.Fatalf("expected first-run notice:\n%s", out.String())
+	}
+}

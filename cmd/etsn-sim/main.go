@@ -6,10 +6,16 @@
 //
 //	etsn-sim -config network.json [-method etsn|period|avb] [-duration 4s]
 //	         [-seed 1] [-multiplier 1] [-parallel N] [-json]
+//	         [-engine seq|shard] [-shards N]
 //	         [-fail-link SW1->SW2 -fail-at 1s -heal-after 500ms]
 //	         [-metrics out.prom] [-trace-phases out.trace.json]
 //	         [-pprof cpu=FILE|mem=FILE|HOST:PORT]
 //	         [-attrib] [-trace-hops] [-trace FILE] [-trace-lanes FILE]
+//
+// -engine shard runs the simulation on the conservative-parallel sharded
+// engine (internal/psim) with -shards workers (default GOMAXPROCS); its
+// results are byte-identical to the sequential engine in deterministic
+// mode, so tables and traces do not depend on the engine choice.
 //
 // -parallel N runs a portfolio of N diversified SMT replicas during
 // planning when the monolithic solver is selected (<= 1 keeps the single
@@ -62,6 +68,8 @@ func run(args []string) error {
 	tracePhases := fs.String("trace-phases", "", "write a Chrome trace_event JSON file of planner/simulation phases")
 	pprofSpec := fs.String("pprof", "", "profiling: cpu=FILE, mem=FILE, or HOST:PORT for a live pprof server")
 	parallel := fs.Int("parallel", 0, "diversified SMT portfolio width during planning (<= 1 keeps the single search)")
+	engine := fs.String("engine", sched.EngineSeq, "simulation engine: seq (sequential oracle) or shard (conservative-parallel)")
+	shards := fs.Int("shards", 0, "shard count for -engine shard (0 = GOMAXPROCS)")
 	attrib := fs.Bool("attrib", false, "attribute each frame's latency to queue/gate/preempt/tx/prop phases and score bound conformance")
 	traceHops := fs.Bool("trace-hops", false, "record per-hop completion latencies in the results")
 	traceLanes := fs.String("trace-lanes", "", "write attributed frames as a Chrome trace_event lane file (requires -attrib)")
@@ -122,7 +130,7 @@ func run(args []string) error {
 		return fmt.Errorf("-trace-lanes requires -attrib")
 	}
 	simOpts := sched.SimOptions{ECT: p.ECT, Duration: *duration, Seed: *seed, Obs: reg,
-		Attribution: *attrib, TraceHops: *traceHops}
+		Attribution: *attrib, TraceHops: *traceHops, Engine: *engine, Shards: *shards}
 	if *failLink != "" {
 		lid, err := model.ParseLinkID(*failLink)
 		if err != nil {

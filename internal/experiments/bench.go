@@ -64,6 +64,35 @@ type BenchSMTClass struct {
 	Reference BenchSMTRun `json:"reference"`
 }
 
+// BenchPsimPoint is one shard count of the parallel-engine sweep.
+type BenchPsimPoint struct {
+	Shards       int   `json:"shards"`
+	WallMs       int64 `json:"wall_ms"`
+	Events       int64 `json:"events"`
+	EventsPerSec int64 `json:"events_per_sec"`
+	Handoffs     int64 `json:"handoffs"`
+	Windows      int64 `json:"windows"`
+	// Identical records whether the canonical results matched the
+	// sequential oracle byte-for-byte — the sweep's correctness gate.
+	Identical bool `json:"identical"`
+}
+
+// BenchPsim is the parallel-engine section of a bench artifact: the
+// sequential deterministic baseline and one point per shard count.
+type BenchPsim struct {
+	// Cpus is the machine's CPU count at run time; the speedup gate only
+	// applies when the machine can actually run shards concurrently.
+	Cpus        int   `json:"cpus"`
+	CutLinks    int64 `json:"cut_links"`
+	LookaheadNs int64 `json:"lookahead_ns"`
+	// SeqWallMs/SeqEvents/SeqEventsPerSec describe the sequential
+	// deterministic oracle run.
+	SeqWallMs       int64            `json:"seq_wall_ms"`
+	SeqEvents       int64            `json:"seq_events"`
+	SeqEventsPerSec int64            `json:"seq_events_per_sec"`
+	Points          []BenchPsimPoint `json:"points"`
+}
+
 // BenchLatency summarizes the end-to-end delivery latency histogram.
 type BenchLatency struct {
 	P50Ns int64 `json:"p50_ns"`
@@ -102,6 +131,10 @@ type BenchArtifact struct {
 	// CDCL-versus-reference effort and wall-time comparisons. Runs with a
 	// non-empty SMT section are solver-only and carry no simulator traffic.
 	SMT []BenchSMTClass `json:"smt_classes,omitempty"`
+	// Psim is present on the parallel-engine sweep artifact
+	// (BENCH_psim.json): the sequential oracle baseline and one point per
+	// shard count, each gated on byte-identical results.
+	Psim *BenchPsim `json:"psim,omitempty"`
 }
 
 // NewBenchArtifact harvests a registry into a bench artifact. The registry
@@ -218,7 +251,58 @@ func (a *BenchArtifact) Validate() error {
 		return fmt.Errorf("bench artifact %s: wall_sequential_ms = %d",
 			a.Experiment, a.WallSequentialMs)
 	}
+	if err := a.validatePsim(); err != nil {
+		return err
+	}
 	return a.validateAttrib()
+}
+
+// validatePsim gates the parallel-engine sweep section: every point must
+// have reproduced the sequential oracle byte-for-byte with the same event
+// count, multi-shard partitions must report their cut and a positive
+// lookahead, and — on machines with enough CPUs to matter — four or more
+// shards must beat the sequential baseline's throughput by over 2x.
+func (a *BenchArtifact) validatePsim() error {
+	p := a.Psim
+	if p == nil {
+		return nil
+	}
+	if len(p.Points) == 0 {
+		return fmt.Errorf("bench artifact %s: empty psim sweep", a.Experiment)
+	}
+	if p.SeqEvents <= 0 || p.SeqEventsPerSec <= 0 {
+		return fmt.Errorf("bench artifact %s: psim sequential baseline shows no activity",
+			a.Experiment)
+	}
+	multi := false
+	for _, pt := range p.Points {
+		if !pt.Identical {
+			return fmt.Errorf("bench artifact %s: psim shards=%d diverged from the sequential oracle",
+				a.Experiment, pt.Shards)
+		}
+		if pt.Events != p.SeqEvents {
+			return fmt.Errorf("bench artifact %s: psim shards=%d processed %d events, oracle %d",
+				a.Experiment, pt.Shards, pt.Events, p.SeqEvents)
+		}
+		if pt.Shards >= 2 {
+			multi = true
+		}
+		// The speedup gate needs real parallel hardware: on narrow machines
+		// the barrier overhead dominates and only correctness is gated.
+		if pt.Shards >= 4 && p.Cpus >= 4 && pt.EventsPerSec <= 2*p.SeqEventsPerSec {
+			return fmt.Errorf("bench artifact %s: psim shards=%d reached %d events/sec, need >2x sequential %d",
+				a.Experiment, pt.Shards, pt.EventsPerSec, p.SeqEventsPerSec)
+		}
+	}
+	if multi && p.CutLinks <= 0 {
+		return fmt.Errorf("bench artifact %s: psim multi-shard sweep reports no cut links",
+			a.Experiment)
+	}
+	if p.CutLinks > 0 && p.LookaheadNs <= 0 {
+		return fmt.Errorf("bench artifact %s: psim has %d cut links but lookahead %dns",
+			a.Experiment, p.CutLinks, p.LookaheadNs)
+	}
+	return nil
 }
 
 // validateSMT gates the solver micro-benchmark artifact: every class must

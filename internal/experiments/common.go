@@ -34,6 +34,13 @@ type RunOptions struct {
 	// Bound conformance is scored regardless; attribution additionally
 	// explains each miss by its dominant phase.
 	Attribution bool
+	// Engine selects the simulation engine for every run the experiment
+	// performs: sched.EngineSeq (default) or sched.EngineShard, the
+	// conservative-parallel sharded engine. The sharded engine produces
+	// byte-identical results (see internal/psim).
+	Engine string
+	// Shards is the shard count for sched.EngineShard (0 = GOMAXPROCS).
+	Shards int
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -81,7 +88,7 @@ func RunMethod(s *Scenario, m sched.Method, opts RunOptions) (*MethodResult, err
 	spSim := opts.Phases.Begin("simulate", "method", m.String())
 	raw, err := plan.SimulateOpts(s.Network, sched.SimOptions{
 		ECT: s.ECT, BE: s.BE, Duration: opts.Duration, Seed: opts.Seed, Obs: opts.Obs,
-		Attribution: opts.Attribution,
+		Attribution: opts.Attribution, Engine: opts.Engine, Shards: opts.Shards,
 	})
 	spSim.End()
 	if err != nil {

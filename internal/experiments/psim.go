@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"etsn/internal/obs"
+	"etsn/internal/sched"
+)
+
+// psimShardCounts is the shard-count sweep of the parallel-engine
+// benchmark.
+var psimShardCounts = []int{1, 2, 4, 8}
+
+// PsimSweepResult compares the conservative-parallel sharded engine
+// (internal/psim) against the sequential deterministic oracle on the
+// scalability scenario: identical output is a correctness gate, the
+// events/sec ratio is the headline throughput number.
+type PsimSweepResult struct {
+	Psim BenchPsim
+	// Delivered and Drops carry the oracle's traffic counters into the
+	// bench artifact.
+	Delivered, Drops, Lost int64
+}
+
+// PsimSweep plans the scale scenario once, runs it on the sequential
+// deterministic engine, then reruns it on the sharded engine at each
+// sweep point, byte-comparing the canonical results each time.
+func PsimSweep(opts RunOptions) (*PsimSweepResult, error) {
+	opts = opts.withDefaults()
+	scen, err := buildScaleScenario(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sched.Build(sched.MethodETSN, scen.Problem(), 1)
+	if err != nil {
+		return nil, fmt.Errorf("psim planning: %w", err)
+	}
+	run := func(engine string, shards int) (*obs.Registry, []byte, time.Duration, error) {
+		reg := obs.NewRegistry()
+		start := time.Now()
+		raw, err := plan.SimulateOpts(scen.Network, sched.SimOptions{
+			ECT: scen.ECT, BE: scen.BE, Duration: opts.Duration, Seed: opts.Seed,
+			Obs: reg, Engine: engine, Shards: shards, Deterministic: true,
+		})
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return reg, raw.Canonical(), time.Since(start), nil
+	}
+
+	seqReg, oracle, seqWall, err := run(sched.EngineSeq, 0)
+	if err != nil {
+		return nil, fmt.Errorf("psim sequential oracle: %w", err)
+	}
+	out := &PsimSweepResult{
+		Psim: BenchPsim{
+			Cpus:            runtime.NumCPU(),
+			SeqWallMs:       seqWall.Milliseconds(),
+			SeqEvents:       seqReg.CounterValue("etsn_sim_events_total"),
+			SeqEventsPerSec: seqReg.GaugeValue("etsn_sim_events_per_sec"),
+		},
+		Delivered: seqReg.CounterValue("etsn_sim_delivered_total"),
+		Drops:     seqReg.CounterValue("etsn_sim_drops_total"),
+		Lost:      seqReg.CounterValue("etsn_sim_lost_total"),
+	}
+	for _, k := range psimShardCounts {
+		reg, got, wall, err := run(sched.EngineShard, k)
+		if err != nil {
+			return nil, fmt.Errorf("psim %d shards: %w", k, err)
+		}
+		out.Psim.Points = append(out.Psim.Points, BenchPsimPoint{
+			Shards:       k,
+			WallMs:       wall.Milliseconds(),
+			Events:       reg.CounterValue("etsn_sim_events_total"),
+			EventsPerSec: reg.GaugeValue("etsn_sim_events_per_sec"),
+			Handoffs:     reg.CounterValue("etsn_psim_handoffs_total"),
+			Windows:      reg.CounterValue("etsn_psim_windows_total"),
+			Identical:    bytes.Equal(got, oracle),
+		})
+		if k > 1 {
+			if c := reg.GaugeValue("etsn_psim_cut_links"); c > out.Psim.CutLinks {
+				out.Psim.CutLinks = c
+			}
+			if l := reg.GaugeValue("etsn_psim_lookahead_ns"); l > out.Psim.LookaheadNs {
+				out.Psim.LookaheadNs = l
+			}
+		}
+	}
+	return out, nil
+}
+
+// Artifact renders the sweep as a standalone bench artifact
+// (BENCH_psim.json), validated by etsn-bench -check-bench.
+func (r *PsimSweepResult) Artifact(opts RunOptions, wall time.Duration) *BenchArtifact {
+	opts = opts.withDefaults()
+	return &BenchArtifact{
+		Experiment:    "psim",
+		Tool:          "etsn-bench",
+		Seed:          opts.Seed,
+		SimDurationNs: int64(opts.Duration),
+		WallMs:        wall.Milliseconds(),
+		Parallel:      1,
+		Sim: BenchSim{
+			Events:       r.Psim.SeqEvents,
+			EventsPerSec: r.Psim.SeqEventsPerSec,
+			Delivered:    r.Delivered,
+			Drops:        r.Drops,
+			Lost:         r.Lost,
+		},
+		Psim: &r.Psim,
+	}
+}
+
+// WriteTable renders the sweep report.
+func (r *PsimSweepResult) WriteTable(w io.Writer) {
+	p := &r.Psim
+	fmt.Fprintln(w, "Extension — parallel simulation: sharded engine vs sequential oracle")
+	fmt.Fprintf(w, "  %d cpus, %d cut links, lookahead %s\n",
+		p.Cpus, p.CutLinks, time.Duration(p.LookaheadNs))
+	fmt.Fprintf(w, "  sequential: %d events in %dms (%d events/sec)\n",
+		p.SeqEvents, p.SeqWallMs, p.SeqEventsPerSec)
+	for _, pt := range p.Points {
+		status := "IDENTICAL"
+		if !pt.Identical {
+			status = "DIVERGED"
+		}
+		speedup := float64(0)
+		if pt.WallMs > 0 {
+			speedup = float64(p.SeqWallMs) / float64(pt.WallMs)
+		}
+		fmt.Fprintf(w, "  shards=%d: %d events/sec, %d handoffs over %d windows, %.2fx, %s\n",
+			pt.Shards, pt.EventsPerSec, pt.Handoffs, pt.Windows, speedup, status)
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"etsn/internal/sched"
+)
+
+func TestPsimSweepIdenticalAndValidates(t *testing.T) {
+	opts := RunOptions{Duration: 300 * time.Millisecond, Seed: DefaultSeed}
+	r, err := PsimSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Psim.Points) != len(psimShardCounts) {
+		t.Fatalf("got %d sweep points, want %d", len(r.Psim.Points), len(psimShardCounts))
+	}
+	for _, pt := range r.Psim.Points {
+		if !pt.Identical {
+			t.Errorf("shards=%d diverged from the sequential oracle", pt.Shards)
+		}
+		if pt.Events != r.Psim.SeqEvents {
+			t.Errorf("shards=%d: %d events, oracle %d", pt.Shards, pt.Events, r.Psim.SeqEvents)
+		}
+		if pt.Shards >= 2 && pt.Handoffs == 0 {
+			t.Errorf("shards=%d: no cross-shard handoffs on the tree topology", pt.Shards)
+		}
+	}
+	if r.Psim.CutLinks == 0 || r.Psim.LookaheadNs <= 0 {
+		t.Fatalf("cut=%d lookahead=%d", r.Psim.CutLinks, r.Psim.LookaheadNs)
+	}
+	art := r.Artifact(opts, time.Second)
+	// Correctness-only validation: the speedup gate depends on the CPUs of
+	// the machine the artifact was recorded on, which a short test run on
+	// shared hardware cannot promise.
+	art.Psim.Cpus = 1
+	if err := art.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var table strings.Builder
+	r.WriteTable(&table)
+	if !strings.Contains(table.String(), "IDENTICAL") {
+		t.Fatalf("table missing verdict:\n%s", table.String())
+	}
+}
+
+// TestPsimParityOnCommittedScenarios runs the repo's evaluation scenarios —
+// the paper's testbed, the FRER ring, and the simulation topology — on both
+// engines and byte-compares the canonical results at several shard counts.
+func TestPsimParityOnCommittedScenarios(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func() (*Scenario, error)
+	}{
+		{"testbed", func() (*Scenario, error) { return NewTestbedScenario(0.75, DefaultSeed) }},
+		{"ring", func() (*Scenario, error) { return NewRingScenario(0.5, DefaultSeed) }},
+		{"simulation", func() (*Scenario, error) { return NewSimulationScenario(0.5, 1, 1, DefaultSeed) }},
+	}
+	for _, b := range builders {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			scen, err := b.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := sched.Build(sched.MethodETSN, scen.Problem(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(engine string, shards int) []byte {
+				raw, err := plan.SimulateOpts(scen.Network, sched.SimOptions{
+					ECT: scen.ECT, BE: scen.BE, Duration: 400 * time.Millisecond,
+					Seed: DefaultSeed, Engine: engine, Shards: shards, Deterministic: true,
+				})
+				if err != nil {
+					t.Fatalf("%s shards=%d: %v", engine, shards, err)
+				}
+				return raw.Canonical()
+			}
+			oracle := run(sched.EngineSeq, 0)
+			for _, k := range []int{1, 2, 4, 8} {
+				if got := run(sched.EngineShard, k); !bytes.Equal(got, oracle) {
+					t.Fatalf("shards=%d diverged from sequential oracle (%d vs %d bytes)",
+						k, len(got), len(oracle))
+				}
+			}
+		})
+	}
+}
+
+// TestRunMethodShardEngineDeterministic pins the experiment-level engine
+// axis: RunMethod with the sharded engine must deliver traffic and agree
+// with itself across shard counts (the sharded engine is always
+// deterministic, so shard count cannot change any statistic).
+func TestRunMethodShardEngineDeterministic(t *testing.T) {
+	scen, err := NewTestbedScenario(0.75, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RunOptions{Duration: 300 * time.Millisecond, Seed: DefaultSeed,
+		Engine: sched.EngineShard, Shards: 2}
+	a, err := RunMethod(scen, sched.MethodETSN, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Shards = 4
+	b, err := RunMethod(scen, sched.MethodETSN, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range scen.ECT {
+		if a.ECT[e.ID].Count == 0 {
+			t.Errorf("ECT %s: no deliveries on the sharded engine", e.ID)
+		}
+		if x, y := a.ECT[e.ID], b.ECT[e.ID]; x != y {
+			t.Errorf("ECT %s: 2-shard %+v vs 4-shard %+v", e.ID, x, y)
+		}
+	}
+}

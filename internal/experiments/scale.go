@@ -66,43 +66,55 @@ type ScaleResult struct {
 	TCTDeadlineMisses int
 }
 
-// Scale plans and simulates a 24-device / 5-switch tree carrying 80 TCT
+// Scale-scenario dimensions: a 24-device / 5-switch tree carrying 80 TCT
 // streams at 50% load with one cross-tree ECT stream.
-func Scale(opts RunOptions) (*ScaleResult, error) {
-	opts = opts.withDefaults()
-	const (
-		spine  = 4
-		leaves = 6
-		nTCT   = 80
-	)
-	n, err := TreeNetwork(spine, leaves)
+const (
+	scaleSpine  = 4
+	scaleLeaves = 6
+	scaleTCT    = 80
+)
+
+// buildScaleScenario constructs the scalability scenario — shared by the
+// Scale experiment and the parallel-engine sweep (PsimSweep).
+func buildScaleScenario(seed int64) (*Scenario, error) {
+	n, err := TreeNetwork(scaleSpine, scaleLeaves)
 	if err != nil {
 		return nil, err
 	}
 	tct, err := traffic.Generate(traffic.Config{
 		Network:       n,
-		NumStreams:    nTCT,
+		NumStreams:    scaleTCT,
 		Periods:       SimPeriods,
 		TargetLoad:    0.5,
 		ShareFraction: 1,
 		E2EFactor:     2,
-		Seed:          opts.Seed,
+		Seed:          seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	path, err := n.ShortestPath("D1", model.NodeID(fmt.Sprintf("D%d", spine*leaves)))
+	path, err := n.ShortestPath("D1", model.NodeID(fmt.Sprintf("D%d", scaleSpine*scaleLeaves)))
 	if err != nil {
 		return nil, err
 	}
 	ect := &model.ECT{ID: "ect", Path: path, E2E: SimInterevent,
 		LengthBytes: model.MTUBytes, MinInterevent: SimInterevent}
-	be, err := backgroundFlows(n, opts.Seed)
+	be, err := backgroundFlows(n, seed)
 	if err != nil {
 		return nil, err
 	}
-	scen := &Scenario{Network: n, TCT: tct, ECT: []*model.ECT{ect}, BE: be,
-		NProb: SimNProb, Load: 0.5}
+	return &Scenario{Network: n, TCT: tct, ECT: []*model.ECT{ect}, BE: be,
+		NProb: SimNProb, Load: 0.5}, nil
+}
+
+// Scale plans and simulates the tree scenario.
+func Scale(opts RunOptions) (*ScaleResult, error) {
+	opts = opts.withDefaults()
+	scen, err := buildScaleScenario(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	n, tct := scen.Network, scen.TCT
 
 	start := time.Now()
 	plan, err := sched.Build(sched.MethodETSN, scen.Problem(), 1)
@@ -111,7 +123,10 @@ func Scale(opts RunOptions) (*ScaleResult, error) {
 	}
 	planTime := time.Since(start)
 
-	raw, err := plan.Simulate(n, scen.ECT, scen.BE, opts.Duration, opts.Seed)
+	raw, err := plan.SimulateOpts(n, sched.SimOptions{
+		ECT: scen.ECT, BE: scen.BE, Duration: opts.Duration, Seed: opts.Seed,
+		Obs: opts.Obs, Engine: opts.Engine, Shards: opts.Shards,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("scale simulation: %w", err)
 	}
@@ -120,9 +135,9 @@ func Scale(opts RunOptions) (*ScaleResult, error) {
 		return nil, err
 	}
 	out := &ScaleResult{
-		Devices:  spine * leaves,
-		Switches: spine + 1,
-		Streams:  nTCT,
+		Devices:  scaleSpine * scaleLeaves,
+		Switches: scaleSpine + 1,
+		Streams:  scaleTCT,
 		PlanTime: planTime,
 		Slots:    plan.Schedule.NumSlots(),
 		ECT:      stats.Summarize(raw.Latencies("ect")),

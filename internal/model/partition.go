@@ -1,0 +1,202 @@
+package model
+
+import "sort"
+
+// Partition assigns every node — and every directed link, through its
+// source node — to one of K shards. The parallel simulation engine runs
+// each shard's output ports on a dedicated goroutine; frames crossing
+// between shards become timestamped handoffs, so a good partition keeps
+// the cut (links whose endpoints land in different shards) small while
+// balancing the per-shard port count.
+type Partition struct {
+	// K is the number of shards (some may own no nodes on small graphs).
+	K    int
+	node map[NodeID]int
+}
+
+// OwnerNode returns the shard a node belongs to.
+func (p *Partition) OwnerNode(id NodeID) int { return p.node[id] }
+
+// Owner returns the shard a directed link belongs to: the shard of its
+// source node, which runs the link's output port.
+func (p *Partition) Owner(l LinkID) int { return p.node[l.From] }
+
+// OwnerFunc returns Owner as a standalone function for APIs that take a
+// link-ownership callback.
+func (p *Partition) OwnerFunc() func(LinkID) int {
+	return func(l LinkID) int { return p.Owner(l) }
+}
+
+// CutCost counts the directed links whose endpoints lie in different
+// shards — the quantity the partitioner minimizes, and an upper bound on
+// the links that can ever carry cross-shard handoffs.
+func (p *Partition) CutCost(n *Network) int {
+	c := 0
+	for _, l := range n.Links() {
+		if p.node[l.ID().From] != p.node[l.ID().To] {
+			c++
+		}
+	}
+	return c
+}
+
+// Loads returns the number of directed links (output ports) each shard
+// owns.
+func (p *Partition) Loads(n *Network) []int {
+	loads := make([]int, p.K)
+	for _, l := range n.Links() {
+		loads[p.Owner(l.ID())]++
+	}
+	return loads
+}
+
+// PartitionNetwork splits a topology into k shards with a deterministic
+// cut-cost heuristic: balanced BFS region growing from high-degree seeds,
+// followed by a greedy boundary-refinement pass that moves nodes to the
+// neighboring shard they share the most links with when that reduces the
+// cut without overfilling the target load. The result depends only on the
+// topology and k.
+func PartitionNetwork(n *Network, k int) *Partition {
+	if k < 1 {
+		k = 1
+	}
+	p := &Partition{K: k, node: make(map[NodeID]int, n.NumNodes())}
+	ids := make([]NodeID, 0, n.NumNodes())
+	for _, node := range n.Nodes() {
+		ids = append(ids, node.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if k == 1 {
+		for _, id := range ids {
+			p.node[id] = 0
+		}
+		return p
+	}
+	// Node weight = out-degree: the ports (and hence event work) the node
+	// brings to its shard.
+	deg := make(map[NodeID]int, len(ids))
+	for _, l := range n.Links() {
+		deg[l.ID().From]++
+	}
+	target := (n.NumLinks() + k - 1) / k
+	seeds := append([]NodeID(nil), ids...)
+	sort.Slice(seeds, func(i, j int) bool {
+		if deg[seeds[i]] != deg[seeds[j]] {
+			return deg[seeds[i]] > deg[seeds[j]]
+		}
+		return seeds[i] < seeds[j]
+	})
+	assigned := make(map[NodeID]bool, len(ids))
+	load := make([]int, k)
+	for shard := 0; shard < k; shard++ {
+		var seed NodeID
+		found := false
+		for _, id := range seeds {
+			if !assigned[id] {
+				seed, found = id, true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		assigned[seed] = true
+		p.node[seed] = shard
+		load[shard] += deg[seed]
+		queue := []NodeID{seed}
+		for len(queue) > 0 && load[shard] < target {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range n.Neighbors(u) {
+				if assigned[v] || load[shard] >= target {
+					continue
+				}
+				assigned[v] = true
+				p.node[v] = shard
+				load[shard] += deg[v]
+				queue = append(queue, v)
+			}
+		}
+	}
+	// Leftovers (all regions hit their target before covering the graph):
+	// attach each to its least-loaded assigned neighbor, sweeping until the
+	// frontier stops moving; disconnected remainders go to the least-loaded
+	// shard outright.
+	for {
+		progress, remaining := false, false
+		for _, id := range ids {
+			if assigned[id] {
+				continue
+			}
+			best := -1
+			for _, v := range n.Neighbors(id) {
+				if s, ok := p.node[v]; ok && assigned[v] && (best < 0 || load[s] < load[best]) {
+					best = s
+				}
+			}
+			if best < 0 {
+				remaining = true
+				continue
+			}
+			assigned[id] = true
+			p.node[id] = best
+			load[best] += deg[id]
+			progress = true
+		}
+		if !remaining {
+			break
+		}
+		if !progress {
+			for _, id := range ids {
+				if assigned[id] {
+					continue
+				}
+				best := 0
+				for s := 1; s < k; s++ {
+					if load[s] < load[best] {
+						best = s
+					}
+				}
+				assigned[id] = true
+				p.node[id] = best
+				load[best] += deg[id]
+			}
+			break
+		}
+	}
+	// Boundary refinement: move a node to the neighboring shard it shares
+	// the most links with when that strictly reduces the cut and the
+	// destination stays at or under the target load.
+	cnt := make([]int, k)
+	for pass := 0; pass < 2; pass++ {
+		moved := false
+		for _, id := range ids {
+			for s := range cnt {
+				cnt[s] = 0
+			}
+			for _, v := range n.Neighbors(id) {
+				cnt[p.node[v]]++
+			}
+			cur := p.node[id]
+			best, bestGain := cur, 0
+			for s := 0; s < k; s++ {
+				if s == cur {
+					continue
+				}
+				if gain := cnt[s] - cnt[cur]; gain > bestGain && load[s]+deg[id] <= target {
+					best, bestGain = s, gain
+				}
+			}
+			if best != cur {
+				load[cur] -= deg[id]
+				load[best] += deg[id]
+				p.node[id] = best
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return p
+}

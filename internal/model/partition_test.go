@@ -1,0 +1,96 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// lineNet builds sw0 - sw1 - ... - sw(n-1), each switch with one device.
+func lineNet(t *testing.T, n int) *Network {
+	t.Helper()
+	net := NewNetwork()
+	cfg := LinkConfig{Bandwidth: 1e9, PropDelay: time.Microsecond}
+	for i := 0; i < n; i++ {
+		sw := NodeID(fmt.Sprintf("sw%d", i))
+		dev := NodeID(fmt.Sprintf("dev%d", i))
+		if err := net.AddSwitch(sw); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddDevice(dev); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddLink(sw, dev, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			prev := NodeID(fmt.Sprintf("sw%d", i-1))
+			if err := net.AddLink(prev, sw, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return net
+}
+
+func TestPartitionCoversAllNodes(t *testing.T) {
+	net := lineNet(t, 8)
+	for _, k := range []int{1, 2, 3, 4, 8, 16} {
+		p := PartitionNetwork(net, k)
+		if p.K != k {
+			t.Fatalf("k=%d: K=%d", k, p.K)
+		}
+		for _, node := range net.Nodes() {
+			s := p.OwnerNode(node.ID)
+			if s < 0 || s >= k {
+				t.Fatalf("k=%d: node %s in shard %d", k, node.ID, s)
+			}
+		}
+		loads := p.Loads(net)
+		total := 0
+		for _, l := range loads {
+			total += l
+		}
+		if total != net.NumLinks() {
+			t.Fatalf("k=%d: loads %v sum %d, want %d links", k, loads, total, net.NumLinks())
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	net := lineNet(t, 10)
+	a := PartitionNetwork(net, 4)
+	b := PartitionNetwork(net, 4)
+	for _, node := range net.Nodes() {
+		if a.OwnerNode(node.ID) != b.OwnerNode(node.ID) {
+			t.Fatalf("node %s: %d vs %d", node.ID, a.OwnerNode(node.ID), b.OwnerNode(node.ID))
+		}
+	}
+}
+
+func TestPartitionBalancedAndCheapOnLine(t *testing.T) {
+	net := lineNet(t, 8)
+	p := PartitionNetwork(net, 2)
+	// A line of 8 switch+device cells has an obvious 2-cut; the heuristic
+	// must not do pathologically worse than a quarter of all links.
+	if cut := p.CutCost(net); cut > net.NumLinks()/4 {
+		t.Fatalf("cut %d of %d links", cut, net.NumLinks())
+	}
+	loads := p.Loads(net)
+	if loads[0] == 0 || loads[1] == 0 {
+		t.Fatalf("degenerate partition: loads %v", loads)
+	}
+	if diff := loads[0] - loads[1]; diff < -6 || diff > 6 {
+		t.Fatalf("unbalanced: loads %v", loads)
+	}
+}
+
+func TestPartitionLinkOwnerIsSourceNode(t *testing.T) {
+	net := lineNet(t, 4)
+	p := PartitionNetwork(net, 2)
+	for _, l := range net.Links() {
+		if p.Owner(l.ID()) != p.OwnerNode(l.ID().From) {
+			t.Fatalf("link %s owner mismatch", l.ID())
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package psim is a conservative-parallel discrete-event engine for the
+// TSN simulator: it partitions the topology into shards (internal/model's
+// cut-cost partitioner), runs each shard's output ports on a dedicated
+// goroutine with its own value-typed event heap, and synchronizes the
+// shards with a time-window barrier. The lookahead is static — the minimum
+// serialization-plus-propagation delay over the partition's cut links —
+// because every cross-shard influence travels as a frame over a physical
+// link, and a frame transmitted at t cannot arrive before t plus those
+// delays (the classic lower-bound-on-timestamp argument of conservative
+// PDES). Frames crossing shard boundaries become timestamped handoff
+// events injected at the next barrier.
+//
+// The sequential engine (internal/sim) stays the differential oracle, the
+// same pattern smt.ModeReference uses for the CDCL core: on any seed and
+// any shard count the parallel engine produces byte-identical sim.Results,
+// attribution, slack, and JSONL trace output, verified by the canonical
+// rendering in the package tests and by FuzzPsimDifferential.
+package psim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"etsn/internal/model"
+	"etsn/internal/obs"
+	"etsn/internal/sim"
+)
+
+// Options configures a parallel run.
+type Options struct {
+	// Shards is the number of partitions (default GOMAXPROCS).
+	Shards int
+	// Partition overrides the automatic topology partition; its K takes
+	// precedence over Shards.
+	Partition *model.Partition
+	// Ctx, when non-nil, cancels the run between windows: the engine stops
+	// at the next barrier, joins every worker, and returns the context
+	// error. No goroutine outlives Run.
+	Ctx context.Context
+}
+
+// Stats describes what the engine did, for benchmarks and instrumentation.
+type Stats struct {
+	// Shards is the shard count used; CutLinks the number of directed links
+	// that can carry cross-shard handoffs; LookaheadNs the barrier window
+	// width (0 when the partition has no cut links and the run is a single
+	// window).
+	Shards      int
+	CutLinks    int
+	LookaheadNs int64
+	// Windows and Handoffs count barrier rounds and cross-shard frame
+	// transfers; Events is the total processed across shards.
+	Windows  int64
+	Handoffs int64
+	Events   int64
+}
+
+// Run executes the configuration on the parallel engine and returns
+// results byte-identical to the sequential oracle in deterministic mode.
+func Run(cfg sim.Config, opts Options) (*sim.Results, error) {
+	r, _, err := RunStats(cfg, opts)
+	return r, err
+}
+
+// RunStats is Run plus engine statistics.
+func RunStats(cfg sim.Config, opts Options) (*sim.Results, *Stats, error) {
+	if cfg.OnFault != nil {
+		return nil, nil, fmt.Errorf("%w: OnFault recovery hooks are not supported by the sharded engine", sim.ErrBadConfig)
+	}
+	if cfg.Network == nil {
+		return nil, nil, fmt.Errorf("%w: nil network", sim.ErrBadConfig)
+	}
+	part := opts.Partition
+	n := opts.Shards
+	if part != nil {
+		n = part.K
+	} else {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		part = model.PartitionNetwork(cfg.Network, n)
+	}
+	if n < 1 {
+		return nil, nil, fmt.Errorf("%w: %d shards", sim.ErrBadConfig, n)
+	}
+	owner := part.OwnerFunc()
+
+	// Lookahead: a frame leaving a shard at time t over a cut link cannot
+	// influence the destination before t + TxTime(minimum frame) +
+	// PropDelay, so every shard may safely run [T, T+lookahead) in
+	// isolation. No cut links means no cross-shard influence at all: the
+	// whole run is one window.
+	cut := sim.CutLinks(cfg, owner)
+	lookahead := time.Duration(0)
+	for _, lid := range cut {
+		l, ok := cfg.Network.LinkByID(lid)
+		if !ok {
+			continue
+		}
+		if d := l.TxTime(1) + l.PropDelay; lookahead == 0 || d < lookahead {
+			lookahead = d
+		}
+	}
+	if lookahead <= 0 && len(cut) > 0 {
+		return nil, nil, fmt.Errorf("%w: zero lookahead on cut links", sim.ErrBadConfig)
+	}
+
+	// Per-shard observability registries are merged into cfg.Obs in shard
+	// order at the end, so instrument contents do not depend on goroutine
+	// interleaving.
+	regs := make([]*obs.Registry, n)
+	outbox := make([][]sim.Handoff, n)
+	shards := make([]*sim.Shard, n)
+	for i := 0; i < n; i++ {
+		i := i
+		scfg := cfg
+		if cfg.Obs != nil {
+			regs[i] = obs.NewRegistry()
+			scfg.Obs = regs[i]
+		}
+		sh, err := sim.NewShard(scfg, i, owner, func(h sim.Handoff) {
+			outbox[i] = append(outbox[i], h)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		shards[i] = sh
+	}
+
+	// Persistent workers: one goroutine per shard, parked on its start
+	// channel between windows. The start/done channel pair is the barrier —
+	// its sends/receives give the engine exclusive access to heaps and
+	// outboxes between windows, and the workers exclusive access during
+	// them.
+	starts := make([]chan time.Duration, n)
+	dones := make([]chan struct{}, n)
+	for i := 0; i < n; i++ {
+		i := i
+		starts[i] = make(chan time.Duration)
+		dones[i] = make(chan struct{})
+		go func() {
+			for until := range starts[i] {
+				shards[i].RunWindow(until)
+				dones[i] <- struct{}{}
+			}
+		}()
+	}
+	stop := func() {
+		for i := 0; i < n; i++ {
+			close(starts[i])
+		}
+	}
+
+	st := &Stats{Shards: n, CutLinks: len(cut), LookaheadNs: int64(lookahead)}
+	wallStart := time.Now()
+	for {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			// Cancelled between windows: no worker is mid-window here, so
+			// closing the start channels joins them all without leaks.
+			stop()
+			return nil, nil, opts.Ctx.Err()
+		}
+		for i := range outbox {
+			for _, h := range outbox[i] {
+				shards[h.Dst()].Inject(h)
+				st.Handoffs++
+			}
+			outbox[i] = outbox[i][:0]
+		}
+		next := time.Duration(-1)
+		for _, sh := range shards {
+			if at, ok := sh.NextAt(); ok && (next < 0 || at < next) {
+				next = at
+			}
+		}
+		if next < 0 || next > cfg.Duration {
+			break
+		}
+		until := cfg.Duration + 1
+		if lookahead > 0 {
+			until = next + lookahead
+		}
+		st.Windows++
+		for i := 0; i < n; i++ {
+			starts[i] <- until
+		}
+		for i := 0; i < n; i++ {
+			<-dones[i]
+		}
+	}
+	stop()
+
+	for _, sh := range shards {
+		sh.FinishObs()
+		st.Events += sh.Events()
+	}
+	results := sim.MergeShards(cfg, shards)
+	if cfg.Trace != nil {
+		sim.WriteMergedTrace(cfg.Trace, shards)
+	}
+	if cfg.Obs != nil {
+		for _, reg := range regs {
+			cfg.Obs.Merge(reg)
+		}
+		cfg.Obs.Counter("etsn_psim_windows_total").Add(st.Windows)
+		cfg.Obs.Counter("etsn_psim_handoffs_total").Add(st.Handoffs)
+		cfg.Obs.Gauge("etsn_psim_shards").Set(int64(n))
+		cfg.Obs.Gauge("etsn_psim_lookahead_ns").Set(st.LookaheadNs)
+		cfg.Obs.Gauge("etsn_psim_cut_links").Set(int64(st.CutLinks))
+		if elapsed := time.Since(wallStart).Seconds(); elapsed > 0 {
+			cfg.Obs.Gauge("etsn_sim_events_per_sec").Set(int64(float64(st.Events) / elapsed))
+		}
+	}
+	return results, st, nil
+}

@@ -1,0 +1,365 @@
+package psim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"etsn/internal/core"
+	"etsn/internal/gcl"
+	"etsn/internal/model"
+	"etsn/internal/obs"
+	"etsn/internal/sim"
+)
+
+const mtuTx = 124 * time.Microsecond // MTU serialization at 100 Mbps
+
+// lineScenario builds a three-switch line with devices on every switch,
+// scheduled TCT streams crossing the spine, two-fragment ECT sources, best
+// effort, a lossy link, bounds, attribution, and hop tracing — every
+// Results field the engines must agree on byte-for-byte.
+func lineScenario(t testing.TB, seed int64) sim.Config {
+	t.Helper()
+	n := model.NewNetwork()
+	devs := []model.NodeID{"A1", "A2", "B1", "B2", "C1", "C2"}
+	sws := []model.NodeID{"S1", "S2", "S3"}
+	for _, d := range devs {
+		if err := n.AddDevice(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range sws {
+		if err := n.AddSwitch(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lc := model.LinkConfig{Bandwidth: 100_000_000, PropDelay: time.Microsecond}
+	for _, e := range [][2]model.NodeID{
+		{"A1", "S1"}, {"A2", "S1"}, {"B1", "S2"}, {"B2", "S2"},
+		{"C1", "S3"}, {"C2", "S3"}, {"S1", "S2"}, {"S2", "S3"},
+	} {
+		if err := n.AddLink(e[0], e[1], lc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := func(src, dst model.NodeID) []model.LinkID {
+		p, err := n.ShortestPath(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cycle := 5 * mtuTx
+	e1 := &model.ECT{ID: "e1", Path: path("B1", "C2"), E2E: 4 * cycle,
+		LengthBytes: 2 * model.MTUBytes, MinInterevent: cycle}
+	e2 := &model.ECT{ID: "e2", Path: path("C1", "A2"), E2E: 4 * cycle,
+		LengthBytes: model.MTUBytes, MinInterevent: 2 * cycle}
+	p := &core.Problem{
+		Network: n,
+		TCT: []*model.Stream{
+			{ID: "t1", Path: path("A1", "B1"), E2E: 10 * mtuTx,
+				LengthBytes: 2 * model.MTUBytes, Period: cycle, Type: model.StreamDet, Share: true},
+			{ID: "t2", Path: path("A2", "C1"), E2E: 14 * mtuTx,
+				LengthBytes: model.MTUBytes, Period: 2 * cycle, Type: model.StreamDet, Share: true},
+		},
+		ECT:  []*model.ECT{e1, e2},
+		Opts: core.Options{NProb: 5, Backend: core.BackendPlacer},
+	}
+	res, err := core.Schedule(p)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	gcls, err := gcl.Synthesize(res.Schedule, gcl.Config{OpenECTOnShared: true})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	return sim.Config{
+		Network:  n,
+		Schedule: res.Schedule,
+		GCLs:     gcls,
+		ECT: []sim.ECTTraffic{
+			{Stream: e1, Priority: model.PriorityECT},
+			{Stream: e2, Priority: model.PriorityECT},
+		},
+		BestEffort: []sim.BETraffic{
+			{Path: path("A2", "C2"), MeanGap: 3 * mtuTx, Priority: model.PriorityBestEffort},
+			{Path: path("C2", "A1"), MeanGap: 5 * mtuTx, Priority: model.PriorityBestEffort},
+		},
+		Duration:    50 * time.Millisecond,
+		WarmUp:      5 * time.Millisecond,
+		Seed:        seed,
+		TraceHops:   true,
+		Attribution: true,
+		Bounds: map[model.StreamID]time.Duration{
+			"t1": 20 * mtuTx,
+			"e1": 8 * mtuTx,
+		},
+		LinkLoss: map[model.LinkID]float64{
+			{From: "S2", To: "S3"}: 0.05,
+		},
+	}
+}
+
+// oracle runs the sequential deterministic engine and returns the
+// canonical results rendering and the trace bytes.
+func oracle(t testing.TB, cfg sim.Config) ([]byte, []byte) {
+	t.Helper()
+	var trace bytes.Buffer
+	cfg.Deterministic = true
+	cfg.Trace = &trace
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Canonical(), trace.Bytes()
+}
+
+// parallel runs the shard engine and returns the canonical results
+// rendering, the trace bytes, and the engine stats.
+func parallel(t testing.TB, cfg sim.Config, shards int) ([]byte, []byte, *Stats) {
+	t.Helper()
+	var trace bytes.Buffer
+	cfg.Trace = &trace
+	r, st, err := RunStats(cfg, Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Canonical(), trace.Bytes(), st
+}
+
+func checkParity(t *testing.T, cfg sim.Config, shardCounts []int) {
+	t.Helper()
+	wantRes, wantTrace := oracle(t, cfg)
+	for _, k := range shardCounts {
+		gotRes, gotTrace, st := parallel(t, cfg, k)
+		if !bytes.Equal(gotRes, wantRes) {
+			t.Fatalf("shards=%d: results diverge from sequential oracle\nseq:\n%s\npar:\n%s",
+				k, firstDiff(wantRes, gotRes), "")
+		}
+		if !bytes.Equal(gotTrace, wantTrace) {
+			t.Fatalf("shards=%d: trace diverges from sequential oracle at byte %d",
+				k, diffAt(wantTrace, gotTrace))
+		}
+		if st.Windows == 0 {
+			t.Fatalf("shards=%d: no windows ran", k)
+		}
+	}
+}
+
+// firstDiff returns a short context window around the first differing line.
+func firstDiff(a, b []byte) string {
+	la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return fmt.Sprintf("line %d:\n seq: %s\n par: %s", i, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d", len(a), len(b))
+}
+
+func diffAt(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func TestPsimMatchesSequentialOracle(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			checkParity(t, lineScenario(t, seed), []int{1, 2, 3, 4, 8})
+		})
+	}
+}
+
+func TestPsimHandoffsFlowAcrossShards(t *testing.T) {
+	cfg := lineScenario(t, 7)
+	_, _, st := parallel(t, cfg, 4)
+	if st.CutLinks == 0 {
+		t.Fatal("line topology at 4 shards has no cut links")
+	}
+	if st.Handoffs == 0 {
+		t.Fatal("no cross-shard handoffs despite cut links")
+	}
+	if st.LookaheadNs <= 0 {
+		t.Fatalf("lookahead %d", st.LookaheadNs)
+	}
+	if st.Events == 0 {
+		t.Fatal("no events processed")
+	}
+}
+
+func TestPsimFaultsOnCutLinks(t *testing.T) {
+	cfg := lineScenario(t, 11)
+	cfg.Faults = []sim.Fault{
+		{At: 10 * time.Millisecond, Kind: sim.FaultLinkDown, Link: model.LinkID{From: "S1", To: "S2"}},
+		{At: 18 * time.Millisecond, Kind: sim.FaultLinkUp, Link: model.LinkID{From: "S1", To: "S2"}},
+		{At: 22 * time.Millisecond, Kind: sim.FaultLossBurst, Link: model.LinkID{From: "S2", To: "S3"},
+			Duration: 4 * time.Millisecond, Loss: 0.5},
+		{At: 30 * time.Millisecond, Kind: sim.FaultSwitchReboot, Node: "S2", Duration: 2 * time.Millisecond},
+		{At: 35 * time.Millisecond, Kind: sim.FaultClockStep, Node: "S3", Step: 500 * time.Nanosecond},
+	}
+	checkParity(t, cfg, []int{1, 2, 4, 8})
+}
+
+// TestPsimFRERReplication exercises 802.1CB replication over disjoint
+// paths with listener-side elimination: member copies cross different
+// shards but elimination state stays on the listener shard.
+func TestPsimFRERReplication(t *testing.T) {
+	n := model.NewNetwork()
+	for _, d := range []model.NodeID{"A", "B"} {
+		if err := n.AddDevice(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range []model.NodeID{"S1", "S2", "S3", "S4"} {
+		if err := n.AddSwitch(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lc := model.LinkConfig{Bandwidth: 100_000_000, PropDelay: time.Microsecond}
+	for _, e := range [][2]model.NodeID{
+		{"A", "S1"}, {"S1", "S2"}, {"S2", "S4"}, {"S1", "S3"}, {"S3", "S4"}, {"S4", "B"},
+	} {
+		if err := n.AddLink(e[0], e[1], lc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	main, alt, err := n.DisjointPaths("A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alt) == 0 {
+		t.Fatal("no disjoint path in ring")
+	}
+	e1 := &model.ECT{ID: "r1", Path: main, E2E: 10 * mtuTx,
+		LengthBytes: 2 * model.MTUBytes, MinInterevent: 4 * mtuTx}
+	cfg := sim.Config{
+		Network:  n,
+		Schedule: model.NewSchedule(),
+		ECT: []sim.ECTTraffic{{Stream: e1, Priority: model.PriorityECT,
+			ExtraPaths: [][]model.LinkID{alt}}},
+		Eliminate: true,
+		Duration:  30 * time.Millisecond,
+		Seed:      3,
+		LinkLoss:  map[model.LinkID]float64{main[1]: 0.3},
+	}
+	wantRes, _ := oracle(t, cfg)
+	if !bytes.Contains(wantRes, []byte("r1")) {
+		t.Fatal("oracle delivered nothing for r1")
+	}
+	checkParity(t, cfg, []int{1, 2, 3, 4, 8})
+}
+
+func TestPsimRejectsOnFault(t *testing.T) {
+	cfg := lineScenario(t, 1)
+	cfg.OnFault = func(*sim.Simulator, sim.Fault) {}
+	if _, err := Run(cfg, Options{Shards: 2}); err == nil {
+		t.Fatal("expected OnFault rejection")
+	}
+}
+
+// waitNoLeak polls until the goroutine count returns to the baseline:
+// workers exit asynchronously after their start channels close.
+func waitNoLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d -> %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPsimNoGoroutineLeakOnCancel(t *testing.T) {
+	cfg := lineScenario(t, 5)
+	cfg.Duration = 5 * time.Second // long enough to be mid-run when cancelled
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := Run(cfg, Options{Shards: 4, Ctx: ctx}); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	cancel()
+	waitNoLeak(t, before+1) // +1 tolerates the cancel goroutine draining
+}
+
+func TestPsimNoGoroutineLeakOnCutLinkDown(t *testing.T) {
+	cfg := lineScenario(t, 9)
+	// Take a spine (cut) link down mid-run and never bring it back: the
+	// downstream shards starve but every worker must still join at the end.
+	cfg.Faults = []sim.Fault{
+		{At: 8 * time.Millisecond, Kind: sim.FaultLinkDown, Link: model.LinkID{From: "S1", To: "S2"}},
+		{At: 12 * time.Millisecond, Kind: sim.FaultLinkDown, Link: model.LinkID{From: "S2", To: "S3"}},
+	}
+	before := runtime.NumGoroutine()
+	checkParity(t, cfg, []int{4})
+	waitNoLeak(t, before)
+}
+
+// TestPsimObsCountersMatchSequential pins the instrument merge: per-shard
+// registries merged in shard order must agree with the sequential oracle
+// on every order-independent counter.
+func TestPsimObsCountersMatchSequential(t *testing.T) {
+	cfg := lineScenario(t, 7)
+
+	seqReg := obs.NewRegistry()
+	seqCfg := cfg
+	seqCfg.Deterministic = true
+	seqCfg.Obs = seqReg
+	s, err := sim.New(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	parReg := obs.NewRegistry()
+	parCfg := cfg
+	parCfg.Obs = parReg
+	if _, err := Run(parCfg, Options{Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{
+		"etsn_sim_delivered_total",
+		"etsn_sim_lost_total",
+		"etsn_sim_attrib_frames_total",
+		"etsn_sim_bound_checked_total",
+		"etsn_sim_bound_miss_total",
+		"etsn_sim_events_total",
+	} {
+		if got, want := parReg.CounterValue(name), seqReg.CounterValue(name); got != want {
+			t.Errorf("%s: parallel %d, sequential %d", name, got, want)
+		}
+	}
+	if parReg.GaugeValue("etsn_psim_shards") != 4 {
+		t.Errorf("etsn_psim_shards = %d", parReg.GaugeValue("etsn_psim_shards"))
+	}
+	if parReg.CounterValue("etsn_psim_windows_total") == 0 {
+		t.Error("no psim windows recorded")
+	}
+}

@@ -1,0 +1,181 @@
+package psim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"etsn/internal/model"
+	"etsn/internal/sim"
+)
+
+// fuzzTopology builds one of three small shapes — line, star, ring — with
+// devices hanging off every switch. All parameters are derived from the
+// fuzz arguments so the scenario is reproducible from the corpus entry.
+func fuzzTopology(topo uint8) (*model.Network, []model.NodeID, error) {
+	n := model.NewNetwork()
+	lc := model.LinkConfig{Bandwidth: 100_000_000, PropDelay: time.Microsecond}
+	var sws []model.NodeID
+	switch topo % 3 {
+	case 0: // line: S1 - S2 - S3
+		sws = []model.NodeID{"S1", "S2", "S3"}
+	case 1: // star: one switch
+		sws = []model.NodeID{"S1"}
+	default: // ring: S1 - S2 - S3 - S1
+		sws = []model.NodeID{"S1", "S2", "S3"}
+	}
+	for _, s := range sws {
+		if err := n.AddSwitch(s); err != nil {
+			return nil, nil, err
+		}
+	}
+	var devs []model.NodeID
+	perSwitch := 2
+	if topo%3 == 1 {
+		perSwitch = 4
+	}
+	for i, s := range sws {
+		for j := 0; j < perSwitch; j++ {
+			d := model.NodeID(fmt.Sprintf("D%d%d", i+1, j+1))
+			if err := n.AddDevice(d); err != nil {
+				return nil, nil, err
+			}
+			if err := n.AddLink(d, s, lc); err != nil {
+				return nil, nil, err
+			}
+			devs = append(devs, d)
+		}
+	}
+	for i := 1; i < len(sws); i++ {
+		if err := n.AddLink(sws[i-1], sws[i], lc); err != nil {
+			return nil, nil, err
+		}
+	}
+	if topo%3 == 2 {
+		if err := n.AddLink(sws[len(sws)-1], sws[0], lc); err != nil {
+			return nil, nil, err
+		}
+	}
+	return n, devs, nil
+}
+
+// FuzzPsimDifferential generates random small topologies and workloads,
+// runs the sharded engine against the sequential deterministic oracle, and
+// byte-compares the canonical Results rendering and the JSONL trace. Any
+// divergence — ordering, timing, attribution, conformance — fails.
+func FuzzPsimDifferential(f *testing.F) {
+	// Corpus: each topology shape, with and without faults, replication,
+	// losses, and varying shard counts.
+	f.Add(int64(1), uint8(0), uint8(2), uint8(1), uint8(1), uint8(0))
+	f.Add(int64(2), uint8(1), uint8(3), uint8(2), uint8(0), uint8(0))
+	f.Add(int64(3), uint8(2), uint8(4), uint8(2), uint8(2), uint8(0))
+	f.Add(int64(4), uint8(0), uint8(7), uint8(3), uint8(1), uint8(0x03))
+	f.Add(int64(5), uint8(2), uint8(1), uint8(1), uint8(2), uint8(0x0C))
+	f.Add(int64(6), uint8(1), uint8(5), uint8(0), uint8(3), uint8(0x10))
+	f.Add(int64(7), uint8(2), uint8(3), uint8(2), uint8(1), uint8(0x20))
+	f.Add(int64(8), uint8(0), uint8(6), uint8(3), uint8(3), uint8(0x3F))
+
+	f.Fuzz(func(t *testing.T, seed int64, topo, shards, nECT, nBE, faultBits uint8) {
+		n, devs, err := fuzzTopology(topo)
+		if err != nil {
+			t.Skip()
+		}
+		path := func(a, b model.NodeID) []model.LinkID {
+			p, perr := n.ShortestPath(a, b)
+			if perr != nil {
+				return nil
+			}
+			return p
+		}
+		cfg := sim.Config{
+			Network:  n,
+			Schedule: model.NewSchedule(),
+			Duration: 20 * time.Millisecond,
+			WarmUp:   2 * time.Millisecond,
+			Seed:     seed,
+		}
+		for i := 0; i < int(nECT%4); i++ {
+			src := devs[i%len(devs)]
+			dst := devs[(i+len(devs)/2)%len(devs)]
+			p := path(src, dst)
+			if p == nil || src == dst {
+				continue
+			}
+			e := &model.ECT{
+				ID:            model.StreamID(fmt.Sprintf("e%d", i)),
+				Path:          p,
+				E2E:           20 * mtuTx,
+				LengthBytes:   (i%3 + 1) * 700,
+				MinInterevent: time.Duration(i+2) * mtuTx,
+			}
+			tr := sim.ECTTraffic{Stream: e, Priority: model.PriorityECT}
+			if faultBits&0x20 != 0 && topo%3 == 2 && i == 0 {
+				// Ring: replicate over the disjoint path, eliminate at the
+				// listener — member copies cross different shards.
+				if main, alt, derr := n.DisjointPaths(src, dst); derr == nil && len(alt) > 0 {
+					e.Path = main
+					tr.ExtraPaths = [][]model.LinkID{alt}
+					cfg.Eliminate = true
+				}
+			}
+			cfg.ECT = append(cfg.ECT, tr)
+			if i == 0 {
+				cfg.Bounds = map[model.StreamID]time.Duration{e.ID: 10 * mtuTx}
+			}
+		}
+		for i := 0; i < int(nBE%4); i++ {
+			src := devs[(i+1)%len(devs)]
+			dst := devs[(i+3)%len(devs)]
+			p := path(src, dst)
+			if p == nil || src == dst {
+				continue
+			}
+			cfg.BestEffort = append(cfg.BestEffort, sim.BETraffic{
+				Path: p, MeanGap: time.Duration(i+2) * mtuTx, Priority: model.PriorityBestEffort,
+			})
+		}
+		if len(cfg.ECT) == 0 && len(cfg.BestEffort) == 0 {
+			t.Skip()
+		}
+		links := n.Links()
+		firstLink := links[0].ID()
+		lastLink := links[len(links)-1].ID()
+		if faultBits&0x01 != 0 {
+			cfg.Faults = append(cfg.Faults,
+				sim.Fault{At: 5 * time.Millisecond, Kind: sim.FaultLinkDown, Link: lastLink},
+				sim.Fault{At: 9 * time.Millisecond, Kind: sim.FaultLinkUp, Link: lastLink})
+		}
+		if faultBits&0x02 != 0 {
+			cfg.Faults = append(cfg.Faults, sim.Fault{
+				At: 7 * time.Millisecond, Kind: sim.FaultLossBurst, Link: firstLink,
+				Duration: 3 * time.Millisecond, Loss: 0.5})
+		}
+		if faultBits&0x04 != 0 {
+			cfg.Faults = append(cfg.Faults, sim.Fault{
+				At: 11 * time.Millisecond, Kind: sim.FaultSwitchReboot, Node: "S1",
+				Duration: time.Millisecond})
+		}
+		if faultBits&0x08 != 0 {
+			cfg.Faults = append(cfg.Faults, sim.Fault{
+				At: 13 * time.Millisecond, Kind: sim.FaultClockStep, Node: "S1",
+				Step: 500 * time.Nanosecond})
+		}
+		if faultBits&0x10 != 0 {
+			cfg.LinkLoss = map[model.LinkID]float64{firstLink: 0.1}
+		}
+		cfg.TraceHops = faultBits&0x40 != 0
+		cfg.Attribution = faultBits&0x40 != 0
+
+		wantRes, wantTrace := oracle(t, cfg)
+		for _, k := range []int{1, int(shards)%8 + 1} {
+			gotRes, gotTrace, _ := parallel(t, cfg, k)
+			if !bytes.Equal(gotRes, wantRes) {
+				t.Fatalf("shards=%d: results diverge\n%s", k, firstDiff(wantRes, gotRes))
+			}
+			if !bytes.Equal(gotTrace, wantTrace) {
+				t.Fatalf("shards=%d: trace diverges at byte %d", k, diffAt(wantTrace, gotTrace))
+			}
+		}
+	})
+}

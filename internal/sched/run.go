@@ -9,7 +9,19 @@ import (
 	"etsn/internal/gcl"
 	"etsn/internal/model"
 	"etsn/internal/obs"
+	"etsn/internal/psim"
 	"etsn/internal/sim"
+)
+
+// Simulation engine selectors for SimOptions.Engine.
+const (
+	// EngineSeq is the sequential event-loop simulator (the default, and
+	// the differential oracle for the sharded engine).
+	EngineSeq = "seq"
+	// EngineShard is the conservative-parallel sharded engine
+	// (internal/psim). Implies deterministic mode; results are
+	// byte-identical to EngineSeq with Deterministic set.
+	EngineShard = "shard"
 )
 
 // synthesizePlain compiles GCLs without slot sharing and with best-effort
@@ -99,6 +111,15 @@ type SimOptions struct {
 	// Bounds overrides the analytic per-stream worst cases used for
 	// conformance scoring; nil derives them from the plan (Plan.Bounds).
 	Bounds map[model.StreamID]time.Duration
+	// Engine selects the simulation engine: EngineSeq (default) or
+	// EngineShard. The sharded engine rejects OnFault hooks.
+	Engine string
+	// Shards is the shard count for EngineShard (0 = GOMAXPROCS).
+	Shards int
+	// Deterministic forces the sequential engine into journal-and-replay
+	// mode, making its output byte-identical to EngineShard at any shard
+	// count. EngineShard always runs deterministically.
+	Deterministic bool
 }
 
 // Simulate runs a plan against stochastic ECT traffic (plus optional
@@ -121,29 +142,42 @@ func (pl *Plan) SimulateOpts(network *model.Network, o SimOptions) (*sim.Results
 	if bounds == nil {
 		bounds = pl.Bounds(network, o.ECT)
 	}
-	s, err := sim.New(sim.Config{
-		Network:     network,
-		Schedule:    pl.Schedule,
-		GCLs:        pl.GCLs,
-		ECT:         traffic,
-		BestEffort:  o.BE,
-		Reserved:    pl.Reserved,
-		Duration:    o.Duration,
-		WarmUp:      o.WarmUp,
-		Seed:        o.Seed,
-		CBS:         pl.CBS,
-		ClockOffset: o.ClockOffset,
-		CQF:         cqf,
-		Trace:       o.Trace,
-		Faults:      o.Faults,
-		OnFault:     o.OnFault,
-		Obs:         o.Obs,
-		TraceHops:   o.TraceHops,
-		Attribution: o.Attribution,
-		Bounds:      bounds,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("%s simulation: %w", pl.Method, err)
+	cfg := sim.Config{
+		Network:       network,
+		Schedule:      pl.Schedule,
+		GCLs:          pl.GCLs,
+		ECT:           traffic,
+		BestEffort:    o.BE,
+		Reserved:      pl.Reserved,
+		Duration:      o.Duration,
+		WarmUp:        o.WarmUp,
+		Seed:          o.Seed,
+		CBS:           pl.CBS,
+		ClockOffset:   o.ClockOffset,
+		CQF:           cqf,
+		Trace:         o.Trace,
+		Faults:        o.Faults,
+		OnFault:       o.OnFault,
+		Obs:           o.Obs,
+		TraceHops:     o.TraceHops,
+		Attribution:   o.Attribution,
+		Bounds:        bounds,
+		Deterministic: o.Deterministic,
 	}
-	return s.Run()
+	switch o.Engine {
+	case "", EngineSeq:
+		s, err := sim.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s simulation: %w", pl.Method, err)
+		}
+		return s.Run()
+	case EngineShard:
+		r, err := psim.Run(cfg, psim.Options{Shards: o.Shards})
+		if err != nil {
+			return nil, fmt.Errorf("%s sharded simulation: %w", pl.Method, err)
+		}
+		return r, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown engine %q", ErrPlan, o.Engine)
+	}
 }

@@ -111,9 +111,16 @@ func (f Fault) validate(n *model.Network) error {
 	return nil
 }
 
-// bothDirections expands a physical link to its two directed ports.
+// bothDirections expands a physical link to its two directed ports, in
+// canonical (lexicographic) order so fault handling visits ports the same
+// way regardless of which direction named the link — a prerequisite for the
+// deterministic mode's cross-shard result merge.
 func bothDirections(l model.LinkID) [2]model.LinkID {
-	return [2]model.LinkID{l, l.Reverse()}
+	a, b := l, l.Reverse()
+	if b.String() < a.String() {
+		a, b = b, a
+	}
+	return [2]model.LinkID{a, b}
 }
 
 // applyFault mutates port/node state at the fault instant and then invokes
@@ -131,7 +138,7 @@ func (s *Simulator) applyFault(f Fault) {
 		for _, lid := range bothDirections(f.Link) {
 			if p := s.ports[lid]; p != nil && p.down {
 				p.down = false
-				s.schedule(s.now, p.trySend)
+				s.scheduleKey(s.now, p.wakeKey, p.trySend)
 			}
 		}
 	case FaultLossBurst:
@@ -151,7 +158,7 @@ func (s *Simulator) applyFault(f Fault) {
 			if p := s.ports[link.ID()]; p != nil {
 				p.flush()
 				p.darkUntil = s.now + f.Duration
-				s.schedule(p.darkUntil, p.trySend)
+				s.scheduleKey(p.darkUntil, p.wakeKey, p.trySend)
 			}
 		}
 	case FaultClockStep:
@@ -201,7 +208,7 @@ func (s *Simulator) Reprogram(schedule *model.Schedule, gcls map[model.LinkID]*g
 		}
 		p.program = program
 		p.buildWindows()
-		s.schedule(s.now, p.trySend)
+		s.scheduleKey(s.now, p.wakeKey, p.trySend)
 	}
 	// Rerouted event streams: each surviving possibility carries its
 	// parent's new path.

@@ -31,6 +31,11 @@ type Frame struct {
 	// no-op) unless Config.Attribution is on and the frame post-dates the
 	// warm-up.
 	attrib *frameAttrib
+	// replica indexes the route the frame travels when 802.1CB replication
+	// fans a message over extra paths (0 = the main route). It
+	// disambiguates member copies sharing (stream, seq, frag) in the
+	// deterministic event order.
+	replica int32
 }
 
 // CurrentLink returns the link the frame must traverse next.

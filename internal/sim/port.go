@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/rand"
 	"sort"
 	"time"
 
@@ -56,6 +57,13 @@ type outPort struct {
 	depth      int
 	mQueueHWM  *obs.Gauge
 	mGateOpens *obs.Counter
+	// ord is the link's dense ordinal, wakeKey the deterministic key all of
+	// this port's trySend wake-ups share, and lossRng the port's private
+	// loss-draw stream; ord/wakeKey stay zero and lossRng nil outside
+	// deterministic mode.
+	ord     int32
+	wakeKey evKey
+	lossRng *rand.Rand
 }
 
 // unavailable reports whether the port cannot accept or send frames now
@@ -71,7 +79,7 @@ func (p *outPort) flush() {
 		for _, f := range p.queues[pri] {
 			p.drops++
 			p.sim.mDropsFlush.Inc()
-			p.sim.results.recordDrop(f.Stream, p.sim.now)
+			p.sim.recDrop(p.ord, f.Stream, p.sim.now)
 			p.sim.trace.emit(p.sim.now, "drop", f, p.link.ID())
 		}
 		p.queues[pri] = nil
@@ -228,7 +236,7 @@ func (p *outPort) enqueue(f *Frame) {
 		// A dead link or rebooting switch discards arrivals immediately.
 		p.drops++
 		p.sim.mDropsDown.Inc()
-		p.sim.results.recordDrop(f.Stream, p.sim.now)
+		p.sim.recDrop(p.ord, f.Stream, p.sim.now)
 		p.sim.trace.emit(p.sim.now, "drop", f, p.link.ID())
 		return
 	}
@@ -284,9 +292,9 @@ func (p *outPort) trySend() {
 			p.depth--
 			p.drops++
 			p.sim.mDropsJam.Inc()
-			p.sim.results.recordDrop(head.Stream, now)
+			p.sim.recDrop(p.ord, head.Stream, now)
 			p.sim.trace.emit(now, "drop", head, p.link.ID())
-			p.sim.schedule(now, p.trySend)
+			p.sim.scheduleKey(now, p.wakeKey, p.trySend)
 			return
 		}
 		sh := p.shapers[pri]
@@ -317,7 +325,7 @@ func (p *outPort) scheduleWake(at time.Duration) {
 		return
 	}
 	p.wakeAt = at
-	p.sim.schedule(at, p.trySend)
+	p.sim.scheduleKey(at, p.wakeKey, p.trySend)
 }
 
 // transmit sends the head frame of the given queue.
@@ -358,14 +366,30 @@ func (p *outPort) transmit(f *Frame, pri int, tx time.Duration) {
 	if now < p.burstUntil && p.burstLoss > loss {
 		loss = p.burstLoss
 	}
-	if loss > 0 && p.sim.rng.Float64() < loss {
+	rng := p.sim.rng
+	if p.lossRng != nil {
+		rng = p.lossRng
+	}
+	if loss > 0 && rng.Float64() < loss {
 		// The frame is corrupted on the wire and never arrives.
 		p.sim.mLost.Inc()
-		p.sim.results.recordLost(f.Stream, now)
+		p.sim.recLost(p.ord, f.Stream, now)
 		p.sim.trace.emit(now, "lost", f, p.link.ID())
 	} else {
 		arrival := now + tx + p.link.PropDelay
-		p.sim.schedule(arrival, func() { p.sim.deliver(f, p.link) })
+		var key evKey
+		if p.sim.det {
+			key = makeKey(evClassDeliver, p.ord, p.sim.ordOf(f.Stream), f.Seq, 0, f.Frag, int(f.replica))
+		}
+		if dst := p.sim.deliverDst(f); dst >= 0 {
+			// The frame's next processing step belongs to another shard:
+			// hand it off as a timestamped event instead of scheduling
+			// locally. Cut-link delays guarantee arrival lands at least one
+			// lookahead past the current window.
+			p.sim.shard.emit(Handoff{At: arrival, dst: dst, key: key, frame: f, over: p.link.ID()})
+		} else {
+			p.sim.scheduleKey(arrival, key, func() { p.sim.deliver(f, p.link) })
+		}
 	}
-	p.sim.schedule(p.busy, p.trySend)
+	p.sim.scheduleKey(p.busy, p.wakeKey, p.trySend)
 }

@@ -32,6 +32,13 @@ type TraceEvent struct {
 // object per line, fields in declaration order.
 type tracer struct {
 	sink *obs.LineSink
+	// cap, when non-nil (deterministic mode), buffers encoded lines with
+	// their event keys instead of writing them; the run flushes the buffer
+	// in global (time, key, link) order at the end, which is also how the
+	// parallel engine merges per-shard buffers. The encoded bytes are
+	// identical to the sink path: json.Marshal plus a newline is exactly
+	// what json.Encoder.Encode writes.
+	cap *traceCapture
 }
 
 func newTracer(w io.Writer) *tracer {
@@ -84,7 +91,7 @@ func (t *tracer) emit(now time.Duration, kind string, f *Frame, link model.LinkI
 	}
 	// Encoding errors cannot be surfaced per event; the trace is a debug
 	// artifact, so a failed write simply truncates it.
-	t.sink.Emit(TraceEvent{
+	ev := TraceEvent{
 		TimeNs:   int64(now),
 		Kind:     kind,
 		Stream:   string(f.Stream),
@@ -92,7 +99,12 @@ func (t *tracer) emit(now time.Duration, kind string, f *Frame, link model.LinkI
 		Frag:     f.Frag,
 		Link:     link.String(),
 		Priority: f.Priority,
-	})
+	}
+	if t.cap != nil {
+		t.cap.add(t.cap.s.linkOrd[link], ev)
+		return
+	}
+	t.sink.Emit(ev)
 }
 
 func (t *tracer) emitAttrib(now time.Duration, rec *FrameRecord) {
@@ -113,7 +125,7 @@ func (t *tracer) emitAttrib(now time.Duration, rec *FrameRecord) {
 			PropNs:    h.PropNs,
 		}
 	}
-	t.sink.Emit(AttribEvent{
+	ev := AttribEvent{
 		TimeNs:      int64(now),
 		Kind:        "attrib",
 		Stream:      string(rec.Stream),
@@ -124,14 +136,19 @@ func (t *tracer) emitAttrib(now time.Duration, rec *FrameRecord) {
 		EnqueuedNs:  rec.EnqueuedNs,
 		DeliveredNs: rec.DeliveredNs,
 		Hops:        hops,
-	})
+	}
+	if t.cap != nil {
+		t.cap.add(-1, ev)
+		return
+	}
+	t.sink.Emit(ev)
 }
 
 func (t *tracer) emitSlack(now time.Duration, f *Frame, lat, bound time.Duration) {
 	if t == nil {
 		return
 	}
-	t.sink.Emit(SlackEvent{
+	ev := SlackEvent{
 		TimeNs:  int64(now),
 		Kind:    "slack",
 		Stream:  string(f.Stream),
@@ -139,5 +156,10 @@ func (t *tracer) emitSlack(now time.Duration, f *Frame, lat, bound time.Duration
 		LatNs:   int64(lat),
 		BoundNs: int64(bound),
 		SlackNs: int64(bound - lat),
-	})
+	}
+	if t.cap != nil {
+		t.cap.add(-1, ev)
+		return
+	}
+	t.sink.Emit(ev)
 }

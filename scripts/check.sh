@@ -32,6 +32,9 @@ go test -race ./...
 echo "==> go test -race ./internal/smt/... (solver core, explicit)"
 go test -race -count=1 ./internal/smt/...
 
+echo "==> go test -race ./internal/psim/... (parallel engine, explicit)"
+go test -race -count=1 ./internal/psim/...
+
 echo "==> benchmark smoke (-benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x ./...
 
@@ -42,6 +45,14 @@ go build -o "$BENCHDIR/etsn-bench" ./cmd/etsn-bench
 "$BENCHDIR/etsn-bench" -experiment headline -duration 300ms \
     -bench-dir "$BENCHDIR" -bench-name smoke >/dev/null
 "$BENCHDIR/etsn-bench" -check-bench "$BENCHDIR/BENCH_smoke.json"
+
+echo "==> sharded-engine smoke (headline under -engine shard -shards 4)"
+# The parallel engine must run the headline experiment end to end; its
+# per-stream tables are identical to the sequential engine's by design.
+"$BENCHDIR/etsn-bench" -experiment headline -duration 300ms \
+    -engine shard -shards 4 \
+    -bench-dir "$BENCHDIR" -bench-name smoke-shard >/dev/null
+"$BENCHDIR/etsn-bench" -check-bench "$BENCHDIR/BENCH_smoke-shard.json"
 
 echo "==> trace round trip (etsn-sim -attrib | etsn-trace vs golden)"
 go build -o "$BENCHDIR/etsn-sim" ./cmd/etsn-sim
@@ -66,10 +77,20 @@ mkdir -p bench
 # committed instance class, and its wall times accumulate in the history.
 "$BENCHDIR/etsn-bench" -experiment smt \
     -bench-dir bench -history bench/history.jsonl >/dev/null
+# The scale run sweeps the sharded engine over 1/2/4/8 shards on the same
+# scenario and emits BENCH_psim.json, gated on byte-identical results.
+"$BENCHDIR/etsn-bench" -experiment scale -duration 1s \
+    -bench-dir bench >/dev/null
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_headline.json
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_fig11.json
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_attrib.json
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_smt.json
+"$BENCHDIR/etsn-bench" -check-bench bench/BENCH_psim.json
+
+echo "==> wall-time trend (bench/history.jsonl)"
+# Informational: flags >10% regressions against each experiment's rolling
+# median but does not fail the gate (machine load varies across runs).
+"$BENCHDIR/etsn-bench" -trend bench/history.jsonl
 
 echo "==> daemon gate (etsn-cncd: admission, overload, crash recovery)"
 go build -o "$BENCHDIR/etsn-cncd" ./cmd/etsn-cncd
@@ -84,6 +105,9 @@ go test ./internal/smt/ -run=^$ -fuzz=FuzzSolve -fuzztime="$FUZZTIME"
 
 echo "==> differential fuzz smoke (CDCL vs reference, ${DIFF_FUZZTIME})"
 go test ./internal/smt/ -run=^$ -fuzz=FuzzDifferential -fuzztime="$DIFF_FUZZTIME"
+
+echo "==> differential fuzz smoke (sharded engine vs sequential oracle, ${DIFF_FUZZTIME})"
+go test ./internal/psim/ -run=^$ -fuzz=FuzzPsimDifferential -fuzztime="$DIFF_FUZZTIME"
 
 echo "==> daemon decoder fuzz smoke (${DIFF_FUZZTIME})"
 go test ./internal/service/ -run=^$ -fuzz=FuzzDecodeSubmit -fuzztime="$DIFF_FUZZTIME"
