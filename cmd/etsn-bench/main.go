@@ -14,6 +14,8 @@
 //	etsn-bench [-experiment all|headline|fig11|fig12|fig14|fig15|fig16]
 //	           [-duration 4s] [-seed 60802] [-parallel N]
 //	           [-engine seq|shard] [-shards N]
+//	           [-backend auto|placer|greedy|tabu|anneal|smt|smt-incremental|race]
+//	           [-backend-compare]
 //	           [-compare-sequential] [-attrib]
 //	           [-metrics out.prom] [-trace-phases out.trace.json]
 //	           [-pprof cpu=FILE|mem=FILE|HOST:PORT]
@@ -44,6 +46,15 @@
 // newest wall time is compared against the median of its previous (up to
 // five) runs, and runs more than -trend-threshold over that baseline are
 // flagged (-trend-strict turns flags into a non-zero exit).
+//
+// -backend NAME plans every simulation with that scheduling backend
+// (default auto: placer with exact-SMT fallback; "race" runs them all
+// concurrently and takes the first verified plan in priority order).
+// -backend-compare appends a per-backend comparison section (schedulable
+// ratio and solve wall over the load grid) to the fig11 and fig14 tables.
+// The "backends" experiment benchmarks every backend standalone plus the
+// race over the fig11 load grid and emits BENCH_backends.json, gated by
+// -check-bench (see bench/BENCH_backends.json).
 package main
 
 import (
@@ -56,6 +67,7 @@ import (
 	"runtime"
 	"time"
 
+	"etsn/internal/core"
 	"etsn/internal/experiments"
 	"etsn/internal/obs"
 )
@@ -91,7 +103,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("etsn-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment to run: all, headline, fig11, fig12, fig14, fig15, fig16, fourway, frer, scale, sync, ablation, faults, attrib, smt")
+	experiment := fs.String("experiment", "all", "experiment to run: all, headline, fig11, fig12, fig14, fig15, fig16, fourway, frer, scale, sync, ablation, faults, attrib, smt, backends")
 	duration := fs.Duration("duration", experiments.DefaultDuration, "simulated time per run")
 	seed := fs.Int64("seed", experiments.DefaultSeed, "random seed for event arrivals")
 	metrics := fs.String("metrics", "", "write run metrics to this file (.json for JSON, else Prometheus text)")
@@ -106,6 +118,8 @@ func run(args []string, w io.Writer) error {
 	history := fs.String("history", "", "append one {experiment, wall_ms, parallel, seed} JSON line per run to this file")
 	engine := fs.String("engine", "", "simulation engine for every run: seq (default) or shard (conservative-parallel, internal/psim)")
 	shards := fs.Int("shards", 0, "shard count for -engine shard (0 = GOMAXPROCS)")
+	backendName := fs.String("backend", "", "scheduling backend for every plan: auto (default), placer, greedy, tabu, anneal, smt, smt-incremental, or race")
+	backendCompare := fs.Bool("backend-compare", false, "append a per-backend comparison section to the fig11/fig14 tables (walls are not byte-stable)")
 	trend := fs.String("trend", "", "analyze a wall-time history file (bench/history.jsonl) for regressions and exit")
 	trendThreshold := fs.Float64("trend-threshold", 0.10, "flag a run whose wall time exceeds its rolling baseline by more than this fraction")
 	trendStrict := fs.Bool("trend-strict", false, "exit non-zero when -trend flags a regression")
@@ -126,6 +140,9 @@ func run(args []string, w io.Writer) error {
 		if len(a.SMT) > 0 {
 			fmt.Fprintf(w, "%s: valid bench artifact (%s, wall %dms, %d smt classes)\n",
 				*checkBench, a.Experiment, a.WallMs, len(a.SMT))
+		} else if a.Backends != nil {
+			fmt.Fprintf(w, "%s: valid bench artifact (%s, wall %dms, %d backend points, %d races)\n",
+				*checkBench, a.Experiment, a.WallMs, len(a.Backends.Points), len(a.Backends.Races))
 		} else {
 			fmt.Fprintf(w, "%s: valid bench artifact (%s, wall %dms, %d events)\n",
 				*checkBench, a.Experiment, a.WallMs, a.Sim.Events)
@@ -139,17 +156,23 @@ func run(args []string, w io.Writer) error {
 		}
 		defer func() { _ = stop() }()
 	}
+	backend, err := core.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
 	opts := experiments.RunOptions{Duration: *duration, Seed: *seed, Parallel: *parallel,
-		Attribution: *attribOn, Engine: *engine, Shards: *shards}
+		Attribution: *attribOn, Engine: *engine, Shards: *shards,
+		Backend: backend, BackendCompare: *backendCompare}
 
 	type runner struct {
 		name string
 		fn   func(experiments.RunOptions, io.Writer) error
 	}
-	// The smt runner stashes its per-class comparison here; runOne attaches
-	// it to that run's artifact (the registry harvest carries only the
-	// aggregate counters, not the per-class split).
+	// The smt and backends runners stash their sections here; runOne
+	// attaches them to that run's artifact (the registry harvest carries
+	// only the aggregate counters, not the per-class/per-point split).
 	var smtClasses []experiments.BenchSMTClass
+	var backendBench *experiments.BenchBackends
 	all := []runner{
 		{"headline", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.Headline(o)
@@ -165,6 +188,10 @@ func run(args []string, w io.Writer) error {
 				return err
 			}
 			r.WriteTable(w)
+			if len(r.Backends) > 0 {
+				fmt.Fprintln(w)
+				r.WriteBackendTable(w)
+			}
 			return nil
 		}},
 		{"fig12", func(o experiments.RunOptions, w io.Writer) error {
@@ -181,6 +208,10 @@ func run(args []string, w io.Writer) error {
 				return err
 			}
 			r.WriteTable(w)
+			if len(r.Backends) > 0 {
+				fmt.Fprintln(w)
+				r.WriteBackendTable(w)
+			}
 			return nil
 		}},
 		{"fig15", func(o experiments.RunOptions, w io.Writer) error {
@@ -297,6 +328,15 @@ func run(args []string, w io.Writer) error {
 			smtClasses = classes
 			return nil
 		}},
+		{"backends", func(o experiments.RunOptions, w io.Writer) error {
+			r, err := experiments.Backends(o)
+			if err != nil {
+				return err
+			}
+			r.WriteTable(w)
+			backendBench = r.Bench()
+			return nil
+		}},
 	}
 
 	// Each experiment runs with a fresh registry and tracer so its bench
@@ -310,6 +350,7 @@ func run(args []string, w io.Writer) error {
 		o.Obs = obs.NewRegistry()
 		o.Phases = obs.NewTracer()
 		smtClasses = nil
+		backendBench = nil
 		start := time.Now()
 		if err := r.fn(o, w); err != nil {
 			return err
@@ -322,6 +363,7 @@ func run(args []string, w io.Writer) error {
 		}
 		art := experiments.NewBenchArtifact(name, o.Obs, o, wall)
 		art.SMT = smtClasses
+		art.Backends = backendBench
 		if *compareSeq {
 			// Rerun sequentially with tables discarded, so the artifact
 			// records the fan-out speedup on this machine.

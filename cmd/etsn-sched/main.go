@@ -7,6 +7,7 @@
 //
 //	etsn-sched -config network.json [-out deployment.json] [-quiet] [-v]
 //	           [-parallel N] [-bounds bounds.json]
+//	           [-backend auto|placer|greedy|tabu|anneal|smt|smt-incremental|race]
 //	           [-metrics out.prom] [-trace-phases out.trace.json]
 //	           [-pprof cpu=FILE|mem=FILE|HOST:PORT]
 //
@@ -14,6 +15,11 @@
 // monolithic solver is selected; the first definitive answer wins and the
 // rest are cancelled. N <= 1 keeps the single deterministic search. It
 // overrides the configuration's options.portfolio.
+//
+// -backend selects the scheduling backend, overriding the configuration's
+// options.backend: the first-fit or ALAP-greedy placer, the tabu or
+// annealing phase-shift search, the exact SMT solvers, or "race" — all of
+// them concurrently, first verified plan in priority order wins.
 //
 // -bounds FILE writes the analytic per-stream worst-case latencies as
 // JSON ({"stream": nanoseconds}), the same bounds the simulator scores
@@ -55,6 +61,7 @@ func run(args []string) error {
 	tracePhases := fs.String("trace-phases", "", "write a Chrome trace_event JSON file of planner phases")
 	pprofSpec := fs.String("pprof", "", "profiling: cpu=FILE, mem=FILE, or HOST:PORT for a live pprof server")
 	parallel := fs.Int("parallel", 0, "diversified SMT portfolio width for the monolithic solver (overrides the config; <= 1 keeps the single search)")
+	backend := fs.String("backend", "", "scheduling backend (overrides the config): auto, placer, greedy, tabu, anneal, smt, smt-incremental, or race")
 	boundsPath := fs.String("bounds", "", "write the analytic per-stream worst-case bounds as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +88,12 @@ func run(args []string) error {
 	}
 	if *parallel > 0 {
 		cfg.Options.Portfolio = *parallel
+	}
+	if *backend != "" {
+		if _, err := core.ParseBackend(*backend); err != nil {
+			return fmt.Errorf("%w: %v", qcc.ErrBadConfig, err)
+		}
+		cfg.Options.Backend = *backend
 	}
 	if *metrics != "" || *verbose {
 		cfg.Obs = obs.NewRegistry()

@@ -6,6 +6,7 @@
 //
 //	etsn-sim -config network.json [-method etsn|period|avb] [-duration 4s]
 //	         [-seed 1] [-multiplier 1] [-parallel N] [-json]
+//	         [-backend auto|placer|greedy|tabu|anneal|smt|smt-incremental|race]
 //	         [-engine seq|shard] [-shards N]
 //	         [-fail-link SW1->SW2 -fail-at 1s -heal-after 500ms]
 //	         [-metrics out.prom] [-trace-phases out.trace.json]
@@ -20,6 +21,11 @@
 // -parallel N runs a portfolio of N diversified SMT replicas during
 // planning when the monolithic solver is selected (<= 1 keeps the single
 // deterministic search).
+//
+// -backend selects the E-TSN scheduling backend (heuristic placers and
+// searches, the exact SMT solvers, or "race" — all of them concurrently,
+// first verified plan in priority order wins), overriding the
+// configuration's options.backend. It only affects -method etsn.
 //
 // -attrib enables the per-frame causal latency decomposition: each row
 // gains its analytic bound, worst slack, miss count, and dominant latency
@@ -37,6 +43,7 @@ import (
 	"sort"
 	"time"
 
+	"etsn/internal/core"
 	"etsn/internal/model"
 	"etsn/internal/obs"
 	"etsn/internal/qcc"
@@ -68,6 +75,7 @@ func run(args []string) error {
 	tracePhases := fs.String("trace-phases", "", "write a Chrome trace_event JSON file of planner/simulation phases")
 	pprofSpec := fs.String("pprof", "", "profiling: cpu=FILE, mem=FILE, or HOST:PORT for a live pprof server")
 	parallel := fs.Int("parallel", 0, "diversified SMT portfolio width during planning (<= 1 keeps the single search)")
+	backend := fs.String("backend", "", "E-TSN scheduling backend (overrides the config): auto, placer, greedy, tabu, anneal, smt, smt-incremental, or race")
 	engine := fs.String("engine", sched.EngineSeq, "simulation engine: seq (sequential oracle) or shard (conservative-parallel)")
 	shards := fs.Int("shards", 0, "shard count for -engine shard (0 = GOMAXPROCS)")
 	attrib := fs.Bool("attrib", false, "attribute each frame's latency to queue/gate/preempt/tx/prop phases and score bound conformance")
@@ -108,6 +116,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *backend != "" {
+		if _, err := core.ParseBackend(*backend); err != nil {
+			return err
+		}
+		cfg.Options.Backend = *backend
+	}
 	p, err := cfg.BuildProblem()
 	if err != nil {
 		return err
@@ -121,6 +135,8 @@ func run(args []string) error {
 		Obs:       reg,
 		Phases:    phases,
 		Portfolio: *parallel,
+		Backend:   p.Opts.Backend,
+		Timeout:   p.Opts.Timeout,
 	}
 	plan, err := sched.Build(method, prob, *multiplier)
 	if err != nil {

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -53,6 +54,19 @@ const (
 	// BackendSMTIncremental adds streams to the SMT solver one at a time
 	// (Steiner-style incremental schedule synthesis).
 	BackendSMTIncremental
+	// BackendGreedy is the as-late-as-possible greedy placer: frames are
+	// committed in reverse path order against their deadlines, leaving the
+	// front of each period free for later streams.
+	BackendGreedy
+	// BackendTabu searches over rigid per-stream phase shifts with a tabu
+	// list over recently moved streams.
+	BackendTabu
+	// BackendAnneal searches the same phase-shift space by simulated
+	// annealing with a fixed seed (deterministic).
+	BackendAnneal
+	// BackendRace races all backends in Options.Race under a shared
+	// context; the highest-priority verified-feasible plan wins.
+	BackendRace
 )
 
 // String names the backend.
@@ -66,8 +80,71 @@ func (b Backend) String() string {
 		return "smt"
 	case BackendSMTIncremental:
 		return "smt-incremental"
+	case BackendGreedy:
+		return "greedy"
+	case BackendTabu:
+		return "tabu"
+	case BackendAnneal:
+		return "anneal"
+	case BackendRace:
+		return "race"
 	default:
 		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// ParseBackend maps a backend name (as accepted by the -backend CLI flags
+// and the qcc "backend" config key) to its enum value. The empty string
+// selects BackendAuto.
+func ParseBackend(name string) (Backend, error) {
+	switch name {
+	case "", "auto":
+		return BackendAuto, nil
+	case "placer":
+		return BackendPlacer, nil
+	case "smt":
+		return BackendSMT, nil
+	case "smt-incremental":
+		return BackendSMTIncremental, nil
+	case "greedy":
+		return BackendGreedy, nil
+	case "tabu":
+		return BackendTabu, nil
+	case "anneal":
+		return BackendAnneal, nil
+	case "race":
+		return BackendRace, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown backend %q (want auto|placer|greedy|tabu|anneal|smt|smt-incremental|race)",
+			ErrInvalidProblem, name)
+	}
+}
+
+// Capabilities describes what a backend guarantees about its answers.
+type Capabilities struct {
+	// Exact backends are complete: a failure is a proof of infeasibility
+	// (or a budget exhaustion, which is reported as such). Heuristic
+	// backends only ever give up; their failures carry no proof.
+	Exact bool
+	// Deterministic backends produce byte-identical schedules for the same
+	// problem across runs (the SMT backends at Portfolio <= 1; the anneal
+	// backend runs from a fixed seed).
+	Deterministic bool
+	// Anytime backends honor context cancellation promptly mid-search.
+	Anytime bool
+}
+
+// Capabilities reports the backend's guarantees.
+func (b Backend) Capabilities() Capabilities {
+	switch b {
+	case BackendSMT, BackendSMTIncremental:
+		return Capabilities{Exact: true, Deterministic: true, Anytime: true}
+	case BackendTabu, BackendAnneal:
+		return Capabilities{Deterministic: true, Anytime: true}
+	default:
+		// The placers run to completion in bounded time instead of
+		// polling the context.
+		return Capabilities{Deterministic: true}
 	}
 }
 
@@ -89,7 +166,9 @@ type Options struct {
 	Backend Backend
 	// MaxDecisions bounds SMT search effort; zero means unlimited.
 	MaxDecisions int64
-	// Timeout bounds SMT wall-clock time; zero means unlimited.
+	// Timeout bounds the solve's wall-clock time — for every backend, not
+	// just SMT: ScheduleContext derives a deadline context the heuristic
+	// searches and the race observe. Zero means unlimited.
 	Timeout time.Duration
 	// DisablePrudentReservation turns Alg. 1 off (for ablation only; the
 	// verifier will typically report TCT deadline risks without it).
@@ -110,6 +189,13 @@ type Options struct {
 	// at the first satisfying assignment (binary-search optimization over
 	// the exact solver). Ignored by the placer.
 	MinimizeECT bool
+	// Race lists the backends BackendRace runs, in priority order: the
+	// lowest-indexed backend that returns a verified-feasible plan wins,
+	// which makes the winner (and so the emitted schedule) deterministic
+	// regardless of which backend finishes first. Empty means
+	// DefaultRaceBackends. Entries must be concrete backends (not
+	// BackendAuto or BackendRace).
+	Race []Backend
 	// Portfolio is the number of diversified SMT solver replicas raced on
 	// the monolithic (non-incremental) solve: the first definitive answer
 	// wins and cancels the rest. Values <= 1 keep the single deterministic
@@ -220,13 +306,28 @@ type SolverStats struct {
 
 // Schedule solves the joint TCT+ECT scheduling problem.
 func Schedule(p *Problem) (*Result, error) {
+	return ScheduleContext(context.Background(), p)
+}
+
+// ScheduleContext solves the problem under a context: cancellation stops
+// the SMT backends and the heuristic searches (the two placers run to
+// completion in bounded time instead of polling).
+func ScheduleContext(ctx context.Context, p *Problem) (*Result, error) {
 	opts := p.Opts.withDefaults()
+	// Timeout bounds this call for every backend uniformly: the SMT
+	// deadline still applies inside the solver, and the heuristics and the
+	// race observe the context.
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	inst, err := buildInstance(p, opts)
 	if err != nil {
 		return nil, err
 	}
 	sp := opts.Phases.Begin("solve", "backend", opts.Backend.String())
-	res, err := dispatchBackend(inst, opts)
+	res, err := dispatchBackend(ctx, inst, opts)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -236,16 +337,12 @@ func Schedule(p *Problem) (*Result, error) {
 }
 
 // dispatchBackend runs the backend the options select.
-func dispatchBackend(inst *instance, opts Options) (*Result, error) {
+func dispatchBackend(ctx context.Context, inst *instance, opts Options) (*Result, error) {
 	switch opts.Backend {
-	case BackendPlacer:
-		return solvePlacer(inst)
-	case BackendSMT:
-		return solveSMT(inst, false)
-	case BackendSMTIncremental:
-		return solveSMT(inst, true)
+	case BackendRace:
+		return solveRace(ctx, inst)
 	case BackendAuto:
-		res, err := solvePlacer(inst)
+		res, err := solveBackend(ctx, inst, BackendPlacer)
 		if err == nil {
 			return res, nil
 		}
@@ -254,14 +351,45 @@ func dispatchBackend(inst *instance, opts Options) (*Result, error) {
 		if inst.opts.MaxDecisions == 0 {
 			inst.opts.MaxDecisions = autoFallbackDecisions
 		}
-		res, serr := solveSMT(inst, true)
+		res, serr := solveBackend(ctx, inst, BackendSMTIncremental)
 		if serr != nil {
 			return nil, fmt.Errorf("placer failed (%w); smt: %w", err, serr)
 		}
 		return res, nil
 	default:
-		return nil, fmt.Errorf("%w: unknown backend %v", ErrInvalidProblem, opts.Backend)
+		return solveBackend(ctx, inst, opts.Backend)
 	}
+}
+
+// solveBackend runs one concrete backend over the instance, timing it and
+// publishing the per-backend effort metrics
+// (etsn_backend_solves_total{backend} and a solve-latency histogram).
+func solveBackend(ctx context.Context, inst *instance, b Backend) (*Result, error) {
+	start := time.Now()
+	var res *Result
+	var err error
+	switch b {
+	case BackendPlacer:
+		res, err = solvePlacer(inst)
+	case BackendGreedy:
+		res, err = solveGreedy(ctx, inst)
+	case BackendTabu:
+		res, err = solveTabu(ctx, inst)
+	case BackendAnneal:
+		res, err = solveAnneal(ctx, inst)
+	case BackendSMT:
+		res, err = solveSMT(ctx, inst, false)
+	case BackendSMTIncremental:
+		res, err = solveSMT(ctx, inst, true)
+	default:
+		return nil, fmt.Errorf("%w: unknown backend %v", ErrInvalidProblem, b)
+	}
+	if reg := inst.opts.Obs; reg != nil {
+		n := b.String()
+		reg.Counter(`etsn_backend_solves_total{backend="` + n + `"}`).Inc()
+		reg.Histogram(`etsn_backend_solve_latency_ns{backend="` + n + `"}`).ObserveDuration(time.Since(start))
+	}
+	return res, err
 }
 
 // instance is the expanded, unit-normalized problem the solvers consume.

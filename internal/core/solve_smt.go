@@ -168,8 +168,10 @@ func pathContains(path []model.LinkID, id model.LinkID) bool {
 // solveSMT schedules the instance with the exact difference-logic solver.
 // In incremental mode streams are added one at a time and the system is
 // re-solved after each addition (Steiner-style synthesis), which localizes
-// conflicts and keeps the solver's potentials warm.
-func solveSMT(inst *instance, incremental bool) (*Result, error) {
+// conflicts and keeps the solver's potentials warm. Cancelling ctx stops
+// the search (monolithic solves through the portfolio stop flag,
+// incremental solves between and inside re-solves).
+func solveSMT(ctx context.Context, inst *instance, incremental bool) (*Result, error) {
 	b := newSMTBuilder(inst)
 	// Publish whatever effort was spent — once, at whichever exit — so
 	// even budget-exhausted searches are visible in exported metrics.
@@ -177,7 +179,7 @@ func solveSMT(inst *instance, incremental bool) (*Result, error) {
 	var m *smt.Model
 	var err error
 	if incremental {
-		m, err = solveIncremental(b, inst)
+		m, err = solveIncremental(ctx, b, inst)
 	} else {
 		spEmit := inst.opts.Phases.Begin("emit-constraints")
 		for i, s := range inst.streams {
@@ -189,12 +191,13 @@ func solveSMT(inst *instance, incremental bool) (*Result, error) {
 		spEmit.End()
 		// The monolithic solve holds no incremental state, so it can race
 		// diversified replicas; the first definitive answer wins and the
-		// replicas' effort lands in TotalStats.
-		if k := inst.opts.Portfolio; k > 1 {
-			m, err = b.solver.SolvePortfolio(context.Background(), k)
-		} else {
-			m, err = b.solver.Solve()
+		// replicas' effort lands in TotalStats. At k <= 1 SolvePortfolio
+		// degenerates to a single context-cancellable Solve.
+		k := inst.opts.Portfolio
+		if k < 1 {
+			k = 1
 		}
+		m, err = b.solver.SolvePortfolio(ctx, k)
 		if err != nil {
 			err = wrapSolveErr(err, "")
 		}
@@ -235,22 +238,27 @@ func solveSMT(inst *instance, incremental bool) (*Result, error) {
 }
 
 // solveIncremental adds streams one at a time, re-solving after each.
-func solveIncremental(b *smtBuilder, inst *instance) (*smt.Model, error) {
+// Each re-solve runs under ctx (SolvePortfolio at k=1 is a single
+// context-cancellable Solve), so a cancelled race stops mid-sequence.
+func solveIncremental(ctx context.Context, b *smtBuilder, inst *instance) (*smt.Model, error) {
 	var m *smt.Model
 	for i, s := range inst.streams {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBudget, err)
+		}
 		b.addStreamConstraints(s)
 		for j := 0; j < i; j++ {
 			b.addOverlapConstraints(inst.streams[j], s)
 		}
 		var err error
-		m, err = b.solver.Solve()
+		m, err = b.solver.SolvePortfolio(ctx, 1)
 		if err != nil {
 			return nil, wrapSolveErr(err, s.ID)
 		}
 	}
 	if m == nil { // no streams
 		var err error
-		m, err = b.solver.Solve()
+		m, err = b.solver.SolvePortfolio(ctx, 1)
 		if err != nil {
 			return nil, wrapSolveErr(err, "")
 		}

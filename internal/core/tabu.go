@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// tabuTenure is how many iterations a moved stream stays tabu.
+const tabuTenure = 7
+
+// solveTabu runs tabu search over the rigid phase-shift space: each
+// iteration picks the most-conflicted non-tabu stream, evaluates its
+// alignment candidates, and commits the best one even if it is uphill
+// (the tabu list prevents immediate cycling; aspiration lets a tabu
+// stream move when every free stream is conflict-free). The search is
+// fully deterministic: chains, candidates, and tie-breaks all follow
+// fixed index order.
+func solveTabu(ctx context.Context, inst *instance) (*Result, error) {
+	sp := inst.opts.Phases.Begin("tabu")
+	defer sp.End()
+	h, err := buildHeurState(inst)
+	if err != nil {
+		return nil, err
+	}
+	iters := 200 + 40*len(h.chains)
+	tabuUntil := make([]int, len(h.chains))
+	for it := 0; h.total > 0 && it < iters; it++ {
+		if it%16 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("%w: tabu: %v", ErrBudget, err)
+			}
+		}
+		// Most-conflicted non-tabu stream; fall back to the most-conflicted
+		// tabu one (aspiration) when every free stream is clean.
+		pick := -1
+		for i, n := range h.conf {
+			if n > 0 && tabuUntil[i] <= it && (pick < 0 || n > h.conf[pick]) {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			for i, n := range h.conf {
+				if n > 0 && (pick < 0 || n > h.conf[pick]) {
+					pick = i
+				}
+			}
+		}
+		if pick < 0 {
+			break // total > 0 but no owner: cannot happen, stay safe
+		}
+		others := h.others(pick)
+		best, bestCost := h.chains[pick].delta, h.conf[pick]
+		for _, d := range h.candidates(pick, others) {
+			if d == h.chains[pick].delta {
+				continue
+			}
+			if cost := h.evalDelta(pick, d, others); cost < bestCost ||
+				(cost == bestCost && d < best) {
+				best, bestCost = d, cost
+			}
+		}
+		h.setDelta(pick, best, others)
+		tabuUntil[pick] = it + tabuTenure
+	}
+	if h.total > 0 {
+		return nil, fmt.Errorf("%w: tabu: %d conflicts remain after search", ErrBudget, h.total)
+	}
+	return h.extract(BackendTabu), nil
+}

@@ -93,6 +93,50 @@ type BenchPsim struct {
 	Points          []BenchPsimPoint `json:"points"`
 }
 
+// BenchBackendPoint is one (load, backend) standalone solve measurement of
+// the cross-backend benchmark.
+type BenchBackendPoint struct {
+	Load    float64 `json:"load"`
+	Backend string  `json:"backend"`
+	WallUs  int64   `json:"wall_us"`
+	// Feasible records whether the backend produced a plan; Verified
+	// whether that plan passed core.Verify with zero violations. A
+	// feasible-but-unverified point is a backend soundness bug and fails
+	// validation.
+	Feasible bool   `json:"feasible"`
+	Verified bool   `json:"verified,omitempty"`
+	Slots    int    `json:"slots,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// BenchBackendRace is the cross-backend race measurement at one load.
+type BenchBackendRace struct {
+	Load     float64 `json:"load"`
+	WallUs   int64   `json:"wall_us"`
+	Winner   string  `json:"winner"`
+	Verified bool    `json:"verified"`
+}
+
+// BenchBackends is the cross-backend scheduler benchmark section
+// (BENCH_backends.json): every raced backend solved standalone over the
+// fig11 load grid, plus one race per load. Artifacts carrying this section
+// are solver-only and skip the simulator gates.
+type BenchBackends struct {
+	// TimeoutMs is the per-solve budget the sweep ran with.
+	TimeoutMs int64               `json:"timeout_ms"`
+	Points    []BenchBackendPoint `json:"points"`
+	Races     []BenchBackendRace  `json:"races"`
+}
+
+// The race-overhead gate: the race wall may exceed the best standalone
+// feasible wall by at most this factor plus the fixed slack (goroutine
+// spawn, verification of the winning plan, and scheduler noise on a loaded
+// CI machine).
+const (
+	benchRaceOverheadFactor = 3
+	benchRaceSlackUs        = 250_000
+)
+
 // BenchLatency summarizes the end-to-end delivery latency histogram.
 type BenchLatency struct {
 	P50Ns int64 `json:"p50_ns"`
@@ -135,6 +179,9 @@ type BenchArtifact struct {
 	// (BENCH_psim.json): the sequential oracle baseline and one point per
 	// shard count, each gated on byte-identical results.
 	Psim *BenchPsim `json:"psim,omitempty"`
+	// Backends is present on the cross-backend benchmark artifact
+	// (BENCH_backends.json). Like SMT, such artifacts are solver-only.
+	Backends *BenchBackends `json:"backends,omitempty"`
 }
 
 // NewBenchArtifact harvests a registry into a bench artifact. The registry
@@ -227,9 +274,16 @@ func LoadBenchArtifact(path string) (*BenchArtifact, error) {
 // activity. Solver-only artifacts (non-empty SMT section) skip the
 // simulator checks and instead gate on CDCL strictly beating the reference
 // oracle — fewer decisions+conflicts AND lower wall time — on every class.
+// Cross-backend artifacts (Backends section) are likewise solver-only and
+// gate on every plan being verifier-clean, a heuristic beating the exact
+// solver's wall at the heaviest load, and the race wall tracking the best
+// standalone backend within the overhead bound.
 func (a *BenchArtifact) Validate() error {
 	if len(a.SMT) > 0 {
 		return a.validateSMT()
+	}
+	if a.Backends != nil {
+		return a.validateBackends()
 	}
 	switch {
 	case a.Experiment == "":
@@ -332,6 +386,115 @@ func (a *BenchArtifact) validateSMT() error {
 		case c.Reference.Learned != 0 || c.Reference.Restarts != 0:
 			return fmt.Errorf("bench artifact %s: class %s: reference side reports CDCL-only effort",
 				a.Experiment, c.Name)
+		}
+	}
+	return nil
+}
+
+// benchExactBackend reports whether a backend name denotes an exact solver
+// (whose failures are infeasibility proofs rather than give-ups).
+func benchExactBackend(name string) bool {
+	return name == "smt" || name == "smt-incremental"
+}
+
+// validateBackends gates the cross-backend benchmark artifact. The
+// invariants CI relies on:
+//
+//   - soundness: every feasible point (and every race) carries a
+//     verifier-clean plan — a backend that ships an invalid schedule must
+//     never look like a win;
+//   - the perf claim: at the heaviest load, at least one heuristic backend
+//     solved the instance in less wall time than the exact SMT backend
+//     spent (solving, proving infeasibility, or timing out);
+//   - the race claim: each race's wall tracks the fastest standalone
+//     feasible backend at that load within the overhead bound, and its
+//     winner is one of the raced backends.
+func (a *BenchArtifact) validateBackends() error {
+	b := a.Backends
+	switch {
+	case a.Experiment == "":
+		return fmt.Errorf("bench artifact: empty experiment name")
+	case a.WallMs <= 0:
+		return fmt.Errorf("bench artifact %s: wall_ms = %d", a.Experiment, a.WallMs)
+	case b.TimeoutMs <= 0:
+		return fmt.Errorf("bench artifact %s: backends timeout_ms = %d", a.Experiment, b.TimeoutMs)
+	case len(b.Points) == 0 || len(b.Races) == 0:
+		return fmt.Errorf("bench artifact %s: backends section has %d points, %d races",
+			a.Experiment, len(b.Points), len(b.Races))
+	}
+	maxLoad := 0.0
+	bestFeasible := map[float64]int64{}
+	names := map[float64]map[string]bool{}
+	var smtWallAtMax, heurBestAtMax int64
+	for _, pt := range b.Points {
+		if pt.Load > maxLoad {
+			maxLoad = pt.Load
+		}
+	}
+	for _, pt := range b.Points {
+		switch {
+		case pt.Backend == "":
+			return fmt.Errorf("bench artifact %s: unnamed backend point", a.Experiment)
+		case pt.WallUs <= 0:
+			return fmt.Errorf("bench artifact %s: backend %s at load %v has wall %dus",
+				a.Experiment, pt.Backend, pt.Load, pt.WallUs)
+		case pt.Feasible && !pt.Verified:
+			return fmt.Errorf("bench artifact %s: backend %s at load %v shipped an unverified plan",
+				a.Experiment, pt.Backend, pt.Load)
+		case !pt.Feasible && pt.Err == "":
+			return fmt.Errorf("bench artifact %s: backend %s at load %v infeasible with no error",
+				a.Experiment, pt.Backend, pt.Load)
+		}
+		if names[pt.Load] == nil {
+			names[pt.Load] = map[string]bool{}
+		}
+		names[pt.Load][pt.Backend] = true
+		if pt.Feasible {
+			if best, ok := bestFeasible[pt.Load]; !ok || pt.WallUs < best {
+				bestFeasible[pt.Load] = pt.WallUs
+			}
+		}
+		if pt.Load == maxLoad && benchExactBackend(pt.Backend) {
+			if smtWallAtMax == 0 || pt.WallUs < smtWallAtMax {
+				smtWallAtMax = pt.WallUs
+			}
+		}
+		if pt.Load == maxLoad && !benchExactBackend(pt.Backend) && pt.Feasible {
+			if heurBestAtMax == 0 || pt.WallUs < heurBestAtMax {
+				heurBestAtMax = pt.WallUs
+			}
+		}
+	}
+	if smtWallAtMax == 0 {
+		return fmt.Errorf("bench artifact %s: no exact backend point at load %v", a.Experiment, maxLoad)
+	}
+	if heurBestAtMax == 0 {
+		return fmt.Errorf("bench artifact %s: no feasible heuristic point at load %v", a.Experiment, maxLoad)
+	}
+	if heurBestAtMax >= smtWallAtMax {
+		return fmt.Errorf("bench artifact %s: best heuristic wall %dus not below exact solver wall %dus at load %v",
+			a.Experiment, heurBestAtMax, smtWallAtMax, maxLoad)
+	}
+	for _, rc := range b.Races {
+		switch {
+		case rc.WallUs <= 0:
+			return fmt.Errorf("bench artifact %s: race at load %v has wall %dus",
+				a.Experiment, rc.Load, rc.WallUs)
+		case !rc.Verified:
+			return fmt.Errorf("bench artifact %s: race at load %v won with an unverified plan",
+				a.Experiment, rc.Load)
+		case rc.Winner == "" || !names[rc.Load][rc.Winner]:
+			return fmt.Errorf("bench artifact %s: race at load %v won by unknown backend %q",
+				a.Experiment, rc.Load, rc.Winner)
+		}
+		best, ok := bestFeasible[rc.Load]
+		if !ok {
+			return fmt.Errorf("bench artifact %s: race at load %v but no feasible standalone point",
+				a.Experiment, rc.Load)
+		}
+		if bound := benchRaceOverheadFactor*best + benchRaceSlackUs; rc.WallUs > bound {
+			return fmt.Errorf("bench artifact %s: race wall %dus at load %v exceeds overhead bound %dus (best standalone %dus)",
+				a.Experiment, rc.WallUs, rc.Load, bound, best)
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"etsn/internal/core"
 	"etsn/internal/model"
 	"etsn/internal/obs"
 	"etsn/internal/sched"
@@ -41,6 +42,17 @@ type RunOptions struct {
 	Engine string
 	// Shards is the shard count for sched.EngineShard (0 = GOMAXPROCS).
 	Shards int
+	// Backend selects the scheduling backend for every plan the experiment
+	// builds (passes through to core.Options.Backend; zero keeps core's
+	// auto default).
+	Backend core.Backend
+	// BackendCompare additionally runs every scheduling backend standalone
+	// on the experiment's scenario grid and attaches a per-backend
+	// comparison (schedulable ratio and solve wall) to results that
+	// support it (Fig. 11, Fig. 14). Off by default: the comparison
+	// section carries wall-clock times and is therefore not byte-stable
+	// across runs, unlike the main tables.
+	BackendCompare bool
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -81,6 +93,7 @@ func RunMethod(s *Scenario, m sched.Method, opts RunOptions) (*MethodResult, err
 	prob := s.Problem()
 	prob.Obs = opts.Obs
 	prob.Phases = opts.Phases
+	prob.Backend = opts.Backend
 	plan, err := sched.Build(m, prob, opts.Multiplier)
 	if err != nil {
 		return nil, fmt.Errorf("build %v: %w", m, err)

@@ -83,6 +83,11 @@ type Controller struct {
 	// strict-doubling budget schedule with an explicit Backoff (allowing a
 	// cap and jitter). Leave zero for BaseTimeout doubling, uncapped.
 	RetryBackoff Backoff
+	// ReplanBackend, when nonzero, overrides the scheduling backend for
+	// full replans (fault recovery and admission fallback); zero keeps the
+	// deployed problem's backend. The scheduling daemon sets it from the
+	// admit request's backend field.
+	ReplanBackend core.Backend
 	// GCL configures gate synthesis for recovered schedules; it should
 	// match the deployed plan's synthesis config.
 	GCL gcl.Config
@@ -411,6 +416,9 @@ func (c *Controller) full(base *core.Problem, reduced *model.Network, rec *Recov
 			}
 		}
 		p.Opts.Timeout = bo.Delay(attempt - 1)
+		if c.ReplanBackend != 0 {
+			p.Opts.Backend = c.ReplanBackend
+		}
 		res, routed, err := core.ScheduleWithRouting(p, c.KPaths)
 		if err == nil {
 			if vs := core.Verify(reduced, res); len(vs) > 0 {

@@ -122,7 +122,10 @@ func (r *StreamRequirement) validate(i int) error {
 type SchedulerOptions struct {
 	// NProb is the possibilities-per-ECT count.
 	NProb int `json:"n_prob,omitempty"`
-	// Backend is "auto", "placer", "smt", or "smt-incremental".
+	// Backend selects the scheduling strategy: "auto", "placer", "greedy",
+	// "tabu", "anneal", "smt", "smt-incremental", or "race" (all enabled
+	// backends racing, highest-priority verified plan wins). Empty means
+	// auto; the scheduling daemon defaults submitted jobs to "race".
 	Backend string `json:"backend,omitempty"`
 	// Spread staggers TCT placement over the period.
 	Spread bool `json:"spread,omitempty"`
@@ -217,7 +220,11 @@ func (c *Config) BuildProblem() (*core.Problem, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &core.Problem{Network: network, Opts: c.coreOptions()}
+	opts, err := c.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	p := &core.Problem{Network: network, Opts: opts}
 	p.TCT, p.ECT, err = BuildStreams(network, c.Streams)
 	if err != nil {
 		return nil, err
@@ -274,7 +281,7 @@ func BuildStreams(network *model.Network, reqs []StreamRequirement) ([]*model.St
 	return tct, ect, nil
 }
 
-func (c *Config) coreOptions() core.Options {
+func (c *Config) coreOptions() (core.Options, error) {
 	opts := core.Options{
 		NProb:          c.Options.NProb,
 		SpreadFrames:   c.Options.Spread,
@@ -285,19 +292,12 @@ func (c *Config) coreOptions() core.Options {
 		Obs:            c.Obs,
 		Phases:         c.Phases,
 	}
-	switch c.Options.Backend {
-	case "", "auto":
-		opts.Backend = core.BackendAuto
-	case "placer":
-		opts.Backend = core.BackendPlacer
-	case "smt":
-		opts.Backend = core.BackendSMT
-	case "smt-incremental":
-		opts.Backend = core.BackendSMTIncremental
-	default:
-		opts.Backend = 0 // rejected by the scheduler
+	b, err := core.ParseBackend(c.Options.Backend)
+	if err != nil {
+		return core.Options{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
-	return opts
+	opts.Backend = b
+	return opts, nil
 }
 
 // Deployment is the CNC output: the verified schedule and the per-port gate

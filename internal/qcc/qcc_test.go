@@ -172,18 +172,26 @@ func TestBackendNames(t *testing.T) {
 		"":                "auto",
 		"auto":            "auto",
 		"placer":          "placer",
+		"greedy":          "greedy",
+		"tabu":            "tabu",
+		"anneal":          "anneal",
+		"race":            "race",
 		"smt":             "smt",
 		"smt-incremental": "smt-incremental",
 	} {
 		cfg := &Config{Options: SchedulerOptions{Backend: name}}
-		if got := cfg.coreOptions().Backend.String(); got != want {
+		opts, err := cfg.coreOptions()
+		if err != nil {
+			t.Fatalf("backend %q: %v", name, err)
+		}
+		if got := opts.Backend.String(); got != want {
 			t.Errorf("backend %q -> %q, want %q", name, got, want)
 		}
 	}
-	// Unknown backends are surfaced by the scheduler as invalid.
+	// Unknown backends are rejected at configuration time.
 	cfg := &Config{Options: SchedulerOptions{Backend: "quantum"}}
-	if cfg.coreOptions().Backend.String() == "auto" {
-		t.Fatal("unknown backend silently became auto")
+	if _, err := cfg.coreOptions(); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unknown backend err = %v, want ErrBadConfig", err)
 	}
 }
 

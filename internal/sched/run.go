@@ -69,6 +69,12 @@ type Problem struct {
 	// solves (passes through to core.Options.Portfolio; <= 1 keeps the
 	// single deterministic search).
 	Portfolio int
+	// Backend selects the scheduling backend (passes through to
+	// core.Options.Backend; zero keeps core's auto default).
+	Backend core.Backend
+	// Timeout bounds the solve wall clock (passes through to
+	// core.Options.Timeout; zero means unlimited).
+	Timeout time.Duration
 }
 
 // Core converts to the scheduler's problem type. Evaluation plans run with
@@ -77,7 +83,8 @@ type Problem struct {
 func (p Problem) Core() *core.Problem {
 	return &core.Problem{Network: p.Network, TCT: p.TCT, ECT: p.ECT,
 		Opts: core.Options{NProb: p.NProb, SpreadFrames: p.Spread, SharedReserves: true,
-			Obs: p.Obs, Phases: p.Phases, ExpandCache: p.Cache, Portfolio: p.Portfolio}}
+			Obs: p.Obs, Phases: p.Phases, ExpandCache: p.Cache, Portfolio: p.Portfolio,
+			Backend: p.Backend, Timeout: p.Timeout}}
 }
 
 // SimOptions configures a plan simulation beyond the common parameters.

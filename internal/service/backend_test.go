@@ -1,0 +1,96 @@
+package service
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"etsn/internal/core"
+)
+
+// admitBodyBackend is admitBody with an explicit replan backend (also a
+// fuzz seed for DecodeAdmit).
+const admitBodyBackend = `{"backend": "greedy", "streams": [
+  {"id": "t2", "talker": "D4", "listener": "D2", "type": "time-triggered",
+   "period_us": 620, "max_latency_us": 744, "payload_bytes": 500}
+]}`
+
+// planConfigNoBackend strips the pinned backend from the test config so the
+// daemon's default policy applies.
+func planConfigNoBackend() string {
+	return strings.Replace(planConfig, `"backend": "placer"`, `"backend": ""`, 1)
+}
+
+// TestSubmitBackendDefaultsToRace: a plan job that does not pin a backend
+// runs (and journals) the daemon's race policy, so a restart rebuilds the
+// live plan with exactly the backend that produced it.
+func TestSubmitBackendDefaultsToRace(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{DataDir: dir})
+	job, err := s.Submit("acme", KindPlan, []byte(planConfigNoBackend()))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if snap := waitJob(t, job); snap.State != JobDone {
+		t.Fatalf("plan job: %+v", snap)
+	}
+	ten := s.tenantGet("acme")
+	ten.mu.Lock()
+	effective := string(ten.effective)
+	ten.mu.Unlock()
+	if !strings.Contains(effective, `"backend":"race"`) {
+		t.Fatalf("effective config does not journal the race default: %s", effective)
+	}
+	if v := s.reg.CounterValue("etsn_backend_races_total"); v == 0 {
+		t.Fatal("plan job did not run the race")
+	}
+	s.Shutdown()
+
+	// Restart: the journaled effective config carries the backend, so the
+	// replayed live controller solves with it too.
+	s2 := newTestServer(t, Config{DataDir: dir})
+	defer s2.Shutdown()
+	adm, err := s2.Submit("acme", KindAdmit, []byte(admitBody))
+	if err != nil {
+		t.Fatalf("Submit admit: %v", err)
+	}
+	if snap := waitJob(t, adm); snap.State != JobDone {
+		t.Fatalf("admit after restart: %+v", snap)
+	}
+}
+
+// TestAdmitBackendAppliedToReplans: an admit request's backend lands on the
+// live controller's replan knob; an unknown name is rejected at decode time
+// as invalid input.
+func TestAdmitBackendAppliedToReplans(t *testing.T) {
+	s := newTestServer(t, Config{})
+	defer s.Shutdown()
+	job, err := s.Submit("acme", KindPlan, []byte(planConfig))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if snap := waitJob(t, job); snap.State != JobDone {
+		t.Fatalf("plan job: %+v", snap)
+	}
+	adm, err := s.Submit("acme", KindAdmit, []byte(admitBodyBackend))
+	if err != nil {
+		t.Fatalf("Submit admit: %v", err)
+	}
+	if snap := waitJob(t, adm); snap.State != JobDone {
+		t.Fatalf("admit job: %+v", snap)
+	}
+	ctrl, err := s.liveController(s.tenantGet("acme"))
+	if err != nil {
+		t.Fatalf("liveController: %v", err)
+	}
+	if ctrl.ReplanBackend != core.BackendGreedy {
+		t.Fatalf("ReplanBackend = %v, want greedy", ctrl.ReplanBackend)
+	}
+
+	if _, err := DecodeAdmit(bytes.NewReader([]byte(
+		`{"backend": "quantum", "streams": [{"id": "a", "talker": "D1", "listener": "D2",
+		  "type": "time-triggered", "period_us": 620, "max_latency_us": 744, "payload_bytes": 100}]}`,
+	)), 0); Classify(err) != ClassInvalid {
+		t.Fatalf("unknown admit backend classified %v (%v), want invalid", Classify(err), err)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"etsn/internal/core"
 )
 
 // FuzzDecodeSubmit hammers the daemon's plan-request decoder with arbitrary
@@ -23,6 +25,12 @@ func FuzzDecodeSubmit(f *testing.F) {
 	  "links": [{"a": "D1", "b": "SW1", "bandwidth_bps": -5}]}, "streams": []}`))
 	f.Add([]byte(`{"streams": [{"id": "x", "talker": "a", "listener": "a",
 	  "type": "time-triggered", "period_us": -1}]}`))
+	f.Add([]byte(`{"network": {"devices": ["D1", "D2"], "switches": ["SW1"],
+	  "links": [{"a": "D1", "b": "SW1"}, {"a": "SW1", "b": "D2"}]},
+	  "options": {"backend": "tabu"},
+	  "streams": [{"id": "s", "talker": "D1", "listener": "D2",
+	  "type": "time-triggered", "period_us": 4000, "deadline_us": 4000, "length_bytes": 100}]}`))
+	f.Add([]byte(`{"options": {"backend": "quantum"}, "streams": []}`))
 	f.Add(bytes.Repeat([]byte(`9`), 4096))
 
 	before := runtime.NumGoroutine()
@@ -49,12 +57,19 @@ func FuzzDecodeAdmit(f *testing.F) {
 	f.Add([]byte(`{"streams": null}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(``))
+	f.Add([]byte(admitBodyBackend))
+	f.Add([]byte(`{"backend": "quantum", "streams": [{"id": "a"}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := DecodeAdmit(bytes.NewReader(data), 1<<20)
 		if err == nil {
 			if len(req.Streams) == 0 {
 				t.Fatal("accepted an empty admission")
+			}
+			if req.Backend != "" {
+				if _, berr := core.ParseBackend(req.Backend); berr != nil {
+					t.Fatalf("accepted unknown backend %q", req.Backend)
+				}
 			}
 			seen := map[string]bool{}
 			for _, s := range req.Streams {

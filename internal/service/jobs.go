@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"etsn/internal/core"
 	"etsn/internal/qcc"
 )
 
@@ -212,6 +213,11 @@ func DecodeSubmit(r io.Reader, limit int64) (*qcc.Config, error) {
 // AdmitRequest is the body of an incremental stream-admission job.
 type AdmitRequest struct {
 	Streams []qcc.StreamRequirement `json:"streams"`
+	// Backend optionally names the scheduling backend for any full replan
+	// the admission falls back to (auto, placer, greedy, tabu, anneal,
+	// smt, smt-incremental, race). Empty defaults to the daemon's policy:
+	// race. The incremental fast path is backend-independent.
+	Backend string `json:"backend,omitempty"`
 }
 
 // DecodeAdmit parses and validates a stream-admission request body. Routing
@@ -234,6 +240,9 @@ func DecodeAdmit(r io.Reader, limit int64) (*AdmitRequest, error) {
 	}
 	if len(req.Streams) == 0 {
 		return nil, fmt.Errorf("%w: no streams to admit", qcc.ErrBadConfig)
+	}
+	if _, err := core.ParseBackend(req.Backend); err != nil {
+		return nil, fmt.Errorf("%w: %v", qcc.ErrBadConfig, err)
 	}
 	seen := make(map[string]bool, len(req.Streams))
 	for i := range req.Streams {

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"etsn/internal/core"
 	"etsn/internal/faults"
 	"etsn/internal/gcl"
 	"etsn/internal/model"
@@ -536,6 +537,21 @@ func (s *Server) runJob(job *Job) {
 	s.failJob(job, err)
 }
 
+// defaultJobBackend is the daemon's scheduling-backend policy: submitted
+// jobs race every backend (first verified plan in priority order wins)
+// unless the configuration pins one explicitly.
+const defaultJobBackend = "race"
+
+// applyBackendPolicy fills the daemon's backend default into a parsed
+// config. It runs on every path that computes a plan — job execution,
+// the effective-config snapshot, and the journal-replay rebuild — so a
+// restart solves with exactly the backend the deployed plan used.
+func applyBackendPolicy(cfg *qcc.Config) {
+	if cfg.Options.Backend == "" {
+		cfg.Options.Backend = defaultJobBackend
+	}
+}
+
 // runPlanJob computes a full plan from the job's configuration document,
 // shedding per the degradation ladder when the problem is infeasible.
 func (s *Server) runPlanJob(t *tenant, job *Job) error {
@@ -546,6 +562,7 @@ func (s *Server) runPlanJob(t *tenant, job *Job) error {
 	if ms := job.Deadline.Milliseconds(); ms > 0 {
 		cfg.Options.TimeoutMs = ms
 	}
+	applyBackendPolicy(cfg)
 	cfg.Obs = s.reg
 
 	shed := make(map[string]bool)
@@ -653,6 +670,18 @@ func (s *Server) runAdmitJob(t *tenant, job *Job) error {
 	if err != nil {
 		return err
 	}
+	// Any full replan the admission falls back to runs the backend the
+	// request named (default: the daemon's race policy). Replayed jobs
+	// re-decode the journaled payload, so the choice survives restarts.
+	replan := req.Backend
+	if replan == "" {
+		replan = defaultJobBackend
+	}
+	backend, err := core.ParseBackend(replan)
+	if err != nil {
+		return fmt.Errorf("%w: %v", qcc.ErrBadConfig, err)
+	}
+	ctrl.ReplanBackend = backend
 	prob, _, _ := ctrl.Deployed()
 	newTCT, newECT, err := qcc.BuildStreams(prob.Network, req.Streams)
 	if err != nil {
@@ -703,6 +732,9 @@ func (s *Server) liveController(t *tenant) (*faults.Controller, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rebuilding live plan: %w", err)
 	}
+	// New-format effective configs journal the backend explicitly; the
+	// policy here only upgrades pre-backend journals, deterministically.
+	applyBackendPolicy(cfg)
 	cfg.Obs = s.reg
 	dep, err := qcc.Compute(cfg)
 	if err != nil {
@@ -727,6 +759,7 @@ func (s *Server) commitPlan(t *tenant, job *Job, dep *qcc.Deployment, shed map[s
 	if err != nil {
 		return err
 	}
+	applyBackendPolicy(cfg)
 	effectiveCfg := configWithout(cfg, shed)
 	effectiveCfg.Obs, effectiveCfg.Phases = nil, nil
 	effective, err := json.Marshal(effectiveCfg)

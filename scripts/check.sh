@@ -64,15 +64,15 @@ diff -u scripts/testdata/trace-report.golden "$BENCHDIR/trace-report.txt"
 
 echo "==> bench artifacts (bench/BENCH_headline.json, bench/BENCH_fig11.json, bench/BENCH_attrib.json)"
 # Refresh the committed artifacts: the parallel wall time plus a sequential
-# rerun, so each records the fan-out speedup on this machine. The headline
-# run also appends its wall time to bench/history.jsonl.
+# rerun, so each records the fan-out speedup on this machine. Every
+# experiment appends its wall time to bench/history.jsonl.
 mkdir -p bench
 "$BENCHDIR/etsn-bench" -experiment headline -duration 1s \
     -compare-sequential -bench-dir bench -history bench/history.jsonl >/dev/null
 "$BENCHDIR/etsn-bench" -experiment fig11 -duration 1s \
-    -compare-sequential -bench-dir bench >/dev/null
+    -compare-sequential -bench-dir bench -history bench/history.jsonl >/dev/null
 "$BENCHDIR/etsn-bench" -experiment attrib -duration 1s \
-    -bench-dir bench >/dev/null
+    -bench-dir bench -history bench/history.jsonl >/dev/null
 # The solver micro-benchmark: CDCL must beat the reference oracle on every
 # committed instance class, and its wall times accumulate in the history.
 "$BENCHDIR/etsn-bench" -experiment smt \
@@ -80,12 +80,18 @@ mkdir -p bench
 # The scale run sweeps the sharded engine over 1/2/4/8 shards on the same
 # scenario and emits BENCH_psim.json, gated on byte-identical results.
 "$BENCHDIR/etsn-bench" -experiment scale -duration 1s \
-    -bench-dir bench >/dev/null
+    -bench-dir bench -history bench/history.jsonl >/dev/null
+# The backends run races every scheduler backend over the fig11 load grid
+# and emits BENCH_backends.json, gated on verifier-clean plans and on the
+# race tracking the fastest feasible backend.
+"$BENCHDIR/etsn-bench" -experiment backends \
+    -bench-dir bench -history bench/history.jsonl >/dev/null
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_headline.json
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_fig11.json
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_attrib.json
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_smt.json
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_psim.json
+"$BENCHDIR/etsn-bench" -check-bench bench/BENCH_backends.json
 
 echo "==> wall-time trend (bench/history.jsonl)"
 # Informational: flags >10% regressions against each experiment's rolling
