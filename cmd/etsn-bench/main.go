@@ -45,7 +45,19 @@
 // -trend FILE analyzes an accumulated history file: each experiment's
 // newest wall time is compared against the median of its previous (up to
 // five) runs, and runs more than -trend-threshold over that baseline are
-// flagged (-trend-strict turns flags into a non-zero exit).
+// flagged. -trend -json emits the machine-readable trend document
+// ({name, n, median_ms, last_ms, delta_pct, flagged} per experiment,
+// byte-identical to the dashboard's /api/trend endpoint) instead of the
+// human table. Under -trend-strict a flagged regression exits with code
+// 2 (any other failure exits 1), so CI can gate on regressions without
+// parsing text.
+//
+// -dash ADDR serves the live observability dashboard (internal/dash) on
+// ADDR while experiments run: the current experiment's registry and
+// phase tracer are published as JSON snapshots and an SSE stream, with
+// the wall-time history chart backed by -history (default
+// bench/history.jsonl). After the last experiment the process keeps
+// serving until SIGINT/SIGTERM, then drains gracefully.
 //
 // -backend NAME plans every simulation with that scheduling backend
 // (default auto: placer with exact-SMT fallback; "race" runs them all
@@ -58,7 +70,7 @@
 package main
 
 import (
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -68,35 +80,19 @@ import (
 	"time"
 
 	"etsn/internal/core"
+	"etsn/internal/dash"
 	"etsn/internal/experiments"
 	"etsn/internal/obs"
 )
 
-// appendHistory adds one JSON line per completed experiment to a running
-// log, so wall-time trends accumulate across commits (bench/history.jsonl
-// in this repo; scripts/check.sh feeds the headline run into it).
-func appendHistory(path, name string, art *experiments.BenchArtifact, at time.Time) error {
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
-	}
-	line := struct {
-		Experiment string `json:"experiment"`
-		WallMs     int64  `json:"wall_ms"`
-		Parallel   int    `json:"parallel"`
-		Seed       int64  `json:"seed"`
-		UnixMs     int64  `json:"unix_ms"`
-	}{name, art.WallMs, art.Parallel, art.Seed, at.UnixMilli()}
-	if err := json.NewEncoder(f).Encode(line); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "etsn-bench:", err)
+		// Exit 2 is the documented -trend-strict regression verdict;
+		// everything else is 1.
+		if errors.Is(err, errTrendRegressed) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -122,12 +118,14 @@ func run(args []string, w io.Writer) error {
 	backendCompare := fs.Bool("backend-compare", false, "append a per-backend comparison section to the fig11/fig14 tables (walls are not byte-stable)")
 	trend := fs.String("trend", "", "analyze a wall-time history file (bench/history.jsonl) for regressions and exit")
 	trendThreshold := fs.Float64("trend-threshold", 0.10, "flag a run whose wall time exceeds its rolling baseline by more than this fraction")
-	trendStrict := fs.Bool("trend-strict", false, "exit non-zero when -trend flags a regression")
+	trendStrict := fs.Bool("trend-strict", false, "exit with code 2 when -trend flags a regression")
+	trendJSON := fs.Bool("json", false, "with -trend: emit the machine-readable trend document instead of the human table")
+	dashAddr := fs.String("dash", "", "serve the live dashboard on this address (e.g. :8429) while experiments run; stays up until SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *trend != "" {
-		return runTrend(w, *trend, *trendThreshold, *trendStrict)
+		return runTrend(w, *trend, *trendThreshold, *trendStrict, *trendJSON)
 	}
 	if *checkBench != "" {
 		a, err := experiments.LoadBenchArtifact(*checkBench)
@@ -163,6 +161,36 @@ func run(args []string, w io.Writer) error {
 	opts := experiments.RunOptions{Duration: *duration, Seed: *seed, Parallel: *parallel,
 		Attribution: *attribOn, Engine: *engine, Shards: *shards,
 		Backend: backend, BackendCompare: *backendCompare}
+
+	// -dash: serve the live dashboard for the whole run. Each experiment
+	// publishes its fresh registry/tracer as it starts (runOne), so SSE
+	// clients watch the current experiment; the trend chart reads the
+	// same history file -history appends to.
+	var dashRunner *dash.Runner
+	if *dashAddr != "" {
+		histPath := *history
+		if histPath == "" {
+			histPath = "bench/history.jsonl"
+		}
+		dashRunner, err = dash.Start(*dashAddr, dash.NewServer(dash.Options{
+			HistoryPath: histPath, TrendThreshold: *trendThreshold}))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = dashRunner.Shutdown(2 * time.Second) }()
+		fmt.Fprintf(os.Stderr, "etsn-bench: dashboard listening on http://%s\n", dashRunner.Addr())
+	}
+	// waitDash keeps the dashboard up after a successful run until
+	// SIGINT/SIGTERM, then drains it.
+	waitDash := func() error {
+		if dashRunner == nil {
+			return nil
+		}
+		fmt.Fprintf(os.Stderr, "etsn-bench: experiments done; dashboard on http://%s until SIGINT/SIGTERM\n",
+			dashRunner.Addr())
+		dashRunner.WaitSignal()
+		return dashRunner.Shutdown(5 * time.Second)
+	}
 
 	type runner struct {
 		name string
@@ -349,6 +377,9 @@ func run(args []string, w io.Writer) error {
 		o := opts
 		o.Obs = obs.NewRegistry()
 		o.Phases = obs.NewTracer()
+		if dashRunner != nil {
+			dashRunner.Server.Publish(o.Obs, o.Phases)
+		}
 		smtClasses = nil
 		backendBench = nil
 		start := time.Now()
@@ -379,7 +410,7 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		if *history != "" {
-			if err := appendHistory(*history, name, art, time.Now()); err != nil {
+			if err := experiments.AppendHistory(*history, name, art, time.Now()); err != nil {
 				return fmt.Errorf("-history: %w", err)
 			}
 		}
@@ -412,14 +443,20 @@ func run(args []string, w io.Writer) error {
 			// -parallel settings (and machines).
 			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", r.name, time.Since(start).Round(time.Millisecond))
 		}
-		return exports()
+		if err := exports(); err != nil {
+			return err
+		}
+		return waitDash()
 	}
 	for _, r := range all {
 		if r.name == *experiment {
 			if err := runOne(r); err != nil {
 				return err
 			}
-			return exports()
+			if err := exports(); err != nil {
+				return err
+			}
+			return waitDash()
 		}
 	}
 	return fmt.Errorf("unknown experiment %q", *experiment)

@@ -1,126 +1,41 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
-	"os"
-	"sort"
+
+	"etsn/internal/dash"
 )
 
-// historyEntry mirrors the JSON lines appendHistory writes to
-// bench/history.jsonl.
-type historyEntry struct {
-	Experiment string `json:"experiment"`
-	WallMs     int64  `json:"wall_ms"`
-	Parallel   int    `json:"parallel"`
-	Seed       int64  `json:"seed"`
-	UnixMs     int64  `json:"unix_ms"`
-}
+// errTrendRegressed is the -trend-strict failure; main maps it to exit
+// code 2 so CI can gate on regressions without parsing human text.
+var errTrendRegressed = errors.New("trend regression")
 
-// trendWindow bounds the rolling baseline: the median of up to this many
-// runs immediately preceding the latest one.
-const trendWindow = 5
-
-// trendReport is one experiment's verdict from a history file.
-type trendReport struct {
-	Experiment string
-	// Latest is the newest wall time; BaselineMs the median of up to
-	// trendWindow prior runs (0 when there is no prior run to compare
-	// against).
-	LatestMs   int64
-	BaselineMs int64
-	// Ratio is Latest/Baseline; Regressed marks ratio > 1+threshold.
-	Ratio     float64
-	Regressed bool
-	Runs      int
-}
-
-// analyzeTrend groups a history stream by experiment and compares each
-// experiment's newest wall time against the median of its preceding runs.
-// A median is robust to the occasional loaded-machine outlier that a mean
-// would smear into the baseline.
-func analyzeTrend(r io.Reader, threshold float64) ([]trendReport, error) {
-	byExp := make(map[string][]historyEntry)
-	var order []string
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var e historyEntry
-		if err := json.Unmarshal(line, &e); err != nil {
-			return nil, fmt.Errorf("history line %q: %w", line, err)
-		}
-		if e.Experiment == "" || e.WallMs <= 0 {
-			continue
-		}
-		if _, seen := byExp[e.Experiment]; !seen {
-			order = append(order, e.Experiment)
-		}
-		byExp[e.Experiment] = append(byExp[e.Experiment], e)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	var out []trendReport
-	for _, name := range order {
-		runs := byExp[name]
-		latest := runs[len(runs)-1]
-		rep := trendReport{Experiment: name, LatestMs: latest.WallMs, Runs: len(runs)}
-		prior := runs[:len(runs)-1]
-		if len(prior) > trendWindow {
-			prior = prior[len(prior)-trendWindow:]
-		}
-		if len(prior) > 0 {
-			walls := make([]int64, len(prior))
-			for i, e := range prior {
-				walls[i] = e.WallMs
-			}
-			sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
-			rep.BaselineMs = walls[len(walls)/2]
-			rep.Ratio = float64(rep.LatestMs) / float64(rep.BaselineMs)
-			rep.Regressed = rep.Ratio > 1+threshold
-		}
-		out = append(out, rep)
-	}
-	return out, nil
-}
-
-// runTrend implements etsn-bench -trend: read the history file, print one
-// verdict per experiment, and (with -trend-strict) fail on any regression.
-func runTrend(w io.Writer, path string, threshold float64, strict bool) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	reports, err := analyzeTrend(f, threshold)
+// runTrend implements etsn-bench -trend: analyze the history file with
+// the shared internal/dash analyzer and print one verdict per experiment
+// — human text by default, the machine-readable trend document with
+// -json (byte-identical to the dashboard's /api/trend endpoint). With
+// -trend-strict any flagged regression yields errTrendRegressed (exit
+// code 2).
+func runTrend(w io.Writer, path string, threshold float64, strict, asJSON bool) error {
+	reports, err := dash.AnalyzeTrendFile(path, threshold)
 	if err != nil {
 		return err
 	}
 	if len(reports) == 0 {
 		return fmt.Errorf("%s: no history entries", path)
 	}
-	regressed := 0
-	fmt.Fprintf(w, "wall-time trend (%s, threshold +%.0f%%)\n", path, threshold*100)
-	for _, r := range reports {
-		switch {
-		case r.BaselineMs == 0:
-			fmt.Fprintf(w, "  %-10s %6dms  (first run, no baseline)\n", r.Experiment, r.LatestMs)
-		case r.Regressed:
-			regressed++
-			fmt.Fprintf(w, "  %-10s %6dms  REGRESSED %.0f%% over baseline %dms (%d runs)\n",
-				r.Experiment, r.LatestMs, (r.Ratio-1)*100, r.BaselineMs, r.Runs)
-		default:
-			fmt.Fprintf(w, "  %-10s %6dms  ok (%+.0f%% vs baseline %dms, %d runs)\n",
-				r.Experiment, r.LatestMs, (r.Ratio-1)*100, r.BaselineMs, r.Runs)
+	if asJSON {
+		if err := dash.WriteTrendJSON(w, reports, threshold); err != nil {
+			return err
 		}
+	} else {
+		dash.WriteTrendText(w, path, reports, threshold)
 	}
-	if regressed > 0 && strict {
-		return fmt.Errorf("%d experiment(s) regressed more than %.0f%%", regressed, threshold*100)
+	if n := dash.FlaggedCount(reports); n > 0 && strict {
+		return fmt.Errorf("%w: %d experiment(s) regressed more than %.0f%%",
+			errTrendRegressed, n, threshold*100)
 	}
 	return nil
 }

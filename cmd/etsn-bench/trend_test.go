@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"etsn/internal/dash"
 )
 
 func writeHistory(t *testing.T, lines ...string) string {
@@ -37,8 +41,65 @@ func TestTrendFlagsRegression(t *testing.T) {
 		t.Fatalf("expected smt to pass:\n%s", out.String())
 	}
 	out.Reset()
-	if err := run([]string{"-trend", path, "-trend-strict"}, &out); err == nil {
+	err := run([]string{"-trend", path, "-trend-strict"}, &out)
+	if err == nil {
 		t.Fatalf("strict trend should fail:\n%s", out.String())
+	}
+	// main maps this sentinel to exit code 2 so CI can distinguish
+	// "perf regressed" from "bench itself broke".
+	if !errors.Is(err, errTrendRegressed) {
+		t.Fatalf("strict failure should be errTrendRegressed, got %v", err)
+	}
+}
+
+func TestTrendJSONMatchesLibrary(t *testing.T) {
+	path := writeHistory(t,
+		`{"experiment":"headline","wall_ms":100,"parallel":4,"seed":1,"unix_ms":1}`,
+		`{"experiment":"headline","wall_ms":100,"parallel":4,"seed":1,"unix_ms":2}`,
+		`{"experiment":"headline","wall_ms":130,"parallel":4,"seed":1,"unix_ms":3}`,
+	)
+	var out strings.Builder
+	if err := run([]string{"-trend", path, "-json"}, &out); err != nil {
+		t.Fatalf("-trend -json: %v\n%s", err, out.String())
+	}
+	var doc struct {
+		ThresholdPct float64 `json:"threshold_pct"`
+		Flagged      int     `json:"flagged"`
+		Experiments  []struct {
+			Name     string  `json:"name"`
+			N        int     `json:"n"`
+			MedianMs int64   `json:"median_ms"`
+			LastMs   int64   `json:"last_ms"`
+			DeltaPct float64 `json:"delta_pct"`
+			Flagged  bool    `json:"flagged"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Flagged != 1 || len(doc.Experiments) != 1 {
+		t.Fatalf("want one flagged experiment, got %+v", doc)
+	}
+	e := doc.Experiments[0]
+	if e.Name != "headline" || e.MedianMs != 100 || e.LastMs != 130 || !e.Flagged {
+		t.Fatalf("unexpected experiment verdict: %+v", e)
+	}
+	if e.DeltaPct != 30 {
+		t.Fatalf("delta_pct = %v, want 30", e.DeltaPct)
+	}
+
+	// The CLI output is byte-for-byte what the dash library writes — the
+	// same contract /api/trend serves.
+	reports, err := dash.AnalyzeTrendFile(path, dash.DefaultTrendThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lib strings.Builder
+	if err := dash.WriteTrendJSON(&lib, reports, dash.DefaultTrendThreshold); err != nil {
+		t.Fatal(err)
+	}
+	if lib.String() != out.String() {
+		t.Fatalf("CLI JSON diverges from dash.WriteTrendJSON:\nCLI:\n%s\nlib:\n%s", out.String(), lib.String())
 	}
 }
 
@@ -55,12 +116,7 @@ func TestTrendBaselineIsRollingMedian(t *testing.T) {
 		`{"experiment":"headline","wall_ms":100,"parallel":1,"seed":1,"unix_ms":7}`,
 		`{"experiment":"headline","wall_ms":105,"parallel":1,"seed":1,"unix_ms":8}`,
 	)
-	f, err := os.Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	reports, err := analyzeTrend(f, 0.10)
+	reports, err := dash.AnalyzeTrendFile(path, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,10 +124,10 @@ func TestTrendBaselineIsRollingMedian(t *testing.T) {
 		t.Fatalf("got %d reports", len(reports))
 	}
 	r := reports[0]
-	if r.BaselineMs != 100 {
-		t.Fatalf("baseline %dms, want 100 (rolling median of last %d)", r.BaselineMs, trendWindow)
+	if r.MedianMs != 100 {
+		t.Fatalf("baseline %dms, want 100 (rolling median of last %d)", r.MedianMs, dash.TrendWindow)
 	}
-	if r.Regressed {
+	if r.Flagged {
 		t.Fatalf("105ms vs 100ms baseline must not exceed +10%%: %+v", r)
 	}
 }

@@ -10,12 +10,19 @@
 //
 //	etsn-cncd -data DIR [-listen HOST:PORT] [-workers N] [-queue N]
 //	          [-tenant-quota N] [-job-timeout D] [-drain-timeout D]
+//	          [-dash-history bench/history.jsonl]
 //
 // On startup the daemon replays DIR/journal.jsonl, restores every tenant's
 // plan history, re-enqueues unfinished jobs, prints "listening on ADDR" to
 // stdout, and serves until SIGINT/SIGTERM. Shutdown drains: /readyz flips
 // to 503, new submissions are rejected, in-flight jobs get -drain-timeout
 // to finish, and whatever remains is journal-parked for the next start.
+//
+// The live dashboard (internal/dash) serves at http://ADDR/ next to the
+// API: JSON registry snapshots at /api/metrics (?tenant= narrows to one
+// tenant's view), an SSE stream at /api/metrics/stream, and — when
+// -dash-history points at a bench history file — wall-time trend verdicts
+// at /api/trend.
 //
 // See DESIGN.md §13 for the API and recovery invariants.
 package main
@@ -52,6 +59,7 @@ func run(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 0, "graceful-shutdown budget for in-flight jobs (default 10s)")
 	maxRetries := fs.Int("max-retries", 0, "retries after a solver timeout (default 2)")
 	solveDelay := fs.Duration("solve-delay", 0, "fault-injection: artificial delay before each solve (testing only)")
+	dashHistory := fs.String("dash-history", "", "history.jsonl file backing the dashboard's /api/trend")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +77,7 @@ func run(args []string) error {
 		DrainTimeout: *drainTimeout,
 		MaxRetries:   *maxRetries,
 		SolveDelay:   *solveDelay,
+		HistoryPath:  *dashHistory,
 	})
 	if err != nil {
 		return err

@@ -10,6 +10,12 @@
 //	           [-backend auto|placer|greedy|tabu|anneal|smt|smt-incremental|race]
 //	           [-metrics out.prom] [-trace-phases out.trace.json]
 //	           [-pprof cpu=FILE|mem=FILE|HOST:PORT]
+//	           [-dash HOST:PORT]
+//
+// -dash serves the live observability dashboard (internal/dash) on the
+// given address — planner metrics and phase spans over JSON/SSE plus the
+// embedded page — and keeps serving after the deployment is written until
+// SIGINT/SIGTERM, then drains gracefully and exits 0.
 //
 // -parallel N runs a portfolio of N diversified SMT replicas when the
 // monolithic solver is selected; the first definitive answer wins and the
@@ -31,8 +37,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"etsn/internal/core"
+	"etsn/internal/dash"
 	"etsn/internal/gcl"
 	"etsn/internal/obs"
 	"etsn/internal/qcc"
@@ -63,6 +71,7 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "diversified SMT portfolio width for the monolithic solver (overrides the config; <= 1 keeps the single search)")
 	backend := fs.String("backend", "", "scheduling backend (overrides the config): auto, placer, greedy, tabu, anneal, smt, smt-incremental, or race")
 	boundsPath := fs.String("bounds", "", "write the analytic per-stream worst-case bounds as JSON to this file")
+	dashAddr := fs.String("dash", "", "serve the live dashboard on this address (e.g. :8080; keeps serving after the run until SIGINT/SIGTERM)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,11 +104,21 @@ func run(args []string) error {
 		}
 		cfg.Options.Backend = *backend
 	}
-	if *metrics != "" || *verbose {
+	if *metrics != "" || *verbose || *dashAddr != "" {
 		cfg.Obs = obs.NewRegistry()
 	}
-	if *tracePhases != "" {
+	if *tracePhases != "" || *dashAddr != "" {
 		cfg.Phases = obs.NewTracer()
+	}
+	var dashRunner *dash.Runner
+	if *dashAddr != "" {
+		srv := dash.NewServer(dash.Options{Registry: cfg.Obs, Tracer: cfg.Phases})
+		dashRunner, err = dash.Start(*dashAddr, srv)
+		if err != nil {
+			return fmt.Errorf("-dash: %w", err)
+		}
+		defer func() { _ = dashRunner.Shutdown(2 * time.Second) }()
+		fmt.Fprintf(os.Stderr, "etsn-sched: dashboard listening on http://%s\n", dashRunner.Addr())
 	}
 	dep, err := qcc.Compute(cfg)
 	if err != nil {
@@ -137,9 +156,23 @@ func run(args []string) error {
 	}
 	if *gclText {
 		gcl.WriteAllText(out, dep.GCLs)
+		return waitDash(dashRunner)
+	}
+	if err := dep.WriteJSON(out); err != nil {
+		return err
+	}
+	return waitDash(dashRunner)
+}
+
+// waitDash keeps the -dash server alive after the deployment is written,
+// until SIGINT/SIGTERM, then drains it gracefully.
+func waitDash(r *dash.Runner) error {
+	if r == nil {
 		return nil
 	}
-	return dep.WriteJSON(out)
+	fmt.Fprintf(os.Stderr, "etsn-sched: deployment written; dashboard serving on http://%s (Ctrl-C to exit)\n", r.Addr())
+	r.WaitSignal()
+	return r.Shutdown(5 * time.Second)
 }
 
 // writeBounds exports the analytic per-stream worst cases as a flat

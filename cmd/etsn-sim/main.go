@@ -12,6 +12,7 @@
 //	         [-metrics out.prom] [-trace-phases out.trace.json]
 //	         [-pprof cpu=FILE|mem=FILE|HOST:PORT]
 //	         [-attrib] [-trace-hops] [-trace FILE] [-trace-lanes FILE]
+//	         [-dash HOST:PORT [-dash-history bench/history.jsonl]]
 //
 // -engine shard runs the simulation on the conservative-parallel sharded
 // engine (internal/psim) with -shards workers (default GOMAXPROCS); its
@@ -26,6 +27,13 @@
 // searches, the exact SMT solvers, or "race" — all of them concurrently,
 // first verified plan in priority order wins), overriding the
 // configuration's options.backend. It only affects -method etsn.
+//
+// -dash serves the live observability dashboard (internal/dash) on the
+// given address: the embedded page at /, JSON snapshots at /api/metrics,
+// an SSE stream at /api/metrics/stream, and — with -dash-history — the
+// wall-time trend at /api/trend. The process prints the bound address to
+// stderr, runs the simulation, then keeps serving until SIGINT/SIGTERM,
+// at which point it drains gracefully and exits 0.
 //
 // -attrib enables the per-frame causal latency decomposition: each row
 // gains its analytic bound, worst slack, miss count, and dominant latency
@@ -44,6 +52,7 @@ import (
 	"time"
 
 	"etsn/internal/core"
+	"etsn/internal/dash"
 	"etsn/internal/model"
 	"etsn/internal/obs"
 	"etsn/internal/qcc"
@@ -81,6 +90,8 @@ func run(args []string) error {
 	attrib := fs.Bool("attrib", false, "attribute each frame's latency to queue/gate/preempt/tx/prop phases and score bound conformance")
 	traceHops := fs.Bool("trace-hops", false, "record per-hop completion latencies in the results")
 	traceLanes := fs.String("trace-lanes", "", "write attributed frames as a Chrome trace_event lane file (requires -attrib)")
+	dashAddr := fs.String("dash", "", "serve the live dashboard on this address (e.g. :8080; keeps serving after the run until SIGINT/SIGTERM)")
+	dashHistory := fs.String("dash-history", "", "history.jsonl file backing the dashboard's /api/trend (requires -dash)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,11 +108,24 @@ func run(args []string) error {
 	}
 	var reg *obs.Registry
 	var phases *obs.Tracer
-	if *metrics != "" {
+	if *metrics != "" || *dashAddr != "" {
 		reg = obs.NewRegistry()
 	}
-	if *tracePhases != "" {
+	if *tracePhases != "" || *dashAddr != "" {
 		phases = obs.NewTracer()
+	}
+	var dashRunner *dash.Runner
+	if *dashAddr != "" {
+		srv := dash.NewServer(dash.Options{Registry: reg, Tracer: phases, HistoryPath: *dashHistory})
+		var err error
+		dashRunner, err = dash.Start(*dashAddr, srv)
+		if err != nil {
+			return fmt.Errorf("-dash: %w", err)
+		}
+		defer func() { _ = dashRunner.Shutdown(2 * time.Second) }()
+		fmt.Fprintf(os.Stderr, "etsn-sim: dashboard listening on http://%s\n", dashRunner.Addr())
+	} else if *dashHistory != "" {
+		return fmt.Errorf("-dash-history requires -dash")
 	}
 	method, err := parseMethod(*methodName)
 	if err != nil {
@@ -197,6 +221,20 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if dashRunner != nil && *attrib {
+		dashRunner.Server.SetLanes(results.FrameLanes)
+	}
+	// waitDash keeps the dashboard serving after the run's output is
+	// printed, until the operator sends SIGINT/SIGTERM; the drain is
+	// graceful (SSE clients get a bye frame) and the exit code is 0.
+	waitDash := func() error {
+		if dashRunner == nil {
+			return nil
+		}
+		fmt.Fprintf(os.Stderr, "etsn-sim: run complete; dashboard serving on http://%s (Ctrl-C to exit)\n", dashRunner.Addr())
+		dashRunner.WaitSignal()
+		return dashRunner.Shutdown(5 * time.Second)
+	}
 
 	type row struct {
 		Stream   string  `json:"stream"`
@@ -255,7 +293,10 @@ func run(args []string) error {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(rows)
+		if err := enc.Encode(rows); err != nil {
+			return err
+		}
+		return waitDash()
 	}
 	fmt.Printf("method %s, %v simulated, seed %d\n", method, *duration, *seed)
 	fmt.Printf("%-14s %-5s %8s %12s %12s %12s %6s %12s %12s %6s %-8s\n",
@@ -276,7 +317,7 @@ func run(args []string) error {
 			r.Stream, r.Kind, r.Count, r.MeanUs, r.WorstUs, r.JitterUs, r.Drops,
 			bound, slack, miss, phase)
 	}
-	return nil
+	return waitDash()
 }
 
 func parseMethod(name string) (sched.Method, error) {

@@ -182,3 +182,11 @@ func TestRunMetricsJSONFormat(t *testing.T) {
 		t.Fatal("JSON metrics missing event count")
 	}
 }
+
+func TestRunDashHistoryRequiresDash(t *testing.T) {
+	cfg := writeConfig(t)
+	err := run([]string{"-config", cfg, "-duration", "50ms", "-dash-history", "x.jsonl"})
+	if err == nil || !strings.Contains(err.Error(), "-dash-history requires -dash") {
+		t.Fatalf("want -dash-history guard, got %v", err)
+	}
+}

@@ -1,0 +1,318 @@
+package dash
+
+import (
+	"context"
+	"embed"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"etsn/internal/obs"
+)
+
+//go:embed static
+var staticFS embed.FS
+
+// Options configures a dashboard Server. The zero value is serviceable:
+// a nil registry serves empty snapshots until Publish swaps a live one
+// in.
+type Options struct {
+	// Registry is the initial metrics source (may be nil; see Publish).
+	Registry *obs.Registry
+	// Tracer is the initial phase-span source for /api/spans (may be nil).
+	Tracer *obs.Tracer
+	// Lanes, when set, supplies attributed frame lanes for /api/lanes.
+	Lanes func() []obs.Lane
+	// HistoryPath points at a bench/history.jsonl-format file backing
+	// /api/trend and /api/history. Empty (or missing on disk) serves an
+	// empty trend document.
+	HistoryPath string
+	// TrendThreshold flags runs over their rolling median by more than
+	// this fraction (default DefaultTrendThreshold).
+	TrendThreshold float64
+	// StreamInterval is the SSE frame cadence (default 1s, floor 50ms).
+	StreamInterval time.Duration
+}
+
+// Server exposes a live obs.Registry/Tracer over HTTP: JSON snapshots,
+// an SSE stream, spans, lanes, the trend analysis, and the embedded
+// single-page frontend. Safe for concurrent use; the live source can be
+// swapped mid-flight with Publish (etsn-bench swaps a fresh registry in
+// per experiment).
+type Server struct {
+	mu      sync.RWMutex
+	reg     *obs.Registry
+	tracer  *obs.Tracer
+	lanes   func() []obs.Lane
+	history string
+
+	threshold float64
+	interval  time.Duration
+
+	seq       atomic.Int64
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewServer builds a dashboard server from opts.
+func NewServer(opts Options) *Server {
+	if opts.TrendThreshold <= 0 {
+		opts.TrendThreshold = DefaultTrendThreshold
+	}
+	if opts.StreamInterval <= 0 {
+		opts.StreamInterval = time.Second
+	}
+	if opts.StreamInterval < 50*time.Millisecond {
+		opts.StreamInterval = 50 * time.Millisecond
+	}
+	return &Server{
+		reg:       opts.Registry,
+		tracer:    opts.Tracer,
+		lanes:     opts.Lanes,
+		history:   opts.HistoryPath,
+		threshold: opts.TrendThreshold,
+		interval:  opts.StreamInterval,
+		done:      make(chan struct{}),
+	}
+}
+
+// Publish swaps the live metrics and span sources. Open SSE streams
+// pick the new source up on their next frame.
+func (s *Server) Publish(reg *obs.Registry, tracer *obs.Tracer) {
+	s.mu.Lock()
+	s.reg = reg
+	s.tracer = tracer
+	s.mu.Unlock()
+}
+
+// SetLanes swaps the frame-lane source (nil clears it).
+func (s *Server) SetLanes(fn func() []obs.Lane) {
+	s.mu.Lock()
+	s.lanes = fn
+	s.mu.Unlock()
+}
+
+// Close begins the graceful drain: open SSE streams finish their
+// current frame and return. Idempotent. The HTTP listener itself
+// belongs to the caller (Runner.Shutdown closes both in order).
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+}
+
+// source returns the current registry, tracer, and lane function.
+func (s *Server) source() (*obs.Registry, *obs.Tracer, func() []obs.Lane) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reg, s.tracer, s.lanes
+}
+
+// Handler routes the dashboard surface:
+//
+//	GET /                    embedded single-page frontend
+//	GET /api/metrics         one-shot Snapshot JSON (?tenant= filters)
+//	GET /api/metrics/stream  SSE: one Snapshot frame per interval
+//	GET /api/spans           completed tracer spans
+//	GET /api/lanes           attributed frame lanes (empty without a source)
+//	GET /api/trend           trend verdicts (= `etsn-bench -trend -json`)
+//	GET /api/history         raw wall-time history entries
+//	GET /metrics             Prometheus exposition of the same registry
+//
+// The daemon mounts only /{$}, /index.html, and /api/ from this handler
+// and keeps serving its own /metrics; the standalone CLIs get /metrics
+// from here so a live sim/bench run is scrapeable.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.serveIndex)
+	mux.HandleFunc("GET /index.html", s.serveIndex)
+	mux.HandleFunc("GET /metrics", s.servePrometheus)
+	mux.HandleFunc("GET /api/metrics", s.serveMetrics)
+	mux.HandleFunc("GET /api/metrics/stream", s.serveStream)
+	mux.HandleFunc("GET /api/spans", s.serveSpans)
+	mux.HandleFunc("GET /api/lanes", s.serveLanes)
+	mux.HandleFunc("GET /api/trend", s.serveTrend)
+	mux.HandleFunc("GET /api/history", s.serveHistory)
+	return mux
+}
+
+func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
+	page, err := staticFS.ReadFile("static/index.html")
+	if err != nil {
+		http.Error(w, "dashboard page missing from binary", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(page)
+}
+
+func (s *Server) snapshot(seq int64, tenant string) Snapshot {
+	reg, _, _ := s.source()
+	snap := BuildSnapshot(reg, time.Now().UnixMilli(), tenant)
+	snap.Seq = seq
+	return snap
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.snapshot(0, r.URL.Query().Get("tenant")))
+}
+
+func (s *Server) servePrometheus(w http.ResponseWriter, r *http.Request) {
+	reg, _, _ := s.source()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = reg.WritePrometheus(w)
+}
+
+// serveStream is the SSE endpoint: an immediate frame, then one per
+// interval, until the client hangs up or the server drains. Each frame
+// is one `event: metrics` record whose data line is a compact Snapshot.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	tenant := r.URL.Query().Get("tenant")
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		frame, err := json.Marshal(s.snapshot(s.seq.Add(1), tenant))
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "event: metrics\ndata: %s\n\n", frame); err != nil {
+			return
+		}
+		fl.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			// Graceful drain: tell the client this was deliberate so a
+			// well-behaved EventSource can stop reconnecting.
+			_, _ = io.WriteString(w, "event: bye\ndata: {}\n\n")
+			fl.Flush()
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+func (s *Server) serveSpans(w http.ResponseWriter, r *http.Request) {
+	_, tracer, _ := s.source()
+	spans := tracer.Spans()
+	if spans == nil {
+		spans = []obs.SpanRecord{}
+	}
+	writeJSON(w, map[string]any{"spans": spans})
+}
+
+func (s *Server) serveLanes(w http.ResponseWriter, r *http.Request) {
+	_, _, lanes := s.source()
+	var ls []obs.Lane
+	if lanes != nil {
+		ls = lanes()
+	}
+	writeJSON(w, map[string]any{"lanes": lanesToJSON(ls)})
+}
+
+func (s *Server) serveTrend(w http.ResponseWriter, r *http.Request) {
+	var reports []TrendReport
+	if s.history != "" {
+		var err error
+		reports, err = AnalyzeTrendFile(s.history, s.threshold)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = WriteTrendJSON(w, reports, s.threshold)
+}
+
+func (s *Server) serveHistory(w http.ResponseWriter, r *http.Request) {
+	entries := []HistoryEntry{}
+	if s.history != "" {
+		es, err := ReadHistoryFile(s.history)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if es != nil {
+			entries = es
+		}
+	}
+	writeJSON(w, map[string]any{"entries": entries})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Runner ties a Server to a real listener for the CLIs' -dash flag: it
+// serves in the background while a run is in flight and shuts down
+// gracefully on demand or on SIGINT/SIGTERM. Signal delivery is armed
+// inside Start, so a signal that arrives while the run is still going
+// is held until WaitSignal collects it rather than killing the process.
+type Runner struct {
+	Server *Server
+	http   *http.Server
+	ln     net.Listener
+	sigCh  chan os.Signal
+	errCh  chan error
+}
+
+// Start listens on addr (":0" picks a free port) and serves srv's
+// handler in the background.
+func Start(addr string, srv *Server) (*Runner, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		Server: srv,
+		http:   &http.Server{Handler: srv.Handler()},
+		ln:     ln,
+		sigCh:  make(chan os.Signal, 1),
+		errCh:  make(chan error, 1),
+	}
+	signal.Notify(r.sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() { r.errCh <- r.http.Serve(ln) }()
+	return r, nil
+}
+
+// Addr is the bound listen address (resolves ":0").
+func (r *Runner) Addr() string { return r.ln.Addr().String() }
+
+// WaitSignal blocks until SIGINT/SIGTERM (armed at Start) and returns
+// the signal received.
+func (r *Runner) WaitSignal() os.Signal { return <-r.sigCh }
+
+// Shutdown drains: SSE streams are released first (Server.Close), then
+// the HTTP server stops accepting and waits up to timeout for in-flight
+// requests before closing hard.
+func (r *Runner) Shutdown(timeout time.Duration) error {
+	signal.Stop(r.sigCh)
+	r.Server.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := r.http.Shutdown(ctx)
+	if err != nil {
+		_ = r.http.Close()
+	}
+	return err
+}

@@ -1,0 +1,444 @@
+package dash
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"etsn/internal/obs"
+)
+
+// fixtureRegistry builds a registry exercising every instrument kind,
+// labeled and unlabeled, including names the Prometheus exposition must
+// escape.
+func fixtureRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Counter("etsn_sim_events_total").Add(42)
+	reg.Counter(obs.Labels("etsn_sim_gate_opens_total", "link", "SW1->SW2")).Add(7)
+	reg.Gauge(obs.Labels("etsn_sim_queue_depth_hwm", "link", `we"ird\link`+"\nname")).Set(3)
+	h := reg.Histogram(obs.Labels("etsn_sim_slack_ns", "stream", "ect1"))
+	for _, v := range []int64{1, 5, 900, 40_000, 40_001, 1 << 40} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
+	}
+}
+
+// parseProm parses the text exposition into series name -> value,
+// skipping comment lines. Series names keep their label block verbatim.
+func parseProm(t *testing.T, text string) map[string]int64 {
+	t.Helper()
+	out := map[string]int64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseInt(line[i+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("exposition value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestMetricsMatchesPrometheus is the /api/metrics <-> /metrics contract:
+// every point in the JSON snapshot appears in the Prometheus exposition
+// with the same name and value, histograms round-trip through the
+// cumulative le series, and nothing in the exposition is missing from
+// the snapshot.
+func TestMetricsMatchesPrometheus(t *testing.T) {
+	reg := fixtureRegistry()
+	ts := httptest.NewServer(NewServer(Options{Registry: reg}).Handler())
+	defer ts.Close()
+
+	var snap Snapshot
+	getJSON(t, ts, "/api/metrics", &snap)
+
+	// The exposition comes from the server's own /metrics endpoint, so
+	// this doubles as the route test for the standalone-CLI scrape path.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %s", resp.Status)
+	}
+	var promText strings.Builder
+	if err := reg.WritePrometheus(&promText); err != nil {
+		t.Fatal(err)
+	}
+	if promText.String() != string(body) {
+		t.Fatalf("served /metrics differs from WritePrometheus output")
+	}
+	prom := parseProm(t, promText.String())
+
+	seriesSeen := 0
+	for _, p := range append(append([]Point{}, snap.Counters...), snap.Gauges...) {
+		got, ok := prom[p.Name]
+		if !ok {
+			t.Errorf("snapshot point %q missing from exposition", p.Name)
+			continue
+		}
+		if got != p.Value {
+			t.Errorf("%q: snapshot %d, exposition %d", p.Name, p.Value, got)
+		}
+		seriesSeen++
+	}
+	for _, hp := range snap.Histograms {
+		base, labels, _ := strings.Cut(hp.Name, "{")
+		if labels != "" {
+			labels = "{" + labels
+		}
+		suffix := func(kind string) string { return base + kind + labels }
+		if got := prom[suffix("_sum")]; got != hp.Sum {
+			t.Errorf("%s_sum: snapshot %d, exposition %d", base, hp.Sum, got)
+		}
+		if got := prom[suffix("_count")]; got != hp.Count {
+			t.Errorf("%s_count: snapshot %d, exposition %d", base, hp.Count, got)
+		}
+		seriesSeen += 2
+		// The snapshot's buckets are per-bucket counts; the exposition's
+		// le series are cumulative. Re-cumulate and compare.
+		var cum int64
+		lp := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+		if lp != "" {
+			lp += ","
+		}
+		for _, b := range hp.Buckets {
+			cum += b.Count
+			name := fmt.Sprintf("%s_bucket{%sle=\"%d\"}", base, lp, b.Le)
+			if got, ok := prom[name]; !ok || got != cum {
+				t.Errorf("%s: snapshot cumulative %d, exposition %d (present %v)", name, cum, got, ok)
+			}
+			seriesSeen++
+		}
+		inf := fmt.Sprintf("%s_bucket{%sle=\"+Inf\"}", base, lp)
+		if got := prom[inf]; got != hp.Count {
+			t.Errorf("%s: want %d, got %d", inf, hp.Count, got)
+		}
+		seriesSeen++
+	}
+	if seriesSeen != len(prom) {
+		t.Errorf("exposition has %d series, snapshot accounts for %d — the two views diverge", len(prom), seriesSeen)
+	}
+}
+
+// TestSnapshotRoundTripsHostileNames: label values containing the
+// characters the exposition escapes come back verbatim in the JSON view.
+func TestSnapshotRoundTripsHostileNames(t *testing.T) {
+	hostile := "we\"ird\\link\nname"
+	reg := obs.NewRegistry()
+	reg.Gauge(obs.Labels("etsn_sim_queue_depth_hwm", "link", hostile)).Set(3)
+	snap := BuildSnapshot(reg, 1, "")
+	if len(snap.Gauges) != 1 {
+		t.Fatalf("got %d gauges", len(snap.Gauges))
+	}
+	g := snap.Gauges[0]
+	if g.Base != "etsn_sim_queue_depth_hwm" || g.Labels["link"] != hostile {
+		t.Fatalf("hostile label did not round-trip: %+v", g)
+	}
+}
+
+func TestTenantFilter(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter(obs.Labels("etsn_service_tenant_jobs_total", "tenant", "plant-a", "state", "done")).Add(4)
+	reg.Counter(obs.Labels("etsn_service_tenant_jobs_total", "tenant", "plant-b", "state", "done")).Add(9)
+	reg.Counter("etsn_service_jobs_total").Add(13)
+	ts := httptest.NewServer(NewServer(Options{Registry: reg}).Handler())
+	defer ts.Close()
+
+	var snap Snapshot
+	getJSON(t, ts, "/api/metrics?tenant=plant-a", &snap)
+	if len(snap.Counters) != 1 {
+		t.Fatalf("tenant view must keep only tenant-labeled points: %+v", snap.Counters)
+	}
+	c := snap.Counters[0]
+	if c.Labels["tenant"] != "plant-a" || c.Value != 4 {
+		t.Fatalf("wrong tenant point: %+v", c)
+	}
+}
+
+func TestIndexServed(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Options{}).Handler())
+	defer ts.Close()
+	for _, path := range []string{"/", "/index.html"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		if !strings.Contains(string(body), "<!DOCTYPE html>") || !strings.Contains(string(body), "E-TSN") {
+			t.Fatalf("GET %s: not the embedded dashboard page", path)
+		}
+	}
+}
+
+// TestStreamDeliversFrames: the SSE endpoint delivers at least two
+// metrics frames with increasing sequence numbers while the registry
+// mutates underneath, and a drain produces the bye event.
+func TestStreamDeliversFrames(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := NewServer(Options{Registry: reg, StreamInterval: 50 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.Counter("etsn_sim_events_total").Inc()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	resp, err := ts.Client().Get(ts.URL + "/api/metrics/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var frames []Snapshot
+	var event string
+	sawBye := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+			if event == "bye" {
+				sawBye = true
+			}
+		case strings.HasPrefix(line, "data: ") && event == "metrics":
+			var snap Snapshot
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &snap); err != nil {
+				t.Fatalf("bad SSE frame: %v", err)
+			}
+			frames = append(frames, snap)
+			if len(frames) == 3 {
+				// Drain the server: the stream must end with a bye frame.
+				srv.Close()
+			}
+		}
+		if sawBye {
+			break
+		}
+	}
+	if len(frames) < 2 {
+		t.Fatalf("want >= 2 SSE frames, got %d", len(frames))
+	}
+	if !sawBye {
+		t.Fatal("graceful drain must send the bye event")
+	}
+	if frames[1].Seq <= frames[0].Seq {
+		t.Fatalf("frame seq must increase: %d then %d", frames[0].Seq, frames[1].Seq)
+	}
+	last := frames[len(frames)-1]
+	if len(last.Counters) != 1 || last.Counters[0].Value < 1 {
+		t.Fatalf("frames must carry the live counter: %+v", last.Counters)
+	}
+}
+
+// TestTrendEndpointMatchesCLIOutput: /api/trend is byte-for-byte the
+// document WriteTrendJSON produces (the same encoder etsn-bench -trend
+// -json uses) on the same history file.
+func TestTrendEndpointMatchesCLIOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	lines := []string{
+		`{"experiment":"headline","wall_ms":100,"parallel":4,"seed":1,"unix_ms":1}`,
+		`{"experiment":"headline","wall_ms":102,"parallel":4,"seed":1,"unix_ms":2}`,
+		`{"experiment":"headline","wall_ms":140,"parallel":4,"seed":1,"unix_ms":3}`,
+		`{"experiment":"smt","wall_ms":50,"parallel":1,"seed":1,"unix_ms":4}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(Options{HistoryPath: path}).Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/api/trend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	reports, err := AnalyzeTrendFile(path, DefaultTrendThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := WriteTrendJSON(&want, reports, DefaultTrendThreshold); err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != want.String() {
+		t.Fatalf("/api/trend diverges from WriteTrendJSON:\nendpoint:\n%s\nlibrary:\n%s", body, want.String())
+	}
+}
+
+func TestTrendEndpointEmptyWithoutHistory(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Options{}).Handler())
+	defer ts.Close()
+	var doc struct {
+		Experiments []TrendReport `json:"experiments"`
+	}
+	getJSON(t, ts, "/api/trend", &doc)
+	if doc.Experiments == nil || len(doc.Experiments) != 0 {
+		t.Fatalf("want empty experiments array, got %+v", doc)
+	}
+}
+
+func TestSpansAndLanesEndpoints(t *testing.T) {
+	tracer := obs.NewTracer()
+	sp := tracer.Begin("schedule", "backend", "smt")
+	sp.End()
+	srv := NewServer(Options{Tracer: tracer})
+	srv.SetLanes(func() []obs.Lane {
+		return []obs.Lane{{Track: "SW1->SW2", Spans: []obs.LaneSpan{{Name: "ect1", StartNs: 10, DurNs: 5}}}}
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var spans struct {
+		Spans []obs.SpanRecord `json:"spans"`
+	}
+	getJSON(t, ts, "/api/spans", &spans)
+	if len(spans.Spans) != 1 || spans.Spans[0].Name != "schedule" {
+		t.Fatalf("spans: %+v", spans)
+	}
+
+	var lanes struct {
+		Lanes []laneJSON `json:"lanes"`
+	}
+	getJSON(t, ts, "/api/lanes", &lanes)
+	if len(lanes.Lanes) != 1 || lanes.Lanes[0].Track != "SW1->SW2" || len(lanes.Lanes[0].Spans) != 1 {
+		t.Fatalf("lanes: %+v", lanes)
+	}
+}
+
+func TestPublishSwapsLiveSource(t *testing.T) {
+	first := obs.NewRegistry()
+	first.Counter("etsn_bench_runs_total").Add(1)
+	srv := NewServer(Options{Registry: first})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	second := obs.NewRegistry()
+	second.Counter("etsn_bench_runs_total").Add(2)
+	srv.Publish(second, nil)
+
+	var snap Snapshot
+	getJSON(t, ts, "/api/metrics", &snap)
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 2 {
+		t.Fatalf("Publish must swap the live registry: %+v", snap.Counters)
+	}
+}
+
+// TestRunnerLifecycle: Start binds a real listener, serves the API, and
+// Shutdown drains without leaking the serve goroutine — even with an SSE
+// client mid-stream.
+func TestRunnerLifecycle(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv := NewServer(Options{Registry: fixtureRegistry(), StreamInterval: 50 * time.Millisecond})
+	r, err := Start("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + r.Addr()
+
+	resp, err := http.Get(url + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /api/metrics via runner: %s", resp.Status)
+	}
+
+	// Park an SSE client on the stream so Shutdown has something to drain.
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		resp, err := http.Get(url + "/api/metrics/stream")
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	if err := r.Shutdown(2 * time.Second); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	select {
+	case <-streamDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("SSE client still connected after Shutdown")
+	}
+	if _, err := http.Get(url + "/api/metrics"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+
+	// The serve goroutine and the drained handlers must be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after shutdown", before, runtime.NumGoroutine())
+}

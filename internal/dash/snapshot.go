@@ -1,0 +1,135 @@
+package dash
+
+import (
+	"etsn/internal/obs"
+)
+
+// Point is one counter or gauge in a snapshot. Name is the full
+// registry name (labels escaped as stored); Base and Labels are its
+// parsed form, with label values unescaped back to the original stream,
+// link, or tenant names — the JSON encoder round-trips names the
+// Prometheus exposition has to escape.
+type Point struct {
+	Name   string            `json:"name"`
+	Base   string            `json:"base"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// HistBucket is one non-empty histogram bucket (non-cumulative;
+// the Prometheus exposition derives its cumulative le series from
+// exactly these counts).
+type HistBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistPoint is one histogram in a snapshot: totals, the quantiles the
+// 64-bucket exponential layout supports, and the raw buckets for
+// client-side rendering.
+type HistPoint struct {
+	Name    string            `json:"name"`
+	Base    string            `json:"base"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Min     int64             `json:"min"`
+	Max     int64             `json:"max"`
+	Mean    int64             `json:"mean"`
+	P50     int64             `json:"p50"`
+	P90     int64             `json:"p90"`
+	P99     int64             `json:"p99"`
+	Buckets []HistBucket      `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time JSON view of a registry, the payload of
+// /api/metrics and of each SSE frame on /api/metrics/stream. Slices are
+// never null and are sorted by kind then name (the registry's Gather
+// order), so successive frames diff cleanly.
+type Snapshot struct {
+	// AtUnixMs stamps the gather time.
+	AtUnixMs int64 `json:"at_unix_ms"`
+	// Seq increments per SSE frame (0 for one-shot /api/metrics).
+	Seq        int64       `json:"seq"`
+	Counters   []Point     `json:"counters"`
+	Gauges     []Point     `json:"gauges"`
+	Histograms []HistPoint `json:"histograms"`
+}
+
+// labelMap converts parsed pairs to a map (nil when unlabeled).
+func labelMap(pairs []obs.LabelPair) map[string]string {
+	if len(pairs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(pairs))
+	for _, p := range pairs {
+		m[p.Key] = p.Value
+	}
+	return m
+}
+
+// BuildSnapshot gathers a registry into its JSON view. tenant, when
+// non-empty, filters to instruments carrying that tenant label — the
+// daemon's per-tenant registry view. A nil registry yields an empty
+// (but fully-formed) snapshot.
+func BuildSnapshot(reg *obs.Registry, atUnixMs int64, tenant string) Snapshot {
+	snap := Snapshot{
+		AtUnixMs:   atUnixMs,
+		Counters:   []Point{},
+		Gauges:     []Point{},
+		Histograms: []HistPoint{},
+	}
+	for _, m := range reg.Gather() {
+		base, pairs := obs.ParseName(m.Name)
+		labels := labelMap(pairs)
+		if tenant != "" && labels["tenant"] != tenant {
+			continue
+		}
+		switch m.Kind {
+		case obs.KindCounter:
+			snap.Counters = append(snap.Counters, Point{Name: m.Name, Base: base, Labels: labels, Value: m.Value})
+		case obs.KindGauge:
+			snap.Gauges = append(snap.Gauges, Point{Name: m.Name, Base: base, Labels: labels, Value: m.Value})
+		case obs.KindHistogram:
+			h := m.Hist
+			hp := HistPoint{
+				Name: m.Name, Base: base, Labels: labels,
+				Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+				Mean: h.Mean(),
+				P50:  h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+			}
+			for _, b := range h.Buckets {
+				hp.Buckets = append(hp.Buckets, HistBucket{Le: b.UpperBound, Count: b.Count})
+			}
+			snap.Histograms = append(snap.Histograms, hp)
+		}
+	}
+	return snap
+}
+
+// laneJSON and laneSpanJSON are the /api/lanes wire shapes of obs.Lane.
+type laneSpanJSON struct {
+	Name    string            `json:"name"`
+	StartNs int64             `json:"start_ns"`
+	DurNs   int64             `json:"dur_ns"`
+	Args    map[string]string `json:"args,omitempty"`
+}
+
+type laneJSON struct {
+	Track string         `json:"track"`
+	Spans []laneSpanJSON `json:"spans"`
+}
+
+func lanesToJSON(lanes []obs.Lane) []laneJSON {
+	out := make([]laneJSON, 0, len(lanes))
+	for _, ln := range lanes {
+		lj := laneJSON{Track: ln.Track, Spans: make([]laneSpanJSON, 0, len(ln.Spans))}
+		for _, sp := range ln.Spans {
+			lj.Spans = append(lj.Spans, laneSpanJSON{
+				Name: sp.Name, StartNs: sp.StartNs, DurNs: sp.DurNs, Args: sp.Args,
+			})
+		}
+		out = append(out, lj)
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+// Package dash serves a live observability dashboard over the repo's
+// obs layer: JSON snapshots and an SSE stream of any live *obs.Registry,
+// the phase tracer's spans, attributed frame lanes, and the
+// bench/history.jsonl wall-time trajectory with the rolling-median
+// regression analysis — plus a dependency-free single-page frontend
+// embedded in the binary (see static/index.html).
+//
+// The package has two consumers: the CLIs (etsn-sim, etsn-bench,
+// etsn-sched gain a -dash flag that serves the dashboard while a run is
+// in flight and drains it on SIGINT/SIGTERM), and the etsn-cncd daemon,
+// which mounts the same handler next to its /metrics endpoint with
+// per-tenant registry views. The trend analyzer here is the single
+// source of truth for regression verdicts: `etsn-bench -trend` (text
+// and -json), the /api/trend endpoint, and the dashboard chart all
+// consume it, so their outputs agree byte for byte.
+package dash
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// HistoryEntry mirrors one line of bench/history.jsonl, appended per
+// completed experiment by etsn-bench -history (experiments.AppendHistory).
+type HistoryEntry struct {
+	Experiment string `json:"experiment"`
+	WallMs     int64  `json:"wall_ms"`
+	Parallel   int    `json:"parallel"`
+	Seed       int64  `json:"seed"`
+	UnixMs     int64  `json:"unix_ms"`
+}
+
+// TrendWindow bounds the rolling baseline: the median of up to this many
+// runs immediately preceding the latest one.
+const TrendWindow = 5
+
+// DefaultTrendThreshold flags runs more than this fraction over their
+// rolling-median baseline.
+const DefaultTrendThreshold = 0.10
+
+// TrendReport is one experiment's regression verdict from a history
+// file. The JSON field names are the machine contract shared by
+// `etsn-bench -trend -json` and the dashboard's /api/trend endpoint.
+type TrendReport struct {
+	// Name is the experiment name.
+	Name string `json:"name"`
+	// N is the total number of history runs for this experiment.
+	N int `json:"n"`
+	// MedianMs is the rolling baseline: the median wall time of up to
+	// TrendWindow runs preceding the latest (0 on a first run).
+	MedianMs int64 `json:"median_ms"`
+	// LastMs is the newest run's wall time.
+	LastMs int64 `json:"last_ms"`
+	// DeltaPct is 100*(LastMs/MedianMs - 1), rounded to one decimal
+	// (0 when there is no baseline).
+	DeltaPct float64 `json:"delta_pct"`
+	// Flagged marks a regression: DeltaPct above the threshold.
+	Flagged bool `json:"flagged"`
+}
+
+// ReadHistory parses a history stream (one JSON object per line).
+// Blank lines are skipped; lines without an experiment name or a
+// positive wall time are dropped (they carry nothing to trend).
+func ReadHistory(r io.Reader) ([]HistoryEntry, error) {
+	var out []HistoryEntry
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e HistoryEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("history line %q: %w", line, err)
+		}
+		if e.Experiment == "" || e.WallMs <= 0 {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// ReadHistoryFile reads path with ReadHistory. A missing file is not an
+// error: it yields an empty history, so a dashboard can serve before
+// the first bench run ever lands.
+func ReadHistoryFile(path string) ([]HistoryEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return ReadHistory(f)
+}
+
+// AnalyzeTrend groups history entries by experiment (in first-seen
+// order) and compares each experiment's newest wall time against the
+// median of up to TrendWindow preceding runs. A median is robust to the
+// occasional loaded-machine outlier that a mean would smear into the
+// baseline. A run more than threshold over its baseline is flagged.
+func AnalyzeTrend(entries []HistoryEntry, threshold float64) []TrendReport {
+	byExp := make(map[string][]HistoryEntry)
+	var order []string
+	for _, e := range entries {
+		if _, seen := byExp[e.Experiment]; !seen {
+			order = append(order, e.Experiment)
+		}
+		byExp[e.Experiment] = append(byExp[e.Experiment], e)
+	}
+	var out []TrendReport
+	for _, name := range order {
+		runs := byExp[name]
+		latest := runs[len(runs)-1]
+		rep := TrendReport{Name: name, LastMs: latest.WallMs, N: len(runs)}
+		prior := runs[:len(runs)-1]
+		if len(prior) > TrendWindow {
+			prior = prior[len(prior)-TrendWindow:]
+		}
+		if len(prior) > 0 {
+			walls := make([]int64, len(prior))
+			for i, e := range prior {
+				walls[i] = e.WallMs
+			}
+			sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+			rep.MedianMs = walls[len(walls)/2]
+			ratio := float64(rep.LastMs) / float64(rep.MedianMs)
+			rep.DeltaPct = math.Round((ratio-1)*1000) / 10
+			rep.Flagged = ratio > 1+threshold
+		}
+		out = append(out, rep)
+	}
+	return out
+}
+
+// AnalyzeTrendFile reads a history file and analyzes it. A missing file
+// yields no reports and no error (see ReadHistoryFile).
+func AnalyzeTrendFile(path string, threshold float64) ([]TrendReport, error) {
+	entries, err := ReadHistoryFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeTrend(entries, threshold), nil
+}
+
+// trendDoc is the machine-readable trend document. Experiments is never
+// null so consumers can always range over it.
+type trendDoc struct {
+	ThresholdPct float64       `json:"threshold_pct"`
+	Flagged      int           `json:"flagged"`
+	Experiments  []TrendReport `json:"experiments"`
+}
+
+// WriteTrendJSON renders the verdicts as the machine-readable trend
+// document. This single encoder backs both `etsn-bench -trend -json`
+// and the dashboard's /api/trend endpoint, so the two are byte-for-byte
+// identical on the same history.
+func WriteTrendJSON(w io.Writer, reports []TrendReport, threshold float64) error {
+	doc := trendDoc{
+		ThresholdPct: math.Round(threshold*1000) / 10,
+		Experiments:  reports,
+	}
+	if doc.Experiments == nil {
+		doc.Experiments = []TrendReport{}
+	}
+	for _, r := range reports {
+		if r.Flagged {
+			doc.Flagged++
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// FlaggedCount counts the flagged reports.
+func FlaggedCount(reports []TrendReport) int {
+	n := 0
+	for _, r := range reports {
+		if r.Flagged {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteTrendText renders the human verdicts in the historical
+// `etsn-bench -trend` format: one line per experiment, REGRESSED lines
+// for flagged runs. header names the analyzed source (a path).
+func WriteTrendText(w io.Writer, header string, reports []TrendReport, threshold float64) {
+	fmt.Fprintf(w, "wall-time trend (%s, threshold +%.0f%%)\n", header, threshold*100)
+	for _, r := range reports {
+		switch {
+		case r.MedianMs == 0:
+			fmt.Fprintf(w, "  %-10s %6dms  (first run, no baseline)\n", r.Name, r.LastMs)
+		case r.Flagged:
+			fmt.Fprintf(w, "  %-10s %6dms  REGRESSED %.0f%% over baseline %dms (%d runs)\n",
+				r.Name, r.LastMs, r.DeltaPct, r.MedianMs, r.N)
+		default:
+			fmt.Fprintf(w, "  %-10s %6dms  ok (%+.0f%% vs baseline %dms, %d runs)\n",
+				r.Name, r.LastMs, r.DeltaPct, r.MedianMs, r.N)
+		}
+	}
+}

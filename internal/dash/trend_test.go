@@ -1,0 +1,113 @@
+package dash
+
+import (
+	"strings"
+	"testing"
+)
+
+func entries(lines ...HistoryEntry) []HistoryEntry { return lines }
+
+func TestAnalyzeTrendOrderAndWindow(t *testing.T) {
+	var es []HistoryEntry
+	// "slow" appears first in the file, so it must report first even
+	// though "fast" sorts earlier alphabetically.
+	es = append(es, HistoryEntry{Experiment: "slow", WallMs: 100})
+	es = append(es, HistoryEntry{Experiment: "fast", WallMs: 10})
+	// Eight more slow runs; only the last TrendWindow before the newest
+	// form the baseline.
+	for _, w := range []int64{1, 1, 200, 200, 200, 200, 200, 230} {
+		es = append(es, HistoryEntry{Experiment: "slow", WallMs: w})
+	}
+	reports := AnalyzeTrend(es, 0.10)
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	if reports[0].Name != "slow" || reports[1].Name != "fast" {
+		t.Fatalf("want first-seen order [slow fast], got [%s %s]", reports[0].Name, reports[1].Name)
+	}
+	slow := reports[0]
+	if slow.MedianMs != 200 {
+		t.Fatalf("rolling median must ignore runs older than the window: got %d, want 200", slow.MedianMs)
+	}
+	if slow.LastMs != 230 || !slow.Flagged || slow.DeltaPct != 15 {
+		t.Fatalf("+15%% over a 10%% threshold must flag: %+v", slow)
+	}
+	fast := reports[1]
+	if fast.MedianMs != 0 || fast.Flagged || fast.DeltaPct != 0 {
+		t.Fatalf("single run has no baseline: %+v", fast)
+	}
+}
+
+func TestAnalyzeTrendDeltaRounding(t *testing.T) {
+	reports := AnalyzeTrend(entries(
+		HistoryEntry{Experiment: "e", WallMs: 300},
+		HistoryEntry{Experiment: "e", WallMs: 301},
+	), 0.10)
+	if got := reports[0].DeltaPct; got != 0.3 {
+		t.Fatalf("delta_pct rounds to one decimal: got %v, want 0.3", got)
+	}
+}
+
+func TestReadHistorySkipsBlankAndUseless(t *testing.T) {
+	in := strings.Join([]string{
+		`{"experiment":"a","wall_ms":5,"parallel":1,"seed":1,"unix_ms":1}`,
+		``,
+		`{"experiment":"","wall_ms":5}`,
+		`{"experiment":"b","wall_ms":0}`,
+		`{"experiment":"c","wall_ms":7}`,
+	}, "\n")
+	es, err := ReadHistory(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 2 || es[0].Experiment != "a" || es[1].Experiment != "c" {
+		t.Fatalf("want [a c], got %+v", es)
+	}
+}
+
+func TestReadHistoryRejectsMalformedLine(t *testing.T) {
+	if _, err := ReadHistory(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed history line must error")
+	}
+}
+
+func TestReadHistoryFileMissingIsEmpty(t *testing.T) {
+	es, err := ReadHistoryFile("/nonexistent/history.jsonl")
+	if err != nil || es != nil {
+		t.Fatalf("missing file must yield empty history: %v, %v", es, err)
+	}
+}
+
+func TestWriteTrendJSONNeverNull(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTrendJSON(&b, nil, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "null") {
+		t.Fatalf("experiments must be [] on empty reports:\n%s", out)
+	}
+	if !strings.Contains(out, `"threshold_pct": 10`) {
+		t.Fatalf("threshold missing:\n%s", out)
+	}
+}
+
+func TestWriteTrendTextFormats(t *testing.T) {
+	var b strings.Builder
+	WriteTrendText(&b, "bench/history.jsonl", []TrendReport{
+		{Name: "first", LastMs: 77},
+		{Name: "bad", N: 4, MedianMs: 100, LastMs: 130, DeltaPct: 30, Flagged: true},
+		{Name: "fine", N: 4, MedianMs: 100, LastMs: 95, DeltaPct: -5},
+	}, 0.10)
+	out := b.String()
+	for _, want := range []string{
+		"wall-time trend (bench/history.jsonl, threshold +10%)",
+		"first run, no baseline",
+		"REGRESSED 30% over baseline 100ms (4 runs)",
+		"ok (-5% vs baseline 100ms, 4 runs)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -254,6 +254,29 @@ func (a *BenchArtifact) Write(path string) error {
 	return f.Close()
 }
 
+// AppendHistory adds one JSON line for a completed experiment to a running
+// log (bench/history.jsonl in this repo), so wall-time trends accumulate
+// across commits. The line shape matches dash.HistoryEntry, which is how
+// etsn-bench -trend and the dashboard's /api/trend read it back.
+func AppendHistory(path, name string, art *BenchArtifact, at time.Time) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	line := struct {
+		Experiment string `json:"experiment"`
+		WallMs     int64  `json:"wall_ms"`
+		Parallel   int    `json:"parallel"`
+		Seed       int64  `json:"seed"`
+		UnixMs     int64  `json:"unix_ms"`
+	}{name, art.WallMs, art.Parallel, art.Seed, at.UnixMilli()}
+	if err := json.NewEncoder(f).Encode(line); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // LoadBenchArtifact reads an artifact back from disk.
 func LoadBenchArtifact(path string) (*BenchArtifact, error) {
 	data, err := os.ReadFile(path)

@@ -18,6 +18,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	typed := make(map[string]bool, len(metrics))
 	for _, m := range metrics {
 		base, labels := splitName(m.Name)
+		// Base names are compile-time constants in this repo, but the
+		// exposition must stay parseable even if a hostile name reaches
+		// the registry; label values are escaped at construction
+		// (obs.Labels) and pass through verbatim. A label block that does
+		// not parse as k="v" pairs is folded into the base instead of
+		// being emitted as broken exposition syntax.
+		if labels != "" {
+			if _, pairs := ParseName(m.Name); pairs == nil {
+				base, labels = m.Name, ""
+			}
+		}
+		base = SanitizeMetricName(base)
 		if !typed[base] {
 			typed[base] = true
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, promType(m.Kind)); err != nil {
@@ -26,7 +38,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		switch m.Kind {
 		case KindCounter, KindGauge:
-			if _, err := fmt.Fprintf(w, "%s %d\n", m.Name, m.Value); err != nil {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", base, labelSuffix(labels), m.Value); err != nil {
 				return err
 			}
 		case KindHistogram:

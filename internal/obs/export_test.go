@@ -148,3 +148,91 @@ func TestCounterValueSumsFamilies(t *testing.T) {
 		t.Fatalf("CounterValue(missing) = %d, want 0", got)
 	}
 }
+
+// TestWritePrometheusEscapesHostileLabelValues: stream and link names are
+// user-controlled (they come from the scenario configuration), so values
+// containing backslashes, quotes, or newlines must render as a parseable
+// one-line exposition series and survive a ParseName round-trip.
+func TestWritePrometheusEscapesHostileLabelValues(t *testing.T) {
+	cases := []struct {
+		name    string
+		value   string
+		escaped string
+	}{
+		{"newline", "line1\nline2", `line1\nline2`},
+		{"quote", `say "hi"`, `say \"hi\"`},
+		{"backslash", `C:\gcl\port`, `C:\\gcl\\port`},
+		{"all three", "a\\\"b\nc", `a\\\"b\nc`},
+		{"arrow link id", "SW1->SW2", "SW1->SW2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			full := Labels("etsn_sim_gate_opens_total", "link", tc.value)
+			r.Counter(full).Add(3)
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			wantLine := fmt.Sprintf("etsn_sim_gate_opens_total{link=\"%s\"} 3", tc.escaped)
+			if !strings.Contains(out, wantLine+"\n") {
+				t.Fatalf("exposition missing %q:\n%s", wantLine, out)
+			}
+			// Exactly the TYPE line plus one sample: a raw newline in the
+			// value would have split the series across lines.
+			if got := strings.Count(strings.TrimRight(out, "\n"), "\n") + 1; got != 2 {
+				t.Fatalf("want 2 exposition lines, got %d:\n%s", got, out)
+			}
+			base, labels := ParseName(full)
+			if base != "etsn_sim_gate_opens_total" || len(labels) != 1 ||
+				labels[0].Key != "link" || labels[0].Value != tc.value {
+				t.Fatalf("ParseName round-trip lost the value: %q -> %q %+v", tc.value, base, labels)
+			}
+		})
+	}
+}
+
+// TestWritePrometheusSanitizesMetricNames: a hostile base name cannot
+// corrupt the exposition grammar.
+func TestWritePrometheusSanitizesMetricNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bad name\nwith{stuff").Add(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	parsePrometheus(t, sb.String()) // strict grammar check
+	if !strings.Contains(sb.String(), "bad_name_with_stuff 1\n") {
+		t.Fatalf("sanitized name missing:\n%s", sb.String())
+	}
+}
+
+func TestLabelsBuilder(t *testing.T) {
+	if got := Labels("m"); got != "m" {
+		t.Fatalf("no pairs: %q", got)
+	}
+	if got := Labels("m", "k"); got != "m" {
+		t.Fatalf("odd trailing key must be ignored: %q", got)
+	}
+	if got := Labels("m", "1bad key", "v"); got != `m{_1bad_key="v"}` {
+		t.Fatalf("key sanitization: %q", got)
+	}
+	if got := Labels("m", "a", "1", "b", "2"); got != `m{a="1",b="2"}` {
+		t.Fatalf("two pairs: %q", got)
+	}
+}
+
+func TestParseNameMalformedIsWholeBase(t *testing.T) {
+	for _, name := range []string{
+		`m{unterminated="v`,
+		`m{novalue}`,
+		`m{k=unquoted}`,
+		`m{`,
+	} {
+		base, labels := ParseName(name)
+		if base != name || labels != nil {
+			t.Fatalf("malformed %q must return whole name: got %q %+v", name, base, labels)
+		}
+	}
+}

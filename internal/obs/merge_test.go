@@ -2,6 +2,7 @@ package obs
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -201,5 +202,73 @@ func TestMergedTracerChromeGolden(t *testing.T) {
 	}
 	if inner.StartNs < outer.StartNs || inner.StartNs+inner.WallNs > outer.StartNs+outer.WallNs {
 		t.Fatal("inner span not contained in outer after rebasing")
+	}
+}
+
+// TestRegistryMergeConcurrentWithReads: workers merging shard registries
+// into a root must not race with concurrent Gather/export readers — the
+// daemon's dashboard snapshots a registry the workers are still feeding.
+// Run under -race; the assertions here only check monotonic visibility.
+func TestRegistryMergeConcurrentWithReads(t *testing.T) {
+	root := NewRegistry()
+	var mergers, readers sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 4; w++ {
+		mergers.Add(1)
+		go func(w int) {
+			defer mergers.Done()
+			for i := 0; i < 50; i++ {
+				shard := NewRegistry()
+				shard.Counter("etsn_sim_events_total").Add(2)
+				shard.Gauge("etsn_sim_queue_depth_hwm").Set(int64(w*100 + i))
+				shard.Histogram("etsn_sim_slack_ns").Observe(int64(i + 1))
+				root.Merge(shard)
+			}
+		}(w)
+	}
+
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		var lastEvents int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var events int64
+			for _, m := range root.Gather() {
+				if m.Name == "etsn_sim_events_total" {
+					events = m.Value
+				}
+				if m.Kind == KindHistogram {
+					// Quantiles on a mid-merge snapshot must stay in range.
+					if q := m.Hist.Quantile(0.99); m.Hist.Count > 0 && (q < m.Hist.Min || q > m.Hist.Max) {
+						t.Errorf("quantile %d outside [%d,%d]", q, m.Hist.Min, m.Hist.Max)
+						return
+					}
+				}
+			}
+			if events < lastEvents {
+				t.Errorf("counter went backwards: %d then %d", lastEvents, events)
+				return
+			}
+			lastEvents = events
+			var sb strings.Builder
+			if err := root.WritePrometheus(&sb); err != nil {
+				t.Errorf("WritePrometheus during merges: %v", err)
+				return
+			}
+		}
+	}()
+
+	mergers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := root.CounterValue("etsn_sim_events_total"); got != 4*50*2 {
+		t.Fatalf("merged counter = %d, want %d", got, 4*50*2)
 	}
 }

@@ -230,3 +230,192 @@ func splitName(name string) (base, labels string) {
 	labels = strings.TrimSuffix(name[i+1:], "}")
 	return name[:i], labels
 }
+
+// Labels builds a full metric name from a base and alternating key, value
+// strings: Labels("m", "link", "SW1->SW2") is `m{link="SW1->SW2"}`. Label
+// values are escaped per the Prometheus text exposition rules (backslash,
+// double quote, and newline become \\, \", and \n), so hostile stream or
+// link names cannot corrupt the exposition or smuggle extra labels;
+// ParseName reverses the escaping. Label keys are sanitized to the
+// Prometheus label-name alphabet ([a-zA-Z0-9_], leading digit prefixed).
+// An odd trailing key is ignored; no pairs returns base unchanged.
+func Labels(base string, kv ...string) string {
+	if len(kv) < 2 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelKey(kv[i]))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format label escaping.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// unescapeLabelValue reverses escapeLabelValue.
+func unescapeLabelValue(v string) string {
+	if !strings.ContainsRune(v, '\\') {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			i++
+			switch v[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default: // \\ and \" unescape to the char itself
+				b.WriteByte(v[i])
+			}
+			continue
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// sanitizeLabelKey maps a string onto the Prometheus label-name alphabet.
+func sanitizeLabelKey(k string) string {
+	if k == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// SanitizeMetricName maps a string onto the Prometheus metric-name
+// alphabet ([a-zA-Z0-9_:], leading digit prefixed with '_'). Instrument
+// base names in this repo are compile-time constants that are already
+// valid; the Prometheus writer sanitizes defensively anyway so a
+// registry fed a hostile name still renders a parseable exposition.
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	valid := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' || (c >= '0' && c <= '9' && i > 0) {
+			continue
+		}
+		valid = false
+		break
+	}
+	if valid {
+		return name
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// LabelPair is one parsed metric label.
+type LabelPair struct {
+	Key   string
+	Value string
+}
+
+// ParseName splits a full metric name into its base and parsed labels,
+// reversing the escaping Labels applied: ParseName(`m{link="a\"b"}`)
+// yields ("m", [{link, a"b}]). A name whose label part does not parse as
+// `k="v"` pairs is returned whole as the base with nil labels, so callers
+// never lose a metric to a malformed name.
+func ParseName(name string) (base string, labels []LabelPair) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, nil
+	}
+	rest := name[i+1:]
+	if !strings.HasSuffix(rest, "}") {
+		return name, nil
+	}
+	rest = rest[:len(rest)-1]
+	var out []LabelPair
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || eq+1 >= len(rest) || rest[eq+1] != '"' {
+			return name, nil
+		}
+		key := rest[:eq]
+		// Scan the quoted value respecting backslash escapes.
+		j := eq + 2
+		for j < len(rest) {
+			if rest[j] == '\\' {
+				j += 2
+				continue
+			}
+			if rest[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(rest) {
+			return name, nil
+		}
+		out = append(out, LabelPair{Key: key, Value: unescapeLabelValue(rest[eq+2 : j])})
+		rest = rest[j+1:]
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		} else if rest != "" {
+			return name, nil
+		}
+	}
+	return name[:i], out
+}

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"etsn/internal/dash"
+)
+
+// parsePromSeries reduces a text exposition to series-name -> value.
+func parsePromSeries(t *testing.T, text string) map[string]int64 {
+	t.Helper()
+	out := map[string]int64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("bad exposition line %q", line)
+		}
+		v, err := strconv.ParseInt(line[i+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad exposition value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestDashboardMetricsMatchPrometheus: the daemon's /api/metrics JSON
+// snapshot is field-for-field consistent with its /metrics Prometheus
+// exposition — same series, same values — after real jobs have run.
+func TestDashboardMetricsMatchPrometheus(t *testing.T) {
+	s, ts := newHTTPServer(t, Config{})
+
+	job, err := s.Submit("acme", KindPlan, []byte(planConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := waitJob(t, job); snap.State != JobDone {
+		t.Fatalf("job state %s", snap.State)
+	}
+
+	resp, promBody := doJSON(t, "GET", ts.URL+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	prom := parsePromSeries(t, string(promBody))
+
+	resp, jsonBody := doJSON(t, "GET", ts.URL+"/api/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/metrics = %d", resp.StatusCode)
+	}
+	var snap dash.Snapshot
+	if err := json.Unmarshal(jsonBody, &snap); err != nil {
+		t.Fatalf("/api/metrics decode: %v", err)
+	}
+	if len(snap.Counters) == 0 {
+		t.Fatal("daemon snapshot has no counters after a completed job")
+	}
+
+	for _, p := range append(append([]dash.Point{}, snap.Counters...), snap.Gauges...) {
+		got, ok := prom[p.Name]
+		if !ok {
+			t.Errorf("snapshot point %q missing from /metrics", p.Name)
+			continue
+		}
+		if got != p.Value {
+			t.Errorf("%q: /api/metrics %d, /metrics %d", p.Name, p.Value, got)
+		}
+	}
+	for _, hp := range snap.Histograms {
+		base, labels, _ := strings.Cut(hp.Name, "{")
+		if labels != "" {
+			labels = "{" + labels
+		}
+		if got := prom[base+"_sum"+labels]; got != hp.Sum {
+			t.Errorf("%s_sum: /api/metrics %d, /metrics %d", base, hp.Sum, got)
+		}
+		if got := prom[base+"_count"+labels]; got != hp.Count {
+			t.Errorf("%s_count: /api/metrics %d, /metrics %d", base, hp.Count, got)
+		}
+	}
+}
+
+// TestDashboardIndexAndTenantView: the daemon serves the embedded page at
+// its root, and ?tenant= narrows /api/metrics to one tenant's labeled
+// instruments.
+func TestDashboardIndexAndTenantView(t *testing.T) {
+	s, ts := newHTTPServer(t, Config{})
+
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(page), "E-TSN") {
+		t.Fatalf("root must serve the embedded dashboard: %d", resp.StatusCode)
+	}
+
+	for _, tenant := range []string{"plant-a", "plant-b"} {
+		job, err := s.Submit(tenant, KindPlan, []byte(planConfig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap := waitJob(t, job); snap.State != JobDone {
+			t.Fatalf("%s job state %s", tenant, snap.State)
+		}
+	}
+
+	_, body := doJSON(t, "GET", ts.URL+"/api/metrics?tenant=plant-a", "")
+	var snap dash.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Counters) == 0 {
+		t.Fatal("tenant view is empty after a completed job")
+	}
+	var accepted, done int64
+	for _, p := range snap.Counters {
+		if p.Labels["tenant"] != "plant-a" {
+			t.Fatalf("tenant view leaked another tenant's point: %+v", p)
+		}
+		switch p.Labels["state"] {
+		case "accepted":
+			accepted = p.Value
+		case "done":
+			done = p.Value
+		}
+	}
+	if accepted != 1 || done != 1 {
+		t.Fatalf("tenant job counters: accepted %d, done %d (want 1,1)", accepted, done)
+	}
+}

@@ -24,6 +24,11 @@ import (
 //	GET  /healthz                      liveness
 //	GET  /readyz                       readiness; 503 once draining
 //	GET  /metrics                      Prometheus text format
+//	GET  /                             embedded live dashboard (internal/dash)
+//	GET  /api/metrics[?tenant=T]       registry snapshot as JSON (per-tenant view)
+//	GET  /api/metrics/stream           SSE: one snapshot frame per second
+//	GET  /api/spans /api/lanes         phase spans / frame lanes
+//	GET  /api/trend /api/history       wall-time trend verdicts / raw history
 //
 // Submissions answer 202 with the job snapshot, 429 + Retry-After when
 // admission control rejects (quota or queue bound), 503 while draining, and
@@ -31,6 +36,16 @@ import (
 // classes the etsn-sched CLI exits with (invalid/infeasible/timeout).
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
+
+	// The live dashboard serves the embedded page at the root and its
+	// JSON/SSE API under /api/ (see internal/dash). The /api/metrics
+	// snapshot is field-for-field consistent with /metrics below
+	// (contract-tested), and ?tenant= narrows it to one tenant's
+	// labeled instruments.
+	dashHandler := s.Dash().Handler()
+	mux.Handle("GET /{$}", dashHandler)
+	mux.Handle("GET /index.html", dashHandler)
+	mux.Handle("GET /api/", dashHandler)
 
 	mux.HandleFunc("POST /v1/tenants/{tenant}/jobs", func(w http.ResponseWriter, r *http.Request) {
 		body, err := readBody(r, s.cfg.MaxBodyBytes)

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"etsn/internal/core"
+	"etsn/internal/dash"
 	"etsn/internal/faults"
 	"etsn/internal/gcl"
 	"etsn/internal/model"
@@ -75,6 +76,10 @@ type Config struct {
 	// Obs receives service metrics; nil creates a private registry (the
 	// /metrics endpoint needs one to exist).
 	Obs *obs.Registry
+	// HistoryPath optionally points at a bench/history.jsonl-format
+	// wall-time history backing the dashboard's /api/trend and
+	// /api/history endpoints. Empty serves an empty trend document.
+	HistoryPath string
 }
 
 func (c Config) withDefaults() Config {
@@ -141,8 +146,9 @@ type tenant struct {
 
 // Server is the daemon core.
 type Server struct {
-	cfg Config
-	reg *obs.Registry
+	cfg  Config
+	reg  *obs.Registry
+	dash *dash.Server
 
 	journal *journal
 
@@ -174,6 +180,7 @@ func New(cfg Config) (*Server, error) {
 		tenants: make(map[string]*tenant),
 		jobs:    make(map[string]*Job),
 	}
+	s.dash = dash.NewServer(dash.Options{Registry: cfg.Obs, HistoryPath: cfg.HistoryPath})
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
 	var pending []*replayedJob
@@ -276,6 +283,10 @@ func (s *Server) tenantFor(name string) *tenant {
 // Metrics exposes the server's registry (for /metrics and tests).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
+// Dash returns the daemon's live dashboard server; the HTTP layer mounts
+// its handler next to /metrics.
+func (s *Server) Dash() *dash.Server { return s.dash }
+
 // Draining reports whether graceful shutdown has begun.
 func (s *Server) Draining() bool {
 	s.mu.Lock()
@@ -359,6 +370,10 @@ func (s *Server) Submit(tenantName string, kind JobKind, payload []byte) (*Job, 
 		return job, nil
 	}
 	s.reg.Counter("etsn_service_jobs_accepted_total").Inc()
+	// Tenant-labeled twin of the global counter: the dashboard's
+	// per-tenant registry view (/api/metrics?tenant=) keys off these.
+	// obs.Labels escapes hostile tenant names.
+	s.reg.Counter(obs.Labels("etsn_service_tenant_jobs_total", "tenant", tenantName, "state", "accepted")).Inc()
 	s.reg.Gauge("etsn_service_queue_depth").Set(int64(len(s.queue)))
 	s.reg.Histogram("etsn_service_admission_latency_ns").ObserveDuration(time.Since(start))
 	return job, nil
@@ -855,6 +870,7 @@ func (s *Server) finishJobDone(job *Job, pv *PlanVersion, effective []byte) erro
 	})
 	job.finishDone(pv.Version, pv.ShedTCT, pv.ShedBE)
 	s.reg.Counter("etsn_service_jobs_done_total").Inc()
+	s.reg.Counter(obs.Labels("etsn_service_tenant_jobs_total", "tenant", job.Tenant, "state", "done")).Inc()
 	return err
 }
 
@@ -866,6 +882,7 @@ func (s *Server) failJob(job *Job, err error) {
 	})
 	job.finishFailed(class, err.Error())
 	s.reg.Counter(`etsn_service_jobs_failed_total{class="` + class.String() + `"}`).Inc()
+	s.reg.Counter(obs.Labels("etsn_service_tenant_jobs_total", "tenant", job.Tenant, "state", "failed")).Inc()
 }
 
 func (s *Server) parkJob(job *Job) {
@@ -908,6 +925,9 @@ func (s *Server) BeginDrain() {
 // next startup's replay resumes it. Always closes the journal last.
 func (s *Server) Shutdown() {
 	s.BeginDrain()
+	// Release dashboard SSE streams first so the HTTP server's own
+	// drain is not held open by long-lived event streams.
+	s.dash.Close()
 
 	// Pull jobs that never started out of the queue and park them; workers
 	// race with us for queue entries, which is fine either way.

@@ -345,7 +345,7 @@ func newSimulator(cfg Config, hooks *shardHooks) (*Simulator, error) {
 	if len(cfg.Bounds) > 0 {
 		s.slackHist = make(map[model.StreamID]*obs.Histogram, len(cfg.Bounds))
 		for id := range cfg.Bounds {
-			s.slackHist[id] = cfg.Obs.Histogram(`etsn_sim_slack_ns{stream="` + string(id) + `"}`)
+			s.slackHist[id] = cfg.Obs.Histogram(obs.Labels("etsn_sim_slack_ns", "stream", string(id)))
 		}
 	}
 	for _, link := range cfg.Network.Links() {
@@ -364,8 +364,8 @@ func newSimulator(cfg Config, hooks *shardHooks) (*Simulator, error) {
 			p.wakeKey = makeKey(evClassWake, p.ord, 0, 0, 0, 0, 0)
 			p.lossRng = rand.New(rand.NewSource(subSeed(cfg.Seed, 'L', int64(p.ord))))
 		}
-		p.mQueueHWM = cfg.Obs.Gauge(`etsn_sim_queue_depth_hwm{link="` + link.ID().String() + `"}`)
-		p.mGateOpens = cfg.Obs.Counter(`etsn_sim_gate_opens_total{link="` + link.ID().String() + `"}`)
+		p.mQueueHWM = cfg.Obs.Gauge(obs.Labels("etsn_sim_queue_depth_hwm", "link", link.ID().String()))
+		p.mGateOpens = cfg.Obs.Counter(obs.Labels("etsn_sim_gate_opens_total", "link", link.ID().String()))
 		p.buildWindows()
 		for pri, frac := range cfg.CBS {
 			p.shapers[pri] = newShaper(frac*float64(link.Bandwidth), float64(link.Bandwidth))

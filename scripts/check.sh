@@ -5,7 +5,9 @@
 # etsn-bench, fail if it does not validate), an attribution round trip
 # (etsn-sim -attrib -trace piped through etsn-trace must reproduce the
 # committed golden report), the end-to-end daemon gate (etsn-cncd under
-# overload and a SIGKILL mid-solve must recover from its journal), and a
+# overload and a SIGKILL mid-solve must recover from its journal), the
+# dashboard gate (etsn-sim -dash must serve schema-valid /api/metrics and
+# /api/trend documents and drain cleanly on SIGTERM), and a
 # short fuzz smoke over the corpus seeds of every fuzz target. Each bench
 # refresh appends its headline wall time to bench/history.jsonl so
 # regressions are visible across runs.
@@ -34,6 +36,11 @@ go test -race -count=1 ./internal/smt/...
 
 echo "==> go test -race ./internal/psim/... (parallel engine, explicit)"
 go test -race -count=1 ./internal/psim/...
+
+echo "==> go test -race ./internal/dash/... (dashboard, explicit)"
+# The dashboard suite includes goroutine-leak and SSE-drain checks that
+# must hold under the race detector.
+go test -race -count=1 ./internal/dash/...
 
 echo "==> benchmark smoke (-benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x ./...
@@ -97,6 +104,14 @@ echo "==> wall-time trend (bench/history.jsonl)"
 # Informational: flags >10% regressions against each experiment's rolling
 # median but does not fail the gate (machine load varies across runs).
 "$BENCHDIR/etsn-bench" -trend bench/history.jsonl
+
+echo "==> dashboard gate (etsn-sim -dash: API schema, SIGTERM drain)"
+# dashgate starts etsn-sim with a live dashboard on an ephemeral port,
+# validates /api/metrics and /api/trend against their JSON schemas, checks
+# the embedded page, then SIGTERMs and requires a clean exit.
+go build -o "$BENCHDIR/dashgate" ./scripts/dashgate
+"$BENCHDIR/dashgate" -bin "$BENCHDIR/etsn-sim" \
+    -config scripts/testdata/trace-config.json -history bench/history.jsonl
 
 echo "==> daemon gate (etsn-cncd: admission, overload, crash recovery)"
 go build -o "$BENCHDIR/etsn-cncd" ./cmd/etsn-cncd

