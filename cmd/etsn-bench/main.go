@@ -115,6 +115,7 @@ func run(args []string, w io.Writer) error {
 	engine := fs.String("engine", "", "simulation engine for every run: seq (default) or shard (conservative-parallel, internal/psim)")
 	shards := fs.Int("shards", 0, "shard count for -engine shard (0 = GOMAXPROCS)")
 	backendName := fs.String("backend", "", "scheduling backend for every plan: auto (default), placer, greedy, tabu, anneal, smt, smt-incremental, or race")
+	decompose := fs.Bool("decompose", false, "split every E-TSN solve into conflict-graph components solved independently and merged")
 	backendCompare := fs.Bool("backend-compare", false, "append a per-backend comparison section to the fig11/fig14 tables (walls are not byte-stable)")
 	trend := fs.String("trend", "", "analyze a wall-time history file (bench/history.jsonl) for regressions and exit")
 	trendThreshold := fs.Float64("trend-threshold", 0.10, "flag a run whose wall time exceeds its rolling baseline by more than this fraction")
@@ -160,7 +161,7 @@ func run(args []string, w io.Writer) error {
 	}
 	opts := experiments.RunOptions{Duration: *duration, Seed: *seed, Parallel: *parallel,
 		Attribution: *attribOn, Engine: *engine, Shards: *shards,
-		Backend: backend, BackendCompare: *backendCompare}
+		Backend: backend, Decompose: *decompose, BackendCompare: *backendCompare}
 
 	// -dash: serve the live dashboard for the whole run. Each experiment
 	// publishes its fresh registry/tracer as it starts (runOne), so SSE
@@ -201,6 +202,7 @@ func run(args []string, w io.Writer) error {
 	// only the aggregate counters, not the per-class/per-point split).
 	var smtClasses []experiments.BenchSMTClass
 	var backendBench *experiments.BenchBackends
+	var scaleBench *experiments.BenchScale
 	all := []runner{
 		{"headline", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.Headline(o)
@@ -297,7 +299,20 @@ func run(args []string, w io.Writer) error {
 			if err := art.Write(filepath.Join(*benchDir, "BENCH_psim.json")); err != nil {
 				return err
 			}
-			return art.Validate()
+			if err := art.Validate(); err != nil {
+				return err
+			}
+			// The decomposition corpus sweep: monolithic vs decomposed
+			// solver walls over the tree/mesh cell grid, attached to this
+			// run's artifact (BENCH_scale.json) and gated by -check-bench.
+			ss, err := experiments.ScaleSweep(o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			ss.WriteTable(w)
+			scaleBench = ss
+			return nil
 		}},
 		{"sync", func(o experiments.RunOptions, w io.Writer) error {
 			r, err := experiments.Sync(o)
@@ -382,6 +397,7 @@ func run(args []string, w io.Writer) error {
 		}
 		smtClasses = nil
 		backendBench = nil
+		scaleBench = nil
 		start := time.Now()
 		if err := r.fn(o, w); err != nil {
 			return err
@@ -395,6 +411,7 @@ func run(args []string, w io.Writer) error {
 		art := experiments.NewBenchArtifact(name, o.Obs, o, wall)
 		art.SMT = smtClasses
 		art.Backends = backendBench
+		art.Scale = scaleBench
 		if *compareSeq {
 			// Rerun sequentially with tables discarded, so the artifact
 			// records the fan-out speedup on this machine.

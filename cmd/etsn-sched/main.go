@@ -70,6 +70,7 @@ func run(args []string) error {
 	pprofSpec := fs.String("pprof", "", "profiling: cpu=FILE, mem=FILE, or HOST:PORT for a live pprof server")
 	parallel := fs.Int("parallel", 0, "diversified SMT portfolio width for the monolithic solver (overrides the config; <= 1 keeps the single search)")
 	backend := fs.String("backend", "", "scheduling backend (overrides the config): auto, placer, greedy, tabu, anneal, smt, smt-incremental, or race")
+	decompose := fs.Bool("decompose", false, "split the solve into conflict-graph components solved independently and merged (overrides the config)")
 	boundsPath := fs.String("bounds", "", "write the analytic per-stream worst-case bounds as JSON to this file")
 	dashAddr := fs.String("dash", "", "serve the live dashboard on this address (e.g. :8080; keeps serving after the run until SIGINT/SIGTERM)")
 	if err := fs.Parse(args); err != nil {
@@ -103,6 +104,9 @@ func run(args []string) error {
 			return fmt.Errorf("%w: %v", qcc.ErrBadConfig, err)
 		}
 		cfg.Options.Backend = *backend
+	}
+	if *decompose {
+		cfg.Options.Decompose = true
 	}
 	if *metrics != "" || *verbose || *dashAddr != "" {
 		cfg.Obs = obs.NewRegistry()

@@ -85,6 +85,7 @@ func run(args []string) error {
 	pprofSpec := fs.String("pprof", "", "profiling: cpu=FILE, mem=FILE, or HOST:PORT for a live pprof server")
 	parallel := fs.Int("parallel", 0, "diversified SMT portfolio width during planning (<= 1 keeps the single search)")
 	backend := fs.String("backend", "", "E-TSN scheduling backend (overrides the config): auto, placer, greedy, tabu, anneal, smt, smt-incremental, or race")
+	decompose := fs.Bool("decompose", false, "split the E-TSN solve into conflict-graph components solved independently and merged (overrides the config)")
 	engine := fs.String("engine", sched.EngineSeq, "simulation engine: seq (sequential oracle) or shard (conservative-parallel)")
 	shards := fs.Int("shards", 0, "shard count for -engine shard (0 = GOMAXPROCS)")
 	attrib := fs.Bool("attrib", false, "attribute each frame's latency to queue/gate/preempt/tx/prop phases and score bound conformance")
@@ -146,6 +147,9 @@ func run(args []string) error {
 		}
 		cfg.Options.Backend = *backend
 	}
+	if *decompose {
+		cfg.Options.Decompose = true
+	}
 	p, err := cfg.BuildProblem()
 	if err != nil {
 		return err
@@ -161,6 +165,7 @@ func run(args []string) error {
 		Portfolio: *parallel,
 		Backend:   p.Opts.Backend,
 		Timeout:   p.Opts.Timeout,
+		Decompose: p.Opts.Decompose,
 	}
 	plan, err := sched.Build(method, prob, *multiplier)
 	if err != nil {

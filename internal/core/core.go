@@ -209,6 +209,16 @@ type Options struct {
 	// PERIOD, AVB over the same streams) re-expand identical ECTs; the
 	// cache hands each of them an independent deep copy of the template.
 	ExpandCache *ExpandCache
+	// Decompose splits the problem into the connected components of the
+	// stream conflict graph (streams conflict iff their routed paths share
+	// a directed link; prudent-reservation extras and shared-reserve drain
+	// streams are link-local, so link sharing covers those couplings too)
+	// and solves each component independently — concurrently, each through
+	// the selected backend — before merging the per-component plans and
+	// re-checking the merged result with the independent verifier. A
+	// single-component problem falls through to the monolithic path, so
+	// its output is byte-identical with or without this flag.
+	Decompose bool
 	// SharedReserves lets the extra slots that prudent reservation adds
 	// for different sharing TCT streams overlap each other on the same
 	// link. Alg. 1 as written reserves per (stream, link), which
@@ -321,6 +331,18 @@ func ScheduleContext(ctx context.Context, p *Problem) (*Result, error) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
+	}
+	if opts.Decompose {
+		res, handled, err := scheduleDecomposed(ctx, p, opts)
+		if handled {
+			if err != nil {
+				return nil, err
+			}
+			opts.Obs.Counter("etsn_core_solves_total{backend=\"" + res.BackendUsed.String() + "\"}").Inc()
+			return res, nil
+		}
+		// Single component (or nothing to split): the monolithic path below
+		// is the decomposition of one component, byte for byte.
 	}
 	inst, err := buildInstance(p, opts)
 	if err != nil {

@@ -40,11 +40,53 @@ func Verify(network *model.Network, res *Result) []Violation {
 	}
 	sort.Slice(streams, func(i, j int) bool { return streams[i].ID < streams[j].ID })
 
+	// One grouped copy of each link's slot table serves every per-stream
+	// lookup below; Schedule.StreamSlots would allocate and re-sort a fresh
+	// slice for every (stream, link) pair in the hot loop.
+	idx := buildSlotIndex(sched)
+	var perLink [][]model.FrameSlot // reused across streams
 	for _, s := range streams {
-		out = append(out, verifyStream(network, sched, s, unit)...)
+		if cap(perLink) < len(s.Path) {
+			perLink = make([][]model.FrameSlot, len(s.Path))
+		}
+		out = append(out, verifyStream(network, s, unit, idx, perLink[:len(s.Path)])...)
 	}
 	out = append(out, verifyOverlaps(res)...)
 	return out
+}
+
+// slotIndex groups every link's slots by stream, each group ordered by
+// frame index. Built once per Verify call; the per-stream sub-slices all
+// alias one backing array per link.
+type slotIndex map[model.LinkID]map[model.StreamID][]model.FrameSlot
+
+func buildSlotIndex(sched *model.Schedule) slotIndex {
+	idx := make(slotIndex)
+	for _, lid := range sched.Links() {
+		src := sched.SlotsOn(lid)
+		buf := make([]model.FrameSlot, len(src))
+		copy(buf, src)
+		sort.Slice(buf, func(i, j int) bool {
+			if buf[i].Stream != buf[j].Stream {
+				return buf[i].Stream < buf[j].Stream
+			}
+			return buf[i].Index < buf[j].Index
+		})
+		m := make(map[model.StreamID][]model.FrameSlot)
+		start := 0
+		for i := 1; i <= len(buf); i++ {
+			if i == len(buf) || buf[i].Stream != buf[start].Stream {
+				m[buf[start].Stream] = buf[start:i:i]
+				start = i
+			}
+		}
+		idx[lid] = m
+	}
+	return idx
+}
+
+func (ix slotIndex) slots(id model.StreamID, lid model.LinkID) []model.FrameSlot {
+	return ix[lid][id]
 }
 
 func schedUnit(network *model.Network) time.Duration {
@@ -55,7 +97,7 @@ func schedUnit(network *model.Network) time.Duration {
 	return unit
 }
 
-func verifyStream(network *model.Network, sched *model.Schedule, s *model.Stream, unit time.Duration) []Violation {
+func verifyStream(network *model.Network, s *model.Stream, unit time.Duration, idx slotIndex, perLink [][]model.FrameSlot) []Violation {
 	var out []Violation
 	periodU := int64(s.Period) / int64(unit)
 	otU := int64(s.OccurrenceTime) / int64(unit)
@@ -76,9 +118,8 @@ func verifyStream(network *model.Network, sched *model.Schedule, s *model.Stream
 			Detail: fmt.Sprintf("non-sharing TCT priority %d outside [%d,%d]", s.Priority, model.PriorityNonSharedLow, model.PriorityNonSharedHigh)})
 	}
 
-	perLink := make([][]model.FrameSlot, len(s.Path))
 	for i, lid := range s.Path {
-		slots := sched.StreamSlots(s.ID, lid)
+		slots := idx.slots(s.ID, lid)
 		if len(slots) == 0 {
 			out = append(out, Violation{Kind: "bounds", Stream: s.ID, Link: lid,
 				Detail: "no slots scheduled on path link"})

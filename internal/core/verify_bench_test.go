@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"etsn/internal/model"
+)
+
+// benchVerifyResult schedules a dense scenario once so the benchmarks
+// measure Verify alone: 48 low-load streams down one 6-switch line, so
+// every stream visits every line link and per-(stream, link) costs
+// dominate any per-link overhead.
+func benchVerifyResult(tb testing.TB) (*model.Network, *Result) {
+	tb.Helper()
+	n := lineNetwork(tb, 6)
+	path, err := n.ShortestPath("D1", "D2")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p := &Problem{Network: n}
+	for i := 0; i < 48; i++ {
+		p.TCT = append(p.TCT, &model.Stream{
+			ID:          model.StreamID(fmt.Sprintf("s%02d", i)),
+			Path:        append([]model.LinkID(nil), path...),
+			Period:      16 * time.Millisecond,
+			E2E:         16 * time.Millisecond,
+			LengthBytes: 500,
+			Type:        model.StreamDet,
+		})
+	}
+	p.Opts.Backend = BackendPlacer
+	res, err := Schedule(p)
+	if err != nil {
+		tb.Fatalf("Schedule: %v", err)
+	}
+	return n, res
+}
+
+// BenchmarkVerifyAllocs tracks the verifier's allocation profile. The slot
+// index groups each link's slots once per call; before it, Verify allocated
+// and re-sorted a fresh slice per (stream, link) pair.
+func BenchmarkVerifyAllocs(b *testing.B) {
+	n, res := benchVerifyResult(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := Verify(n, res); len(vs) != 0 {
+			b.Fatalf("unexpected violations: %v", vs[0])
+		}
+	}
+}
+
+// TestVerifyAllocBudget pins the reduction: Verify must allocate O(links)
+// slices, not O(streams x path length). The naive per-(stream, link)
+// StreamSlots version spends at least one allocation per path hop of every
+// stream plus one per sort; the indexed version's budget below is far under
+// that floor, so a regression back to per-pair allocation trips this test.
+func TestVerifyAllocBudget(t *testing.T) {
+	n, res := benchVerifyResult(t)
+	pathHops := 0
+	for _, s := range res.Expanded {
+		pathHops += len(s.Path)
+	}
+	links := len(res.Schedule.Links())
+	allocs := testing.AllocsPerRun(10, func() {
+		if vs := Verify(n, res); len(vs) != 0 {
+			t.Fatalf("unexpected violations: %v", vs[0])
+		}
+	})
+	// The per-pair StreamSlots version could not go below one allocation
+	// per (stream, link) visit — every call built a fresh slice. The slot
+	// index amortizes that to O(links), so staying under one alloc per
+	// path hop is exactly the reduction this satellite pins.
+	if allocs >= float64(pathHops) {
+		t.Fatalf("Verify allocates %.0f objects over %d path hops (links=%d); want < 1 per hop", allocs, pathHops, links)
+	}
+}

@@ -128,6 +128,55 @@ type BenchBackends struct {
 	Races     []BenchBackendRace  `json:"races"`
 }
 
+// BenchScalePoint is one (family, cells) grid point of the decomposition
+// corpus sweep: the identical instance solved monolithically and with
+// Options.Decompose, both through the placer+greedy race.
+type BenchScalePoint struct {
+	Family  string `json:"family"`
+	Cells   int    `json:"cells"`
+	Streams int    `json:"streams"`
+	// Components is the conflict-graph component count of the instance.
+	Components   int   `json:"components"`
+	MonoWallUs   int64 `json:"mono_wall_us"`
+	DecompWallUs int64 `json:"decomp_wall_us"`
+	// Verified records whether the merged decomposed plan passed the
+	// independent verifier with zero violations.
+	Verified bool `json:"verified"`
+	// PlansIdentical records whether the monolithic and decomposed plans
+	// carry the same canonical fingerprint. The race's deterministic
+	// winner (the link-local placer) makes this hold at every point, so a
+	// false here is a decomposition soundness regression.
+	PlansIdentical bool `json:"plans_identical"`
+}
+
+// BenchScaleSingle is the single-component control: an instance whose
+// conflict graph has exactly one component must produce a byte-identical
+// plan with and without Decompose (the flag falls through).
+type BenchScaleSingle struct {
+	Streams    int  `json:"streams"`
+	Components int  `json:"components"`
+	Identical  bool `json:"identical"`
+}
+
+// BenchScale is the decomposition-sweep section of the scale artifact
+// (BENCH_scale.json): solver-only walls per grid point plus the
+// single-component identity control.
+type BenchScale struct {
+	// Cpus is the machine's CPU count at run time. The decomposition's
+	// win is algorithmic (it divides the heuristics' quadratic seeding by
+	// the component count), so unlike psim the speedup gate applies on
+	// any CPU count.
+	Cpus            int               `json:"cpus"`
+	StreamsPerCell  int               `json:"streams_per_cell"`
+	Points          []BenchScalePoint `json:"points"`
+	SingleComponent BenchScaleSingle  `json:"single_component"`
+}
+
+// benchScaleMinStreams is the corpus-size floor: the sweep must reach at
+// least this many streams at its largest grid point for the speedup claim
+// to count as a scale result.
+const benchScaleMinStreams = 2000
+
 // The race-overhead gate: the race wall may exceed the best standalone
 // feasible wall by at most this factor plus the fixed slack (goroutine
 // spawn, verification of the winning plan, and scheduler noise on a loaded
@@ -182,6 +231,11 @@ type BenchArtifact struct {
 	// Backends is present on the cross-backend benchmark artifact
 	// (BENCH_backends.json). Like SMT, such artifacts are solver-only.
 	Backends *BenchBackends `json:"backends,omitempty"`
+	// Scale is present on the scale artifact (BENCH_scale.json): the
+	// decomposed-vs-monolithic corpus sweep, gated on the decomposed wall
+	// beating the monolithic wall at the largest grid point of every
+	// family and on plan identity throughout.
+	Scale *BenchScale `json:"scale,omitempty"`
 }
 
 // NewBenchArtifact harvests a registry into a bench artifact. The registry
@@ -331,7 +385,90 @@ func (a *BenchArtifact) Validate() error {
 	if err := a.validatePsim(); err != nil {
 		return err
 	}
+	if err := a.validateScale(); err != nil {
+		return err
+	}
 	return a.validateAttrib()
+}
+
+// validateScale gates the decomposition corpus sweep section. The
+// invariants CI relies on:
+//
+//   - soundness: every decomposed plan passed the independent verifier,
+//     and every grid point's plan is fingerprint-identical to the
+//     monolithic solve's (the race winner is the deterministic link-local
+//     placer on both sides);
+//   - corpus shape: every grid point actually decomposes (two or more
+//     components) and the sweep reaches at least benchScaleMinStreams
+//     streams;
+//   - the perf claim: at the largest grid point of every family, the
+//     decomposed wall beats the monolithic wall;
+//   - the structural control: a single-component instance reports exactly
+//     one component and a byte-identical plan with and without Decompose.
+func (a *BenchArtifact) validateScale() error {
+	s := a.Scale
+	if s == nil {
+		return nil
+	}
+	if len(s.Points) == 0 {
+		return fmt.Errorf("bench artifact %s: empty scale sweep", a.Experiment)
+	}
+	if s.StreamsPerCell <= 0 {
+		return fmt.Errorf("bench artifact %s: scale streams_per_cell = %d",
+			a.Experiment, s.StreamsPerCell)
+	}
+	largest := map[string]BenchScalePoint{}
+	maxStreams := 0
+	for _, pt := range s.Points {
+		switch {
+		case pt.Family == "":
+			return fmt.Errorf("bench artifact %s: scale point without a family", a.Experiment)
+		case pt.Cells <= 0 || pt.Streams <= 0:
+			return fmt.Errorf("bench artifact %s: scale %s point has cells=%d streams=%d",
+				a.Experiment, pt.Family, pt.Cells, pt.Streams)
+		case pt.Components < 2:
+			return fmt.Errorf("bench artifact %s: scale %s/%d has %d conflict components, the corpus must decompose",
+				a.Experiment, pt.Family, pt.Cells, pt.Components)
+		case pt.MonoWallUs <= 0 || pt.DecompWallUs <= 0:
+			return fmt.Errorf("bench artifact %s: scale %s/%d has non-positive walls (mono %dus, decomposed %dus)",
+				a.Experiment, pt.Family, pt.Cells, pt.MonoWallUs, pt.DecompWallUs)
+		case !pt.Verified:
+			return fmt.Errorf("bench artifact %s: scale %s/%d merged plan failed verification",
+				a.Experiment, pt.Family, pt.Cells)
+		case !pt.PlansIdentical:
+			return fmt.Errorf("bench artifact %s: scale %s/%d decomposed plan diverged from the monolithic plan",
+				a.Experiment, pt.Family, pt.Cells)
+		}
+		if pt.Streams > maxStreams {
+			maxStreams = pt.Streams
+		}
+		if best, ok := largest[pt.Family]; !ok || pt.Streams > best.Streams {
+			largest[pt.Family] = pt
+		}
+	}
+	if maxStreams < benchScaleMinStreams {
+		return fmt.Errorf("bench artifact %s: scale sweep tops out at %d streams, need >= %d",
+			a.Experiment, maxStreams, benchScaleMinStreams)
+	}
+	for family, pt := range largest {
+		if pt.DecompWallUs >= pt.MonoWallUs {
+			return fmt.Errorf("bench artifact %s: scale %s/%d (largest %s point): decomposed wall %dus not below monolithic %dus",
+				a.Experiment, family, pt.Cells, family, pt.DecompWallUs, pt.MonoWallUs)
+		}
+	}
+	sc := s.SingleComponent
+	switch {
+	case sc.Streams <= 0:
+		return fmt.Errorf("bench artifact %s: scale single-component control has %d streams",
+			a.Experiment, sc.Streams)
+	case sc.Components != 1:
+		return fmt.Errorf("bench artifact %s: scale single-component control reports %d components, want 1",
+			a.Experiment, sc.Components)
+	case !sc.Identical:
+		return fmt.Errorf("bench artifact %s: scale single-component plans differ with and without decompose",
+			a.Experiment)
+	}
+	return nil
 }
 
 // validatePsim gates the parallel-engine sweep section: every point must

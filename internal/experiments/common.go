@@ -46,6 +46,10 @@ type RunOptions struct {
 	// builds (passes through to core.Options.Backend; zero keeps core's
 	// auto default).
 	Backend core.Backend
+	// Decompose splits every E-TSN solve into conflict-graph components
+	// solved independently and merged (passes through to
+	// core.Options.Decompose via sched.Problem).
+	Decompose bool
 	// BackendCompare additionally runs every scheduling backend standalone
 	// on the experiment's scenario grid and attaches a per-backend
 	// comparison (schedulable ratio and solve wall) to results that
@@ -94,6 +98,7 @@ func RunMethod(s *Scenario, m sched.Method, opts RunOptions) (*MethodResult, err
 	prob.Obs = opts.Obs
 	prob.Phases = opts.Phases
 	prob.Backend = opts.Backend
+	prob.Decompose = opts.Decompose
 	plan, err := sched.Build(m, prob, opts.Multiplier)
 	if err != nil {
 		return nil, fmt.Errorf("build %v: %w", m, err)

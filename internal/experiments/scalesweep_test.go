@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"etsn/internal/core"
+)
+
+// TestCorpusProblemShape checks the corpus builder: cell-local traffic,
+// unique stream IDs, and one conflict-graph component per cell in both
+// families.
+func TestCorpusProblemShape(t *testing.T) {
+	for _, family := range CorpusFamilies {
+		p, err := corpusProblem(family, 3, DefaultSeed)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if got, want := len(p.TCT), 3*CorpusStreamsPerCell; got != want {
+			t.Fatalf("%s: %d TCT streams, want %d", family, got, want)
+		}
+		if len(p.ECT) != 3 {
+			t.Fatalf("%s: %d ECT streams, want 3", family, len(p.ECT))
+		}
+		seen := map[string]bool{}
+		for _, s := range p.TCT {
+			if seen[string(s.ID)] {
+				t.Fatalf("%s: duplicate stream ID %s", family, s.ID)
+			}
+			seen[string(s.ID)] = true
+			// Cell-local: every path link must stay on the stream's own
+			// cell switch.
+			cell := strings.SplitN(string(s.ID), "-", 2)[0] // "c00"
+			sw := "EDGE" + strings.TrimLeft(cell[1:], "0")
+			if sw == "EDGE" {
+				sw = "EDGE0"
+			}
+			for _, lid := range s.Path {
+				if string(lid.From) != sw && string(lid.To) != sw {
+					t.Fatalf("%s: stream %s leaves its cell: link %v", family, s.ID, lid)
+				}
+			}
+		}
+		if got := core.ConflictComponentCount(p); got != 3 {
+			t.Fatalf("%s: %d conflict components, want 3 (one per cell)", family, got)
+		}
+	}
+}
+
+// TestCorpusSolveIdentity solves one small grid point both ways and checks
+// the invariants the sweep gate relies on: a verifier-clean merged plan
+// with the same fingerprint as the monolithic solve.
+func TestCorpusSolveIdentity(t *testing.T) {
+	for _, family := range CorpusFamilies {
+		monoRes, monoFP, _, err := corpusSolve(family, 3, DefaultSeed, false)
+		if err != nil {
+			t.Fatalf("%s monolithic: %v", family, err)
+		}
+		decompRes, decompFP, _, err := corpusSolve(family, 3, DefaultSeed, true)
+		if err != nil {
+			t.Fatalf("%s decomposed: %v", family, err)
+		}
+		if monoFP != decompFP {
+			t.Fatalf("%s: fingerprints differ: mono %s, decomposed %s", family, monoFP, decompFP)
+		}
+		if len(monoRes.Expanded) != len(decompRes.Expanded) {
+			t.Fatalf("%s: expanded %d vs %d streams", family, len(monoRes.Expanded), len(decompRes.Expanded))
+		}
+		p, err := corpusProblem(family, 3, DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs := core.Verify(p.Network, decompRes); len(vs) > 0 {
+			t.Fatalf("%s: merged plan has %d violations, first: %s", family, len(vs), vs[0])
+		}
+	}
+}
+
+// TestSingleComponentCheck runs the sweep's structural control.
+func TestSingleComponentCheck(t *testing.T) {
+	single, err := singleComponentCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Components != 1 {
+		t.Fatalf("components = %d, want 1", single.Components)
+	}
+	if !single.Identical {
+		t.Fatal("single-component plans differ with and without decompose")
+	}
+	if single.Streams != 48 {
+		t.Fatalf("streams = %d, want 48", single.Streams)
+	}
+}
+
+// TestValidateScaleGates exercises the artifact validator on the scale
+// section: a healthy sweep passes, and each gate trips on the exact
+// regression it guards.
+func TestValidateScaleGates(t *testing.T) {
+	healthy := func() *BenchArtifact {
+		return &BenchArtifact{
+			Experiment: "scale",
+			WallMs:     10,
+			Sim:        BenchSim{Events: 1, EventsPerSec: 1, Delivered: 1},
+			Scale: &BenchScale{
+				Cpus:           1,
+				StreamsPerCell: CorpusStreamsPerCell,
+				Points: []BenchScalePoint{
+					{Family: "tree", Cells: 4, Streams: 200, Components: 4,
+						MonoWallUs: 1000, DecompWallUs: 1500, Verified: true, PlansIdentical: true},
+					{Family: "tree", Cells: 44, Streams: 2200, Components: 44,
+						MonoWallUs: 200_000, DecompWallUs: 120_000, Verified: true, PlansIdentical: true},
+				},
+				SingleComponent: BenchScaleSingle{Streams: 48, Components: 1, Identical: true},
+			},
+		}
+	}
+	if err := healthy().Validate(); err != nil {
+		t.Fatalf("healthy artifact rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*BenchArtifact)
+		want   string
+	}{
+		{"unverified", func(a *BenchArtifact) { a.Scale.Points[1].Verified = false }, "failed verification"},
+		{"diverged", func(a *BenchArtifact) { a.Scale.Points[1].PlansIdentical = false }, "diverged"},
+		{"monolithic component", func(a *BenchArtifact) { a.Scale.Points[0].Components = 1 }, "must decompose"},
+		{"too small", func(a *BenchArtifact) { a.Scale.Points[1].Streams = 1999 }, "tops out"},
+		{"no speedup", func(a *BenchArtifact) { a.Scale.Points[1].DecompWallUs = 300_000 }, "not below monolithic"},
+		{"control split", func(a *BenchArtifact) { a.Scale.SingleComponent.Components = 2 }, "want 1"},
+		{"control diverged", func(a *BenchArtifact) { a.Scale.SingleComponent.Identical = false }, "differ"},
+	}
+	for _, tc := range cases {
+		a := healthy()
+		tc.mutate(a)
+		err := a.Validate()
+		if err == nil {
+			t.Fatalf("%s: validator accepted a broken artifact", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

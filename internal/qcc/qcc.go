@@ -146,6 +146,11 @@ type SchedulerOptions struct {
 	// (core.Options.Timeout); zero means unlimited. The scheduling daemon
 	// overrides it with the per-job deadline.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Decompose splits the solve into the connected components of the
+	// stream conflict graph, solved independently (in parallel, each
+	// through the selected backend) and merged under a final verifier
+	// re-check (core.Options.Decompose).
+	Decompose bool `json:"decompose,omitempty"`
 }
 
 // Config is a complete configuration document.
@@ -288,6 +293,7 @@ func (c *Config) coreOptions() (core.Options, error) {
 		SharedReserves: c.Options.SharedReserves,
 		MinimizeECT:    c.Options.MinimizeECT,
 		Portfolio:      c.Options.Portfolio,
+		Decompose:      c.Options.Decompose,
 		Timeout:        time.Duration(c.Options.TimeoutMs) * time.Millisecond,
 		Obs:            c.Obs,
 		Phases:         c.Phases,

@@ -75,6 +75,9 @@ type Problem struct {
 	// Timeout bounds the solve wall clock (passes through to
 	// core.Options.Timeout; zero means unlimited).
 	Timeout time.Duration
+	// Decompose splits the solve into conflict-graph components solved
+	// independently and merged (passes through to core.Options.Decompose).
+	Decompose bool
 }
 
 // Core converts to the scheduler's problem type. Evaluation plans run with
@@ -84,7 +87,7 @@ func (p Problem) Core() *core.Problem {
 	return &core.Problem{Network: p.Network, TCT: p.TCT, ECT: p.ECT,
 		Opts: core.Options{NProb: p.NProb, SpreadFrames: p.Spread, SharedReserves: true,
 			Obs: p.Obs, Phases: p.Phases, ExpandCache: p.Cache, Portfolio: p.Portfolio,
-			Backend: p.Backend, Timeout: p.Timeout}}
+			Backend: p.Backend, Timeout: p.Timeout, Decompose: p.Decompose}}
 }
 
 // SimOptions configures a plan simulation beyond the common parameters.

@@ -1,0 +1,48 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// planConfigDecompose switches the test config to decomposed scheduling.
+func planConfigDecompose() string {
+	return strings.Replace(planConfig,
+		`"options": {"n_prob": 3, "backend": "placer"}`,
+		`"options": {"n_prob": 3, "backend": "placer", "decompose": true}`, 1)
+}
+
+// TestSubmitDecomposeJournaled: a plan job that asks for decomposed
+// scheduling runs to completion and journals the flag in the effective
+// config, so a restart replays the plan with the same solve shape.
+func TestSubmitDecomposeJournaled(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{DataDir: dir})
+	job, err := s.Submit("acme", KindPlan, []byte(planConfigDecompose()))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if snap := waitJob(t, job); snap.State != JobDone {
+		t.Fatalf("plan job: %+v", snap)
+	}
+	ten := s.tenantGet("acme")
+	ten.mu.Lock()
+	effective := string(ten.effective)
+	ten.mu.Unlock()
+	if !strings.Contains(effective, `"decompose":true`) {
+		t.Fatalf("effective config does not journal decompose: %s", effective)
+	}
+	s.Shutdown()
+
+	// Restart: the journaled config round-trips, the replayed controller
+	// accepts new work on top of the decomposed plan.
+	s2 := newTestServer(t, Config{DataDir: dir})
+	defer s2.Shutdown()
+	adm, err := s2.Submit("acme", KindAdmit, []byte(admitBody))
+	if err != nil {
+		t.Fatalf("Submit admit: %v", err)
+	}
+	if snap := waitJob(t, adm); snap.State != JobDone {
+		t.Fatalf("admit after restart: %+v", snap)
+	}
+}

@@ -42,6 +42,13 @@ echo "==> go test -race ./internal/dash/... (dashboard, explicit)"
 # must hold under the race detector.
 go test -race -count=1 ./internal/dash/...
 
+echo "==> go test -race decomposition suite (conflict-graph scheduling + route cache, explicit)"
+# Per-component solves run concurrently and the route cache promotes
+# overflow entries under concurrent readers; both must hold under the race
+# detector every run.
+go test -race -count=1 -run 'TestDecompose|TestConflictComponents' ./internal/core/
+go test -race -count=1 -run 'TestRouteCacheConcurrentReaders' ./internal/model/
+
 echo "==> benchmark smoke (-benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x ./...
 
@@ -85,7 +92,10 @@ mkdir -p bench
 "$BENCHDIR/etsn-bench" -experiment smt \
     -bench-dir bench -history bench/history.jsonl >/dev/null
 # The scale run sweeps the sharded engine over 1/2/4/8 shards on the same
-# scenario and emits BENCH_psim.json, gated on byte-identical results.
+# scenario (BENCH_psim.json, gated on byte-identical results) and then the
+# decomposition corpus over the tree/mesh cell grid (the scale section of
+# BENCH_scale.json, gated on the decomposed wall beating the monolithic
+# wall at the largest >=2k-stream point and on plan identity throughout).
 "$BENCHDIR/etsn-bench" -experiment scale -duration 1s \
     -bench-dir bench -history bench/history.jsonl >/dev/null
 # The backends run races every scheduler backend over the fig11 load grid
@@ -99,6 +109,7 @@ mkdir -p bench
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_smt.json
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_psim.json
 "$BENCHDIR/etsn-bench" -check-bench bench/BENCH_backends.json
+"$BENCHDIR/etsn-bench" -check-bench bench/BENCH_scale.json
 
 echo "==> wall-time trend (bench/history.jsonl)"
 # Informational: flags >10% regressions against each experiment's rolling
